@@ -1,0 +1,37 @@
+# Convenience targets for the GPU-box reproduction.
+
+PY ?= python
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e .
+
+test:
+	$(PY) -m pytest tests/
+
+test-log:
+	$(PY) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-log:
+	$(PY) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+report:
+	$(PY) -m repro.cli report --output evaluation_report.txt
+
+report-small:
+	$(PY) -m repro.cli --small report --output evaluation_report_small.txt
+
+examples:
+	$(PY) examples/quickstart.py
+	$(PY) examples/covert_channel.py
+	$(PY) examples/box_scan.py
+	$(PY) examples/multi_gpu_channel.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/paper_results.txt \
+	       test_output.txt bench_output.txt
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,21 @@
+"""Section VII ablation: partitioning and detection."""
+
+import pytest
+
+from repro.experiments import ablation_defense
+
+
+@pytest.mark.paper
+def test_ablation_defense(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: ablation_defense.run(seed=5, num_sets=2, payload_bits=256),
+        rounds=1,
+        iterations=1,
+    )
+    print_result(result)
+    outcomes = {row[0]: row[1] for row in result.rows}
+    assert "channel up" in outcomes["no defense"]
+    assert outcomes["detector during covert transmission"] == "flagged"
+    assert outcomes["detector during honest workload"] == "not flagged"
+    mig = outcomes["MIG-style L2 way-partitioning"]
+    assert "failed" in mig or "degraded" in mig

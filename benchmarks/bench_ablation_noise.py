@@ -1,0 +1,21 @@
+"""Section VI ablation: background noise vs occupancy blocking."""
+
+import pytest
+
+from repro.experiments import ablation_noise
+
+
+@pytest.mark.paper
+def test_ablation_noise(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: ablation_noise.run(seed=4, num_sets=2, payload_bits=256),
+        rounds=1,
+        iterations=1,
+    )
+    print_result(result)
+    rates = {row[0]: row[1] for row in result.rows}
+    # Noise degrades the channel; blocking shuts the noise process out,
+    # restoring (at least) the noisy error rate back toward quiet levels.
+    assert rates["background noise"] >= rates["quiet box"]
+    assert rates["noise + occupancy blocking"] <= rates["background noise"]
+    assert result.extras["noise_was_blocked"] is True

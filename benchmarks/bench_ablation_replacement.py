@@ -1,0 +1,22 @@
+"""Ablation: replacement policy vs eviction determinism (Fig 5's premise)."""
+
+import pytest
+
+from repro.experiments import ablation_replacement
+
+
+@pytest.mark.paper
+def test_ablation_replacement(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: ablation_replacement.run(seed=7, repeats=10), rounds=1, iterations=1
+    )
+    print_result(result)
+    by_policy = {row[0]: row for row in result.rows}
+    # LRU: fully deterministic eviction at exactly the associativity.
+    assert by_policy["lru"][1] == "10/10"
+    assert by_policy["lru"][2] == "0/10"
+    assert by_policy["lru"][3] == 16
+    # Random replacement cannot give the paper's determinism (either the
+    # full-set chase is unreliable or discovery itself falls apart).
+    random_row = by_policy["random"]
+    assert random_row[1] != "10/10" or "failed" in str(random_row[1])

@@ -1,0 +1,22 @@
+"""Ablation: the slot-length (trojan access frequency) tuning knob."""
+
+import pytest
+
+from repro.experiments import ablation_slot
+
+
+@pytest.mark.paper
+def test_ablation_slot(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: ablation_slot.run(
+            seed=7, slot_lengths=(1500.0, 3000.0, 6000.0), payload_bits=256
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_result(result)
+    rows = {row[0]: row for row in result.rows}
+    # Bandwidth inversely proportional to slot length.
+    assert rows[1500.0][1] > rows[3000.0][1] > rows[6000.0][1]
+    # The longest slot is at least as reliable as the shortest.
+    assert rows[6000.0][2] <= rows[1500.0][2] + 1.0

@@ -1,0 +1,21 @@
+"""Extension: bandwidth scaling across disjoint GPU pairs."""
+
+import pytest
+
+from repro.experiments import ext_multi_gpu
+
+
+@pytest.mark.paper
+def test_ext_multi_gpu_scaling(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: ext_multi_gpu.run(seed=3, pair_counts=(1, 2, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    print_result(result)
+    bandwidths = [row[2] for row in result.rows]
+    errors = [row[3] for row in result.rows]
+    # Near-linear scaling: 4 pairs deliver >3x one pair's bandwidth.
+    assert bandwidths[2] > 3.0 * bandwidths[0]
+    # Disjoint contention domains: error does not blow up with pairs.
+    assert max(errors) <= 8.0

@@ -1,0 +1,30 @@
+"""Extension: box-wide victim location accuracy (§V-A's first step)."""
+
+import pytest
+
+from repro.config import DGXSpec
+from repro.core.sidechannel.scanner import BoxScanner
+from repro.runtime.api import Runtime
+from repro.workloads import make_workload
+
+
+@pytest.mark.paper
+def test_ext_scanner_locates_victims(benchmark):
+    def experiment():
+        runtime = Runtime(DGXSpec.dgx1(), seed=21)
+        scanner = BoxScanner(runtime, num_sets=32)
+        victims = {
+            0: make_workload("vectoradd", scale=0.2, seed=1),
+            3: make_workload("histogram", scale=0.2, seed=2),
+            6: make_workload("matmul", scale=0.2, seed=3),
+        }
+        report = scanner.scan(victims=victims, observation_cycles=1_500_000.0)
+        return report
+
+    report = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print()
+    print("== ext-scanner: box-wide victim location ==")
+    print(report.summary())
+    assert report.active_gpus() == [0, 3, 6]
+    for gpu in (1, 2, 4, 5, 7):
+        assert not report.active[gpu]

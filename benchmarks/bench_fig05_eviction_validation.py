@@ -1,0 +1,20 @@
+"""Fig 5: eviction exactly at the 16th access, local and remote."""
+
+import pytest
+
+from repro.experiments import fig05_eviction
+
+
+@pytest.mark.paper
+def test_fig05_eviction_validation(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: fig05_eviction.run(seed=7), rounds=1, iterations=1
+    )
+    print_result(result)
+    assert "deterministic LRU (local): True" in result.notes
+    assert "(remote): True" in result.notes
+    for row in result.rows:
+        assert row[1] == 16  # eviction at the associativity
+    # Fig 5's y-axis: the latency jump is visible in the recorded curve.
+    latencies = result.extras["remote_latencies"]
+    assert latencies[-1] > latencies[0] + 100

@@ -1,0 +1,17 @@
+"""Fig 6: aliased eviction sets detected and eliminated."""
+
+import pytest
+
+from repro.experiments import fig06_aliasing
+
+
+@pytest.mark.paper
+def test_fig06_aliasing(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: fig06_aliasing.run(seed=7), rounds=1, iterations=1
+    )
+    print_result(result)
+    by_pair = {row[0]: row[1] for row in result.rows}
+    assert by_pair["two sets on the same physical set"] is True
+    assert by_pair["two sets on distinct physical sets"] is False
+    assert result.extras["kept_after_dedup"] == 2

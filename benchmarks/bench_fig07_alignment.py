@@ -1,0 +1,21 @@
+"""Fig 7 / Algorithm 2: cross-process eviction-set alignment."""
+
+import pytest
+
+from repro.experiments import fig07_alignment
+
+
+@pytest.mark.paper
+def test_fig07_alignment(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: fig07_alignment.run(seed=7, candidate_sets=4), rounds=1, iterations=1
+    )
+    print_result(result)
+    assert "ground-truth physical sets match: True" in result.notes
+    alignment = result.extras["alignment"]
+    assert alignment.num_aligned >= 1
+    # Mapped pairs show contention (high spy mean); unmapped show hits.
+    mapped = [m.spy_mean_cycles for m in alignment.measurements if m.mapped]
+    unmapped = [m.spy_mean_cycles for m in alignment.measurements if not m.mapped]
+    if mapped and unmapped:
+        assert min(mapped) > max(unmapped)

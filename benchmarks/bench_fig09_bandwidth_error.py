@@ -1,0 +1,30 @@
+"""Fig 9: covert-channel bandwidth and error rate vs number of sets."""
+
+import pytest
+
+from repro.experiments import fig09_bandwidth
+
+
+@pytest.mark.paper
+def test_fig09_bandwidth_error(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: fig09_bandwidth.run(
+            seed=3, set_counts=(1, 2, 4, 8, 12), payload_bits=512, repeats=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_result(result)
+    rows = {row[0]: row for row in result.rows}
+    # Shape: raw bandwidth grows linearly with sets while the channel holds.
+    assert rows[2][1] > rows[1][1]
+    assert rows[4][1] > rows[2][1]
+    assert rows[8][1] > rows[4][1]
+    # Shape: the channel is usable pre-knee and drowns past it (the paper's
+    # smooth error growth emerges when averaging over many runs; at bench
+    # scale the pre-knee error floor is near zero everywhere).
+    working = [rows[n][2] for n in (1, 2, 4, 8)]
+    assert all(err <= 10.0 for err in working)  # pre-knee: usable channel
+    assert rows[12][2] >= 5.0  # post-knee: error rate jumps
+    assert rows[12][2] >= 3.0 * max(working)
+    assert max(working[2], working[3]) >= min(working[0], working[1])

@@ -1,0 +1,27 @@
+"""Fig 10: the covert text message and its two timing levels."""
+
+import pytest
+
+from repro.experiments import fig10_message
+
+
+@pytest.mark.paper
+def test_fig10_message_waveform(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: fig10_message.run(seed=3, num_sets=4), rounds=1, iterations=1
+    )
+    print_result(result)
+    rows = {row[0]: row for row in result.rows}
+    # The two signalling levels sit near the paper's 630 / 950 cycles.
+    level0 = float(rows["'0' level (cycles)"][1])
+    level1 = float(rows["'1' level (cycles)"][1])
+    assert 550 <= level0 <= 750
+    assert 850 <= level1 <= 1300
+    error = float(rows["bit error rate"][1].rstrip("%"))
+    assert error <= 5.0
+    # The message round-trips (allowing a character or two of corruption).
+    outcome = result.extras["transmission"]
+    sent = "Hello! How are you?"
+    received = outcome.received_text()
+    matches = sum(1 for a, b in zip(sent, received) if a == b)
+    assert matches >= len(sent) - 2

@@ -1,0 +1,26 @@
+"""Fig 11: distinct memorygrams for the six victim applications."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.features import memorygram_features
+from repro.experiments import fig11_memorygrams
+
+
+@pytest.mark.paper
+def test_fig11_memorygrams(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: fig11_memorygrams.run(seed=5, num_sets=128), rounds=1, iterations=1
+    )
+    print_result(result)
+    grams = result.extras["memorygrams"]
+    assert len(grams) == 6
+    # Every victim leaves a footprint...
+    for app, gram in grams.items():
+        assert gram.total_misses() > 100, app
+    # ...and the footprints are pairwise distinguishable in feature space.
+    features = {app: memorygram_features(gram) for app, gram in grams.items()}
+    apps = list(features)
+    for i, a in enumerate(apps):
+        for b in apps[i + 1 :]:
+            assert not np.allclose(features[a], features[b]), (a, b)

@@ -1,0 +1,26 @@
+"""Fig 12: application fingerprinting accuracy and confusion matrix.
+
+The heaviest benchmark: collects traces for all six victims and trains the
+classifier.  The paper reports 99.91% with 1500 traces/app; at bench scale
+(6 traces/app) the attack should still be near-perfect.
+"""
+
+import pytest
+
+from repro.experiments import fig12_fingerprint
+
+
+@pytest.mark.paper
+def test_fig12_confusion_matrix(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: fig12_fingerprint.run(seed=5, traces_per_app=6, num_sets=128),
+        rounds=1,
+        iterations=1,
+    )
+    print_result(result)
+    outcome = result.extras["result"]
+    assert outcome.accuracy >= 0.85
+    # Paper shape: most classes perfect, confusion concentrated on few pairs.
+    confusion = outcome.confusion
+    diagonal = confusion.trace()
+    assert diagonal >= 0.85 * confusion.sum()

@@ -1,0 +1,30 @@
+"""Fig 13: per-set miss histogram intensifies with the hidden width."""
+
+import numpy as np
+import pytest
+
+from repro.config import DGXSpec
+from repro.core.sidechannel.model_extraction import ModelExtractionAttack
+from repro.runtime.api import Runtime
+
+
+@pytest.mark.paper
+def test_fig13_misses_per_set(benchmark):
+    def experiment():
+        runtime = Runtime(DGXSpec.dgx1(), seed=9)
+        attack = ModelExtractionAttack(runtime, seed=9)
+        return attack.misses_per_set_histogram(hidden_sizes=(128, 512), bins=12)
+
+    histograms = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    print()
+    print("== fig13: per-set miss histograms ==")
+    for hidden, (counts, edges) in histograms.items():
+        print(f"H={hidden}: counts {list(counts)}")
+    print("paper: the intensity of misses increases with the hidden size")
+
+    mass = {}
+    for hidden, (counts, edges) in histograms.items():
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        mass[hidden] = float((counts * centers).sum() / max(1, counts.sum()))
+    assert mass[512] > mass[128]

@@ -1,0 +1,20 @@
+"""Fig 14: MLP memorygram intensity, 128 vs 512 hidden neurons."""
+
+import pytest
+
+from repro.experiments import fig14_mlp_memorygram
+
+
+@pytest.mark.paper
+def test_fig14_mlp_memorygram(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: fig14_mlp_memorygram.run(seed=9, hidden_sizes=(128, 512)),
+        rounds=1,
+        iterations=1,
+    )
+    print_result(result)
+    grams = result.extras["memorygrams"]
+    # The paper's visual claim, quantified: per-bin intensity grows with H.
+    intensity_128 = grams[128].total_misses() / max(1, grams[128].num_bins)
+    intensity_512 = grams[512].total_misses() / max(1, grams[512].num_bins)
+    assert intensity_512 > 1.5 * intensity_128

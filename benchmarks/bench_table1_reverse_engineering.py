@@ -1,0 +1,20 @@
+"""Table I: recovering the L2 architecture from user space."""
+
+import pytest
+
+from repro.experiments import table1_cache
+
+
+@pytest.mark.paper
+def test_table1_reverse_engineering(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: table1_cache.run(seed=7), rounds=1, iterations=1
+    )
+    print_result(result)
+    by_attr = {row[0]: row for row in result.rows}
+    # Measured values equal the paper's Table I on the full-scale box.
+    assert by_attr["L2 cache size"][1] == "4MB"
+    assert by_attr["Number of Sets"][1] == "2048"
+    assert by_attr["Cache line size"][1] == "128B"
+    assert by_attr["Cache lines per set"][1] == "16"
+    assert by_attr["Replacement Policy"][1] == "LRU"

@@ -1,0 +1,39 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one table/figure of the paper on the
+full-scale simulated DGX-1 and prints the measured rows next to the
+paper's numbers.  The timed quantity is the *attack phase* of each
+experiment (the interesting cost); setup is excluded where possible.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper: benchmark reproducing a specific paper table/figure"
+    )
+
+
+@pytest.fixture
+def print_result(capsys, request):
+    """Emit an ExperimentResult summary to the real terminal and to
+    benchmarks/paper_results.txt (so `pytest benchmarks/ --benchmark-only`
+    leaves a readable artifact even with output capture on)."""
+    import pathlib
+
+    results_file = pathlib.Path(__file__).parent / "paper_results.txt"
+
+    def _print(result):
+        text = result.summary() if hasattr(result, "summary") else str(result)
+        block = f"\n[{request.node.name}]\n{text}\n"
+        with capsys.disabled():
+            print(block)
+        with results_file.open("a") as sink:
+            sink.write(block)
+
+    return _print

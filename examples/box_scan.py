@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Box-wide victim location (§V-A's proposed first step).
+
+Places spy processes so that every GPU of the DGX-1 is covered by an
+NVLink neighbour, runs victims on a few GPUs, and sweeps the box: each
+GPU is classified active/idle and active ones are located.  This is the
+paper's "identify and reverse engineer the scheduling of applications on
+a multi-GPU system (simply by spying on all other GPUs in a GPU-box)".
+
+Run:  python examples/box_scan.py [--victims 0 3 6]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import DGXSpec
+from repro.core.sidechannel.scanner import BoxScanner, plan_spy_placement
+from repro.runtime.api import Runtime
+from repro.workloads import make_workload, workload_names
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=21)
+    parser.add_argument(
+        "--victims", type=int, nargs="+", default=[0, 3, 6],
+        help="GPUs to run victim applications on",
+    )
+    args = parser.parse_args()
+
+    runtime = Runtime(DGXSpec.dgx1(), seed=args.seed)
+    placement = plan_spy_placement(runtime)
+    print("spy placement (spy GPU -> observed GPUs):")
+    for spy_gpu, targets in placement.items():
+        print(f"  GPU {spy_gpu} -> {targets}")
+    print()
+
+    apps = workload_names()
+    victims = {
+        gpu: make_workload(apps[index % len(apps)], scale=0.2, seed=args.seed + gpu)
+        for index, gpu in enumerate(args.victims)
+    }
+    print("ground truth:")
+    for gpu, workload in victims.items():
+        print(f"  GPU {gpu}: {workload.name}")
+    print()
+
+    scanner = BoxScanner(runtime, num_sets=32)
+    report = scanner.scan(victims=victims, observation_cycles=1_500_000.0)
+    print("scan result:")
+    print(report.summary())
+    print()
+    located = set(report.active_gpus())
+    truth = set(victims)
+    print(f"located active GPUs : {sorted(located)}")
+    print(f"ground-truth active : {sorted(truth)}")
+    print(f"correct             : {located == truth}")
+
+
+if __name__ == "__main__":
+    main()

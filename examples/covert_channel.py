@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Covert channel deep dive: setup internals, waveform, bandwidth sweep.
+
+Walks the full Fig 8 pipeline step by step -- eviction-set discovery on
+both sides, Algorithm 2 alignment, transmission -- then reproduces the
+Fig 9 bandwidth/error sweep and prints the Fig 10 waveform of the spy's
+probe latencies.
+
+Run:  python examples/covert_channel.py [--small] [--sets 1 2 4 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import DGXSpec
+from repro.core.covert.channel import CovertChannel
+from repro.runtime.api import Runtime
+
+
+def waveform(trace, threshold, width=72) -> str:
+    """Render the spy's probe latencies as a two-level trace."""
+    lat = np.asarray(trace.latencies, dtype=float)
+    if len(lat) > width:
+        edges = np.linspace(0, len(lat), width + 1, dtype=int)
+        lat = np.array([lat[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
+    return "".join("#" if value > threshold else "_" for value in lat)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--sets", type=int, nargs="+", default=[1, 2, 4, 8])
+    parser.add_argument("--message", default="Hello! How are you?")
+    args = parser.parse_args()
+
+    def fresh_runtime(seed):
+        spec = DGXSpec.small() if args.small else DGXSpec.dgx1()
+        return Runtime(spec, seed=seed)
+
+    print("=== channel setup (Fig 8 steps 1-3) ===")
+    runtime = fresh_runtime(args.seed)
+    channel = CovertChannel(runtime, trojan_gpu=0, spy_gpu=1)
+    channel.setup(num_sets=min(args.sets[-1], 4))
+    print(f"thresholds: remote hit/miss boundary at "
+          f"{channel.thresholds.remote:.0f} cycles")
+    print(f"aligned {len(channel.pairs)} eviction-set pairs "
+          f"(trojan on GPU {channel.trojan_gpu}, spy on GPU {channel.spy_gpu}, "
+          f"contention medium: GPU {channel.trojan_gpu}'s L2)")
+    print()
+
+    print(f"=== sending {args.message!r} (Fig 10) ===")
+    outcome = channel.send_text(args.message)
+    print(f"received: {outcome.received_text()!r} "
+          f"(error {outcome.error_rate * 100:.2f}%)")
+    print("spy waveform, set 0 ('#' = miss/1, '_' = hit/0):")
+    print(waveform(outcome.traces[0], channel.thresholds.remote))
+    print()
+
+    print("=== bandwidth & error vs number of sets (Fig 9) ===")
+    rng = np.random.default_rng(args.seed)
+    bits = [int(b) for b in rng.integers(0, 2, 512)]
+    print("sets  bandwidth (KB/s)  error (%)")
+    for num_sets in args.sets:
+        fresh = CovertChannel(fresh_runtime(args.seed), 0, 1)
+        fresh.setup(num_sets)
+        result = fresh.transmit(bits, strict=False)
+        print(
+            f"{num_sets:>4}  {result.bandwidth_bytes_per_s / 1024:>15.1f}  "
+            f"{result.error_rate * 100:>8.2f}"
+        )
+    print()
+    print("paper shape: bandwidth rises with sets; error rises too; the")
+    print("channel collapses once port/link contention drowns the signal.")
+
+
+if __name__ == "__main__":
+    main()

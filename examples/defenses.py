@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Defenses and noise (§VI-VII): what stops the GPU-box spy?
+
+Demonstrates, on one box each:
+1. the attack under background noise, and the paper's SM-occupancy
+   blocking trick restoring a quiet channel;
+2. a counter-based detector flagging the covert channel (but not an
+   honest workload);
+3. MIG-style L2 way-partitioning removing the contention signal entirely.
+
+Run:  python examples/defenses.py [--small]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import ablation_defense, ablation_noise
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--small", action="store_true")
+    args = parser.parse_args()
+
+    print(ablation_noise.run(seed=args.seed, small=args.small).summary())
+    print()
+    print(ablation_defense.run(seed=args.seed, small=args.small).summary())
+
+
+if __name__ == "__main__":
+    main()

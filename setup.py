@@ -1,0 +1,8 @@
+"""Setup shim: enables `pip install -e .` without the `wheel` package.
+
+All metadata lives in pyproject.toml (PEP 621); setuptools >= 61 reads it.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro — Reproduction of "Spy in the GPU-box" (ISCA 2023).
+
+Covert and side channel attacks across GPUs in a simulated Nvidia DGX-1
+multi-GPU server.  The package is organised as:
+
+- :mod:`repro.config` / :mod:`repro.hw` / :mod:`repro.sim` — the simulated
+  box (caches, HBM, NVLink cube-mesh, discrete-event engine).
+- :mod:`repro.runtime` — a CUDA-like user API the attacks are written
+  against.
+- :mod:`repro.core` — the paper's contribution: timing characterization,
+  eviction-set discovery/alignment, the cross-GPU covert channel, and the
+  memorygram side channels.
+- :mod:`repro.workloads` — the six victim HPC kernels plus the MLP victim.
+- :mod:`repro.analysis` — memorygram features, numpy classifier, metrics.
+- :mod:`repro.noise` / :mod:`repro.defense` — §VI noise mitigation and
+  §VII defenses.
+- :mod:`repro.experiments` — one harness per paper table/figure.
+
+Quickstart::
+
+    from repro import GpuBox
+    box = GpuBox(seed=7)
+    report = box.characterize_timing()
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+from .config import CacheSpec, DGXSpec, GPUSpec, LinkSpec, TimingSpec
+from .errors import ReproError
+from .facade import GpuBox
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GpuBox",
+    "DGXSpec",
+    "GPUSpec",
+    "CacheSpec",
+    "LinkSpec",
+    "TimingSpec",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Memorygram analysis: feature extraction, classifier, metrics."""
+
+from .classifier import MLPClassifier
+from .features import memorygram_features
+from .metrics import accuracy_score, classification_report, confusion_matrix
+from .plots import ascii_bars, ascii_histogram, ascii_series, ascii_waveform
+from .segmentation import Phase, segment_phases
+
+__all__ = [
+    "MLPClassifier",
+    "memorygram_features",
+    "accuracy_score",
+    "confusion_matrix",
+    "classification_report",
+    "ascii_histogram",
+    "ascii_series",
+    "ascii_bars",
+    "ascii_waveform",
+    "Phase",
+    "segment_phases",
+]

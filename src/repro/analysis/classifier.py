@@ -1,0 +1,147 @@
+"""A from-scratch numpy MLP classifier.
+
+Stands in for the paper's deep-learning fingerprint model (no torch in the
+offline environment).  One hidden layer with ReLU, softmax cross-entropy,
+mini-batch Adam, early stopping on a validation split -- small but a real
+trained model, not a nearest-neighbour shortcut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = ["MLPClassifier"]
+
+
+@dataclass
+class MLPClassifier:
+    """784-free, dependency-free MLP: input -> hidden (ReLU) -> softmax."""
+
+    hidden: int = 64
+    learning_rate: float = 1e-3
+    epochs: int = 200
+    batch_size: int = 32
+    l2: float = 1e-4
+    seed: int = 0
+    early_stop_patience: int = 25
+    _params: dict = field(default_factory=dict, repr=False)
+    classes_: Optional[np.ndarray] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        X_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+    ) -> "MLPClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2 or len(X) != len(y):
+            raise AnalysisError("X must be (n, d) with matching labels")
+        self.classes_, y_idx = np.unique(y, return_inverse=True)
+        num_classes = len(self.classes_)
+        rng = np.random.default_rng(self.seed)
+
+        d = X.shape[1]
+        scale1 = np.sqrt(2.0 / d)
+        scale2 = np.sqrt(2.0 / self.hidden)
+        p = {
+            "W1": rng.normal(0.0, scale1, (d, self.hidden)),
+            "b1": np.zeros(self.hidden),
+            "W2": rng.normal(0.0, scale2, (self.hidden, num_classes)),
+            "b2": np.zeros(num_classes),
+        }
+        adam = {k: [np.zeros_like(v), np.zeros_like(v)] for k, v in p.items()}
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        have_val = X_val is not None and y_val is not None and len(X_val) > 0
+        if have_val:
+            y_val_idx = np.searchsorted(self.classes_, np.asarray(y_val))
+        best_val = -1.0
+        best_params = {k: v.copy() for k, v in p.items()}
+        stale = 0
+
+        for _epoch in range(self.epochs):
+            order = rng.permutation(len(X))
+            for at in range(0, len(X), self.batch_size):
+                batch = order[at : at + self.batch_size]
+                xb, yb = X[batch], y_idx[batch]
+                grads = self._grads(p, xb, yb, num_classes)
+                step += 1
+                for key in p:
+                    g = grads[key] + self.l2 * p[key]
+                    m, v = adam[key]
+                    m[:] = beta1 * m + (1 - beta1) * g
+                    v[:] = beta2 * v + (1 - beta2) * g * g
+                    m_hat = m / (1 - beta1**step)
+                    v_hat = v / (1 - beta2**step)
+                    p[key] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+            if have_val:
+                self._params = p
+                val_acc = float(
+                    (self._predict_indices(X_val) == y_val_idx).mean()
+                )
+                if val_acc > best_val:
+                    best_val = val_acc
+                    best_params = {k: v.copy() for k, v in p.items()}
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= self.early_stop_patience:
+                        break
+        self._params = best_params if have_val else p
+        return self
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _forward(p: dict, X: np.ndarray):
+        z1 = X @ p["W1"] + p["b1"]
+        a1 = np.maximum(z1, 0.0)
+        logits = a1 @ p["W2"] + p["b2"]
+        return z1, a1, logits
+
+    @classmethod
+    def _grads(cls, p: dict, X: np.ndarray, y_idx: np.ndarray, num_classes: int):
+        n = len(X)
+        z1, a1, logits = cls._forward(p, X)
+        logits -= logits.max(axis=1, keepdims=True)
+        probs = np.exp(logits)
+        probs /= probs.sum(axis=1, keepdims=True)
+        probs[np.arange(n), y_idx] -= 1.0
+        probs /= n
+        grad_w2 = a1.T @ probs
+        grad_b2 = probs.sum(axis=0)
+        delta1 = (probs @ p["W2"].T) * (z1 > 0)
+        grad_w1 = X.T @ delta1
+        grad_b1 = delta1.sum(axis=0)
+        return {"W1": grad_w1, "b1": grad_b1, "W2": grad_w2, "b2": grad_b2}
+
+    # ------------------------------------------------------------------
+    def _predict_indices(self, X: np.ndarray) -> np.ndarray:
+        if not self._params:
+            raise AnalysisError("classifier is not fitted")
+        _z1, _a1, logits = self._forward(self._params, np.asarray(X, dtype=np.float64))
+        return logits.argmax(axis=1)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise AnalysisError("classifier is not fitted")
+        return self.classes_[self._predict_indices(X)]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self._params:
+            raise AnalysisError("classifier is not fitted")
+        _z1, _a1, logits = self._forward(self._params, np.asarray(X, dtype=np.float64))
+        logits -= logits.max(axis=1, keepdims=True)
+        probs = np.exp(logits)
+        return probs / probs.sum(axis=1, keepdims=True)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(X) == np.asarray(y)).mean())

@@ -1,0 +1,55 @@
+"""Memorygram -> feature vector for the fingerprint classifier.
+
+The paper feeds memorygram *images* to an image classifier.  We do the
+same -- a downsampled image -- and append a few global statistics (miss
+density, temporal burstiness, per-set concentration) that summarize the
+qualitative differences visible in Fig 11: streaming kernels sweep wide,
+histogram hammers a narrow hot band, blackscholes is sparse, matmul is
+periodic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis is a
+    # dependency of core.sidechannel.fingerprint, not the other way round)
+    from ..core.sidechannel.memorygram import Memorygram
+
+__all__ = ["memorygram_features", "feature_dim"]
+
+
+def feature_dim(image_shape: Tuple[int, int] = (16, 16)) -> int:
+    return image_shape[0] * image_shape[1] + 6
+
+
+def memorygram_features(
+    gram: "Memorygram", image_shape: Tuple[int, int] = (16, 16)
+) -> np.ndarray:
+    """Flattened image plus global statistics, scaled to O(1) ranges."""
+    image = gram.as_image(image_shape, log_scale=True)
+    per_set = gram.misses_per_set().astype(np.float64)
+    per_bin = gram.activity_per_bin().astype(np.float64)
+    total = per_set.sum()
+
+    density = total / max(1, gram.num_sets * gram.num_bins)
+    set_mean = per_set.mean()
+    set_concentration = per_set.max() / (set_mean + 1e-9) if total else 0.0
+    active_sets = float((per_set > 0).mean())
+    bin_mean = per_bin.mean()
+    burstiness = per_bin.std() / (bin_mean + 1e-9) if total else 0.0
+    duty_cycle = float((per_bin > 0.1 * (per_bin.max() + 1e-9)).mean())
+
+    stats = np.array(
+        [
+            np.log1p(density),
+            np.log1p(set_concentration),
+            active_sets,
+            np.log1p(burstiness),
+            duty_cycle,
+            np.log1p(total) / 12.0,
+        ]
+    )
+    return np.concatenate([image.ravel(), stats])

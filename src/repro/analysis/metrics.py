@@ -1,0 +1,70 @@
+"""Classification metrics: accuracy, confusion matrix, per-class report."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["accuracy_score", "confusion_matrix", "classification_report", "render_confusion"]
+
+
+def accuracy_score(y_true: Sequence, y_pred: Sequence) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) == 0:
+        return 0.0
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(
+    y_true: Sequence, y_pred: Sequence, labels: Optional[Sequence] = None
+) -> np.ndarray:
+    """counts[i, j] = samples of true class i predicted as class j."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    index = {label: i for i, label in enumerate(labels)}
+    counts = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for truth, guess in zip(y_true, y_pred):
+        counts[index[truth], index[guess]] += 1
+    return counts
+
+
+def per_class_accuracy(counts: np.ndarray) -> np.ndarray:
+    totals = counts.sum(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        acc = np.where(totals > 0, np.diag(counts) / np.maximum(totals, 1), 0.0)
+    return acc
+
+
+def render_confusion(counts: np.ndarray, labels: Sequence[str]) -> str:
+    """Text rendering in the style of Fig 12."""
+    short = [str(label)[:4] for label in labels]
+    width = max(5, max(len(s) for s in short) + 1)
+    lines: List[str] = []
+    header = " " * width + "".join(f"{s:>{width}}" for s in short)
+    lines.append(header)
+    for i, label in enumerate(short):
+        row = "".join(f"{counts[i, j]:>{width}}" for j in range(len(labels)))
+        lines.append(f"{label:>{width}}" + row)
+    return "\n".join(lines)
+
+
+def classification_report(
+    y_true: Sequence, y_pred: Sequence, labels: Optional[Sequence] = None
+) -> str:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if labels is None:
+        labels = list(np.unique(np.concatenate([y_true, y_pred])))
+    counts = confusion_matrix(y_true, y_pred, labels)
+    acc = per_class_accuracy(counts)
+    lines = ["class            accuracy  support"]
+    for i, label in enumerate(labels):
+        lines.append(f"{str(label):<16} {acc[i] * 100:>7.2f}%  {counts[i].sum():>7}")
+    lines.append(
+        f"{'overall':<16} {accuracy_score(y_true, y_pred) * 100:>7.2f}%  {len(y_true):>7}"
+    )
+    return "\n".join(lines)

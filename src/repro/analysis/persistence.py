@@ -1,0 +1,127 @@
+"""Saving and loading attack artifacts.
+
+Memorygram datasets (the §V-A training data) go to ``.npz``; experiment
+results go to JSON so EXPERIMENTS.md-style records can be regenerated and
+diffed across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from ..core.sidechannel.memorygram import Memorygram
+from ..errors import AnalysisError
+from ..experiments.common import ExperimentResult
+
+__all__ = [
+    "save_memorygrams",
+    "load_memorygrams",
+    "save_dataset",
+    "load_dataset",
+    "result_to_json",
+    "result_from_json",
+    "save_result",
+    "load_result",
+]
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Memorygrams
+# ----------------------------------------------------------------------
+def save_memorygrams(
+    path: PathLike, grams: List[Memorygram], labels: List[str]
+) -> None:
+    """Store labelled memorygrams in one ``.npz`` archive."""
+    if len(grams) != len(labels):
+        raise AnalysisError("one label per memorygram required")
+    payload = {"labels": np.asarray(labels, dtype=object)}
+    for index, gram in enumerate(grams):
+        payload[f"data_{index}"] = gram.data
+        payload[f"meta_{index}"] = np.asarray(
+            [gram.bin_cycles, gram.start_time], dtype=np.float64
+        )
+    np.savez_compressed(Path(path), **payload, allow_pickle=True)
+
+
+def load_memorygrams(path: PathLike) -> Tuple[List[Memorygram], List[str]]:
+    archive = np.load(Path(path), allow_pickle=True)
+    labels = [str(label) for label in archive["labels"]]
+    grams: List[Memorygram] = []
+    for index in range(len(labels)):
+        bin_cycles, start_time = archive[f"meta_{index}"]
+        grams.append(
+            Memorygram(
+                data=archive[f"data_{index}"],
+                bin_cycles=float(bin_cycles),
+                start_time=float(start_time),
+            )
+        )
+    return grams, labels
+
+
+# ----------------------------------------------------------------------
+# Feature datasets
+# ----------------------------------------------------------------------
+def save_dataset(path: PathLike, X: np.ndarray, y: np.ndarray) -> None:
+    """Persist a (features, labels) fingerprint dataset."""
+    np.savez_compressed(Path(path), X=np.asarray(X), y=np.asarray(y, dtype=object),
+                        allow_pickle=True)
+
+
+def load_dataset(path: PathLike) -> Tuple[np.ndarray, np.ndarray]:
+    archive = np.load(Path(path), allow_pickle=True)
+    return archive["X"], np.asarray([str(v) for v in archive["y"]])
+
+
+# ----------------------------------------------------------------------
+# Experiment results
+# ----------------------------------------------------------------------
+def result_to_json(result: ExperimentResult) -> str:
+    """Serialize the tabular part of a result (extras are not portable)."""
+    return json.dumps(
+        {
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "headers": result.headers,
+            "rows": [[_jsonable(v) for v in row] for row in result.rows],
+            "paper_reference": result.paper_reference,
+            "notes": result.notes,
+        },
+        indent=2,
+    )
+
+
+def _jsonable(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def result_from_json(text: str) -> ExperimentResult:
+    raw = json.loads(text)
+    return ExperimentResult(
+        experiment_id=raw["experiment_id"],
+        title=raw["title"],
+        headers=raw["headers"],
+        rows=raw["rows"],
+        paper_reference=raw.get("paper_reference", ""),
+        notes=raw.get("notes", ""),
+    )
+
+
+def save_result(path: PathLike, result: ExperimentResult) -> None:
+    Path(path).write_text(result_to_json(result))
+
+
+def load_result(path: PathLike) -> ExperimentResult:
+    return result_from_json(Path(path).read_text())

@@ -1,0 +1,135 @@
+"""Terminal plotting: histograms, line series, scatter bands.
+
+The paper's figures are matplotlib images; this offline artifact renders
+the same data as fixed-width ASCII so every experiment's "figure" can be
+printed by the CLI, the examples, and the benchmark logs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_histogram", "ascii_series", "ascii_bars", "ascii_waveform"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _scale_to_blocks(values: np.ndarray, height: int) -> List[str]:
+    top = values.max()
+    if top <= 0:
+        return [" " * len(values)] * height
+    levels = np.clip((values / top) * (height * 8), 0, height * 8)
+    rows: List[str] = []
+    for row in range(height, 0, -1):
+        cells = []
+        floor = (row - 1) * 8
+        for level in levels:
+            cells.append(_BLOCKS[int(np.clip(level - floor, 0, 8))])
+        rows.append("".join(cells))
+    return rows
+
+
+def ascii_histogram(
+    samples: Sequence[float],
+    bins: int = 50,
+    height: int = 8,
+    title: str = "",
+    label_format: str = "{:.0f}",
+) -> str:
+    """Render a histogram like Fig 4: counts over a value axis."""
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        return "(no samples)"
+    counts, edges = np.histogram(values, bins=bins)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend(_scale_to_blocks(counts.astype(float), height))
+    left = label_format.format(edges[0])
+    right = label_format.format(edges[-1])
+    pad = max(0, bins - len(left) - len(right))
+    lines.append(left + " " * pad + right)
+    return "\n".join(lines)
+
+
+def ascii_series(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 64,
+    height: int = 10,
+    title: str = "",
+    y_format: str = "{:.1f}",
+) -> str:
+    """Render one line series (e.g. Fig 5's latency-vs-count curve)."""
+    xs = np.asarray(list(xs), dtype=float)
+    ys = np.asarray(list(ys), dtype=float)
+    if xs.size == 0:
+        return "(no data)"
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = xs.min(), xs.max()
+    y_lo, y_hi = ys.min(), ys.max()
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    for x, y in zip(xs, ys):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = y_format.format(y_hi)
+    bottom_label = y_format.format(y_lo)
+    for index, row in enumerate(grid):
+        prefix = top_label if index == 0 else (
+            bottom_label if index == height - 1 else ""
+        )
+        lines.append(f"{prefix:>8} |" + "".join(row))
+    lines.append(" " * 9 + "-" * width)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str = "",
+    value_format: str = "{:.1f}",
+) -> str:
+    """Horizontal bars (e.g. Table II / Fig 13 summaries)."""
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        return "(no data)"
+    top = values.max() or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(value / top * width)) if value > 0 else ""
+        lines.append(
+            f"{str(label):>{label_width}} | {bar:<{width}} "
+            + value_format.format(value)
+        )
+    return "\n".join(lines)
+
+
+def ascii_waveform(
+    times: Sequence[float],
+    values: Sequence[float],
+    threshold: float,
+    width: int = 72,
+    title: str = "",
+) -> str:
+    """Two-level waveform like Fig 10: '#' above threshold, '_' below."""
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        return "(no samples)"
+    if len(values) > width:
+        edges = np.linspace(0, len(values), width + 1, dtype=int)
+        values = np.array(
+            [values[a:b].mean() for a, b in zip(edges[:-1], edges[1:])]
+        )
+    line = "".join("#" if value > threshold else "_" for value in values)
+    return f"{title}\n{line}" if title else line

@@ -1,0 +1,142 @@
+"""Temporal phase segmentation of memorygrams.
+
+Section V-A closes with: "This will enable us to use this attack as a
+first step to locate the kernels of a long running application and then
+carry out side channel attacks targeting them individually."  This module
+implements that step: split a memorygram's timeline into *phases* --
+maximal windows with a stable spatial activity pattern -- so a spy can
+count kernels/iterations and aim a finer attack at one of them.
+
+The segmentation is deliberately simple and auditable: per-bin activity
+profiles are normalized, adjacent bins are merged while their cosine
+similarity stays high, and quiet bins separate segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.sidechannel.memorygram import Memorygram
+
+__all__ = ["Phase", "segment_phases", "phase_signature_similarity"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One temporal segment of a memorygram."""
+
+    start_bin: int
+    end_bin: int  # exclusive
+    total_misses: int
+    #: Normalized per-set activity profile of the phase.
+    signature: np.ndarray
+
+    @property
+    def num_bins(self) -> int:
+        return self.end_bin - self.start_bin
+
+    def duration_cycles(self, bin_cycles: float) -> float:
+        return self.num_bins * bin_cycles
+
+
+def _normalize(vector: np.ndarray) -> np.ndarray:
+    norm = float(np.linalg.norm(vector))
+    return vector / norm if norm > 0 else vector
+
+
+def phase_signature_similarity(a: Phase, b: Phase) -> float:
+    """Cosine similarity of two phases' spatial signatures."""
+    return float(np.dot(a.signature, b.signature))
+
+
+def segment_phases(
+    gram: Memorygram,
+    quiet_fraction: float = 0.08,
+    similarity_threshold: float = 0.90,
+    min_phase_bins: int = 2,
+    smooth_bins: int = 2,
+) -> List[Phase]:
+    """Split the memorygram timeline into stable-activity phases.
+
+    A bin is *active* when its total misses exceed ``quiet_fraction`` of
+    the peak.  Consecutive active bins are merged while the cosine
+    similarity between the running phase signature and the next bin's
+    per-set profile stays above ``similarity_threshold``; a similarity
+    break or a quiet gap starts a new phase.  Phases shorter than
+    ``min_phase_bins`` are merged into their neighbour.
+    """
+    data = gram.data.astype(np.float64)
+    if smooth_bins > 1 and data.shape[1] >= smooth_bins:
+        kernel = np.ones(smooth_bins) / smooth_bins
+        data = np.apply_along_axis(
+            lambda row: np.convolve(row, kernel, mode="same"), 1, data
+        )
+    activity = data.sum(axis=0)
+    peak = activity.max()
+    if peak <= 0:
+        return []
+    active = activity > quiet_fraction * peak
+
+    phases: List[Phase] = []
+    start: Optional[int] = None
+    accumulated: Optional[np.ndarray] = None
+
+    def close(end_bin: int) -> None:
+        nonlocal start, accumulated
+        if start is None or accumulated is None:
+            return
+        raw = gram.data[:, start:end_bin]
+        phases.append(
+            Phase(
+                start_bin=start,
+                end_bin=end_bin,
+                total_misses=int(raw.sum()),
+                signature=_normalize(raw.sum(axis=1).astype(np.float64)),
+            )
+        )
+        start, accumulated = None, None
+
+    for index in range(gram.num_bins):
+        if not active[index]:
+            close(index)
+            continue
+        profile = data[:, index]
+        if start is None:
+            start, accumulated = index, profile.copy()
+            continue
+        similarity = float(
+            np.dot(_normalize(accumulated), _normalize(profile))
+        )
+        if similarity < similarity_threshold:
+            close(index)
+            start, accumulated = index, profile.copy()
+        else:
+            accumulated = accumulated + profile
+    close(gram.num_bins)
+
+    # Absorb fragments into their larger neighbour.
+    merged: List[Phase] = []
+    for phase in phases:
+        if (
+            merged
+            and phase.num_bins < min_phase_bins
+            and phase.start_bin == merged[-1].end_bin
+        ):
+            previous = merged.pop()
+            combined = gram.data[:, previous.start_bin : phase.end_bin]
+            merged.append(
+                Phase(
+                    start_bin=previous.start_bin,
+                    end_bin=phase.end_bin,
+                    total_misses=int(combined.sum()),
+                    signature=_normalize(
+                        combined.sum(axis=1).astype(np.float64)
+                    ),
+                )
+            )
+        else:
+            merged.append(phase)
+    return merged

@@ -1,0 +1,337 @@
+"""``gpu-spy`` -- command-line front end for the reproduction.
+
+Each subcommand runs one of the paper's experiments on a freshly simulated
+DGX-1 and prints the corresponding table/figure data::
+
+    gpu-spy timing                 # Fig 4
+    gpu-spy reverse-engineer       # Table I
+    gpu-spy covert --message "Hello! How are you?" --sets 4   # Fig 10
+    gpu-spy sweep --sets 1 2 4 8   # Fig 9
+    gpu-spy memorygram --app matmul       # one Fig 11 panel
+    gpu-spy fingerprint --traces 6        # Fig 12
+    gpu-spy extract                        # Table II
+    gpu-spy epochs --epochs 2              # Fig 15
+    gpu-spy defense / gpu-spy noise / gpu-spy replacement   # ablations
+
+``--small`` runs on the scaled-down box (fast, same behaviours).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import DGXSpec
+from .runtime.api import Runtime
+
+__all__ = ["main", "build_parser"]
+
+
+def _runtime(args) -> Runtime:
+    spec = DGXSpec.small() if args.small else DGXSpec.dgx1()
+    return Runtime(spec, seed=args.seed)
+
+
+def _cmd_timing(args) -> int:
+    from .analysis.plots import ascii_histogram
+    from .experiments import fig04_timing
+
+    result = fig04_timing.run(runtime=_runtime(args))
+    print(result.summary())
+    report = result.extras["report"]
+    pooled = [v for cls in report.samples.values() for v in cls]
+    print()
+    print(ascii_histogram(pooled, bins=60, title="Fig 4 (cycles, all classes)"))
+    return 0
+
+
+def _cmd_reverse_engineer(args) -> int:
+    from .experiments import table1_cache
+
+    print(table1_cache.run(runtime=_runtime(args)).summary())
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .experiments import fig05_eviction, fig06_aliasing
+
+    runtime = _runtime(args)
+    print(fig05_eviction.run(runtime=runtime).summary())
+    print()
+    print(fig06_aliasing.run(runtime=_runtime(args)).summary())
+    return 0
+
+
+def _cmd_align(args) -> int:
+    from .experiments import fig07_alignment
+
+    print(fig07_alignment.run(runtime=_runtime(args), candidate_sets=args.sets).summary())
+    return 0
+
+
+def _cmd_covert(args) -> int:
+    from .analysis.plots import ascii_waveform
+    from .experiments import fig10_message
+
+    result = fig10_message.run(
+        runtime=_runtime(args),
+        num_sets=args.sets,
+        slot_cycles=args.slot_cycles,
+        message=args.message,
+    )
+    print(result.summary())
+    transmission = result.extras["transmission"]
+    trace = transmission.traces[0]
+    levels = sorted(trace.latencies)
+    threshold = 0.5 * (levels[len(levels) // 10] + levels[-len(levels) // 10])
+    print()
+    print(
+        ascii_waveform(
+            trace.times,
+            trace.latencies,
+            threshold,
+            title="Fig 10 waveform, set 0 ('#'=miss/1, '_'=hit/0):",
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .experiments import fig09_bandwidth
+
+    def factory(seed):
+        spec = DGXSpec.small() if args.small else DGXSpec.dgx1()
+        return Runtime(spec, seed=seed)
+
+    result = fig09_bandwidth.run(
+        runtime_factory=factory,
+        seed=args.seed,
+        set_counts=tuple(args.sets),
+        payload_bits=args.bits,
+    )
+    print(result.summary())
+    return 0
+
+
+def _cmd_memorygram(args) -> int:
+    from .core.sidechannel.prober import MemorygramProber
+    from .workloads.registry import make_workload
+
+    runtime = _runtime(args)
+    prober = MemorygramProber(runtime)
+    prober.setup(num_sets=args.monitor_sets)
+    workload = make_workload(args.app, scale=args.scale, seed=args.seed)
+    gram = prober.record(workload)
+    print(f"memorygram of {args.app}: {gram.num_sets} sets x {gram.num_bins} bins, "
+          f"{gram.total_misses()} misses")
+    print(gram.to_ascii(width=args.width, height=args.height))
+    return 0
+
+
+def _cmd_fingerprint(args) -> int:
+    from .experiments import fig12_fingerprint
+
+    result = fig12_fingerprint.run(
+        runtime=_runtime(args),
+        traces_per_app=args.traces,
+        num_sets=args.monitor_sets,
+        workload_scale=args.scale,
+    )
+    print(result.summary())
+    return 0
+
+
+def _cmd_extract(args) -> int:
+    from .analysis.plots import ascii_bars
+    from .experiments import table2_neurons
+
+    result = table2_neurons.run(
+        runtime=_runtime(args), hidden_sizes=tuple(args.hidden)
+    )
+    print(result.summary())
+    print()
+    print(
+        ascii_bars(
+            [str(row[0]) for row in result.rows],
+            [row[1] for row in result.rows],
+            title="Table II (avg misses per monitored set):",
+        )
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from .experiments.report import generate_report
+
+    json_dir = Path(args.json_dir) if args.json_dir else None
+    text = generate_report(
+        seed=args.seed,
+        small=args.small,
+        only=args.only,
+        json_dir=json_dir,
+        progress=lambda message: print(message, flush=True),
+    )
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_epochs(args) -> int:
+    from .experiments import fig15_epochs
+
+    result = fig15_epochs.run(runtime=_runtime(args), epoch_counts=(args.epochs,))
+    print(result.summary())
+    return 0
+
+
+def _cmd_noise(args) -> int:
+    from .experiments import ablation_noise
+
+    print(ablation_noise.run(seed=args.seed, small=args.small).summary())
+    return 0
+
+
+def _cmd_defense(args) -> int:
+    from .experiments import ablation_defense
+
+    print(ablation_defense.run(seed=args.seed, small=args.small).summary())
+    return 0
+
+
+def _cmd_replacement(args) -> int:
+    from .experiments import ablation_replacement
+
+    print(ablation_replacement.run(seed=args.seed).summary())
+    return 0
+
+
+def _cmd_scan(args) -> int:
+    from .core.sidechannel.scanner import BoxScanner
+    from .workloads.registry import make_workload, workload_names
+
+    runtime = _runtime(args)
+    apps = workload_names()
+    victims = {
+        gpu: make_workload(apps[i % len(apps)], scale=0.2, seed=args.seed + gpu)
+        for i, gpu in enumerate(args.victims)
+        if 0 <= gpu < runtime.num_gpus
+    }
+    scanner = BoxScanner(runtime, num_sets=args.monitor_sets)
+    print("ground truth:", {gpu: w.name for gpu, w in victims.items()})
+    report = scanner.scan(victims=victims)
+    print(report.summary())
+    print("located:", report.active_gpus())
+    return 0
+
+
+def _cmd_multigpu(args) -> int:
+    from .experiments import ext_multi_gpu
+
+    result = ext_multi_gpu.run(
+        seed=args.seed, pair_counts=tuple(args.pairs), small=args.small
+    )
+    print(result.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gpu-spy",
+        description="Covert & side channel attacks on a simulated DGX-1 "
+        "(reproduction of 'Spy in the GPU-box', ISCA 2023)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--small", action="store_true", help="use the scaled-down test box"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("timing", help="Fig 4: timing clusters").set_defaults(
+        func=_cmd_timing
+    )
+    sub.add_parser(
+        "reverse-engineer", help="Table I: recover L2 architecture"
+    ).set_defaults(func=_cmd_reverse_engineer)
+    sub.add_parser(
+        "validate", help="Fig 5/6: eviction-set validation and aliasing"
+    ).set_defaults(func=_cmd_validate)
+
+    align = sub.add_parser("align", help="Fig 7: cross-process alignment")
+    align.add_argument("--sets", type=int, default=4)
+    align.set_defaults(func=_cmd_align)
+
+    covert = sub.add_parser("covert", help="Fig 10: send a covert text message")
+    covert.add_argument("--message", default="Hello! How are you?")
+    covert.add_argument("--sets", type=int, default=4)
+    covert.add_argument("--slot-cycles", type=float, default=3000.0)
+    covert.set_defaults(func=_cmd_covert)
+
+    sweep = sub.add_parser("sweep", help="Fig 9: bandwidth/error vs #sets")
+    sweep.add_argument("--sets", type=int, nargs="+", default=[1, 2, 4, 6, 8])
+    sweep.add_argument("--bits", type=int, default=512)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    gram = sub.add_parser("memorygram", help="Fig 11: one victim's memorygram")
+    gram.add_argument("--app", default="matmul")
+    gram.add_argument("--monitor-sets", type=int, default=128)
+    gram.add_argument("--scale", type=float, default=0.25)
+    gram.add_argument("--width", type=int, default=72)
+    gram.add_argument("--height", type=int, default=18)
+    gram.set_defaults(func=_cmd_memorygram)
+
+    finger = sub.add_parser("fingerprint", help="Fig 12: application fingerprinting")
+    finger.add_argument("--traces", type=int, default=6)
+    finger.add_argument("--monitor-sets", type=int, default=128)
+    finger.add_argument("--scale", type=float, default=0.25)
+    finger.set_defaults(func=_cmd_fingerprint)
+
+    extract = sub.add_parser("extract", help="Table II: MLP width extraction")
+    extract.add_argument("--hidden", type=int, nargs="+", default=[64, 128, 256, 512])
+    extract.set_defaults(func=_cmd_extract)
+
+    epochs = sub.add_parser("epochs", help="Fig 15: epoch count inference")
+    epochs.add_argument("--epochs", type=int, default=2)
+    epochs.set_defaults(func=_cmd_epochs)
+
+    sub.add_parser("noise", help="§VI: noise + occupancy blocking").set_defaults(
+        func=_cmd_noise
+    )
+    sub.add_parser("defense", help="§VII: partitioning + detection").set_defaults(
+        func=_cmd_defense
+    )
+    sub.add_parser(
+        "replacement", help="ablation: replacement-policy sensitivity"
+    ).set_defaults(func=_cmd_replacement)
+
+    report = sub.add_parser("report", help="run the whole evaluation")
+    report.add_argument("--only", nargs="+", default=None, help="experiment ids")
+    report.add_argument("--output", default=None, help="also write to file")
+    report.add_argument("--json-dir", default=None, help="persist JSON per result")
+    report.set_defaults(func=_cmd_report)
+
+    scan = sub.add_parser("scan", help="§V-A extension: sweep the whole box")
+    scan.add_argument("--victims", type=int, nargs="+", default=[0, 3])
+    scan.add_argument("--monitor-sets", type=int, default=32)
+    scan.set_defaults(func=_cmd_scan)
+
+    multi = sub.add_parser(
+        "multigpu", help="extension: stripe the channel over GPU pairs"
+    )
+    multi.add_argument("--pairs", type=int, nargs="+", default=[1, 2, 4])
+    multi.set_defaults(func=_cmd_multigpu)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

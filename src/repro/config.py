@@ -1,0 +1,310 @@
+"""Frozen specification dataclasses describing the simulated hardware.
+
+The default values model the Nvidia DGX-1 box the paper attacks: eight
+Pascal P100 GPUs, each with a 4 MB 16-way L2 (2048 sets x 128 B lines, LRU)
+and 16 GB of HBM2, connected in a hybrid cube-mesh of NVLink-V1 links.
+
+All randomness in the simulator is seeded; specs carry no mutable state.
+Use :func:`DGXSpec.dgx1` for the paper-scale machine and
+:func:`DGXSpec.small` for a scaled-down machine that keeps every behaviour
+(NUMA caching, eviction, timing clusters) but runs fast enough for unit
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "CacheSpec",
+    "TimingSpec",
+    "LinkSpec",
+    "GPUSpec",
+    "DGXSpec",
+    "ReplacementPolicyName",
+]
+
+# Replacement policies implemented in repro.hw.replacement.
+ReplacementPolicyName = str
+_VALID_POLICIES = ("lru", "plru", "random")
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ConfigurationError(message)
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry and policy of one GPU's L2 cache.
+
+    Defaults follow Table I of the paper: 4 MB, 2048 sets, 128 B lines,
+    16 ways, LRU replacement.
+    """
+
+    line_size: int = 128
+    num_sets: int = 2048
+    associativity: int = 16
+    replacement: ReplacementPolicyName = "lru"
+    #: Number of independently-ported banks; concurrent accesses to the same
+    #: bank queue behind each other (the Fig 9 noise source).
+    num_banks: int = 32
+    #: Cycles one access occupies its bank.
+    bank_service_cycles: int = 4
+    #: XOR-fold the bits above the set index into the index (models the
+    #: "sometimes use index hashing" caveat of Section II-B).  The paper's
+    #: observations (page-consecutive set placement) match hashing disabled,
+    #: which is the default.
+    index_hashing: bool = False
+
+    def __post_init__(self) -> None:
+        _require(_is_pow2(self.line_size), "line_size must be a power of two")
+        _require(_is_pow2(self.num_sets), "num_sets must be a power of two")
+        _require(self.associativity >= 1, "associativity must be >= 1")
+        _require(
+            self.replacement in _VALID_POLICIES,
+            f"replacement must be one of {_VALID_POLICIES}, got {self.replacement!r}",
+        )
+        _require(_is_pow2(self.num_banks), "num_banks must be a power of two")
+        _require(self.num_banks <= self.num_sets, "num_banks must not exceed num_sets")
+        _require(self.bank_service_cycles >= 0, "bank_service_cycles must be >= 0")
+
+    @property
+    def size_bytes(self) -> int:
+        """Total capacity in bytes (4 MiB for the P100)."""
+        return self.line_size * self.num_sets * self.associativity
+
+    @property
+    def lines(self) -> int:
+        """Total number of cache lines."""
+        return self.num_sets * self.associativity
+
+    @property
+    def set_stride(self) -> int:
+        """Physical-address stride between lines mapping to the same set."""
+        return self.line_size * self.num_sets
+
+
+@dataclass(frozen=True)
+class TimingSpec:
+    """Base access latencies in GPU cycles plus jitter magnitudes.
+
+    The four means reproduce the four clusters of Fig 4 (and the waveform
+    levels of Fig 10: ~630 cycles for a remote hit / '0', ~950 for a remote
+    miss / '1').
+    """
+
+    local_l2_hit: float = 265.0
+    local_dram: float = 470.0
+    remote_l2_hit: float = 630.0
+    remote_dram: float = 950.0
+    #: Std-dev of Gaussian jitter added to every access, per class.
+    jitter_local_hit: float = 8.0
+    jitter_local_miss: float = 14.0
+    jitter_remote_hit: float = 18.0
+    jitter_remote_miss: float = 30.0
+    #: Extra cycles per NVLink hop beyond the first (multi-hop routing over
+    #: the cube-mesh; peer access in the paper is single-hop only).
+    per_extra_hop: float = 140.0
+    #: GPU core clock used to convert cycles to seconds (P100 boost clock).
+    clock_hz: float = 1.48e9
+    #: Cycles charged for a __threadfence().
+    fence_cycles: float = 12.0
+
+    def __post_init__(self) -> None:
+        _require(
+            0 < self.local_l2_hit < self.local_dram,
+            "local hit latency must be positive and below local DRAM latency",
+        )
+        _require(
+            self.local_l2_hit < self.remote_l2_hit < self.remote_dram,
+            "remote latencies must order: local hit < remote hit < remote miss",
+        )
+        _require(self.clock_hz > 0, "clock_hz must be positive")
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a cycle count to wall-clock seconds at the core clock."""
+        return cycles / self.clock_hz
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One interconnect link class (NVLink or PCIe)."""
+
+    name: str = "nvlink1"
+    #: Unidirectional bandwidth in bytes/second (NVLink-V1: 20 GB/s/link).
+    bandwidth_bytes_per_s: float = 20e9
+    #: Cycles a cache-line transfer occupies one lane (serialization delay);
+    #: concurrent transfers queue, adding timing noise under load.
+    serialization_cycles: int = 10
+    #: Independent lanes per link.  DGX-1 GPU pairs are cabled with
+    #: multiple NVLink bricks; transfers pick the least-busy lane.
+    lanes: int = 2
+
+    def __post_init__(self) -> None:
+        _require(self.bandwidth_bytes_per_s > 0, "bandwidth must be positive")
+        _require(self.serialization_cycles >= 0, "serialization_cycles must be >= 0")
+        _require(self.lanes >= 1, "lanes must be >= 1")
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One GPU: SM array, L2, HBM."""
+
+    name: str = "Tesla P100"
+    num_sms: int = 56
+    #: Shared memory per SM in bytes (64 KB on Pascal).
+    shared_mem_per_sm: int = 64 * 1024
+    #: Maximum shared memory one thread block may allocate (32 KB on Pascal,
+    #: half the SM's shared memory -- the lever behind the Section VI
+    #: occupancy-blocking mitigation).
+    max_shared_mem_per_block: int = 32 * 1024
+    max_blocks_per_sm: int = 32
+    warp_size: int = 32
+    cache: CacheSpec = field(default_factory=CacheSpec)
+    #: HBM capacity in bytes.  16 GB on the P100; scaled down by default so
+    #: the frame allocator's bookkeeping stays small (the attacks only touch
+    #: tens of MB).  This does not change any attack-visible behaviour.
+    hbm_bytes: int = 256 * 1024 * 1024
+    #: Physical page size.  GPU pages on Pascal are 64 KB.
+    page_size: int = 64 * 1024
+
+    def __post_init__(self) -> None:
+        _require(self.num_sms >= 1, "num_sms must be >= 1")
+        _require(self.warp_size >= 1, "warp_size must be >= 1")
+        _require(_is_pow2(self.page_size), "page_size must be a power of two")
+        _require(
+            self.page_size % self.cache.line_size == 0,
+            "page_size must be a multiple of the cache line size",
+        )
+        _require(
+            self.hbm_bytes % self.page_size == 0,
+            "hbm_bytes must be a whole number of pages",
+        )
+        _require(
+            self.max_shared_mem_per_block <= self.shared_mem_per_sm,
+            "max_shared_mem_per_block cannot exceed shared_mem_per_sm",
+        )
+
+    @property
+    def num_frames(self) -> int:
+        """Number of physical page frames in this GPU's HBM."""
+        return self.hbm_bytes // self.page_size
+
+
+def _dgx1_links() -> Tuple[Tuple[int, int], ...]:
+    """NVLink-V1 adjacency of the DGX-1 hybrid cube-mesh (Fig 1).
+
+    Two fully-connected quads (0-3 and 4-7) plus the four cube edges
+    0-4, 1-5, 2-6, 3-7; each GPU drives exactly four links.
+    """
+    quad_a = [(a, b) for a in range(4) for b in range(a + 1, 4)]
+    quad_b = [(a + 4, b + 4) for (a, b) in quad_a]
+    cube = [(i, i + 4) for i in range(4)]
+    return tuple(quad_a + quad_b + cube)
+
+
+@dataclass(frozen=True)
+class DGXSpec:
+    """The whole multi-GPU box."""
+
+    num_gpus: int = 8
+    gpu: GPUSpec = field(default_factory=GPUSpec)
+    nvlink: LinkSpec = field(default_factory=LinkSpec)
+    pcie: LinkSpec = field(
+        default_factory=lambda: LinkSpec(
+            name="pcie3", bandwidth_bytes_per_s=4e9, serialization_cycles=60
+        )
+    )
+    timing: TimingSpec = field(default_factory=TimingSpec)
+    #: NVLink edges as (gpu_a, gpu_b) pairs.
+    nvlink_edges: Tuple[Tuple[int, int], ...] = field(default_factory=_dgx1_links)
+
+    def __post_init__(self) -> None:
+        _require(self.num_gpus >= 1, "num_gpus must be >= 1")
+        for a, b in self.nvlink_edges:
+            _require(
+                0 <= a < self.num_gpus and 0 <= b < self.num_gpus and a != b,
+                f"invalid NVLink edge ({a}, {b}) for {self.num_gpus} GPUs",
+            )
+
+    # ------------------------------------------------------------------
+    # Canonical configurations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def dgx1() -> "DGXSpec":
+        """The paper's machine: 8x P100, full-size 4 MB L2s."""
+        return DGXSpec()
+
+    @staticmethod
+    def dgx1v() -> "DGXSpec":
+        """A Volta-generation box (DGX-1V): 8x V100 over NVLink-V2.
+
+        The paper expects the attacks to port "with some fine tuning"
+        (Section II-B); this spec is that portability test.  The V100's L2
+        is 6 MB (modelled as 4096 sets x 12 ways x 128 B) and NVLink-V2
+        raises per-link bandwidth to 25 GB/s; the cube-mesh shape is
+        unchanged.  The attack code contains no Pascal constants, so
+        everything -- reverse engineering included -- must rediscover the
+        new geometry from timing alone.
+        """
+        cache = CacheSpec(num_sets=4096, associativity=12, num_banks=32)
+        gpu = GPUSpec(
+            name="Tesla V100",
+            num_sms=80,
+            cache=cache,
+            hbm_bytes=512 * 1024 * 1024,
+        )
+        nvlink = LinkSpec(
+            name="nvlink2", bandwidth_bytes_per_s=25e9,
+            serialization_cycles=8, lanes=2,
+        )
+        timing = TimingSpec(clock_hz=1.53e9)
+        return DGXSpec(gpu=gpu, nvlink=nvlink, timing=timing)
+
+    @staticmethod
+    def small(
+        num_sets: int = 64,
+        associativity: int = 4,
+        num_gpus: int = 2,
+        page_size: int = 4096,
+    ) -> "DGXSpec":
+        """A scaled-down box for tests: same behaviours, tiny state.
+
+        Keeps the four-cluster timing model, NUMA caching, LRU eviction and
+        randomized page placement, but shrinks the cache and memory so
+        eviction-set discovery completes in milliseconds.
+        """
+        cache = CacheSpec(
+            num_sets=num_sets,
+            associativity=associativity,
+            num_banks=min(8, num_sets),
+        )
+        gpu = GPUSpec(
+            name="mini-gpu",
+            num_sms=4,
+            cache=cache,
+            hbm_bytes=page_size * 1024,
+            page_size=page_size,
+        )
+        if num_gpus == 8:
+            edges = _dgx1_links()
+        else:
+            # A ring (or single edge) keeps every pair reachable and at
+            # least one single-hop NVLink pair for peer access.
+            edges = tuple(
+                (i, (i + 1) % num_gpus) for i in range(num_gpus) if num_gpus > 1
+            )
+        return DGXSpec(num_gpus=num_gpus, gpu=gpu, nvlink_edges=edges)
+
+    def with_replacement(self, policy: ReplacementPolicyName) -> "DGXSpec":
+        """Return a copy of this spec using a different replacement policy."""
+        cache = replace(self.gpu.cache, replacement=policy)
+        return replace(self, gpu=replace(self.gpu, cache=cache))

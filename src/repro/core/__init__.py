@@ -1,0 +1,27 @@
+"""The paper's contribution: reverse engineering, eviction sets, attacks."""
+
+from .alignment import AlignmentResult, align_eviction_sets
+from .eviction import (
+    EvictionSet,
+    build_eviction_sets,
+    deduplicate_eviction_sets,
+    find_eviction_set,
+    validate_eviction_set,
+)
+from .reverse_engineering import CacheArchitectureReport, reverse_engineer_cache
+from .timing import TimingReport, TimingThresholds, characterize_timing
+
+__all__ = [
+    "characterize_timing",
+    "TimingReport",
+    "TimingThresholds",
+    "reverse_engineer_cache",
+    "CacheArchitectureReport",
+    "EvictionSet",
+    "find_eviction_set",
+    "build_eviction_sets",
+    "deduplicate_eviction_sets",
+    "validate_eviction_set",
+    "align_eviction_sets",
+    "AlignmentResult",
+]

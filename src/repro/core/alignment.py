@@ -1,0 +1,187 @@
+"""Section IV-A / Algorithm 2: aligning eviction sets across processes.
+
+After discovery, each malicious process holds eviction sets labelled only
+by its own counters; nothing says which *physical* set each one occupies.
+To communicate, the trojan (local on GPU A) and the spy (on GPU B, buffer
+homed on A) must find pairs that collide in the same physical set (Fig 7).
+
+The protocol is the paper's: in one concurrent run, the trojan hammers one
+of its eviction sets (Algorithm 2 with a large ``num_main_loop``) while the
+spy probes one of its own sets (smaller loop count) and averages the access
+time.  A high spy average means mutual eviction -- the two sets share a
+physical set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import AlignmentError
+from ..runtime.api import Runtime
+from ..sim.ops import Compute, ProbeSet, SharedStore
+from ..sim.process import Process
+from .eviction import EvictionSet
+
+__all__ = ["AlignmentResult", "PairMeasurement", "check_pair", "align_eviction_sets"]
+
+
+def algorithm2_kernel(
+    eviction_set: EvictionSet,
+    num_main_loop: int,
+    shared_times,
+    record_slot: int,
+    parallel: bool = False,
+):
+    """Literal Algorithm 2: probe one eviction set ``num_main_loop`` times.
+
+    ``timer2`` accumulates the mean per-line access time of each traversal;
+    the final average lands in shared memory (line 17: ``timeBuffMain``).
+
+    One untimed warm-up traversal precedes the measurement: the paper's
+    400000/150000-iteration loops make the initial cold misses negligible,
+    but at simulation-scale loop counts they would bias the average, so the
+    warm-up restores the same steady-state measurement.
+    """
+    yield ProbeSet(eviction_set.buffer, eviction_set.indices, parallel=parallel)
+    timer2 = 0.0
+    for _ in range(num_main_loop):  # line 1
+        probe = yield ProbeSet(  # lines 5-13: pointer-chase the set
+            eviction_set.buffer, eviction_set.indices, parallel=parallel
+        )
+        timer2 += probe.mean_latency  # line 14
+        yield Compute(20)  # line 15: dummy operation
+    yield SharedStore(shared_times, record_slot, timer2 / num_main_loop)  # line 17
+    return timer2 / num_main_loop
+
+
+@dataclass(frozen=True)
+class PairMeasurement:
+    """Timing evidence for one (trojan set, spy set) check."""
+
+    trojan_set_id: int
+    spy_set_id: int
+    spy_mean_cycles: float
+    trojan_mean_cycles: float
+    mapped: bool
+
+
+@dataclass
+class AlignmentResult:
+    """The discovered trojan-set -> spy-set mapping."""
+
+    pairs: List[Tuple[EvictionSet, EvictionSet]] = field(default_factory=list)
+    measurements: List[PairMeasurement] = field(default_factory=list)
+
+    @property
+    def num_aligned(self) -> int:
+        return len(self.pairs)
+
+    def mapping(self) -> Dict[int, int]:
+        return {t.set_id: s.set_id for t, s in self.pairs}
+
+    def summary(self) -> str:
+        lines = [f"aligned {self.num_aligned} eviction-set pairs"]
+        for trojan_set, spy_set in self.pairs:
+            lines.append(
+                f"  trojan TE_{trojan_set.set_id} <-> spy SE_{spy_set.set_id}"
+            )
+        return "\n".join(lines)
+
+
+def check_pair(
+    runtime: Runtime,
+    trojan: Process,
+    spy: Process,
+    trojan_gpu: int,
+    spy_gpu: int,
+    trojan_set: EvictionSet,
+    spy_set: EvictionSet,
+    spy_threshold: float,
+    trojan_loops: int = 40,
+    spy_loops: int = 15,
+) -> PairMeasurement:
+    """One concurrent run checking one trojan set against one spy set.
+
+    The paper uses ``num_main_loop`` 400000 (trojan) and 150000 (spy); the
+    simulated run keeps the same >2x ratio (the local trojan probes faster,
+    so it must loop more to cover the spy's whole window) at a scale the
+    event engine handles in microseconds of simulated time.
+    """
+    trojan_shared = trojan.shared_buffer("align_t", 1)
+    spy_shared = spy.shared_buffer("align_s", 1)
+    handles = runtime.run_concurrent(
+        [
+            dict(
+                kernel=algorithm2_kernel(trojan_set, trojan_loops, trojan_shared, 0),
+                gpu_id=trojan_gpu,
+                process=trojan,
+                name=f"align_trojan_{trojan_set.set_id}",
+            ),
+            dict(
+                kernel=algorithm2_kernel(spy_set, spy_loops, spy_shared, 0),
+                gpu_id=spy_gpu,
+                process=spy,
+                name=f"align_spy_{spy_set.set_id}",
+            ),
+        ]
+    )
+    trojan_mean, spy_mean = handles[0].result, handles[1].result
+    return PairMeasurement(
+        trojan_set_id=trojan_set.set_id,
+        spy_set_id=spy_set.set_id,
+        spy_mean_cycles=spy_mean,
+        trojan_mean_cycles=trojan_mean,
+        mapped=spy_mean > spy_threshold,
+    )
+
+
+def align_eviction_sets(
+    runtime: Runtime,
+    trojan: Process,
+    spy: Process,
+    trojan_gpu: int,
+    spy_gpu: int,
+    trojan_sets: Sequence[EvictionSet],
+    spy_sets: Sequence[EvictionSet],
+    spy_threshold: float,
+    need: Optional[int] = None,
+    trojan_loops: int = 40,
+    spy_loops: int = 15,
+) -> AlignmentResult:
+    """Pair up trojan and spy eviction sets that share physical sets.
+
+    Checks each trojan set against the not-yet-claimed spy sets (Fig 7);
+    stops once ``need`` pairs are found (default: as many as possible).
+    Raises :class:`AlignmentError` if ``need`` cannot be met.
+    """
+    result = AlignmentResult()
+    available = list(spy_sets)
+    wanted = need if need is not None else min(len(trojan_sets), len(spy_sets))
+    for trojan_set in trojan_sets:
+        if result.num_aligned >= wanted:
+            break
+        for spy_set in list(available):
+            measurement = check_pair(
+                runtime,
+                trojan,
+                spy,
+                trojan_gpu,
+                spy_gpu,
+                trojan_set,
+                spy_set,
+                spy_threshold,
+                trojan_loops=trojan_loops,
+                spy_loops=spy_loops,
+            )
+            result.measurements.append(measurement)
+            if measurement.mapped:
+                result.pairs.append((trojan_set, spy_set))
+                available.remove(spy_set)
+                break
+    if need is not None and result.num_aligned < need:
+        raise AlignmentError(
+            f"aligned only {result.num_aligned} of the {need} requested pairs; "
+            f"discover more eviction sets on each side"
+        )
+    return result

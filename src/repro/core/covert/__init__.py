@@ -1,0 +1,33 @@
+"""Section IV: the cross-GPU Prime+Probe covert channel."""
+
+from .channel import ChannelReport, CovertChannel, PendingTransmission, TransmissionResult
+from .ecc import hamming74_decode, hamming74_encode
+from .multi import MultiGpuChannel, MultiTransmissionResult, plan_gpu_pairs
+from .encoding import (
+    PREAMBLE,
+    bits_to_text,
+    deinterleave,
+    interleave,
+    text_to_bits,
+)
+from .spy import spy_probe_kernel
+from .trojan import trojan_send_kernel
+
+__all__ = [
+    "CovertChannel",
+    "ChannelReport",
+    "TransmissionResult",
+    "PendingTransmission",
+    "MultiGpuChannel",
+    "MultiTransmissionResult",
+    "plan_gpu_pairs",
+    "hamming74_encode",
+    "hamming74_decode",
+    "PREAMBLE",
+    "text_to_bits",
+    "bits_to_text",
+    "interleave",
+    "deinterleave",
+    "trojan_send_kernel",
+    "spy_probe_kernel",
+]

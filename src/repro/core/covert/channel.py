@@ -1,0 +1,402 @@
+"""End-to-end covert channel orchestration -- Fig 8, evaluated in Fig 9/10.
+
+Setup follows the paper's five steps: (1) trojan and spy each allocate a
+buffer homed on the trojan's GPU, (2) each derives eviction sets from pure
+timing (Section III-B), (3) the sets are aligned across the two processes
+(Algorithm 2), then (4) the trojan primes / (5) the spy probes the aligned
+physical sets to move bits.
+
+The alignment step exploits the page structure the paper points out
+("data belonging to a page is indexed consecutively in the cache"): one
+Algorithm 2 run per (trojan color group, spy color group) pair establishes
+the group correspondence, after which same-offset lines pair up for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...errors import AlignmentError, ChannelError
+from ...runtime.api import Runtime
+from ...sim.process import Process
+from ..alignment import check_pair
+from ..eviction import EvictionSet, PageColoring, discover_page_coloring
+from ..timing import TimingThresholds, measure_access_classes
+from .encoding import (
+    PREAMBLE,
+    bit_error_rate,
+    bits_to_text,
+    deinterleave,
+    interleave,
+    text_to_bits,
+)
+from .spy import SpyTrace, decode_trace, spy_probe_kernel
+from .trojan import trojan_send_kernel
+
+__all__ = ["CovertChannel", "TransmissionResult", "ChannelReport"]
+
+#: Trojan transmission begins this many slots after the spies start probing,
+#: giving every spy a quiet lead-in to calibrate "no contention".
+_LEAD_SLOTS = 3.0
+
+#: Over-provisioning guess for one spy probe's duration (cycles); used only
+#: to size the spy's probe count, never for decoding.
+_PROBE_PERIOD_GUESS = 550.0
+
+
+@dataclass(frozen=True)
+class TransmissionResult:
+    """Outcome of one covert message transfer."""
+
+    sent_bits: Tuple[int, ...]
+    received_bits: Tuple[int, ...]
+    num_sets: int
+    slot_cycles: float
+    duration_cycles: float
+    duration_seconds: float
+    bandwidth_bytes_per_s: float
+    error_rate: float
+    #: Raw spy traces per set pair (the Fig 10 waveform data).
+    traces: Tuple[SpyTrace, ...] = field(repr=False, default=())
+
+    def received_text(self) -> str:
+        return bits_to_text(self.received_bits)
+
+
+@dataclass
+class PendingTransmission:
+    """Kernels queued by :meth:`CovertChannel.launch_transmission`."""
+
+    bits: Tuple[int, ...]
+    frames: List[List[int]]
+    slot_cycles: float
+    spy_handles: List = field(default_factory=list)
+
+
+@dataclass
+class ChannelReport:
+    """Fig 9: bandwidth and error rate versus number of parallel sets."""
+
+    rows: List[Tuple[int, float, float]] = field(default_factory=list)
+
+    def add(self, num_sets: int, bandwidth: float, error_rate: float) -> None:
+        self.rows.append((num_sets, bandwidth, error_rate))
+
+    def summary(self) -> str:
+        lines = ["sets  bandwidth (KB/s)  error rate (%)"]
+        for num_sets, bandwidth, error in self.rows:
+            lines.append(f"{num_sets:>4}  {bandwidth / 1024:>15.1f}  {error * 100:>13.2f}")
+        return "\n".join(lines)
+
+    def best(self) -> Tuple[int, float, float]:
+        """The row with the highest bandwidth (paper: 4 sets, 3.95 MB/s)."""
+        return max(self.rows, key=lambda row: row[1])
+
+
+class CovertChannel:
+    """A trojan on ``trojan_gpu`` talking to a spy on ``spy_gpu``.
+
+    Both buffers are homed on ``trojan_gpu`` so the contention medium is
+    that GPU's L2, exactly as in Fig 3/8 of the paper.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        trojan_gpu: int = 0,
+        spy_gpu: int = 1,
+    ) -> None:
+        self.runtime = runtime
+        self.trojan_gpu = trojan_gpu
+        self.spy_gpu = spy_gpu
+        self.trojan: Optional[Process] = None
+        self.spy: Optional[Process] = None
+        self.thresholds: Optional[TimingThresholds] = None
+        self.pairs: List[Tuple[EvictionSet, EvictionSet]] = []
+        self._trojan_coloring: Optional[PageColoring] = None
+        self._spy_coloring: Optional[PageColoring] = None
+
+    # ------------------------------------------------------------------
+    # Setup: steps 1-3 of Fig 8
+    # ------------------------------------------------------------------
+    def setup(
+        self,
+        num_sets: int,
+        thresholds: Optional[TimingThresholds] = None,
+        buffer_pages_per_color: Optional[int] = None,
+    ) -> None:
+        """Allocate, discover eviction sets on both sides, and align them."""
+        runtime = self.runtime
+        spec = runtime.system.spec.gpu
+        self.trojan = runtime.create_process("trojan")
+        self.spy = runtime.create_process("spy")
+        runtime.enable_peer_access(self.spy, self.spy_gpu, self.trojan_gpu)
+
+        if thresholds is None:
+            calibration = runtime.create_process("calibrate")
+            report = measure_access_classes(
+                runtime, calibration, self.spy_gpu, self.trojan_gpu
+            )
+            thresholds = report.thresholds()
+        self.thresholds = thresholds
+
+        colors = max(1, spec.cache.set_stride // spec.page_size)
+        per_color = buffer_pages_per_color
+        if per_color is None:
+            per_color = 2 * spec.cache.associativity + 2
+        pages = colors * per_color
+        trojan_buf = runtime.malloc(
+            self.trojan, self.trojan_gpu, pages * spec.page_size, name="trojan_buf"
+        )
+        spy_buf = runtime.malloc(
+            self.spy, self.trojan_gpu, pages * spec.page_size, name="spy_buf"
+        )
+
+        self._trojan_coloring = discover_page_coloring(
+            runtime,
+            self.trojan,
+            self.trojan_gpu,
+            trojan_buf,
+            spec.cache.associativity,
+            thresholds.local,
+        )
+        self._spy_coloring = discover_page_coloring(
+            runtime,
+            self.spy,
+            self.spy_gpu,
+            spy_buf,
+            spec.cache.associativity,
+            thresholds.remote,
+        )
+        self.pairs = self._align(num_sets)
+
+    def _sets_for(
+        self, coloring: PageColoring, group: int, offsets: Sequence[int], base_id: int
+    ) -> List[EvictionSet]:
+        spec = self.runtime.system.spec.gpu
+        pages = coloring.groups[group][: spec.cache.associativity]
+        sets = []
+        for offset in offsets:
+            word = offset * coloring.words_per_line
+            sets.append(
+                EvictionSet(
+                    buffer=coloring.buffer,
+                    indices=tuple(
+                        page * coloring.words_per_page + word for page in pages
+                    ),
+                    set_id=base_id + offset,
+                    origin=(group, offset),
+                )
+            )
+        return sets
+
+    def _align(self, num_sets: int) -> List[Tuple[EvictionSet, EvictionSet]]:
+        """Group-level Algorithm 2 alignment, then offset arithmetic."""
+        assert self.thresholds is not None
+        trojan_coloring, spy_coloring = self._trojan_coloring, self._spy_coloring
+        assert trojan_coloring is not None and spy_coloring is not None
+        group_match: Dict[int, int] = {}
+        claimed: set = set()
+        for t_group in range(len(trojan_coloring.groups)):
+            trojan_rep = self._sets_for(trojan_coloring, t_group, [0], 1000 * t_group)[0]
+            for s_group in range(len(spy_coloring.groups)):
+                if s_group in claimed:
+                    continue
+                spy_rep = self._sets_for(spy_coloring, s_group, [0], 2000 * s_group)[0]
+                measurement = check_pair(
+                    self.runtime,
+                    self.trojan,
+                    self.spy,
+                    self.trojan_gpu,
+                    self.spy_gpu,
+                    trojan_rep,
+                    spy_rep,
+                    self.thresholds.remote,
+                )
+                if measurement.mapped:
+                    group_match[t_group] = s_group
+                    claimed.add(s_group)
+                    break
+
+        if not group_match:
+            raise AlignmentError("no trojan color group matches any spy group")
+
+        pairs: List[Tuple[EvictionSet, EvictionSet]] = []
+        lines_per_page = trojan_coloring.lines_per_page
+        matches = list(group_match.items())
+        if num_sets > lines_per_page * len(matches):
+            raise AlignmentError(
+                f"cannot place {num_sets} pairs: only "
+                f"{lines_per_page * len(matches)} aligned sets available"
+            )
+        # Each pair gets its own line offset: same-offset sets in different
+        # color groups share an L2 bank (set index mod #banks), so stacking
+        # pairs at offset 0 would funnel every parallel stream through one
+        # bank port and drown the channel in queueing noise.  Per-group
+        # offset counters start at staggered phases to keep early pairs on
+        # distinct banks.
+        next_offset = list(range(len(matches)))
+        for set_id in range(num_sets):
+            group_index = set_id % len(matches)
+            t_group, s_group = matches[group_index]
+            offset = next_offset[group_index] % lines_per_page
+            next_offset[group_index] += 1
+            trojan_set = self._sets_for(trojan_coloring, t_group, [offset], 0)[0]
+            spy_set = self._sets_for(spy_coloring, s_group, [offset], 0)[0]
+            pairs.append(
+                (
+                    EvictionSet(
+                        trojan_set.buffer,
+                        trojan_set.indices,
+                        set_id,
+                        trojan_set.origin,
+                    ),
+                    EvictionSet(
+                        spy_set.buffer, spy_set.indices, set_id, spy_set.origin
+                    ),
+                )
+            )
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Transmission: steps 4-5 of Fig 8
+    # ------------------------------------------------------------------
+    def launch_transmission(
+        self,
+        bits: Sequence[int],
+        slot_cycles: float = 3000.0,
+    ) -> "PendingTransmission":
+        """Queue the trojan and spy kernels without running them.
+
+        Use together with :meth:`decode_transmission` when several channels
+        (e.g. on different GPU pairs) must transmit *concurrently* in one
+        simulation window; plain :meth:`transmit` wraps the pair.
+        """
+        if not self.pairs:
+            raise ChannelError("channel not set up: call setup() first")
+        assert self.thresholds is not None and self.trojan and self.spy
+        runtime = self.runtime
+        num_sets = len(self.pairs)
+        shares = interleave(bits, num_sets)
+        frames = [list(PREAMBLE) + share for share in shares]
+        frame_slots = len(frames[0])
+
+        duration = (_LEAD_SLOTS + frame_slots + 2.0) * slot_cycles
+        num_probes = int(duration / _PROBE_PERIOD_GUESS) + 8
+        start = runtime.engine.now
+        trojan_start = start + _LEAD_SLOTS * slot_cycles
+
+        spy_handles = []
+        for pair_index, (_trojan_set, spy_set) in enumerate(self.pairs):
+            shared = self.spy.shared_buffer(f"spy_stage_{pair_index}", 512)
+            spy_handles.append(
+                runtime.launch(
+                    spy_probe_kernel(spy_set, num_probes, shared),
+                    self.spy_gpu,
+                    self.spy,
+                    name=f"spy_probe_{pair_index}",
+                    start=start,
+                )
+            )
+        for pair_index, (trojan_set, _spy_set) in enumerate(self.pairs):
+            runtime.launch(
+                trojan_send_kernel(trojan_set, frames[pair_index], slot_cycles),
+                self.trojan_gpu,
+                self.trojan,
+                name=f"trojan_send_{pair_index}",
+                start=trojan_start,
+            )
+        return PendingTransmission(
+            bits=tuple(bits),
+            frames=frames,
+            slot_cycles=slot_cycles,
+            spy_handles=spy_handles,
+        )
+
+    def decode_transmission(
+        self, pending: "PendingTransmission", strict: bool = True
+    ) -> TransmissionResult:
+        """Decode a completed :meth:`launch_transmission` window."""
+        assert self.thresholds is not None
+        runtime = self.runtime
+        bits = pending.bits
+        frames = pending.frames
+        slot_cycles = pending.slot_cycles
+
+        received_shares: List[List[int]] = []
+        traces: List[SpyTrace] = []
+        for pair_index, handle in enumerate(pending.spy_handles):
+            if not handle.done:
+                raise ChannelError(
+                    "spy kernels have not completed; synchronize() first"
+                )
+            trace: SpyTrace = handle.result
+            traces.append(trace)
+            payload_len = len(frames[pair_index]) - len(PREAMBLE)
+            try:
+                share, _lock = decode_trace(
+                    trace, self.thresholds, slot_cycles, payload_bits=payload_len
+                )
+            except ChannelError:
+                if strict:
+                    raise
+                share = [0] * payload_len
+            received_shares.append(share)
+
+        received = deinterleave(received_shares, len(bits))
+        payload_slots = len(frames[0]) - len(PREAMBLE)
+        duration_cycles = payload_slots * slot_cycles
+        seconds = runtime.system.timing.seconds(duration_cycles)
+        bandwidth = (len(bits) / 8.0) / seconds if seconds > 0 else 0.0
+        return TransmissionResult(
+            sent_bits=tuple(bits),
+            received_bits=tuple(received),
+            num_sets=len(self.pairs),
+            slot_cycles=slot_cycles,
+            duration_cycles=duration_cycles,
+            duration_seconds=seconds,
+            bandwidth_bytes_per_s=bandwidth,
+            error_rate=bit_error_rate(bits, received),
+            traces=tuple(traces),
+        )
+
+    def transmit(
+        self,
+        bits: Sequence[int],
+        slot_cycles: float = 3000.0,
+        strict: bool = True,
+    ) -> TransmissionResult:
+        """Send ``bits`` across the aligned pairs and decode on the spy side.
+
+        With ``strict=False`` a set whose spy cannot lock the preamble
+        (channel drowned in contention) contributes a zeroed share instead
+        of raising, so saturation shows up as error rate -- the regime past
+        the knee of Fig 9.
+        """
+        pending = self.launch_transmission(bits, slot_cycles=slot_cycles)
+        self.runtime.synchronize()
+        return self.decode_transmission(pending, strict=strict)
+
+    def send_text(self, text: str, slot_cycles: float = 3000.0) -> TransmissionResult:
+        """Convenience: UTF-8 text over the channel (the Fig 10 demo)."""
+        return self.transmit(text_to_bits(text), slot_cycles=slot_cycles)
+
+    def transmit_reliable(
+        self,
+        bits: Sequence[int],
+        slot_cycles: float = 3000.0,
+    ) -> Tuple[List[int], TransmissionResult, int]:
+        """Send ``bits`` under Hamming(7,4) + length framing.
+
+        Returns ``(recovered_payload, raw_transmission, corrections)``.
+        Left of the Fig 9 knee the channel's raw errors are sparse and
+        isolated, so single-error correction per codeword typically yields
+        an error-free payload at a 4/7 rate cost.
+        """
+        from .ecc import decode_with_length, encode_with_length
+
+        framed = encode_with_length(bits)
+        raw = self.transmit(framed, slot_cycles=slot_cycles, strict=False)
+        payload, corrections = decode_with_length(list(raw.received_bits))
+        return payload, raw, corrections

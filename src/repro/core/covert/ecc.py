@@ -1,0 +1,103 @@
+"""Forward error correction for the covert channel.
+
+The paper reports *raw* error rates (1.3 % at the 3.95 MB/s point) and
+leaves reliability to the reader.  A real covert channel deployment wraps
+the raw bit-pipe in coding; this module provides a classic Hamming(7,4)
+single-error-correcting code so the ablation bench can show the trade:
+7/4 rate overhead buys orders of magnitude lower residual error anywhere
+left of the Fig 9 knee (where raw errors are sparse and isolated).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "hamming74_encode",
+    "hamming74_decode",
+    "encode_with_length",
+    "decode_with_length",
+    "code_rate",
+]
+
+#: Positions (1-indexed) of the parity bits within a 7-bit codeword.
+_PARITY_POSITIONS = (1, 2, 4)
+
+
+def code_rate() -> float:
+    """Information bits per channel bit (4/7)."""
+    return 4.0 / 7.0
+
+
+def _encode_nibble(d: Sequence[int]) -> List[int]:
+    """Encode 4 data bits into a 7-bit Hamming codeword.
+
+    Layout (1-indexed): p1 p2 d1 p4 d2 d3 d4, with even parity.
+    """
+    d1, d2, d3, d4 = (1 if bit else 0 for bit in d)
+    p1 = d1 ^ d2 ^ d4
+    p2 = d1 ^ d3 ^ d4
+    p4 = d2 ^ d3 ^ d4
+    return [p1, p2, d1, p4, d2, d3, d4]
+
+
+def _decode_codeword(c: Sequence[int]) -> Tuple[List[int], bool]:
+    """Decode one 7-bit codeword; returns (data bits, corrected_flag)."""
+    bits = [1 if bit else 0 for bit in c]
+    s1 = bits[0] ^ bits[2] ^ bits[4] ^ bits[6]
+    s2 = bits[1] ^ bits[2] ^ bits[5] ^ bits[6]
+    s4 = bits[3] ^ bits[4] ^ bits[5] ^ bits[6]
+    syndrome = s1 | (s2 << 1) | (s4 << 2)
+    corrected = False
+    if syndrome:
+        bits[syndrome - 1] ^= 1
+        corrected = True
+    return [bits[2], bits[4], bits[5], bits[6]], corrected
+
+
+def hamming74_encode(bits: Sequence[int]) -> List[int]:
+    """Encode a bit sequence; pads the tail nibble with zeros."""
+    padded = list(bits) + [0] * (-len(bits) % 4)
+    encoded: List[int] = []
+    for at in range(0, len(padded), 4):
+        encoded.extend(_encode_nibble(padded[at : at + 4]))
+    return encoded
+
+
+def hamming74_decode(bits: Sequence[int]) -> Tuple[List[int], int]:
+    """Decode a codeword stream; returns (data bits, corrections made).
+
+    A ragged tail (incomplete codeword) is dropped.
+    """
+    decoded: List[int] = []
+    corrections = 0
+    usable = len(bits) - len(bits) % 7
+    for at in range(0, usable, 7):
+        data, corrected = _decode_codeword(bits[at : at + 7])
+        decoded.extend(data)
+        corrections += corrected
+    return decoded, corrections
+
+
+#: Length-header width for self-describing frames.
+_LENGTH_BITS = 16
+
+
+def encode_with_length(bits: Sequence[int]) -> List[int]:
+    """Frame + encode: a 16-bit length header, then the payload, all coded."""
+    if len(bits) >= 1 << _LENGTH_BITS:
+        raise ValueError("payload too long for the 16-bit length header")
+    header = [(len(bits) >> shift) & 1 for shift in range(_LENGTH_BITS - 1, -1, -1)]
+    return hamming74_encode(header + list(bits))
+
+
+def decode_with_length(bits: Sequence[int]) -> Tuple[List[int], int]:
+    """Inverse of :func:`encode_with_length`; returns (payload, corrections)."""
+    decoded, corrections = hamming74_decode(bits)
+    if len(decoded) < _LENGTH_BITS:
+        return [], corrections
+    length = 0
+    for bit in decoded[:_LENGTH_BITS]:
+        length = (length << 1) | bit
+    payload = decoded[_LENGTH_BITS : _LENGTH_BITS + length]
+    return payload, corrections

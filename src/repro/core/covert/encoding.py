@@ -1,0 +1,80 @@
+"""Bit framing for the covert channel.
+
+The trojan and spy agree (out of band -- it is *their* protocol) on a slot
+duration, a per-set preamble, and round-robin interleaving of the message
+bits across the aligned set pairs.  The preamble's alternating pattern lets
+the spy lock onto the trojan's slot phase without any shared clock, which
+is how the paper "tunes parameters on the trojan side ... to communicate
+the covert message successfully".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "PREAMBLE",
+    "text_to_bits",
+    "bits_to_text",
+    "interleave",
+    "deinterleave",
+    "bit_error_rate",
+]
+
+#: Alternating sync pattern sent on every set before its payload share.
+PREAMBLE: Tuple[int, ...] = (1, 0, 1, 0, 1, 0, 1, 0)
+
+
+def text_to_bits(text: str) -> List[int]:
+    """UTF-8 encode ``text`` into a list of bits, MSB first."""
+    bits: List[int] = []
+    for byte in text.encode("utf-8"):
+        bits.extend((byte >> shift) & 1 for shift in range(7, -1, -1))
+    return bits
+
+
+def bits_to_text(bits: Sequence[int]) -> str:
+    """Inverse of :func:`text_to_bits`; tolerates a ragged tail."""
+    out = bytearray()
+    for start in range(0, len(bits) - len(bits) % 8, 8):
+        value = 0
+        for bit in bits[start : start + 8]:
+            value = (value << 1) | (1 if bit else 0)
+        out.append(value)
+    return out.decode("utf-8", errors="replace")
+
+
+def interleave(bits: Sequence[int], num_sets: int) -> List[List[int]]:
+    """Round-robin split: set ``k`` carries bits ``k, k+n, k+2n, ...``.
+
+    Shares are padded with zeros to equal length so every trojan block
+    transmits for the same duration.
+    """
+    shares: List[List[int]] = [list(bits[k::num_sets]) for k in range(num_sets)]
+    longest = max(len(share) for share in shares)
+    for share in shares:
+        share.extend([0] * (longest - len(share)))
+    return shares
+
+
+def deinterleave(shares: Sequence[Sequence[int]], total_bits: int) -> List[int]:
+    """Merge per-set shares back into the original bit order."""
+    num_sets = len(shares)
+    bits: List[int] = []
+    for position in range(total_bits):
+        share = shares[position % num_sets]
+        index = position // num_sets
+        bits.append(share[index] if index < len(share) else 0)
+    return bits
+
+
+def bit_error_rate(sent: Sequence[int], received: Sequence[int]) -> float:
+    """Fraction of payload bits received incorrectly (missing bits count)."""
+    if not sent:
+        return 0.0
+    errors = sum(
+        1
+        for position, bit in enumerate(sent)
+        if position >= len(received) or (1 if received[position] else 0) != bit
+    )
+    return errors / len(sent)

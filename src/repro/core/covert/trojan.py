@@ -1,0 +1,61 @@
+"""The trojan (sender) kernel -- Section IV-B.
+
+One thread block (a single warp) per aligned set pair.  To send a '1' the
+block primes the physical cache set by walking its eviction set, evicting
+whatever the spy planted there; to send a '0' it burns the slot in
+"computationally heavy dummy instructions (e.g. trigonometric
+instructions)" so the set stays untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...sim.ops import Compute, ProbeSet, ReadClock
+from ..eviction import EvictionSet
+
+__all__ = ["trojan_send_kernel"]
+
+#: Safety margin before the slot edge after which no new prime is issued.
+#: A prime *started* before the edge evicts the spy's lines within the
+#: slot (its cache effect lands at issue time), so the margin only needs
+#: to cover the issue burst of the warp, not the full round-trip.
+_PRIME_MARGIN_CYCLES = 120.0
+
+#: Granularity of the dummy-compute wait during '0' slots.
+_WAIT_CHUNK_CYCLES = 200.0
+
+
+def trojan_send_kernel(
+    eviction_set: EvictionSet,
+    bits: Sequence[int],
+    slot_cycles: float,
+):
+    """Transmit ``bits`` over one aligned set, one bit per slot.
+
+    Slot boundaries are anchored to the kernel's start time so that slot
+    ``i`` spans ``[start + i*slot, start + (i+1)*slot)`` with no cumulative
+    drift -- the sender-side "controlling parameters that control the
+    priming of the cache set".
+    """
+    start = yield ReadClock()
+    sent = 0
+    for position, bit in enumerate(bits):
+        slot_end = start + (position + 1) * slot_cycles
+        if bit:
+            while True:
+                now = yield ReadClock()
+                if now + _PRIME_MARGIN_CYCLES > slot_end:
+                    break
+                yield ProbeSet(
+                    eviction_set.buffer, eviction_set.indices, parallel=True
+                )
+        # Wait out the slot remainder with dummy compute (never memory).
+        while True:
+            now = yield ReadClock()
+            remaining = slot_end - now
+            if remaining <= 0:
+                break
+            yield Compute(min(remaining, _WAIT_CHUNK_CYCLES))
+        sent += 1
+    return sent

@@ -1,0 +1,640 @@
+"""Section III-B: determining cache eviction sets from user space.
+
+The attacker allocates a buffer (locally for the trojan, on the *remote*
+GPU for the spy), then uses Algorithm 1 -- a pointer-chase kernel that
+times a target address before and after chasing through candidate
+addresses -- to find groups of addresses that hash to the same physical
+cache set.  Everything is decided from measured latencies against the
+thresholds of :mod:`repro.core.timing`; no physical addresses are ever
+consulted.
+
+Three layers are provided:
+
+- :func:`find_eviction_set` -- the paper's incremental Algorithm 1 (grow
+  the chase until the target is evicted, record the last address, remove
+  it, continue), including the "skip ahead then revert" optimization.
+- :func:`reduce_to_minimal` -- group-testing reduction used by the bulk
+  builder (the paper: "we adopted some optimization methodologies by
+  skipping some address accesses").
+- :func:`build_eviction_sets` -- the production path exploiting the
+  paper's observation that "data belonging to a page is indexed
+  consecutively in the cache": discover the *page colors* once, then emit
+  eviction sets for as many distinct cache sets as needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import EvictionSetError
+from ..runtime.api import Runtime
+from ..sim.ops import Access, Fence, ProbeSet, SharedStore
+from ..sim.process import DeviceBuffer, Process
+
+__all__ = [
+    "EvictionSet",
+    "Algorithm1Outcome",
+    "run_algorithm1",
+    "find_eviction_set",
+    "reduce_to_minimal",
+    "measure_associativity",
+    "validate_eviction_set",
+    "ValidationReport",
+    "sets_alias",
+    "deduplicate_eviction_sets",
+    "build_eviction_sets",
+    "PageColoring",
+    "discover_page_coloring",
+]
+
+
+@dataclass(frozen=True)
+class EvictionSet:
+    """A group of word indices (one per cache line) hashing to one set.
+
+    ``set_id`` is an attacker-assigned label; the *physical* set index is
+    unknown to the attacker (that is the whole alignment problem of
+    Section IV-A).
+    """
+
+    buffer: DeviceBuffer
+    indices: Tuple[int, ...]
+    set_id: int = 0
+    #: Optional provenance: (color_group, line_offset) for page-built sets.
+    origin: Optional[Tuple[int, int]] = None
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+@dataclass(frozen=True)
+class Algorithm1Outcome:
+    """Timing evidence from one Algorithm 1 kernel launch."""
+
+    first_access_cycles: float
+    second_access_cycles: float
+    evicted: bool
+
+
+@dataclass(frozen=True)
+class _Alg1Raw:
+    first: float
+    second: float
+    dummy: int
+
+
+def _install_chain(buffer: DeviceBuffer, indices: Sequence[int]) -> None:
+    """Write a pointer chain through ``indices`` into the buffer data.
+
+    Mirrors the paper's kernels, where ``__ldcg`` loads the *next index*
+    from the current element (``nxtIdx = ldcg(otherPtr)``).
+    """
+    if not indices:
+        return
+    for here, there in zip(indices, list(indices[1:]) + [indices[0]]):
+        buffer.store(here, there)
+
+
+def _algorithm1_kernel(
+    buffer: DeviceBuffer,
+    target_index: int,
+    chase_indices: Sequence[int],
+    shared_times,
+):
+    """Literal transcription of Algorithm 1 (dependent pointer chase).
+
+    The chain through ``chase_indices`` must already be installed in the
+    buffer; the kernel follows it through *loaded values*, exactly like the
+    paper's kernel, and lands the two target access times in shared memory
+    (lines 7 and 21 of Algorithm 1).
+    """
+    first = yield Access(buffer, target_index)  # lines 1-5
+    dummy = first.value
+    yield Fence()  # line 6
+    yield SharedStore(shared_times, 0, first.latency)  # line 7
+
+    if chase_indices:
+        next_index = chase_indices[0]
+        for _ in range(len(chase_indices)):  # lines 9-14
+            result = yield Access(buffer, next_index)
+            dummy += result.value
+            next_index = result.value
+            yield Fence()
+
+    second = yield Access(buffer, target_index)  # lines 16-19
+    dummy += second.value
+    yield Fence()  # line 20
+    yield SharedStore(shared_times, 1, second.latency)  # line 21
+    return _Alg1Raw(first.latency, second.latency, dummy)
+
+
+def run_algorithm1(
+    runtime: Runtime,
+    process: Process,
+    exec_gpu: int,
+    buffer: DeviceBuffer,
+    target_index: int,
+    chase_indices: Sequence[int],
+    miss_threshold: float,
+) -> Algorithm1Outcome:
+    """Launch one Algorithm 1 kernel and decide eviction from the timing."""
+    shared = process.shared_buffer("alg1_times", 2)
+    _install_chain(buffer, chase_indices)
+    raw = runtime.run_kernel(
+        _algorithm1_kernel(buffer, target_index, chase_indices, shared),
+        exec_gpu,
+        process,
+        name="algorithm1",
+    )
+    return Algorithm1Outcome(
+        first_access_cycles=raw.first,
+        second_access_cycles=raw.second,
+        evicted=raw.second > miss_threshold,
+    )
+
+
+def _chase_evicts_target(
+    runtime: Runtime,
+    process: Process,
+    exec_gpu: int,
+    buffer: DeviceBuffer,
+    target_index: int,
+    chase_indices: Sequence[int],
+    miss_threshold: float,
+) -> bool:
+    """Fast conflict test: target, chase, target -- decided by timing.
+
+    Uses :class:`ProbeSet` for the chase (identical cache effect to the
+    pointer chain, one event instead of hundreds) and real ``Access`` ops
+    for the timed target.
+    """
+
+    def kernel():
+        yield Access(buffer, target_index)
+        if chase_indices:
+            yield ProbeSet(buffer, chase_indices, parallel=False)
+        result = yield Access(buffer, target_index)
+        return result.latency
+
+    second = runtime.run_kernel(kernel(), exec_gpu, process, name="conflict_test")
+    return second > miss_threshold
+
+
+def find_eviction_set(
+    runtime: Runtime,
+    process: Process,
+    exec_gpu: int,
+    buffer: DeviceBuffer,
+    target_index: int,
+    candidate_indices: Sequence[int],
+    associativity: int,
+    miss_threshold: float,
+    skip_step: int = 8,
+) -> EvictionSet:
+    """The paper's incremental Algorithm 1 loop with the skip optimization.
+
+    The chase is the candidate-pool prefix (minus already-identified
+    members); it grows ``skip_step`` addresses per launch.  When the target
+    gets evicted, the loop reverts and retests the skipped addresses one at
+    a time to pin the exact address that caused the eviction (Section
+    III-B), records it as a set member, removes it from the pool, and
+    continues.
+
+    Note the inherent property of the incremental method: the first
+    eviction only appears once ``associativity`` same-set addresses are in
+    the chase, so identifying ``associativity`` members needs a pool
+    containing at least ``2 * associativity - 1`` of them.
+    """
+    pool = [i for i in candidate_indices if i != target_index]
+    members: List[int] = []
+    prefix = 0  # how many pool entries are currently in the chase
+
+    def evicts(upto: int) -> bool:
+        return _chase_evicts_target(
+            runtime, process, exec_gpu, buffer, target_index, pool[:upto], miss_threshold
+        )
+
+    while prefix < len(pool) and len(members) < associativity:
+        grown = min(prefix + skip_step, len(pool))
+        if not evicts(grown):
+            prefix = grown
+            continue
+        # Revert: test the skipped addresses one at a time to find the
+        # exact eviction-causing address.
+        culprit_at = None
+        for cut in range(prefix + 1, grown + 1):
+            if evicts(cut):
+                culprit_at = cut - 1
+                break
+        if culprit_at is None:
+            raise EvictionSetError(
+                "eviction seen for the skipped block but not reproducible "
+                "address-by-address (noise too high?)"
+            )
+        members.append(pool[culprit_at])
+        del pool[culprit_at]
+        prefix = culprit_at
+
+    if len(members) < associativity:
+        raise EvictionSetError(
+            f"only {len(members)} conflicting addresses found for target "
+            f"{target_index} (need {associativity}); the incremental method "
+            f"needs >= {2 * associativity - 1} same-set candidates in the pool"
+        )
+    return EvictionSet(buffer=buffer, indices=tuple(members))
+
+
+def reduce_to_minimal(
+    runtime: Runtime,
+    process: Process,
+    exec_gpu: int,
+    buffer: DeviceBuffer,
+    target_index: int,
+    pool: Sequence[int],
+    associativity: int,
+    miss_threshold: float,
+) -> List[int]:
+    """Group-testing reduction of ``pool`` to ``associativity`` conflicting
+    addresses (the bulk-path optimization)."""
+    current = [i for i in pool if i != target_index]
+    if not _chase_evicts_target(
+        runtime, process, exec_gpu, buffer, target_index, current, miss_threshold
+    ):
+        raise EvictionSetError(
+            f"candidate pool of {len(current)} does not evict target "
+            f"{target_index}; pool too small for this set"
+        )
+    while len(current) > associativity:
+        size = -(-len(current) // (associativity + 1))
+        removed = False
+        # If every chunk happens to contain a set member (possible once the
+        # pool is small), retry with smaller chunks down to single elements.
+        while size >= 1 and not removed:
+            for start in range(0, len(current), size):
+                trial = current[:start] + current[start + size :]
+                if _chase_evicts_target(
+                    runtime,
+                    process,
+                    exec_gpu,
+                    buffer,
+                    target_index,
+                    trial,
+                    miss_threshold,
+                ):
+                    current = trial
+                    removed = True
+                    break
+            size //= 2
+        if not removed:
+            raise EvictionSetError(
+                "reduction stuck: no single element is removable "
+                "(threshold noise?)"
+            )
+    return current
+
+
+def measure_associativity(
+    runtime: Runtime,
+    process: Process,
+    exec_gpu: int,
+    buffer: DeviceBuffer,
+    target_index: int,
+    members: Sequence[int],
+    miss_threshold: float,
+) -> int:
+    """Smallest prefix of ``members`` whose chase evicts the target.
+
+    With LRU this equals the associativity (Table I's "cache lines per
+    set": "the target address is evicted after every 16th address").
+    """
+    for count in range(1, len(members) + 1):
+        if _chase_evicts_target(
+            runtime,
+            process,
+            exec_gpu,
+            buffer,
+            target_index,
+            members[:count],
+            miss_threshold,
+        ):
+            return count
+    raise EvictionSetError("members never evict the target; not a conflict set")
+
+
+@dataclass
+class ValidationReport:
+    """Evidence behind Fig 5 for one eviction set."""
+
+    #: Target re-access latency after chasing k = 1..assoc members.
+    latencies_by_count: List[float] = field(default_factory=list)
+    #: First chase length at which the target was evicted (None = never).
+    eviction_at: Optional[int] = None
+    #: Of ``repeats`` full-set chases, how many evicted the target.
+    full_set_evictions: int = 0
+    #: Of ``repeats`` (assoc-1)-length chases, how many evicted the target.
+    short_set_evictions: int = 0
+    repeats: int = 0
+
+    def deterministic_lru(self, associativity: int) -> bool:
+        """Eviction appears exactly at the associativity, every time."""
+        return (
+            self.eviction_at == associativity
+            and self.full_set_evictions == self.repeats
+            and self.short_set_evictions == 0
+        )
+
+
+def validate_eviction_set(
+    runtime: Runtime,
+    process: Process,
+    exec_gpu: int,
+    eviction_set: EvictionSet,
+    target_index: int,
+    miss_threshold: float,
+    repeats: int = 5,
+) -> ValidationReport:
+    """Fig 5: the eviction appears exactly at the associativity boundary.
+
+    ``target_index`` must be a line *outside* the set's members that maps
+    to the same physical set (for page-built sets, the same line offset in
+    another page of the color group).  Chasing k members keeps the target
+    resident for k < associativity and deterministically evicts it at
+    k = associativity -- "evicted consistently after the 16th address",
+    establishing LRU without randomization.
+    """
+    members = list(eviction_set.indices)
+    report = ValidationReport(repeats=repeats)
+    for count in range(1, len(members) + 1):
+        outcome = run_algorithm1(
+            runtime,
+            process,
+            exec_gpu,
+            eviction_set.buffer,
+            target_index,
+            members[:count],
+            miss_threshold,
+        )
+        report.latencies_by_count.append(outcome.second_access_cycles)
+        if report.eviction_at is None and outcome.evicted:
+            report.eviction_at = count
+    for _ in range(repeats):
+        if _chase_evicts_target(
+            runtime,
+            process,
+            exec_gpu,
+            eviction_set.buffer,
+            target_index,
+            members,
+            miss_threshold,
+        ):
+            report.full_set_evictions += 1
+        if _chase_evicts_target(
+            runtime,
+            process,
+            exec_gpu,
+            eviction_set.buffer,
+            target_index,
+            members[:-1],
+            miss_threshold,
+        ):
+            report.short_set_evictions += 1
+    return report
+
+
+def sets_alias(
+    runtime: Runtime,
+    process: Process,
+    exec_gpu: int,
+    set_a: EvictionSet,
+    set_b: EvictionSet,
+    miss_threshold: float,
+) -> bool:
+    """Fig 6 check: do two discovered sets index the same physical set?
+
+    Prime A, walk B, re-probe A: if B displaced A's lines (misses on the
+    re-probe), the union exceeds one set's capacity, i.e. they alias.
+    """
+
+    def kernel():
+        yield ProbeSet(set_a.buffer, set_a.indices)
+        yield ProbeSet(set_b.buffer, set_b.indices)
+        reprobe = yield ProbeSet(set_a.buffer, set_a.indices)
+        return reprobe
+
+    probe = runtime.run_kernel(kernel(), exec_gpu, process, name="alias_test")
+    misses = sum(1 for latency in probe.latencies if latency > miss_threshold)
+    # Aliasing evicts at least |B| of A's lines; distinct sets evict none.
+    return misses >= max(1, len(set_b.indices) // 2)
+
+
+def deduplicate_eviction_sets(
+    runtime: Runtime,
+    process: Process,
+    exec_gpu: int,
+    sets: Sequence[EvictionSet],
+    miss_threshold: float,
+) -> List[EvictionSet]:
+    """Drop sets aliasing an earlier one ("eliminate the newly discovered
+    eviction set from consideration", Section III-B)."""
+    kept: List[EvictionSet] = []
+    for candidate in sets:
+        if any(
+            sets_alias(runtime, process, exec_gpu, kept_set, candidate, miss_threshold)
+            for kept_set in kept
+        ):
+            continue
+        kept.append(candidate)
+    return kept
+
+
+# ----------------------------------------------------------------------
+# Bulk construction via page coloring
+# ----------------------------------------------------------------------
+@dataclass
+class PageColoring:
+    """Attacker-discovered grouping of buffer pages by cache color.
+
+    Pages in one group conflict line-for-line: their k-th lines all map to
+    the same physical set (the paper's "data belonging to a page is indexed
+    consecutively in the cache").
+    """
+
+    buffer: DeviceBuffer
+    groups: List[List[int]] = field(default_factory=list)  # page numbers
+    words_per_page: int = 0
+    words_per_line: int = 0
+
+    @property
+    def lines_per_page(self) -> int:
+        return self.words_per_page // self.words_per_line
+
+    def usable_sets(self) -> int:
+        """Distinct cache sets coverable with full eviction sets."""
+        return self.lines_per_page * len(self.groups)
+
+
+def discover_page_coloring(
+    runtime: Runtime,
+    process: Process,
+    exec_gpu: int,
+    buffer: DeviceBuffer,
+    associativity: int,
+    miss_threshold: float,
+    max_groups: Optional[int] = None,
+) -> PageColoring:
+    """Group the buffer's pages into cache colors using only timing.
+
+    For each yet-ungrouped page: reduce the other pages' first lines to a
+    minimal eviction set for this page's first line, then classify every
+    remaining page with a single chase test (target + assoc-1 knowns +
+    candidate: eviction iff the candidate shares the color).
+    """
+    spec = runtime.system.spec.gpu
+    words_per_page = spec.page_size // 8
+    words_per_line = spec.cache.line_size // 8
+    num_pages = buffer.num_words // words_per_page
+
+    def rep(page: int) -> int:
+        return page * words_per_page
+
+    coloring = PageColoring(
+        buffer=buffer,
+        words_per_page=words_per_page,
+        words_per_line=words_per_line,
+    )
+    ungrouped = list(range(num_pages))
+    while ungrouped:
+        if max_groups is not None and len(coloring.groups) >= max_groups:
+            break
+        target_page = ungrouped[0]
+        others = [rep(p) for p in ungrouped[1:]]
+        if not _chase_evicts_target(
+            runtime, process, exec_gpu, buffer, rep(target_page), others, miss_threshold
+        ):
+            # Not enough same-color companions left to build a full set.
+            ungrouped.pop(0)
+            continue
+        minimal = reduce_to_minimal(
+            runtime,
+            process,
+            exec_gpu,
+            buffer,
+            rep(target_page),
+            others,
+            associativity,
+            miss_threshold,
+        )
+        group_pages = [target_page] + [index // words_per_page for index in minimal]
+        known = minimal[: associativity - 1]
+        for page in ungrouped:
+            if page in group_pages:
+                continue
+            if _chase_evicts_target(
+                runtime,
+                process,
+                exec_gpu,
+                buffer,
+                rep(target_page),
+                known + [rep(page)],
+                miss_threshold,
+            ):
+                group_pages.append(page)
+        coloring.groups.append(sorted(group_pages))
+        grouped = set(group_pages)
+        ungrouped = [p for p in ungrouped if p not in grouped]
+    if not coloring.groups:
+        raise EvictionSetError(
+            "no page color has enough pages to form an eviction set; "
+            "allocate a larger buffer"
+        )
+    return coloring
+
+
+def build_eviction_sets(
+    runtime: Runtime,
+    process: Process,
+    exec_gpu: int,
+    buffer: DeviceBuffer,
+    num_sets: int,
+    associativity: int,
+    miss_threshold: float,
+    deduplicate: bool = True,
+    coloring: Optional[PageColoring] = None,
+    spread: bool = False,
+) -> List[EvictionSet]:
+    """Produce ``num_sets`` eviction sets over distinct physical sets.
+
+    Runs page-color discovery once (or reuses ``coloring``), then emits one
+    set per (color group, line offset) -- each a full ``associativity``-
+    sized set -- confirming distinctness with the Fig 6 aliasing test on a
+    sample of adjacent pairs.
+
+    With ``spread=True`` the sets are distributed evenly over every color
+    group and across each page's full line range, sampling the whole cache
+    uniformly -- what a memorygram monitor wants ("sampling coverage",
+    Section V-B).  The default emits consecutive offsets of the first
+    group(s), which maximizes sets per discovered color.
+    """
+    if coloring is None:
+        coloring = discover_page_coloring(
+            runtime, process, exec_gpu, buffer, associativity, miss_threshold
+        )
+    usable_groups = [
+        (gi, pages[:associativity])
+        for gi, pages in enumerate(coloring.groups)
+        if len(pages) >= associativity
+    ]
+    if not usable_groups:
+        raise EvictionSetError("no color group has enough pages for a full set")
+
+    placements: List[Tuple[int, Tuple[int, ...], int]] = []
+    lines_per_page = coloring.lines_per_page
+    if spread:
+        per_group = -(-num_sets // len(usable_groups))
+        stride = max(1, lines_per_page // max(1, per_group))
+        for rank in range(per_group):
+            for group_index, pages in usable_groups:
+                offset = (rank * stride) % lines_per_page
+                placements.append((group_index, tuple(pages), offset))
+    else:
+        for group_index, pages in usable_groups:
+            for offset in range(lines_per_page):
+                placements.append((group_index, tuple(pages), offset))
+
+    sets: List[EvictionSet] = []
+    seen = set()
+    for group_index, pages, offset in placements:
+        if len(sets) >= num_sets:
+            break
+        if (group_index, offset) in seen:
+            continue
+        seen.add((group_index, offset))
+        word = offset * coloring.words_per_line
+        sets.append(
+            EvictionSet(
+                buffer=buffer,
+                indices=tuple(
+                    page * coloring.words_per_page + word for page in pages
+                ),
+                set_id=len(sets),
+                origin=(group_index, offset),
+            )
+        )
+    if len(sets) < num_sets:
+        raise EvictionSetError(
+            f"buffer only covers {len(sets)} distinct sets; requested {num_sets}"
+        )
+    if deduplicate and len(sets) >= 2:
+        # Sample-check distinctness: full pairwise Fig 6 testing is O(n^2);
+        # verify a handful of adjacent pairs (the only plausible aliases).
+        sample = sets[: min(len(sets), 8)]
+        kept = deduplicate_eviction_sets(
+            runtime, process, exec_gpu, sample, miss_threshold
+        )
+        if len(kept) != len(sample):
+            raise EvictionSetError(
+                "page-built eviction sets alias each other; "
+                "index hashing may be enabled on this cache"
+            )
+    return sets

@@ -1,0 +1,181 @@
+"""Section III / Table I: recovering the L2 architecture from user space.
+
+Everything here uses only what the paper's attacker has: user-level
+allocation, ``__ldcg`` loads and ``clock()``.  The recovered parameters are
+compared against the (simulator-internal) ground truth in the test suite,
+mirroring how the paper validates against the published P100 specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import EvictionSetError
+from ..runtime.api import Runtime
+from ..sim.ops import Access
+from ..sim.process import Process
+from .eviction import (
+    EvictionSet,
+    discover_page_coloring,
+    measure_associativity,
+    validate_eviction_set,
+)
+from .timing import TimingThresholds, measure_access_classes
+
+__all__ = ["CacheArchitectureReport", "reverse_engineer_cache", "measure_line_size"]
+
+
+@dataclass
+class CacheArchitectureReport:
+    """The attacker's view of Table I."""
+
+    line_size: int
+    associativity: int
+    num_sets: int
+    replacement_policy: str
+    thresholds: TimingThresholds
+
+    @property
+    def cache_size_bytes(self) -> int:
+        return self.line_size * self.associativity * self.num_sets
+
+    def summary(self) -> str:
+        """Rendered like Table I of the paper."""
+        rows = [
+            ("L2 cache size", f"{self.cache_size_bytes // (1024 * 1024)}MB"
+             if self.cache_size_bytes >= 1024 * 1024
+             else f"{self.cache_size_bytes // 1024}KB"),
+            ("Number of Sets", str(self.num_sets)),
+            ("Cache line size", f"{self.line_size}B"),
+            ("Cache lines per set", str(self.associativity)),
+            ("Replacement Policy", self.replacement_policy),
+        ]
+        width = max(len(k) for k, _ in rows)
+        lines = [f"{'Cache Attribute':<{width}} | Values"]
+        lines.append("-" * (width + 10))
+        lines.extend(f"{key:<{width}} | {value}" for key, value in rows)
+        return "\n".join(lines)
+
+
+def measure_line_size(
+    runtime: Runtime,
+    process: Process,
+    exec_gpu: int,
+    home_gpu: int,
+    thresholds: TimingThresholds,
+    max_line: int = 1024,
+) -> int:
+    """Find the line size by probing co-residency of nearby addresses.
+
+    Access a cold address, then a second address ``delta`` bytes away: a
+    hit means both live in the line the first access filled.  The smallest
+    ``delta`` that misses is the line size.  Each ``delta`` uses a fresh,
+    never-touched region so left-over cache state cannot interfere.
+    """
+    miss_threshold = thresholds.remote if exec_gpu != home_gpu else thresholds.local
+    region_words = 2 * max_line // 8
+    deltas = []
+    delta = 8
+    while delta <= max_line:
+        deltas.append(delta)
+        delta *= 2
+    buf = runtime.malloc(
+        process, home_gpu, len(deltas) * region_words * 8, name="linesize"
+    )
+
+    def probe(region: int, delta_bytes: int):
+        base = region * region_words
+        yield Access(buf, base)
+        second = yield Access(buf, base + delta_bytes // 8)
+        return second.latency
+
+    line_size: Optional[int] = None
+    for region, delta_bytes in enumerate(deltas):
+        latency = runtime.run_kernel(
+            probe(region, delta_bytes), exec_gpu, process, name="linesize_probe"
+        )
+        if latency > miss_threshold:
+            line_size = delta_bytes
+            break
+    runtime.free(buf)
+    if line_size is None:
+        raise EvictionSetError(f"no line boundary found up to {max_line} bytes")
+    return line_size
+
+
+def reverse_engineer_cache(
+    runtime: Runtime,
+    local_gpu: int = 0,
+    remote_gpu: int = 1,
+    probe_pages: int = 0,
+) -> CacheArchitectureReport:
+    """Run the full Section III pipeline and emit Table I.
+
+    1. Timing characterization (Fig 4) -> hit/miss thresholds.
+    2. Line size by adjacent-address co-residency.
+    3. Page-color discovery over a probe buffer homed on ``remote_gpu``.
+    4. Associativity from a minimal eviction set ("evicted after every
+       16th address").
+    5. Number of sets = colors x lines-per-page (each color group's pages
+       cover one aligned window of consecutive sets).
+    6. Replacement policy from deterministic-eviction validation (Fig 5).
+    """
+    process = runtime.create_process("reverse_engineer")
+    spec = runtime.system.spec.gpu  # sizes only guide buffer sizing below
+    report_timing = measure_access_classes(runtime, process, local_gpu, remote_gpu)
+    thresholds = report_timing.thresholds()
+
+    line_size = measure_line_size(
+        runtime, process, local_gpu, remote_gpu, thresholds
+    )
+
+    # A probe buffer big enough to see every color with >associativity pages.
+    if probe_pages <= 0:
+        colors_upper_bound = max(
+            1, spec.cache.set_stride // spec.page_size
+        )
+        probe_pages = colors_upper_bound * (2 * spec.cache.associativity + 2)
+    buf = runtime.malloc(
+        process, remote_gpu, probe_pages * spec.page_size, name="re_probe"
+    )
+    coloring = discover_page_coloring(
+        runtime,
+        process,
+        local_gpu,
+        buf,
+        associativity=spec.cache.associativity,
+        miss_threshold=thresholds.remote,
+    )
+
+    group = coloring.groups[0]
+    words_per_page = coloring.words_per_page
+    target = group[0] * words_per_page
+    members = [page * words_per_page for page in group[1:]]
+    associativity = measure_associativity(
+        runtime, process, local_gpu, buf, target, members, thresholds.remote
+    )
+
+    lines_per_page = spec.page_size // line_size
+    num_sets = len(coloring.groups) * lines_per_page
+
+    eviction_set = EvictionSet(buffer=buf, indices=tuple(members[:associativity]))
+    validation = validate_eviction_set(
+        runtime,
+        process,
+        local_gpu,
+        eviction_set,
+        target_index=target,
+        miss_threshold=thresholds.remote,
+    )
+    policy = (
+        "LRU" if validation.deterministic_lru(associativity) else "not deterministic"
+    )
+
+    return CacheArchitectureReport(
+        line_size=line_size,
+        associativity=associativity,
+        num_sets=num_sets,
+        replacement_policy=policy,
+        thresholds=thresholds,
+    )

@@ -1,0 +1,24 @@
+"""Section V: memorygram side channels across GPUs."""
+
+from .fingerprint import FingerprintAttack, FingerprintResult
+from .memorygram import Memorygram
+from .model_extraction import (
+    ModelExtractionAttack,
+    NeuronCountReport,
+    count_epochs,
+)
+from .prober import MemorygramProber
+from .scanner import BoxScanner, ScanReport, plan_spy_placement
+
+__all__ = [
+    "Memorygram",
+    "MemorygramProber",
+    "FingerprintAttack",
+    "FingerprintResult",
+    "ModelExtractionAttack",
+    "NeuronCountReport",
+    "count_epochs",
+    "BoxScanner",
+    "ScanReport",
+    "plan_spy_placement",
+]

@@ -1,0 +1,109 @@
+"""The memorygram: per-set cache miss activity over time (Fig 11/14/15).
+
+A memorygram is a matrix ``data[set, time_bin]`` of miss counts observed by
+the remote spy while it Prime+Probes a block of L2 sets.  It is the raw
+material of both §V attacks: the application fingerprint (the whole image)
+and the model-extraction statistics (per-set totals, temporal structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+__all__ = ["Memorygram"]
+
+
+@dataclass
+class Memorygram:
+    """Miss-count matrix plus the probing geometry that produced it."""
+
+    #: (num_sets, num_bins) int matrix of observed misses.
+    data: np.ndarray
+    #: Width of one time bin, in cycles.
+    bin_cycles: float
+    #: Simulation time of bin 0's left edge.
+    start_time: float
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data)
+        if self.data.ndim != 2:
+            raise ValueError("memorygram data must be 2-D (sets x time)")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_sets(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def num_bins(self) -> int:
+        return int(self.data.shape[1])
+
+    @property
+    def duration_cycles(self) -> float:
+        return self.num_bins * self.bin_cycles
+
+    def total_misses(self) -> int:
+        return int(self.data.sum())
+
+    def misses_per_set(self) -> np.ndarray:
+        """Per-set totals (the Fig 13 histogram input / Table II numerator)."""
+        return self.data.sum(axis=1)
+
+    def average_misses_per_set(self) -> float:
+        """Table II's statistic: mean of the per-set miss totals."""
+        return float(self.misses_per_set().mean())
+
+    def activity_per_bin(self) -> np.ndarray:
+        """Total misses per time bin (the Fig 15 temporal profile)."""
+        return self.data.sum(axis=0)
+
+    # ------------------------------------------------------------------
+    def as_image(self, shape=(32, 32), log_scale: bool = True) -> np.ndarray:
+        """Downsample to a fixed-size float image in [0, 1].
+
+        This is the input representation for the fingerprint classifier
+        (the paper trains an image classifier on memorygram pictures).
+        """
+        rows, cols = shape
+        grid = self.data.astype(np.float64)
+        grid = _block_reduce(grid, rows, axis=0)
+        grid = _block_reduce(grid, cols, axis=1)
+        if log_scale:
+            grid = np.log1p(grid)
+        top = grid.max()
+        if top > 0:
+            grid = grid / top
+        return grid
+
+    def to_ascii(self, width: int = 64, height: int = 16) -> str:
+        """Terminal rendering (stand-in for the paper's figure images)."""
+        image = self.as_image((height, width), log_scale=True)
+        shades = " .:-=+*#%@"
+        lines: List[str] = []
+        for row in image:
+            lines.append(
+                "".join(shades[min(int(v * (len(shades) - 1)), len(shades) - 1)] for v in row)
+            )
+        return "\n".join(lines)
+
+
+def _block_reduce(grid: np.ndarray, target: int, axis: int) -> np.ndarray:
+    """Mean-pool ``grid`` down to ``target`` entries along ``axis``."""
+    size = grid.shape[axis]
+    if size == target:
+        return grid
+    if size < target:
+        # Repeat-pad small inputs up to the target.
+        reps = -(-target // size)
+        grid = np.repeat(grid, reps, axis=axis)
+        size = grid.shape[axis]
+    edges = np.linspace(0, size, target + 1, dtype=int)
+    chunks = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        sl = [slice(None)] * grid.ndim
+        sl[axis] = slice(lo, max(hi, lo + 1))
+        chunks.append(grid[tuple(sl)].mean(axis=axis, keepdims=True))
+    return np.concatenate(chunks, axis=axis)

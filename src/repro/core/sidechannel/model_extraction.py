@@ -1,0 +1,168 @@
+"""Section V-B: extracting MLP hyperparameters from remote memorygrams.
+
+Three leakages are reproduced:
+
+- **Table II** -- the average number of misses over the monitored sets
+  grows monotonically with the hidden-layer width (64 -> 512 neurons).
+- **Fig 13/14** -- the per-set miss histogram / memorygram intensifies
+  with the width.
+- **Fig 15** -- epoch boundaries appear as quiet gaps in the temporal
+  profile, so the epoch count can be read off the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ...errors import AttackError
+from ...runtime.api import Runtime
+from ...workloads.mlp import MLPTraining
+from .memorygram import Memorygram
+from .prober import MemorygramProber
+
+__all__ = [
+    "ModelExtractionAttack",
+    "NeuronCountReport",
+    "count_epochs",
+    "infer_hidden_size",
+]
+
+
+@dataclass
+class NeuronCountReport:
+    """Table II: hidden width -> average misses over monitored sets."""
+
+    rows: List[Tuple[int, float]] = field(default_factory=list)
+    grams: Dict[int, Memorygram] = field(default_factory=dict, repr=False)
+
+    def add(self, hidden: int, average_misses: float, gram: Memorygram) -> None:
+        self.rows.append((hidden, average_misses))
+        self.grams[hidden] = gram
+
+    def is_monotonic(self) -> bool:
+        """The paper's separation: more neurons, more misses."""
+        values = [avg for _h, avg in sorted(self.rows)]
+        return all(a < b for a, b in zip(values, values[1:]))
+
+    def summary(self) -> str:
+        lines = ["Number of Neurons | Average Number of Misses"]
+        lines.append("-" * 44)
+        for hidden, avg in sorted(self.rows):
+            lines.append(f"{hidden:>17} | {avg:>24.1f}")
+        return "\n".join(lines)
+
+
+def count_epochs(
+    gram: Memorygram,
+    quiet_fraction: float = 0.12,
+    min_gap_bins: int = 5,
+    smooth_bins: int = 3,
+) -> int:
+    """Fig 15: count training epochs from the temporal activity profile.
+
+    Activity is smoothed, thresholded at ``quiet_fraction`` of its peak,
+    and contiguous active segments separated by at least ``min_gap_bins``
+    quiet bins are counted as epochs.
+    """
+    activity = gram.activity_per_bin().astype(np.float64)
+    if activity.size == 0 or activity.max() <= 0:
+        return 0
+    if smooth_bins > 1:
+        kernel = np.ones(smooth_bins) / smooth_bins
+        activity = np.convolve(activity, kernel, mode="same")
+    threshold = quiet_fraction * activity.max()
+    active = activity > threshold
+    epochs = 0
+    quiet_run = min_gap_bins  # so a leading active bin opens a segment
+    for flag in active:
+        if flag:
+            if quiet_run >= min_gap_bins:
+                epochs += 1
+            quiet_run = 0
+        else:
+            quiet_run += 1
+    return epochs
+
+
+def infer_hidden_size(
+    observed_average: float, reference_rows: Sequence[Tuple[int, float]]
+) -> int:
+    """Classify an unknown victim against a calibrated Table II."""
+    if not reference_rows:
+        raise AttackError("empty reference table")
+    return min(reference_rows, key=lambda row: abs(row[1] - observed_average))[0]
+
+
+class ModelExtractionAttack:
+    """End-to-end §V-B pipeline."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        victim_gpu: int = 0,
+        spy_gpu: int = 1,
+        num_sets: int = 128,
+        bin_cycles: float = 50_000.0,
+        batches_per_epoch: int = 2,
+        max_duration_cycles: float = 60_000_000.0,
+        seed: int = 0,
+    ) -> None:
+        self.runtime = runtime
+        self.prober = MemorygramProber(runtime, victim_gpu, spy_gpu)
+        self.num_sets = num_sets
+        self.bin_cycles = bin_cycles
+        self.batches_per_epoch = batches_per_epoch
+        self.max_duration_cycles = max_duration_cycles
+        self.seed = seed
+        self._ready = False
+
+    def setup(self) -> None:
+        self.prober.setup(num_sets=self.num_sets)
+        self._ready = True
+
+    # ------------------------------------------------------------------
+    def record_training(
+        self, hidden_neurons: int, epochs: int = 1, trace_seed: int = 0
+    ) -> Memorygram:
+        if not self._ready:
+            self.setup()
+        victim = MLPTraining(
+            hidden_neurons=hidden_neurons,
+            epochs=epochs,
+            batches_per_epoch=self.batches_per_epoch,
+            seed=self.seed * 1000 + trace_seed,
+        )
+        return self.prober.record(
+            victim,
+            victim_process_name=f"victim_mlp{hidden_neurons}_{trace_seed}",
+            bin_cycles=self.bin_cycles,
+            max_duration_cycles=self.max_duration_cycles,
+        )
+
+    def profile_hidden_sizes(
+        self, hidden_sizes: Sequence[int] = (64, 128, 256, 512)
+    ) -> NeuronCountReport:
+        """The Table II experiment."""
+        report = NeuronCountReport()
+        for hidden in hidden_sizes:
+            gram = self.record_training(hidden)
+            report.add(hidden, gram.average_misses_per_set(), gram)
+        return report
+
+    def misses_per_set_histogram(
+        self, hidden_sizes: Sequence[int] = (64, 128, 256, 512), bins: int = 20
+    ) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+        """Fig 13: per-set miss histograms for each hidden width."""
+        histograms: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        for hidden in hidden_sizes:
+            gram = self.record_training(hidden)
+            histograms[hidden] = np.histogram(gram.misses_per_set(), bins=bins)
+        return histograms
+
+    def extract_epoch_count(self, hidden_neurons: int, true_epochs: int) -> int:
+        """The Fig 15 experiment: infer the epoch hyperparameter."""
+        gram = self.record_training(hidden_neurons, epochs=true_epochs)
+        return count_epochs(gram)

@@ -1,0 +1,272 @@
+"""The remote memorygram prober -- the spy side of both §V attacks.
+
+The spy sits on one GPU, allocates its probe buffer on the *victim's* GPU
+(Fig 3), derives eviction sets for a block of L2 sets, and then cycles
+Prime+Probe over all of them while the victim runs.  Each traversal yields
+a per-set miss count that lands in one time bin of the memorygram.
+
+The paper monitors 256 sets for fingerprinting and 1024 for the MLP attack
+("to balance sampling coverage and the speed of the attack"); both are a
+parameter here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...errors import AttackError
+from ...runtime.api import Runtime
+from ...sim.ops import Compute, ProbeSet, ReadClock
+from ...sim.process import Process
+from ..eviction import EvictionSet, build_eviction_sets, discover_page_coloring
+from ..timing import TimingThresholds, measure_access_classes
+from ...workloads.base import Workload
+from .memorygram import Memorygram
+
+__all__ = ["MemorygramProber", "ProbeSample"]
+
+
+@dataclass(frozen=True)
+class ProbeSample:
+    """One probe of one set: the monitored row, start time and per-line
+    latencies.  Hit/miss classification happens at assembly time against a
+    *trace-adaptive* threshold: the spy's own probe traffic inflates every
+    latency under load, so a quiet-box threshold would misread loaded hits
+    as misses (the same drift the covert-channel decoder corrects)."""
+
+    row: int
+    time: float
+    latencies: Tuple[float, ...]
+
+
+def _prober_block_kernel(
+    sets_chunk: Sequence[Tuple[int, EvictionSet]],
+    end_time: float,
+    samples: List[ProbeSample],
+    victim_done: List[object],
+    grace_cycles: float,
+    sweep_period: float,
+    phase_offset: float,
+) -> Generator:
+    """One spy thread block cycling Prime+Probe over its chunk of sets.
+
+    ``sweep_period`` paces the sampling: probing flat-out would sample each
+    set several times per memorygram bin for no extra information (the bin
+    only keeps a count), so the block idles in dummy compute between sweeps
+    -- the "balance sampling coverage and the speed of the attack" knob of
+    Section V-B.
+    """
+    # Warm-up prime: fill every monitored set with spy lines.
+    for _row, eviction_set in sets_chunk:
+        yield ProbeSet(eviction_set.buffer, eviction_set.indices, parallel=True)
+    if phase_offset > 0:
+        # Stagger the blocks' sweep phases so their probe bursts do not
+        # all hit the NVLink at the same instant.
+        yield Compute(phase_offset)
+    stop_at: Optional[float] = None
+    while True:
+        sweep_start = yield ReadClock()
+        if sweep_start >= end_time:
+            break
+        if victim_done and stop_at is None:
+            stop_at = sweep_start + grace_cycles
+        if stop_at is not None and sweep_start >= stop_at:
+            break
+        for row, eviction_set in sets_chunk:
+            start = yield ReadClock()
+            probe = yield ProbeSet(
+                eviction_set.buffer, eviction_set.indices, parallel=True
+            )
+            samples.append(
+                ProbeSample(row=row, time=start, latencies=tuple(probe.latencies))
+            )
+        now = yield ReadClock()
+        remaining = sweep_period - (now - sweep_start)
+        if remaining > 0:
+            yield Compute(remaining)
+
+
+def _victim_wrapper(kernel: Generator, done_flag: List[object]) -> Generator:
+    result = yield from kernel
+    done_flag.append(True)
+    return result
+
+
+class MemorygramProber:
+    """Spy on ``spy_gpu`` recording memorygrams of activity on ``victim_gpu``."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        victim_gpu: int = 0,
+        spy_gpu: int = 1,
+    ) -> None:
+        self.runtime = runtime
+        self.victim_gpu = victim_gpu
+        self.spy_gpu = spy_gpu
+        self.process: Optional[Process] = None
+        self.thresholds: Optional[TimingThresholds] = None
+        self.eviction_sets: List[EvictionSet] = []
+
+    # ------------------------------------------------------------------
+    def setup(
+        self,
+        num_sets: int = 256,
+        thresholds: Optional[TimingThresholds] = None,
+        buffer_pages_per_color: Optional[int] = None,
+    ) -> None:
+        """Allocate the probe buffer remotely and derive the eviction sets."""
+        runtime = self.runtime
+        spec = runtime.system.spec.gpu
+        self.process = runtime.create_process("memorygram_spy")
+        runtime.enable_peer_access(self.process, self.spy_gpu, self.victim_gpu)
+        if thresholds is None:
+            report = measure_access_classes(
+                runtime, self.process, self.spy_gpu, self.victim_gpu
+            )
+            thresholds = report.thresholds()
+        self.thresholds = thresholds
+
+        colors = max(1, spec.cache.set_stride // spec.page_size)
+        per_color = buffer_pages_per_color
+        if per_color is None:
+            per_color = 2 * spec.cache.associativity + 2
+        buf = runtime.malloc(
+            self.process,
+            self.victim_gpu,
+            colors * per_color * spec.page_size,
+            name="memorygram_probe",
+        )
+        coloring = discover_page_coloring(
+            runtime,
+            self.process,
+            self.spy_gpu,
+            buf,
+            spec.cache.associativity,
+            thresholds.remote,
+        )
+        self.eviction_sets = build_eviction_sets(
+            runtime,
+            self.process,
+            self.spy_gpu,
+            buf,
+            num_sets=num_sets,
+            associativity=spec.cache.associativity,
+            miss_threshold=thresholds.remote,
+            deduplicate=False,
+            coloring=coloring,
+            spread=True,
+        )
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        victim: Optional[Workload] = None,
+        victim_process_name: str = "victim",
+        max_duration_cycles: float = 20_000_000.0,
+        bin_cycles: float = 25_000.0,
+        sets_per_block: int = 16,
+        grace_cycles: float = 100_000.0,
+        sweep_period_bins: float = 0.6,
+        trim_quiet_tail: bool = True,
+        victim_start_delay: float = 50_000.0,
+    ) -> Memorygram:
+        """Run the victim under observation and return its memorygram.
+
+        The spy's blocks start first (priming their sets), the victim is
+        launched after ``victim_start_delay`` cycles, and probing continues
+        for ``grace_cycles`` past the victim's completion (or until
+        ``max_duration_cycles``).
+        """
+        if not self.eviction_sets:
+            raise AttackError("prober not set up: call setup() first")
+        assert self.process is not None and self.thresholds is not None
+        runtime = self.runtime
+
+        start = runtime.engine.now
+        end_time = start + max_duration_cycles
+        samples: List[ProbeSample] = []
+        victim_done: List[object] = []
+
+        chunks = [
+            list(enumerate(self.eviction_sets))[at : at + sets_per_block]
+            for at in range(0, len(self.eviction_sets), sets_per_block)
+        ]
+        sweep_period = sweep_period_bins * bin_cycles
+        for block_index, chunk in enumerate(chunks):
+            runtime.launch(
+                _prober_block_kernel(
+                    chunk,
+                    end_time,
+                    samples,
+                    victim_done,
+                    grace_cycles,
+                    sweep_period,
+                    phase_offset=block_index * sweep_period / max(1, len(chunks)),
+                ),
+                self.spy_gpu,
+                self.process,
+                name=f"memorygram_block_{block_index}",
+                start=start,
+            )
+
+        if victim is not None:
+            victim_process = runtime.create_process(victim_process_name)
+            victim.allocate(runtime, victim_process, self.victim_gpu)
+            runtime.launch(
+                _victim_wrapper(victim.kernel(), victim_done),
+                self.victim_gpu,
+                victim_process,
+                name=f"victim_{victim.name}",
+                start=start + victim_start_delay,
+            )
+        else:
+            victim_done.append(True)  # idle recording: stop after grace
+
+        runtime.synchronize()
+        return self._assemble(
+            samples, start, bin_cycles, trim_quiet_tail=trim_quiet_tail
+        )
+
+    # ------------------------------------------------------------------
+    def _assemble(
+        self,
+        samples: Sequence[ProbeSample],
+        start: float,
+        bin_cycles: float,
+        trim_quiet_tail: bool,
+    ) -> Memorygram:
+        if not samples:
+            raise AttackError("no probe samples recorded")
+        assert self.thresholds is not None
+        # Trace-adaptive hit/miss boundary: the spy's own load inflates all
+        # latencies, so the hit level is re-estimated from this trace's low
+        # percentile and the physical DRAM gap from the quiet-box
+        # calibration sits on top.  The estimate is clamped to a band above
+        # the calibrated hit mean: below it the trace is quiet (use the
+        # calibration), far above it the low percentile is itself made of
+        # misses (a victim saturating every monitored set) and must not
+        # drag the threshold past the miss cluster.
+        pooled = np.concatenate([np.asarray(s.latencies) for s in samples])
+        low = float(np.percentile(pooled, 5.0))
+        hit_mean = self.thresholds.remote_hit_mean
+        half_gap = self.thresholds.remote_half_gap
+        hit_level = min(max(low, hit_mean), hit_mean + 1.2 * half_gap)
+        threshold = hit_level + half_gap
+        last = max(sample.time for sample in samples)
+        num_bins = int((last - start) / bin_cycles) + 1
+        grid = np.zeros((len(self.eviction_sets), num_bins), dtype=np.int64)
+        for sample in samples:
+            bin_index = int((sample.time - start) / bin_cycles)
+            grid[sample.row, bin_index] += int(
+                sum(1 for lat in sample.latencies if lat > threshold)
+            )
+        if trim_quiet_tail:
+            activity = grid.sum(axis=0)
+            live = np.nonzero(activity > 0)[0]
+            if live.size:
+                grid = grid[:, : int(live[-1]) + 1]
+        return Memorygram(data=grid, bin_cycles=bin_cycles, start_time=start)

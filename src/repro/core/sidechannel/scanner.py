@@ -1,0 +1,145 @@
+"""Box-wide victim location -- the paper's proposed first-step attack.
+
+Section V-A: the fingerprinting attack "can be used to identify and reverse
+engineer the scheduling of applications on a multi-GPU system (simply by
+spying on all other GPUs in a GPU-box), and identify a target GPU that is
+running a specific victim application".
+
+A single spy can only probe its direct NVLink neighbours (peer access fails
+otherwise), so :class:`BoxScanner` first solves a small coverage problem --
+pick spy GPUs whose neighbourhoods cover every other GPU -- then sweeps the
+box: a short memorygram per GPU classifies it as idle or active, and an
+optional fingerprint model names the application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...errors import AttackError
+from ...runtime.api import Runtime
+from ...workloads.base import Workload
+from .memorygram import Memorygram
+from .prober import MemorygramProber
+
+__all__ = ["BoxScanner", "ScanReport", "plan_spy_placement"]
+
+
+def plan_spy_placement(runtime: Runtime) -> Dict[int, List[int]]:
+    """Choose spy GPUs whose NVLink neighbourhoods cover the whole box.
+
+    Greedy set cover over the topology; returns {spy_gpu: [targets...]}.
+    On the DGX-1 cube-mesh two spies (one per quad) cover all eight GPUs.
+    """
+    topology = runtime.system.topology
+    num_gpus = runtime.num_gpus
+    uncovered = set(range(num_gpus))
+    placement: Dict[int, List[int]] = {}
+    while uncovered:
+        best_gpu, best_cover = None, []
+        for gpu in range(num_gpus):
+            if gpu in placement:
+                continue
+            cover = [t for t in topology.neighbors(gpu) if t in uncovered]
+            if len(cover) > len(best_cover):
+                best_gpu, best_cover = gpu, cover
+        if best_gpu is None or not best_cover:
+            raise AttackError(
+                f"cannot cover GPUs {sorted(uncovered)}: no NVLink neighbours"
+            )
+        placement[best_gpu] = sorted(best_cover)
+        # Note: a spy cannot Prime+Probe its own GPU through this remote
+        # channel, so its own GPU stays uncovered until a *neighbour* spy
+        # takes it.
+        uncovered -= set(best_cover)
+    return placement
+
+
+@dataclass
+class ScanReport:
+    """Per-GPU activity observed across the box."""
+
+    #: gpu -> (observed total misses, memorygram)
+    observations: Dict[int, Tuple[int, Memorygram]] = field(default_factory=dict)
+    #: gpu -> True when activity exceeded the idle floor.
+    active: Dict[int, bool] = field(default_factory=dict)
+    #: gpu -> classified application name (when a classifier was provided).
+    identified: Dict[int, str] = field(default_factory=dict)
+
+    def active_gpus(self) -> List[int]:
+        return sorted(gpu for gpu, flag in self.active.items() if flag)
+
+    def summary(self) -> str:
+        lines = ["gpu  active  misses  identified"]
+        for gpu in sorted(self.observations):
+            misses, _gram = self.observations[gpu]
+            label = self.identified.get(gpu, "-")
+            lines.append(
+                f"{gpu:>3}  {str(self.active[gpu]):<6}  {misses:>6}  {label}"
+            )
+        return "\n".join(lines)
+
+
+class BoxScanner:
+    """Sweep every GPU of the box for victim activity."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        num_sets: int = 32,
+        bin_cycles: float = 25_000.0,
+        idle_miss_floor: int = 64,
+    ) -> None:
+        self.runtime = runtime
+        self.num_sets = num_sets
+        self.bin_cycles = bin_cycles
+        self.idle_miss_floor = idle_miss_floor
+        self.placement = plan_spy_placement(runtime)
+        self._probers: Dict[Tuple[int, int], MemorygramProber] = {}
+
+    def _prober_for(self, spy_gpu: int, target_gpu: int) -> MemorygramProber:
+        key = (spy_gpu, target_gpu)
+        if key not in self._probers:
+            prober = MemorygramProber(
+                self.runtime, victim_gpu=target_gpu, spy_gpu=spy_gpu
+            )
+            prober.setup(num_sets=self.num_sets)
+            self._probers[key] = prober
+        return self._probers[key]
+
+    def scan(
+        self,
+        victims: Optional[Dict[int, Workload]] = None,
+        observation_cycles: float = 1_500_000.0,
+        classifier=None,
+        feature_fn=None,
+    ) -> ScanReport:
+        """Observe every covered GPU once.
+
+        ``victims`` optionally launches workloads on chosen GPUs for the
+        duration of their observation (the scan itself works against any
+        concurrently running applications).  With ``classifier`` (and the
+        matching ``feature_fn``) active GPUs are also fingerprinted.
+        """
+        report = ScanReport()
+        victims = victims or {}
+        for spy_gpu, targets in self.placement.items():
+            for target in targets:
+                prober = self._prober_for(spy_gpu, target)
+                gram = prober.record(
+                    victim=victims.get(target),
+                    victim_process_name=f"scan_victim_gpu{target}",
+                    max_duration_cycles=observation_cycles,
+                    bin_cycles=self.bin_cycles,
+                    grace_cycles=2 * self.bin_cycles,
+                )
+                misses = gram.total_misses()
+                report.observations[target] = (misses, gram)
+                report.active[target] = misses > self.idle_miss_floor
+                if classifier is not None and report.active[target]:
+                    features = feature_fn(gram)
+                    report.identified[target] = str(
+                        classifier.predict(features.reshape(1, -1))[0]
+                    )
+        return report

@@ -1,0 +1,187 @@
+"""Section III-A: timing characterization of local and remote accesses.
+
+The microbenchmark mirrors the paper's: allocate a buffer, walk it at a
+128-byte stride with ``__ldcg`` loads (cold pass = DRAM time, warm pass =
+L2 time), record each latency in shared memory so the measurement itself
+creates no L2 traffic.  Run once with a local buffer and once with a buffer
+homed on a peer GPU reached over NVLink.
+
+The result is the four timing clusters of Fig 4 and, derived from them, the
+hit/miss *thresholds* every later attack step uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..runtime.api import Runtime
+from ..runtime.kernel import line_stride_indices
+from ..sim.ops import Access, Fence, SharedStore
+from ..sim.process import Process
+
+__all__ = [
+    "TimingThresholds",
+    "TimingReport",
+    "characterize_timing",
+    "measure_access_classes",
+]
+
+#: Access-class labels in the order they appear left-to-right in Fig 4.
+CLASSES = ("local_hit", "local_miss", "remote_hit", "remote_miss")
+
+
+@dataclass(frozen=True)
+class TimingThresholds:
+    """Decision thresholds derived from the four timing clusters.
+
+    Carries the calibrated cluster means; ``local`` / ``remote`` are the
+    midpoint thresholds (local L2 hit vs local DRAM, remote L2 hit vs
+    remote DRAM).  The spy probing a remote L2 uses ``remote``: below =
+    hit ('0'), above = miss ('1').  The cluster means also let decoders
+    re-anchor the threshold when load shifts both clusters upward (see
+    :func:`repro.core.covert.spy.adaptive_threshold`).
+    """
+
+    local_hit_mean: float
+    local_miss_mean: float
+    remote_hit_mean: float
+    remote_miss_mean: float
+
+    @property
+    def local(self) -> float:
+        return 0.5 * (self.local_hit_mean + self.local_miss_mean)
+
+    @property
+    def remote(self) -> float:
+        return 0.5 * (self.remote_hit_mean + self.remote_miss_mean)
+
+    @property
+    def remote_half_gap(self) -> float:
+        """Half the calibrated remote miss-hit separation."""
+        return 0.5 * (self.remote_miss_mean - self.remote_hit_mean)
+
+    def is_remote_miss(self, cycles: float) -> bool:
+        return cycles > self.remote
+
+    def is_local_miss(self, cycles: float) -> bool:
+        return cycles > self.local
+
+
+@dataclass
+class TimingReport:
+    """Measured latency samples per access class (the data behind Fig 4)."""
+
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+
+    def mean(self, cls: str) -> float:
+        return float(np.mean(self.samples[cls]))
+
+    def std(self, cls: str) -> float:
+        return float(np.std(self.samples[cls]))
+
+    def thresholds(self) -> TimingThresholds:
+        """Decision thresholds (cluster midpoints) from the measured means."""
+        return TimingThresholds(
+            local_hit_mean=self.mean("local_hit"),
+            local_miss_mean=self.mean("local_miss"),
+            remote_hit_mean=self.mean("remote_hit"),
+            remote_miss_mean=self.mean("remote_miss"),
+        )
+
+    def clusters_are_separated(self) -> bool:
+        """True when the four clusters are disjoint at +/-3 sigma."""
+        ordered = [self.mean(c) for c in CLASSES]
+        if ordered != sorted(ordered):
+            return False
+        for lo, hi in zip(CLASSES, CLASSES[1:]):
+            if self.mean(lo) + 3 * self.std(lo) >= self.mean(hi) - 3 * self.std(hi):
+                return False
+        return True
+
+    def histogram(self, bins: int = 60):
+        """(counts, edges) over all samples pooled -- the Fig 4 histogram."""
+        pooled = np.concatenate([np.asarray(v) for v in self.samples.values()])
+        return np.histogram(pooled, bins=bins)
+
+    def summary(self) -> str:
+        lines = ["access class      mean (cyc)   std"]
+        for cls in CLASSES:
+            lines.append(f"{cls:<16} {self.mean(cls):>10.1f} {self.std(cls):>6.1f}")
+        thr = self.thresholds()
+        lines.append(
+            f"thresholds: local hit/miss @ {thr.local:.0f} cyc, "
+            f"remote hit/miss @ {thr.remote:.0f} cyc"
+        )
+        return "\n".join(lines)
+
+
+def _timing_kernel(buffer, indices, shared_times, record_base: int):
+    """Walk ``indices`` once, recording each __ldcg latency in shared memory."""
+    for slot, index in enumerate(indices):
+        result = yield Access(buffer, index)
+        yield Fence()
+        yield SharedStore(shared_times, record_base + slot, result.latency)
+
+
+def measure_access_classes(
+    runtime: Runtime,
+    process: Process,
+    local_gpu: int,
+    remote_gpu: int,
+    num_accesses: int = 48,
+) -> TimingReport:
+    """Measure all four access classes with the paper's microbenchmark.
+
+    ``local_gpu`` hosts the measuring kernel; buffers are allocated on
+    ``local_gpu`` (local classes) and on ``remote_gpu`` (remote classes,
+    reached via peer access over NVLink).
+    """
+    runtime.enable_peer_access(process, local_gpu, remote_gpu)
+    line = runtime.system.spec.gpu.cache.line_size
+    indices = line_stride_indices(num_accesses, line)
+    shared = process.shared_buffer("timing", 4 * num_accesses)
+
+    report = TimingReport(samples={cls: [] for cls in CLASSES})
+    plan = [
+        ("local", local_gpu, 0),
+        ("remote", remote_gpu, 2 * num_accesses),
+    ]
+    for label, home, base in plan:
+        buf = runtime.malloc_lines(process, home, num_accesses, name=f"timing_{label}")
+        # Cold pass: every access misses (DRAM time).
+        runtime.run_kernel(
+            _timing_kernel(buf, indices, shared, base),
+            local_gpu,
+            process,
+            name=f"timing_cold_{label}",
+        )
+        # Warm pass: every access hits the (home) L2.
+        runtime.run_kernel(
+            _timing_kernel(buf, indices, shared, base + num_accesses),
+            local_gpu,
+            process,
+            name=f"timing_warm_{label}",
+        )
+        cold = shared.data[base : base + num_accesses]
+        warm = shared.data[base + num_accesses : base + 2 * num_accesses]
+        report.samples[f"{label}_miss"] = [float(x) for x in cold]
+        report.samples[f"{label}_hit"] = [float(x) for x in warm]
+        runtime.free(buf)
+    return report
+
+
+def characterize_timing(
+    runtime: Runtime,
+    local_gpu: int = 0,
+    remote_gpu: int = 1,
+    num_accesses: int = 48,
+    process_name: str = "characterize",
+) -> TimingReport:
+    """One-call version of the Fig 4 experiment on a fresh process."""
+    process = runtime.create_process(process_name)
+    return measure_access_classes(
+        runtime, process, local_gpu, remote_gpu, num_accesses=num_accesses
+    )

@@ -1,0 +1,13 @@
+"""Section VII: candidate defenses against the cross-GPU attacks."""
+
+from .detection import ContentionDetector, DetectionReport
+from .monitor import ReactiveDefense
+from .partitioning import PartitionedL2Cache, enable_mig_partitioning
+
+__all__ = [
+    "PartitionedL2Cache",
+    "enable_mig_partitioning",
+    "ContentionDetector",
+    "DetectionReport",
+    "ReactiveDefense",
+]

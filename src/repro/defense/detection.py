@@ -1,0 +1,98 @@
+"""Section VII: contention/attack detection from hardware counters.
+
+"The detection of cross-GPU covert or side channel attacks is possible by
+monitoring the traffic over NVLinks and access patterns on L2 and memory
+(accessible through hardware performance counters)."
+
+:class:`ContentionDetector` samples a GPU's counters over a window and
+flags the signature of a cross-GPU Prime+Probe attack: a sustained, high
+rate of *remote* requests into this GPU combined with an elevated L2 miss
+rate on a working set that never grows (the attacker re-walks the same
+eviction sets forever).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..hw.system import MultiGPUSystem
+
+__all__ = ["ContentionDetector", "DetectionReport"]
+
+
+@dataclass
+class DetectionReport:
+    """Verdict plus the evidence behind it."""
+
+    flagged: bool
+    remote_request_rate: float  # remote requests per kilocycle
+    l2_miss_rate: float
+    nvlink_bytes_per_kcycle: float
+    window_cycles: float
+    reasons: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        verdict = "ATTACK SUSPECTED" if self.flagged else "normal"
+        lines = [
+            f"verdict: {verdict}",
+            f"  remote requests / kcycle : {self.remote_request_rate:8.2f}",
+            f"  L2 miss rate             : {self.l2_miss_rate * 100:8.2f}%",
+            f"  NVLink bytes / kcycle    : {self.nvlink_bytes_per_kcycle:8.1f}",
+        ]
+        lines.extend(f"  - {reason}" for reason in self.reasons)
+        return "\n".join(lines)
+
+
+class ContentionDetector:
+    """Counter-based detector watching one GPU of the box."""
+
+    def __init__(
+        self,
+        system: MultiGPUSystem,
+        gpu_id: int,
+        remote_rate_threshold: float = 3.0,
+        miss_rate_threshold: float = 0.35,
+    ) -> None:
+        self.system = system
+        self.gpu_id = gpu_id
+        self.remote_rate_threshold = remote_rate_threshold
+        self.miss_rate_threshold = miss_rate_threshold
+        self._snapshot: Dict[str, int] = {}
+        self._window_start: float = 0.0
+
+    def open_window(self, now: float) -> None:
+        """Snapshot counters at the start of an observation window."""
+        self._snapshot = self.system.gpus[self.gpu_id].counters.snapshot()
+        self._window_start = now
+
+    def close_window(self, now: float) -> DetectionReport:
+        """Evaluate the window ending at ``now``."""
+        delta = self.system.gpus[self.gpu_id].counters.delta_from(self._snapshot)
+        window = max(1.0, now - self._window_start)
+        kcycles = window / 1000.0
+
+        remote_rate = delta["remote_requests_in"] / kcycles
+        accesses = delta["l2_hits"] + delta["l2_misses"]
+        miss_rate = delta["l2_misses"] / accesses if accesses else 0.0
+        nvlink_rate = delta["nvlink_bytes_out"] / kcycles
+
+        reasons: List[str] = []
+        if remote_rate > self.remote_rate_threshold:
+            reasons.append(
+                f"remote request rate {remote_rate:.1f}/kcycle exceeds "
+                f"{self.remote_rate_threshold}"
+            )
+        if miss_rate > self.miss_rate_threshold and remote_rate > 1.0:
+            reasons.append(
+                f"L2 miss rate {miss_rate * 100:.0f}% with sustained remote "
+                f"traffic (Prime+Probe ping-pong signature)"
+            )
+        return DetectionReport(
+            flagged=bool(reasons),
+            remote_request_rate=remote_rate,
+            l2_miss_rate=miss_rate,
+            nvlink_bytes_per_kcycle=nvlink_rate,
+            window_cycles=window,
+            reasons=reasons,
+        )

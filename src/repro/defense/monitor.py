@@ -1,0 +1,92 @@
+"""Reactive defense: detect contention, then partition (Section VII).
+
+"To minimize the performance overhead[,] partitioning-based defense
+mechanisms [can] be triggered when contention is detected on a shared
+resource (similar to the proposed framework in [36])."
+
+:class:`ReactiveDefense` is that framework: a monitor samples the guarded
+GPU's hardware counters in fixed windows; the first window whose signature
+matches a cross-GPU Prime+Probe attack triggers MIG-style way-partitioning
+on the guarded L2, severing the contention channel mid-transmission.  The
+defense records its detection latency so the overhead/coverage trade-off
+is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from ..errors import ReproError
+from ..runtime.api import Runtime
+from ..sim.ops import ReadClock, Sleep
+from .detection import ContentionDetector, DetectionReport
+from .partitioning import enable_mig_partitioning
+
+__all__ = ["ReactiveDefense"]
+
+
+@dataclass
+class ReactiveDefense:
+    """Windowed counter monitor that partitions the L2 upon detection."""
+
+    runtime: Runtime
+    gpu_id: int
+    window_cycles: float = 150_000.0
+    max_windows: int = 400
+    num_slices: int = 2
+    detector: Optional[ContentionDetector] = None
+    #: Simulation time at which partitioning was triggered (None = never).
+    triggered_at: Optional[float] = None
+    reports: List[DetectionReport] = field(default_factory=list)
+    _armed: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.detector is None:
+            self.detector = ContentionDetector(self.runtime.system, self.gpu_id)
+
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        """Launch the monitor; it samples until detection or max_windows.
+
+        The monitor is host-side software reading hardware counters, so its
+        stream occupies no SM resources on the guarded GPU.
+        """
+        if self._armed:
+            raise ReproError("reactive defense already armed")
+        self._armed = True
+        process = self.runtime.create_process("defense_monitor")
+        self.runtime.launch(
+            self._monitor_kernel(),
+            self.gpu_id,
+            process,
+            name="reactive_defense",
+        )
+
+    def _monitor_kernel(self) -> Generator:
+        assert self.detector is not None
+        now = yield ReadClock()
+        self.detector.open_window(now)
+        for _window in range(self.max_windows):
+            yield Sleep(self.window_cycles)
+            now = yield ReadClock()
+            report = self.detector.close_window(now)
+            self.reports.append(report)
+            if report.flagged:
+                enable_mig_partitioning(
+                    self.runtime.system, self.gpu_id, num_slices=self.num_slices
+                )
+                self.triggered_at = now
+                return
+            self.detector.open_window(now)
+
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self.triggered_at is not None
+
+    def detection_latency(self, attack_start: float) -> Optional[float]:
+        """Cycles from attack start to partitioning (None if never)."""
+        if self.triggered_at is None:
+            return None
+        return self.triggered_at - attack_start

@@ -1,0 +1,117 @@
+"""MIG-style static L2 partitioning (Section VII).
+
+"A single GPU can be securely partitioned into separate GPU instances for
+multiple users with ... L2 cache banks ... assigned uniquely to an
+individual instance."  The partitioned cache gives each owner (process) a
+private slice of every set's ways, so one process can never evict
+another's lines -- which removes the contention signal the attacks need.
+
+The paper notes MIG "requires privileged access and is not available in
+Pascal and Volta based DGX machines"; here it is a configuration switch so
+the ablation bench can show the attack dying under it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import CacheSpec
+from ..errors import ConfigurationError
+from ..hw.cache import L2Cache
+from ..hw.replacement import CacheSet, make_set
+from ..hw.system import MultiGPUSystem
+
+__all__ = ["PartitionedL2Cache", "enable_mig_partitioning"]
+
+
+class PartitionedL2Cache(L2Cache):
+    """Way-partitioned L2: each owner gets ``associativity / slices`` ways.
+
+    Owners are mapped to slices round-robin on first use.  Lines of
+    different owners live in disjoint way-groups of the same physical set,
+    so cross-owner eviction is impossible while set indexing (and hence
+    intra-owner behaviour) is unchanged.
+    """
+
+    def __init__(
+        self, spec: CacheSpec, rng: np.random.Generator, num_slices: int = 2
+    ) -> None:
+        if num_slices < 1:
+            raise ConfigurationError("num_slices must be >= 1")
+        if spec.associativity % num_slices:
+            raise ConfigurationError(
+                f"associativity {spec.associativity} not divisible into "
+                f"{num_slices} slices"
+            )
+        super().__init__(spec, rng)
+        self.num_slices = num_slices
+        self._ways_per_slice = spec.associativity // num_slices
+        self._owner_slice: Dict[Optional[int], int] = {}
+        self._rng = rng
+        # _sets becomes a matrix: [slice][set_index]
+        self._sliced_sets: List[List[CacheSet]] = [
+            [
+                make_set(spec.replacement, self._ways_per_slice, rng)
+                for _ in range(spec.num_sets)
+            ]
+            for _ in range(num_slices)
+        ]
+
+    def slice_of(self, owner: Optional[int]) -> int:
+        if owner not in self._owner_slice:
+            self._owner_slice[owner] = len(self._owner_slice) % self.num_slices
+        return self._owner_slice[owner]
+
+    def assign_owner(self, owner: int, slice_index: int) -> None:
+        if not 0 <= slice_index < self.num_slices:
+            raise ConfigurationError(f"no slice {slice_index}")
+        self._owner_slice[owner] = slice_index
+
+    def _set_for(self, set_index: int, owner: Optional[int]) -> CacheSet:
+        return self._sliced_sets[self.slice_of(owner)][set_index]
+
+    def probe_line(self, paddr: int, owner: Optional[int] = None) -> bool:
+        set_index = self.addr.set_index(paddr)
+        return self._set_for(set_index, owner).contains(self.addr.tag(paddr))
+
+    def invalidate_line(self, paddr: int) -> bool:
+        set_index = self.addr.set_index(paddr)
+        tag = self.addr.tag(paddr)
+        dropped = False
+        for slice_sets in self._sliced_sets:
+            dropped = slice_sets[set_index].invalidate(tag) or dropped
+        return dropped
+
+    def set_occupancy(self, set_index: int) -> int:
+        return sum(
+            len(slice_sets[set_index].resident_tags())
+            for slice_sets in self._sliced_sets
+        )
+
+    def invalidate_all(self) -> None:
+        for slice_sets in self._sliced_sets:
+            for index in range(self.spec.num_sets):
+                slice_sets[index] = make_set(
+                    self.spec.replacement, self._ways_per_slice, self._rng
+                )
+        self._bank_busy = [0.0] * self.spec.num_banks
+
+
+def enable_mig_partitioning(
+    system: MultiGPUSystem, gpu_id: int, num_slices: int = 2
+) -> PartitionedL2Cache:
+    """Swap one GPU's L2 for a way-partitioned variant (privileged op).
+
+    Returns the new cache so the caller can pin owners to slices.  Existing
+    cache contents are dropped, as a real repartitioning would.
+    """
+    gpu = system.gpus[gpu_id]
+    partitioned = PartitionedL2Cache(
+        gpu.spec.cache,
+        system.rng.generator(f"gpu{gpu_id}/replacement_mig"),
+        num_slices=num_slices,
+    )
+    gpu.l2 = partitioned
+    return partitioned

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the GPU-box simulator and attack library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "ConfigurationError",
+    "AllocationError",
+    "TranslationError",
+    "PeerAccessError",
+    "LaunchError",
+    "AttackError",
+    "EvictionSetError",
+    "AlignmentError",
+    "ChannelError",
+    "AnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class ConfigurationError(ReproError):
+    """A spec dataclass was constructed with invalid parameters."""
+
+
+class AllocationError(ReproError):
+    """Device memory allocation failed (out of frames, bad size, ...)."""
+
+
+class TranslationError(ReproError):
+    """A virtual address does not map to any allocation of the process."""
+
+
+class PeerAccessError(ReproError):
+    """Peer access requested between GPUs that share no NVLink.
+
+    Mirrors the CUDA runtime error the paper observes: "NVidia runtime API
+    throws error if the GPUs are not connected via NVLink".
+    """
+
+
+class LaunchError(ReproError):
+    """A kernel launch violated the execution model (occupancy, device, ...)."""
+
+
+class AttackError(ReproError):
+    """Base class for failures inside the attack pipeline."""
+
+
+class EvictionSetError(AttackError):
+    """Eviction-set discovery or validation failed."""
+
+
+class AlignmentError(AttackError):
+    """Cross-process eviction-set alignment failed to find a mapping."""
+
+
+class ChannelError(AttackError):
+    """The covert channel failed (no preamble found, framing error, ...)."""
+
+
+class AnalysisError(ReproError):
+    """Memorygram analysis or classification failed."""

@@ -1,0 +1,30 @@
+"""One experiment module per table/figure of the paper's evaluation.
+
+Every module exposes ``run(...) -> ExperimentResult`` (or a specialised
+result with a ``summary()``), shared by the benchmark suite, the examples,
+and the ``gpu-spy`` CLI.  The mapping to the paper:
+
+==============================  ==========================================
+module                          reproduces
+==============================  ==========================================
+``fig04_timing``                Fig 4 -- local/remote hit/miss clusters
+``table1_cache``                Table I -- reverse-engineered L2 geometry
+``fig05_eviction``              Fig 5 -- eviction-set validation
+``fig06_aliasing``              Fig 6 -- aliased-set self-eviction
+``fig07_alignment``             Fig 7 / Alg 2 -- cross-process alignment
+``fig09_bandwidth``             Fig 9 -- bandwidth & error vs #sets
+``fig10_message``               Fig 10 -- covert text message waveform
+``fig11_memorygrams``           Fig 11 -- memorygrams of six HPC apps
+``fig12_fingerprint``           Fig 12 -- fingerprint confusion matrix
+``table2_neurons``              Table II + Fig 13 -- misses vs MLP width
+``fig14_mlp_memorygram``        Fig 14 -- MLP memorygrams (128 vs 512)
+``fig15_epochs``                Fig 15 -- epoch counting
+``ablation_replacement``        (extra) policy ablation for §III-B
+``ablation_noise``              §VI -- noise and occupancy blocking
+``ablation_defense``            §VII -- partitioning and detection
+==============================  ==========================================
+"""
+
+from .common import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

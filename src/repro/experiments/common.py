@@ -1,0 +1,65 @@
+"""Shared experiment plumbing: result container and table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["ExperimentResult", "format_table", "default_runtime"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width text table (the repo's stand-in for the paper's plots)."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(f"{h:<{widths[i]}}" for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(f"{cell:>{widths[i]}}" for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result wrapper: id, measured rows, paper reference."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    #: The corresponding numbers/claims from the paper, for EXPERIMENTS.md.
+    paper_reference: str = ""
+    notes: str = ""
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, *values: Any) -> None:
+        self.rows.append(list(values))
+
+    def summary(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(format_table(self.headers, self.rows))
+        if self.paper_reference:
+            parts.append(f"paper: {self.paper_reference}")
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+
+def default_runtime(seed: int = 0, small: bool = False):
+    """Build a runtime for an experiment (full DGX-1 unless ``small``)."""
+    from ..config import DGXSpec
+    from ..runtime.api import Runtime
+
+    spec = DGXSpec.small() if small else DGXSpec.dgx1()
+    return Runtime(spec, seed=seed)

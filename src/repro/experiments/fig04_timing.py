@@ -1,0 +1,55 @@
+"""Fig 4: local and remote GPU access time clusters."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.timing import CLASSES, characterize_timing
+from ..runtime.api import Runtime
+from .common import ExperimentResult, default_runtime
+
+__all__ = ["run"]
+
+#: Approximate cluster centers read off the paper's Fig 4 / Fig 10 text:
+#: "varying from just over 250 cycles to over 850", '0' at 630, '1' at 950.
+PAPER_MEANS = {
+    "local_hit": 265.0,
+    "local_miss": 470.0,
+    "remote_hit": 630.0,
+    "remote_miss": 950.0,
+}
+
+
+def run(
+    runtime: Optional[Runtime] = None,
+    seed: int = 0,
+    local_gpu: int = 0,
+    remote_gpu: int = 1,
+    num_accesses: int = 48,
+) -> ExperimentResult:
+    """Reproduce the four timing clusters with the §III-A microbenchmark."""
+    if runtime is None:
+        runtime = default_runtime(seed)
+    report = characterize_timing(
+        runtime, local_gpu, remote_gpu, num_accesses=num_accesses
+    )
+    result = ExperimentResult(
+        experiment_id="fig4",
+        title="Local and remote GPU access time",
+        headers=["access class", "measured mean (cyc)", "std", "paper (cyc)"],
+        paper_reference=(
+            "four clusters from just over 250 to over 850 cycles; remote hit "
+            "~630 and remote miss ~950 per Fig 10"
+        ),
+    )
+    for cls in CLASSES:
+        result.add_row(cls, report.mean(cls), report.std(cls), PAPER_MEANS[cls])
+    thresholds = report.thresholds()
+    result.extras["report"] = report
+    result.extras["thresholds"] = thresholds
+    result.extras["histogram"] = report.histogram()
+    result.notes = (
+        f"clusters separated at 3 sigma: {report.clusters_are_separated()}; "
+        f"thresholds local={thresholds.local:.0f} remote={thresholds.remote:.0f}"
+    )
+    return result

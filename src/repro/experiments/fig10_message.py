@@ -1,0 +1,49 @@
+"""Fig 10: the covert text message waveform seen by the spy."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.covert.channel import CovertChannel
+from ..runtime.api import Runtime
+from .common import ExperimentResult, default_runtime
+
+__all__ = ["run", "MESSAGE"]
+
+#: The first line of the paper's long covert message.
+MESSAGE = "Hello! How are you?"
+
+
+def run(
+    runtime: Optional[Runtime] = None,
+    seed: int = 0,
+    num_sets: int = 4,
+    slot_cycles: float = 3000.0,
+    message: str = MESSAGE,
+) -> ExperimentResult:
+    if runtime is None:
+        runtime = default_runtime(seed)
+    channel = CovertChannel(runtime)
+    channel.setup(num_sets)
+    outcome = channel.send_text(message, slot_cycles=slot_cycles)
+
+    trace = outcome.traces[0]
+    lows = [lat for lat in trace.latencies if lat <= channel.thresholds.remote]
+    highs = [lat for lat in trace.latencies if lat > channel.thresholds.remote]
+    level0 = sum(lows) / len(lows) if lows else 0.0
+    level1 = sum(highs) / len(highs) if highs else 0.0
+
+    result = ExperimentResult(
+        experiment_id="fig10",
+        title="Cross GPU covert message received by spy",
+        headers=["quantity", "measured", "paper"],
+        paper_reference="'0' observed at ~630 cycles, '1' at ~950 cycles",
+    )
+    result.add_row("message sent", repr(message), repr(message))
+    result.add_row("message received", repr(outcome.received_text()), repr(message))
+    result.add_row("'0' level (cycles)", f"{level0:.0f}", "630")
+    result.add_row("'1' level (cycles)", f"{level1:.0f}", "950")
+    result.add_row("bit error rate", f"{outcome.error_rate * 100:.2f}%", "~1.3%")
+    result.extras["transmission"] = outcome
+    result.extras["waveform"] = list(zip(trace.times, trace.latencies))
+    return result

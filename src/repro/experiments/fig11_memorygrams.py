@@ -1,0 +1,57 @@
+"""Fig 11: memorygrams of the six victim applications."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core.sidechannel.memorygram import Memorygram
+from ..core.sidechannel.prober import MemorygramProber
+from ..runtime.api import Runtime
+from ..workloads.registry import make_workload, workload_names
+from .common import ExperimentResult, default_runtime
+
+__all__ = ["run"]
+
+
+def run(
+    runtime: Optional[Runtime] = None,
+    seed: int = 0,
+    apps: Optional[Sequence[str]] = None,
+    num_sets: int = 128,
+    workload_scale: float = 0.25,
+    render: bool = False,
+) -> ExperimentResult:
+    if runtime is None:
+        runtime = default_runtime(seed)
+    apps = list(apps) if apps is not None else workload_names()
+    prober = MemorygramProber(runtime)
+    prober.setup(num_sets=num_sets)
+
+    grams: Dict[str, Memorygram] = {}
+    result = ExperimentResult(
+        experiment_id="fig11",
+        title="Memorygram of victim applications",
+        headers=["app", "bins", "total misses", "active sets (%)", "duty cycle (%)"],
+        paper_reference=(
+            "each victim application leaves a unique memory footprint over "
+            "the monitored cache sets"
+        ),
+    )
+    for app in apps:
+        gram = prober.record(make_workload(app, scale=workload_scale, seed=seed))
+        grams[app] = gram
+        per_set = gram.misses_per_set()
+        per_bin = gram.activity_per_bin()
+        active = float((per_set > 0).mean()) * 100.0
+        duty = (
+            float((per_bin > 0.1 * per_bin.max()).mean()) * 100.0
+            if per_bin.max() > 0
+            else 0.0
+        )
+        result.add_row(app, gram.num_bins, gram.total_misses(), active, duty)
+
+    result.extras["memorygrams"] = grams
+    if render:
+        panels = [f"--- {app} ---\n{gram.to_ascii()}" for app, gram in grams.items()]
+        result.notes = "\n".join(panels)
+    return result

@@ -1,0 +1,52 @@
+"""Fig 14: memorygrams of MLP training at 128 vs 512 hidden neurons."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.sidechannel.model_extraction import ModelExtractionAttack
+from ..runtime.api import Runtime
+from .common import ExperimentResult, default_runtime
+
+__all__ = ["run"]
+
+
+def run(
+    runtime: Optional[Runtime] = None,
+    seed: int = 0,
+    hidden_sizes: Sequence[int] = (128, 512),
+    num_sets: Optional[int] = None,
+    render: bool = False,
+) -> ExperimentResult:
+    if runtime is None:
+        runtime = default_runtime(seed)
+    if num_sets is None:
+        num_sets = min(256, runtime.system.spec.gpu.cache.num_sets // 2)
+    attack = ModelExtractionAttack(runtime, num_sets=num_sets, seed=seed)
+
+    result = ExperimentResult(
+        experiment_id="fig14",
+        title="Memorygram of the MLP application",
+        headers=["hidden neurons", "bins", "total misses", "misses per bin"],
+        paper_reference=(
+            "the intensity of misses increases as the size of the hidden "
+            "layer increases (128 vs 512 panels)"
+        ),
+    )
+    grams = {}
+    for hidden in hidden_sizes:
+        gram = attack.record_training(hidden)
+        grams[hidden] = gram
+        per_bin = gram.total_misses() / max(1, gram.num_bins)
+        result.add_row(hidden, gram.num_bins, gram.total_misses(), per_bin)
+    result.extras["memorygrams"] = grams
+    intensities = [row[3] for row in result.rows]
+    result.notes = (
+        f"intensity grows with width: {intensities == sorted(intensities)}"
+    )
+    if render:
+        panels = [
+            f"--- {h} neurons ---\n{gram.to_ascii()}" for h, gram in grams.items()
+        ]
+        result.notes += "\n" + "\n".join(panels)
+    return result

@@ -1,0 +1,46 @@
+"""Fig 15: the epoch hyperparameter is visible in the memorygram."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.sidechannel.model_extraction import ModelExtractionAttack, count_epochs
+from ..runtime.api import Runtime
+from .common import ExperimentResult, default_runtime
+
+__all__ = ["run"]
+
+
+def run(
+    runtime: Optional[Runtime] = None,
+    seed: int = 0,
+    epoch_counts: Sequence[int] = (1, 2, 3),
+    hidden_neurons: int = 128,
+    num_sets: Optional[int] = None,
+) -> ExperimentResult:
+    if runtime is None:
+        runtime = default_runtime(seed)
+    if num_sets is None:
+        num_sets = min(256, runtime.system.spec.gpu.cache.num_sets // 2)
+    attack = ModelExtractionAttack(runtime, num_sets=num_sets, seed=seed)
+
+    result = ExperimentResult(
+        experiment_id="fig15",
+        title="Epoch count inference from the memorygram",
+        headers=["true epochs", "inferred epochs", "correct"],
+        paper_reference=(
+            "the model was configured to run two epochs ... the number of "
+            "epochs is a hyperparameter which we are able to infer"
+        ),
+    )
+    correct = 0
+    grams = {}
+    for true_epochs in epoch_counts:
+        gram = attack.record_training(hidden_neurons, epochs=true_epochs)
+        grams[true_epochs] = gram
+        inferred = count_epochs(gram)
+        result.add_row(true_epochs, inferred, inferred == true_epochs)
+        correct += inferred == true_epochs
+    result.extras["memorygrams"] = grams
+    result.notes = f"{correct}/{len(list(epoch_counts))} epoch counts recovered"
+    return result

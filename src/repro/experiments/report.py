@@ -1,0 +1,166 @@
+"""Run the whole evaluation and render an EXPERIMENTS-style report.
+
+``generate_report`` executes every paper experiment (optionally on the
+scaled-down box) and returns the rendered text; ``gpu-spy report`` prints
+it and can persist each result as JSON next to the report.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .common import ExperimentResult, default_runtime
+
+__all__ = ["generate_report", "EXPERIMENTS", "run_experiment"]
+
+
+def _with_runtime(module_runner, **fixed):
+    def runner(seed: int, small: bool):
+        return module_runner(runtime=default_runtime(seed, small=small), **fixed)
+
+    return runner
+
+
+def _registry() -> Dict[str, Callable[[int, bool], ExperimentResult]]:
+    from . import (
+        ablation_defense,
+        ablation_noise,
+        fig04_timing,
+        fig05_eviction,
+        fig06_aliasing,
+        fig07_alignment,
+        fig09_bandwidth,
+        fig10_message,
+        fig11_memorygrams,
+        fig12_fingerprint,
+        fig14_mlp_memorygram,
+        fig15_epochs,
+        table1_cache,
+        table2_neurons,
+    )
+
+    def fig9(seed: int, small: bool):
+        def factory(run_seed):
+            return default_runtime(run_seed, small=small)
+
+        return fig09_bandwidth.run(
+            runtime_factory=factory,
+            seed=seed,
+            set_counts=(1, 2, 4, 8),
+            payload_bits=256,
+        )
+
+    def fig12(seed: int, small: bool):
+        kwargs = dict(seed=seed, traces_per_app=4)
+        if small:
+            kwargs.update(num_sets=16, workload_scale=0.03)
+        return fig12_fingerprint.run(
+            runtime=default_runtime(seed, small=small), **kwargs
+        )
+
+    def table2(seed: int, small: bool):
+        hidden = (16, 64) if small else (64, 128, 256, 512)
+        kwargs = dict(seed=seed, hidden_sizes=hidden)
+        if small:
+            kwargs.update(num_sets=16)
+        return table2_neurons.run(
+            runtime=default_runtime(seed, small=small), **kwargs
+        )
+
+    def fig14(seed: int, small: bool):
+        hidden = (16, 64) if small else (128, 512)
+        kwargs = dict(seed=seed, hidden_sizes=hidden)
+        if small:
+            kwargs.update(num_sets=16)
+        return fig14_mlp_memorygram.run(
+            runtime=default_runtime(seed, small=small), **kwargs
+        )
+
+    def fig15(seed: int, small: bool):
+        kwargs = dict(seed=seed, epoch_counts=(1, 2))
+        if small:
+            kwargs.update(num_sets=16, hidden_neurons=16)
+        return fig15_epochs.run(
+            runtime=default_runtime(seed, small=small), **kwargs
+        )
+
+    def fig11(seed: int, small: bool):
+        kwargs = dict(seed=seed)
+        if small:
+            kwargs.update(num_sets=16, workload_scale=0.03)
+        return fig11_memorygrams.run(
+            runtime=default_runtime(seed, small=small), **kwargs
+        )
+
+    return {
+        "fig4": _with_runtime(fig04_timing.run),
+        "table1": _with_runtime(table1_cache.run),
+        "fig5": _with_runtime(fig05_eviction.run),
+        "fig6": _with_runtime(fig06_aliasing.run),
+        "fig7": _with_runtime(fig07_alignment.run),
+        "fig9": fig9,
+        "fig10": lambda seed, small: fig10_message.run(
+            runtime=default_runtime(seed, small=small),
+            num_sets=2 if small else 4,
+        ),
+        "fig11": fig11,
+        "fig12": fig12,
+        "table2": table2,
+        "fig14": fig14,
+        "fig15": fig15,
+        "sec6-noise": lambda seed, small: ablation_noise.run(
+            seed=seed, num_sets=1 if small else 2, payload_bits=64 if small else 256,
+            small=small,
+        ),
+        "sec7-defense": lambda seed, small: ablation_defense.run(
+            seed=seed, num_sets=1 if small else 2, payload_bits=64 if small else 256,
+            small=small,
+        ),
+    }
+
+
+EXPERIMENTS: Tuple[str, ...] = tuple(_registry().keys())
+
+
+def run_experiment(name: str, seed: int = 0, small: bool = False) -> ExperimentResult:
+    """Run a single named experiment."""
+    registry = _registry()
+    if name not in registry:
+        raise KeyError(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
+    return registry[name](seed, small)
+
+
+def generate_report(
+    seed: int = 0,
+    small: bool = False,
+    only: Optional[List[str]] = None,
+    json_dir: Optional[Path] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> str:
+    """Run (a subset of) the evaluation and render one text report."""
+    registry = _registry()
+    names = only if only else list(registry)
+    sections: List[str] = [
+        "SPY IN THE GPU-BOX -- full evaluation report",
+        f"(seed {seed}, {'scaled-down box' if small else 'full DGX-1'})",
+        "",
+    ]
+    for name in names:
+        if name not in registry:
+            raise KeyError(f"unknown experiment {name!r}")
+        started = time.time()
+        if progress:
+            progress(f"running {name} ...")
+        result = registry[name](seed, small)
+        elapsed = time.time() - started
+        sections.append(result.summary())
+        sections.append(f"[{name} completed in {elapsed:.1f}s]")
+        sections.append("")
+        if json_dir is not None:
+            from ..analysis.persistence import save_result
+
+            json_dir.mkdir(parents=True, exist_ok=True)
+            save_result(json_dir / f"{name}.json", result)
+    return "\n".join(sections)

@@ -1,0 +1,142 @@
+"""High-level facade: one object wrapping the box, runtime and attacks.
+
+:class:`GpuBox` is the quickstart entry point; everything it does can also
+be driven through the lower-level APIs (:class:`repro.runtime.Runtime`,
+:mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .config import DGXSpec
+from .core.covert.channel import ChannelReport, CovertChannel, TransmissionResult
+from .core.reverse_engineering import CacheArchitectureReport, reverse_engineer_cache
+from .core.timing import TimingReport, characterize_timing
+from .runtime.api import Runtime
+
+__all__ = ["GpuBox"]
+
+
+class GpuBox:
+    """A simulated DGX-1 plus convenience wrappers for the paper's attacks.
+
+    >>> box = GpuBox(seed=7)
+    >>> timing = box.characterize_timing()
+    >>> timing.clusters_are_separated()
+    True
+    """
+
+    def __init__(
+        self,
+        spec: Optional[DGXSpec] = None,
+        seed: int = 0,
+    ) -> None:
+        self.spec = spec if spec is not None else DGXSpec.dgx1()
+        self.runtime = Runtime(self.spec, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Section III
+    # ------------------------------------------------------------------
+    def characterize_timing(
+        self, local_gpu: int = 0, remote_gpu: int = 1
+    ) -> TimingReport:
+        """Fig 4: the four access-latency clusters."""
+        return characterize_timing(self.runtime, local_gpu, remote_gpu)
+
+    def reverse_engineer(
+        self, local_gpu: int = 0, remote_gpu: int = 1
+    ) -> CacheArchitectureReport:
+        """Table I: recover the L2 architecture from user space."""
+        return reverse_engineer_cache(self.runtime, local_gpu, remote_gpu)
+
+    # ------------------------------------------------------------------
+    # Section IV
+    # ------------------------------------------------------------------
+    def open_covert_channel(
+        self,
+        num_sets: int = 4,
+        trojan_gpu: int = 0,
+        spy_gpu: int = 1,
+    ) -> CovertChannel:
+        """Set up a ready-to-transmit cross-GPU covert channel."""
+        channel = CovertChannel(self.runtime, trojan_gpu=trojan_gpu, spy_gpu=spy_gpu)
+        channel.setup(num_sets)
+        return channel
+
+    def covert_send_text(
+        self,
+        text: str,
+        num_sets: int = 4,
+        slot_cycles: float = 3000.0,
+    ) -> TransmissionResult:
+        """One-shot: set up a channel and send ``text`` (the Fig 10 demo)."""
+        channel = self.open_covert_channel(num_sets)
+        return channel.send_text(text, slot_cycles=slot_cycles)
+
+    # ------------------------------------------------------------------
+    # Section V
+    # ------------------------------------------------------------------
+    def fingerprint_applications(
+        self,
+        traces_per_app: int = 8,
+        apps: Optional[Sequence[str]] = None,
+        num_sets: int = 128,
+        victim_gpu: int = 0,
+        spy_gpu: int = 1,
+    ):
+        """Fig 12: the full application-fingerprinting attack."""
+        from .core.sidechannel.fingerprint import FingerprintAttack
+
+        attack = FingerprintAttack(
+            self.runtime,
+            victim_gpu=victim_gpu,
+            spy_gpu=spy_gpu,
+            num_sets=num_sets,
+        )
+        return attack.run(apps=apps, traces_per_app=traces_per_app)
+
+    def extract_mlp_width(
+        self,
+        hidden_sizes: Sequence[int] = (64, 128, 256, 512),
+        victim_gpu: int = 0,
+        spy_gpu: int = 1,
+        num_sets: Optional[int] = None,
+    ):
+        """Table II: profile the misses-vs-width table."""
+        from .core.sidechannel.model_extraction import ModelExtractionAttack
+
+        if num_sets is None:
+            # Monitor at most a quarter of the cache (the paper monitors
+            # 1024 of 2048 sets; scaled-down boxes get a scaled share).
+            num_sets = min(128, self.spec.gpu.cache.num_sets // 4)
+        attack = ModelExtractionAttack(
+            self.runtime, victim_gpu=victim_gpu, spy_gpu=spy_gpu, num_sets=num_sets
+        )
+        return attack.profile_hidden_sizes(hidden_sizes)
+
+    def scan_box(self, victims=None, num_sets: int = 32):
+        """§V-A extension: sweep every GPU of the box for victim activity."""
+        from .core.sidechannel.scanner import BoxScanner
+
+        scanner = BoxScanner(self.runtime, num_sets=num_sets)
+        return scanner.scan(victims=victims)
+
+    def covert_bandwidth_sweep(
+        self,
+        set_counts: Sequence[int] = (1, 2, 4, 6, 8),
+        payload_bits: int = 512,
+        slot_cycles: float = 3000.0,
+        seed_bits: int = 0xA5,
+    ) -> ChannelReport:
+        """Fig 9: bandwidth and error rate versus number of parallel sets."""
+        import numpy as np
+
+        report = ChannelReport()
+        rng = np.random.default_rng(seed_bits)
+        bits: List[int] = [int(b) for b in rng.integers(0, 2, payload_bits)]
+        for num_sets in set_counts:
+            channel = self.open_covert_channel(num_sets)
+            result = channel.transmit(bits, slot_cycles=slot_cycles, strict=False)
+            report.add(num_sets, result.bandwidth_bytes_per_s, result.error_rate)
+        return report

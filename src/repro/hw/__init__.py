@@ -1,0 +1,27 @@
+"""Hardware models: caches, memories, interconnect, GPUs, the DGX box."""
+
+from .address import AddressMap
+from .cache import L2Cache
+from .counters import GpuCounters
+from .gpu import GPU
+from .interconnect import Interconnect
+from .memory import PhysicalMemory
+from .replacement import make_set
+from .sm import SMArray
+from .system import MultiGPUSystem
+from .topology import Topology
+from .validation import check_invariants
+
+__all__ = [
+    "AddressMap",
+    "L2Cache",
+    "GpuCounters",
+    "GPU",
+    "Interconnect",
+    "PhysicalMemory",
+    "make_set",
+    "SMArray",
+    "MultiGPUSystem",
+    "Topology",
+    "check_invariants",
+]

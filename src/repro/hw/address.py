@@ -1,0 +1,73 @@
+"""Physical address geometry: line/set/tag decomposition and index hashing.
+
+The L2 is *physically indexed* (Section III-B), which is why the attacker
+cannot compute set indices from virtual addresses and must discover eviction
+sets experimentally.  :class:`AddressMap` is the ground-truth decoder used by
+the hardware model; attack code never calls it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import CacheSpec
+
+__all__ = ["AddressMap"]
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Decomposes physical addresses for a given cache geometry.
+
+    The shift/mask fields are precomputed once: this sits on the hottest
+    path of the whole simulator (every memory access decodes an address).
+    """
+
+    cache: CacheSpec
+    line_bits: int = field(init=False)
+    set_mask: int = field(init=False)
+    set_bits: int = field(init=False)
+    tag_shift: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        line_bits = self.cache.line_size.bit_length() - 1
+        set_mask = self.cache.num_sets - 1
+        set_bits = set_mask.bit_length()
+        object.__setattr__(self, "line_bits", line_bits)
+        object.__setattr__(self, "set_mask", set_mask)
+        object.__setattr__(self, "set_bits", set_bits)
+        object.__setattr__(self, "tag_shift", line_bits + set_bits)
+
+    def line_address(self, paddr: int) -> int:
+        """Align ``paddr`` down to its cache-line base address."""
+        return paddr & ~(self.cache.line_size - 1)
+
+    def set_index(self, paddr: int) -> int:
+        """Physical set index of ``paddr``.
+
+        With ``index_hashing`` disabled (the configuration matching the
+        paper's observations) this is the classic ``(paddr / line) % sets``.
+        With hashing enabled, the tag bits are XOR-folded into the index,
+        modelling vendors that hash the L2 index.
+        """
+        line = paddr >> self.line_bits
+        index = line & self.set_mask
+        if self.cache.index_hashing:
+            folded = line >> self.set_bits
+            while folded:
+                index ^= folded & self.set_mask
+                folded >>= self.set_bits
+        return index
+
+    def tag(self, paddr: int) -> int:
+        """Tag bits (everything above the set index) of ``paddr``."""
+        return paddr >> self.tag_shift
+
+    def lines_in_page_are_consecutive(self) -> bool:
+        """True when addresses within a page map to consecutive sets.
+
+        The paper observes this structure in memorygrams ("the hashing
+        preserves page boundaries"); it holds exactly when index hashing is
+        off.
+        """
+        return not self.cache.index_hashing

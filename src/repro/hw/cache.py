@@ -1,0 +1,104 @@
+"""Set-associative L2 cache model with banked ports.
+
+Each GPU has one L2 shared by all its SMs (Fig 2).  Lines are indexed by
+*physical* address.  Banks model the limited port throughput: concurrent
+accesses landing on the same bank queue behind each other, which is the
+mechanism behind the rising error rate of Fig 9 ("as the number of cache
+sets increases, the contention increases among resources such as ports,
+introducing more variability in the timing").
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+import numpy as np
+
+from ..config import CacheSpec
+from .address import AddressMap
+from .replacement import CacheSet, make_set
+
+__all__ = ["L2Cache", "CacheAccess"]
+
+
+class CacheAccess(NamedTuple):
+    """Result of one line access against the cache model."""
+
+    hit: bool
+    set_index: int
+    evicted_tag: Optional[int]
+    bank_wait: float
+
+
+class L2Cache:
+    """One GPU's L2: an array of replacement-policy sets plus banks."""
+
+    def __init__(self, spec: CacheSpec, rng: np.random.Generator) -> None:
+        self.spec = spec
+        self.addr = AddressMap(spec)
+        self._sets: List[CacheSet] = [
+            make_set(spec.replacement, spec.associativity, rng)
+            for _ in range(spec.num_sets)
+        ]
+        self._bank_busy = [0.0] * spec.num_banks
+        self._bank_mask = spec.num_banks - 1
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+    def access(self, paddr: int, now: float, owner: Optional[int] = None) -> CacheAccess:
+        """Look up (and fill) the line containing ``paddr`` at time ``now``.
+
+        ``owner`` identifies the requesting process; the base cache ignores
+        it, but partitioned variants (repro.defense.partitioning) use it to
+        isolate owners.
+        """
+        addr = self.addr
+        if self.spec.index_hashing:
+            set_index = addr.set_index(paddr)
+        else:
+            set_index = (paddr >> addr.line_bits) & addr.set_mask
+        tag = paddr >> addr.tag_shift
+        hit, evicted = self._set_for(set_index, owner).access(tag)
+        # Bank occupancy, inlined from _occupy_bank (hot path).
+        bank = set_index & self._bank_mask
+        busy = self._bank_busy[bank]
+        wait = busy - now if busy > now else 0.0
+        self._bank_busy[bank] = now + wait + self.spec.bank_service_cycles
+        return CacheAccess(hit=hit, set_index=set_index, evicted_tag=evicted, bank_wait=wait)
+
+    def _set_for(self, set_index: int, owner: Optional[int]) -> CacheSet:
+        return self._sets[set_index]
+
+    def _occupy_bank(self, set_index: int, now: float) -> float:
+        bank = set_index & self._bank_mask
+        busy = self._bank_busy[bank]
+        wait = busy - now if busy > now else 0.0
+        self._bank_busy[bank] = now + wait + self.spec.bank_service_cycles
+        return wait
+
+    # ------------------------------------------------------------------
+    # Inspection / maintenance (hardware-side; not visible to attackers)
+    # ------------------------------------------------------------------
+    def probe_line(self, paddr: int, owner: Optional[int] = None) -> bool:
+        """True if the line containing ``paddr`` is resident (no side effects)."""
+        set_index = self.addr.set_index(paddr)
+        return self._set_for(set_index, owner).contains(self.addr.tag(paddr))
+
+    def invalidate_line(self, paddr: int) -> bool:
+        """Drop the line containing ``paddr``; True if it was resident."""
+        set_index = self.addr.set_index(paddr)
+        return self._sets[set_index].invalidate(self.addr.tag(paddr))
+
+    def set_occupancy(self, set_index: int) -> int:
+        """Number of valid lines in ``set_index``."""
+        return len(self._sets[set_index].resident_tags())
+
+    def invalidate_all(self) -> None:
+        """Drop every line (used between experiment repetitions in tests)."""
+        rng = np.random.default_rng(0)
+        self._sets = [
+            make_set(self.spec.replacement, self.spec.associativity, rng)
+            for _ in range(self.spec.num_sets)
+        ]
+        self._bank_busy = [0.0] * self.spec.num_banks

@@ -1,0 +1,58 @@
+"""Per-GPU hardware performance counters.
+
+The paper notes (Section II-B, VII) that performance counters are both an
+alternative leakage source and the observable a defender would monitor
+("detection ... is possible by monitoring the traffic over NVLinks and
+access patterns on L2").  The Section VII detector consumes these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["GpuCounters"]
+
+
+@dataclass
+class GpuCounters:
+    """Monotonic event counters for one GPU."""
+
+    l2_hits: int = 0
+    l2_misses: int = 0
+    l2_evictions: int = 0
+    dram_reads: int = 0
+    dram_writes: int = 0
+    #: Requests serviced by this GPU's L2 on behalf of a *remote* GPU.
+    remote_requests_in: int = 0
+    #: Requests this GPU issued to other GPUs' memory.
+    remote_requests_out: int = 0
+    nvlink_bytes_in: int = 0
+    nvlink_bytes_out: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "l2_hits": self.l2_hits,
+            "l2_misses": self.l2_misses,
+            "l2_evictions": self.l2_evictions,
+            "dram_reads": self.dram_reads,
+            "dram_writes": self.dram_writes,
+            "remote_requests_in": self.remote_requests_in,
+            "remote_requests_out": self.remote_requests_out,
+            "nvlink_bytes_in": self.nvlink_bytes_in,
+            "nvlink_bytes_out": self.nvlink_bytes_out,
+        }
+
+    def delta_from(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        """Difference between now and an earlier :meth:`snapshot`."""
+        now = self.snapshot()
+        return {key: now[key] - earlier.get(key, 0) for key in now}
+
+    @property
+    def l2_accesses(self) -> int:
+        return self.l2_hits + self.l2_misses
+
+    @property
+    def l2_miss_rate(self) -> float:
+        total = self.l2_accesses
+        return self.l2_misses / total if total else 0.0

@@ -1,0 +1,31 @@
+"""One GPU: SM array + L2 + HBM + counters."""
+
+from __future__ import annotations
+
+from ..config import GPUSpec
+from ..sim.rng import RngFanout
+from .cache import L2Cache
+from .counters import GpuCounters
+from .l1 import L1Cache
+from .dram import HBMStack
+from .memory import PhysicalMemory
+from .sm import SMArray
+
+__all__ = ["GPU"]
+
+
+class GPU:
+    """A Pascal-class GPU in the box."""
+
+    def __init__(self, gpu_id: int, spec: GPUSpec, rng: RngFanout) -> None:
+        self.gpu_id = gpu_id
+        self.spec = spec
+        self.l2 = L2Cache(spec.cache, rng.generator(f"gpu{gpu_id}/replacement"))
+        self.l1 = L1Cache(seed=gpu_id)
+        self.memory = PhysicalMemory(spec, rng.generator(f"gpu{gpu_id}/frames"))
+        self.hbm = HBMStack()
+        self.sms = SMArray(spec)
+        self.counters = GpuCounters()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GPU({self.gpu_id}, {self.spec.name!r})"

@@ -1,0 +1,68 @@
+"""NVLink / PCIe link occupancy.
+
+Latency of a remote access is dominated by the NVLink round trip, which is
+already folded into :class:`repro.config.TimingSpec`'s remote base
+latencies.  This model adds (a) per-extra-hop latency when a route crosses
+more than one link, and (b) *serialization queueing*: each cache-line
+transfer occupies every link on its route for a few cycles, so concurrent
+remote traffic jitters each other's timing -- measurable noise during
+multi-set covert transmission.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from ..config import DGXSpec
+from .topology import Topology
+
+__all__ = ["Interconnect"]
+
+Edge = FrozenSet[int]
+
+
+class Interconnect:
+    """Tracks busy-until times for every NVLink in the box."""
+
+    def __init__(self, spec: DGXSpec, topology: Topology) -> None:
+        self.spec = spec
+        self.topology = topology
+        lanes = spec.nvlink.lanes
+        self._busy: Dict[Edge, list] = {
+            edge: [0.0] * lanes for edge in topology.edges
+        }
+
+    def transfer(self, src_gpu: int, dst_gpu: int, now: float) -> Tuple[float, int]:
+        """Charge one cache-line transfer from ``src_gpu`` to ``dst_gpu``.
+
+        Returns ``(extra_cycles, hops)``: the queueing + multi-hop delay to
+        add on top of the base remote latency, and the hop count.  Each
+        transfer occupies the least-busy lane of every link on its route.
+        """
+        if src_gpu == dst_gpu:
+            return 0.0, 0
+        route = self.topology.path(src_gpu, dst_gpu)
+        serialization = self.spec.nvlink.serialization_cycles
+        extra = 0.0
+        clock = now
+        for edge in route:
+            lanes = self._busy[edge]
+            lane = min(range(len(lanes)), key=lanes.__getitem__)
+            busy = lanes[lane]
+            wait = busy - clock if busy > clock else 0.0
+            lanes[lane] = clock + wait + serialization
+            extra += wait
+            clock += wait + serialization
+        # The first hop's base latency is part of TimingSpec.remote_*;
+        # additional hops each add a fixed penalty.
+        extra += (len(route) - 1) * self.spec.timing.per_extra_hop
+        return extra, len(route)
+
+    def link_utilization(self) -> Dict[Edge, float]:
+        """Latest busy-until per link (diagnostics / the §VII detector)."""
+        return {edge: max(lanes) for edge, lanes in self._busy.items()}
+
+    def reset(self) -> None:
+        for lanes in self._busy.values():
+            for lane in range(len(lanes)):
+                lanes[lane] = 0.0

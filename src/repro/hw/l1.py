@@ -1,0 +1,67 @@
+"""Per-SM L1 data cache.
+
+Section III-A: "A programmer can bypass L1 data caching by using specific
+data loading primitives (specifically, __ldcg()).  However, L2 data caching
+cannot be bypassed."  The attacks load through ``__ldcg`` because an L1 hit
+would be served on the attacker's own GPU and completely hide the remote
+L2's hit/miss state -- the signal the attack measures.
+
+This model exists to make that design choice demonstrable: ordinary loads
+(``Access(through_l1=True)``) consult a small per-GPU L1 first, and a test
+shows Prime+Probe breaking when the probe forgets to bypass it.
+
+The P100 couples L1 with texture storage per SM; modelling one L1 per GPU
+(shared by that GPU's probe kernels) is sufficient for the visibility
+argument and keeps the hot path cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import CacheSpec
+from .cache import L2Cache
+
+__all__ = ["L1Cache", "default_l1_spec"]
+
+
+def default_l1_spec() -> CacheSpec:
+    """A Pascal-like 32 KB, 4-way L1 with 128 B lines."""
+    return CacheSpec(
+        line_size=128,
+        num_sets=64,
+        associativity=4,
+        num_banks=4,
+        replacement="lru",
+    )
+
+
+class L1Cache:
+    """A small virtually-behaving L1 in front of the NUMA L2 path.
+
+    Indexed by (process, physical line): the L1 is private to the
+    *accessing* GPU, so it caches remote data too -- which is exactly why
+    it must be bypassed for remote Prime+Probe.
+    """
+
+    def __init__(self, spec: Optional[CacheSpec] = None, seed: int = 0) -> None:
+        self.spec = spec if spec is not None else default_l1_spec()
+        self._cache = L2Cache(self.spec, np.random.default_rng(seed))
+        #: Cycles for an L1 hit.
+        self.hit_latency = 28.0
+
+    def access(self, owner_pid: int, paddr: int, now: float) -> bool:
+        """Lookup-and-fill; returns hit.
+
+        Tags are salted with the owning process so contexts never share L1
+        lines (L1s are flushed across kernel/context switches on real HW).
+        """
+        # Salt the tag bits (above any realistic physical address) so two
+        # processes never share an L1 line; set indexing is unaffected.
+        salted = paddr + (owner_pid + 1) * (1 << 48)
+        return self._cache.access(salted, now, owner=owner_pid).hit
+
+    def invalidate_all(self) -> None:
+        self._cache.invalidate_all()

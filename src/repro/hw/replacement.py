@@ -1,0 +1,197 @@
+"""Per-set replacement policies: LRU, tree pseudo-LRU, and random.
+
+The paper's reverse engineering (Section III-B, Fig 5) finds that the P100
+L2 evicts "consistently after the 16th address", i.e. LRU (or pseudo-LRU)
+without randomization.  LRU is the default; the alternatives exist for the
+ablation bench that shows how the eviction-set machinery degrades under
+other policies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["CacheSet", "LruSet", "PlruSet", "RandomSet", "make_set"]
+
+
+class CacheSet:
+    """One cache set: a fixed number of ways holding line tags.
+
+    ``access(tag)`` performs a lookup-and-fill: on a hit the policy metadata
+    is updated; on a miss the line is inserted, evicting a victim when the
+    set is full.  Returns ``(hit, evicted_tag_or_None)``.
+    """
+
+    __slots__ = ()
+
+    def access(self, tag: int):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def contains(self, tag: int) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def invalidate(self, tag: int) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def resident_tags(self) -> List[int]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class LruSet(CacheSet):
+    """True least-recently-used replacement."""
+
+    __slots__ = ("associativity", "_lines")
+
+    def __init__(self, associativity: int) -> None:
+        self.associativity = associativity
+        self._lines: "OrderedDict[int, None]" = OrderedDict()
+
+    def access(self, tag: int):
+        lines = self._lines
+        if tag in lines:
+            lines.move_to_end(tag)
+            return True, None
+        evicted: Optional[int] = None
+        if len(lines) >= self.associativity:
+            evicted, _ = lines.popitem(last=False)
+        lines[tag] = None
+        return False, evicted
+
+    def contains(self, tag: int) -> bool:
+        return tag in self._lines
+
+    def invalidate(self, tag: int) -> bool:
+        if tag in self._lines:
+            del self._lines[tag]
+            return True
+        return False
+
+    def resident_tags(self) -> List[int]:
+        return list(self._lines)
+
+
+class PlruSet(CacheSet):
+    """Binary-tree pseudo-LRU (associativity must be a power of two)."""
+
+    __slots__ = ("associativity", "_tags", "_tree", "_index")
+
+    def __init__(self, associativity: int) -> None:
+        if associativity & (associativity - 1):
+            raise ConfigurationError("plru requires power-of-two associativity")
+        self.associativity = associativity
+        self._tags: List[Optional[int]] = [None] * associativity
+        self._tree = [0] * max(1, associativity - 1)
+        self._index = {}  # tag -> way
+
+    def _touch(self, way: int) -> None:
+        """Flip tree bits along the path to ``way`` to point away from it."""
+        node = 0
+        span = self.associativity
+        while span > 1:
+            span //= 2
+            go_right = way % (span * 2) >= span
+            self._tree[node] = 0 if go_right else 1
+            node = 2 * node + (2 if go_right else 1)
+
+    def _victim_way(self) -> int:
+        node = 0
+        way = 0
+        span = self.associativity
+        while span > 1:
+            span //= 2
+            if self._tree[node]:
+                way += span
+                node = 2 * node + 2
+            else:
+                node = 2 * node + 1
+        return way
+
+    def access(self, tag: int):
+        way = self._index.get(tag)
+        if way is not None:
+            self._touch(way)
+            return True, None
+        # Prefer an invalid way before evicting.
+        evicted: Optional[int] = None
+        try:
+            way = self._tags.index(None)
+        except ValueError:
+            way = self._victim_way()
+            evicted = self._tags[way]
+            del self._index[evicted]
+        self._tags[way] = tag
+        self._index[tag] = way
+        self._touch(way)
+        return False, evicted
+
+    def contains(self, tag: int) -> bool:
+        return tag in self._index
+
+    def invalidate(self, tag: int) -> bool:
+        way = self._index.pop(tag, None)
+        if way is None:
+            return False
+        self._tags[way] = None
+        return True
+
+    def resident_tags(self) -> List[int]:
+        return [t for t in self._tags if t is not None]
+
+
+class RandomSet(CacheSet):
+    """Random replacement (for the ablation; defeats deterministic eviction)."""
+
+    __slots__ = ("associativity", "_tags", "_index", "_rng")
+
+    def __init__(self, associativity: int, rng: np.random.Generator) -> None:
+        self.associativity = associativity
+        self._tags: List[Optional[int]] = [None] * associativity
+        self._index = {}
+        self._rng = rng
+
+    def access(self, tag: int):
+        if tag in self._index:
+            return True, None
+        evicted: Optional[int] = None
+        try:
+            way = self._tags.index(None)
+        except ValueError:
+            way = int(self._rng.integers(self.associativity))
+            evicted = self._tags[way]
+            del self._index[evicted]
+        self._tags[way] = tag
+        self._index[tag] = way
+        return False, evicted
+
+    def contains(self, tag: int) -> bool:
+        return tag in self._index
+
+    def invalidate(self, tag: int) -> bool:
+        way = self._index.pop(tag, None)
+        if way is None:
+            return False
+        self._tags[way] = None
+        return True
+
+    def resident_tags(self) -> List[int]:
+        return [t for t in self._tags if t is not None]
+
+
+def make_set(
+    policy: str, associativity: int, rng: Optional[np.random.Generator] = None
+) -> CacheSet:
+    """Build one cache set implementing ``policy``."""
+    if policy == "lru":
+        return LruSet(associativity)
+    if policy == "plru":
+        return PlruSet(associativity)
+    if policy == "random":
+        if rng is None:
+            raise ConfigurationError("random replacement requires an rng")
+        return RandomSet(associativity, rng)
+    raise ConfigurationError(f"unknown replacement policy {policy!r}")

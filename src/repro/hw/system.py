@@ -1,0 +1,283 @@
+"""The multi-GPU box: wiring plus the NUMA access path.
+
+This is the hardware half of the paper's central reverse-engineering result
+(Section III-A): *a line is cached in the L2 of the GPU that homes its
+physical page*.  A local access hits/misses the local L2; a remote access
+travels over NVLink and hits/misses the **remote** GPU's L2 -- never the
+local one.  All four timing classes of Fig 4 come out of this path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import DGXSpec, TimingSpec
+from ..errors import PeerAccessError
+from ..sim.ops import AccessResult
+from ..sim.process import DeviceBuffer, Process
+from ..sim.rng import RngFanout
+from .gpu import GPU
+from .interconnect import Interconnect
+from .topology import Topology
+
+__all__ = ["MultiGPUSystem"]
+
+
+class _JitterPool:
+    """Batched standard-normal draws (keeps the hot path cheap)."""
+
+    def __init__(self, rng: np.random.Generator, block: int = 1 << 16) -> None:
+        self._rng = rng
+        self._block = block
+        self._buf = rng.standard_normal(block)
+        self._pos = 0
+
+    def next(self) -> float:
+        if self._pos >= self._block:
+            self._buf = self._rng.standard_normal(self._block)
+            self._pos = 0
+        value = self._buf[self._pos]
+        self._pos += 1
+        return value
+
+
+class MultiGPUSystem:
+    """Eight (by default) GPUs, NVLink cube-mesh, shared nothing but links."""
+
+    def __init__(self, spec: Optional[DGXSpec] = None, seed: int = 0) -> None:
+        self.spec = spec if spec is not None else DGXSpec.dgx1()
+        self.rng = RngFanout(seed)
+        self.gpus: List[GPU] = [
+            GPU(gpu_id, self.spec.gpu, self.rng) for gpu_id in range(self.spec.num_gpus)
+        ]
+        self.topology = Topology(self.spec)
+        self.interconnect = Interconnect(self.spec, self.topology)
+        self._jitter = _JitterPool(self.rng.generator("timing/jitter"))
+        self._next_pid = 0
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def new_process(self, name: str = "proc") -> Process:
+        proc = Process(pid=self._next_pid, name=name)
+        self._next_pid += 1
+        return proc
+
+    @property
+    def timing(self) -> TimingSpec:
+        return self.spec.timing
+
+    # ------------------------------------------------------------------
+    # The access path
+    # ------------------------------------------------------------------
+    def access_word(
+        self,
+        process: Process,
+        buffer: DeviceBuffer,
+        index: int,
+        exec_gpu: int,
+        now: float,
+        is_write: bool = False,
+        through_l1: bool = False,
+    ) -> AccessResult:
+        """Service one 8-byte load/store issued on ``exec_gpu`` at ``now``.
+
+        Returns the loaded value and the measured latency in cycles, with
+        ground-truth hit/remote flags (the attacker only sees the latency).
+
+        ``through_l1`` models an ordinary (non-``__ldcg``) load: the local
+        L1 is consulted first and, on a hit, the L2 is never reached -- the
+        visibility problem the paper's use of ``__ldcg`` avoids.
+        """
+        home = buffer.device_id
+        remote = exec_gpu != home
+        if remote and not process.has_peer_access(exec_gpu, home):
+            raise PeerAccessError(
+                f"process {process.name!r} has no peer access from GPU "
+                f"{exec_gpu} to GPU {home}"
+            )
+
+        home_gpu = self.gpus[home]
+        paddr = buffer.paddr(index)
+
+        if through_l1 and not is_write:
+            l1 = self.gpus[exec_gpu].l1
+            if l1.access(process.pid, paddr, now):
+                return AccessResult(
+                    value=buffer.load(index),
+                    latency=l1.hit_latency,
+                    hit=True,
+                    remote=remote,
+                    home_gpu=home,
+                )
+            # L1 miss: fall through to the L2 path (the fill already
+            # happened inside L1Cache.access).
+        outcome = home_gpu.l2.access(paddr, now, owner=process.pid)
+        timing = self.spec.timing
+
+        if remote:
+            base = timing.remote_l2_hit if outcome.hit else timing.remote_dram
+            sigma = (
+                timing.jitter_remote_hit if outcome.hit else timing.jitter_remote_miss
+            )
+        else:
+            base = timing.local_l2_hit if outcome.hit else timing.local_dram
+            sigma = timing.jitter_local_hit if outcome.hit else timing.jitter_local_miss
+
+        latency = base + sigma * self._jitter.next() + outcome.bank_wait
+        if not outcome.hit:
+            latency += home_gpu.hbm.occupy(paddr, now)
+        if remote:
+            extra, _hops = self.interconnect.transfer(exec_gpu, home, now)
+            latency += extra
+        if latency < 1.0:
+            latency = 1.0
+
+        self._count(process, home, exec_gpu, remote, outcome.hit, is_write)
+        if outcome.evicted_tag is not None:
+            home_gpu.counters.l2_evictions += 1
+
+        if is_write:
+            value = 0
+        else:
+            value = buffer.load(index)
+        return AccessResult(
+            value=value,
+            latency=latency,
+            hit=outcome.hit,
+            remote=remote,
+            home_gpu=home,
+        )
+
+    def access_batch(
+        self,
+        process: Process,
+        buffer: DeviceBuffer,
+        indices,
+        exec_gpu: int,
+        now: float,
+        parallel: bool,
+        issue_gap: float = 4.0,
+    ):
+        """Service a burst of loads (one eviction-set traversal or trace
+        batch) with one call.
+
+        Semantically identical to looping :meth:`access_word`, but the hot
+        constants are hoisted and no per-access result objects are built.
+        Returns ``(latencies, hits, total_latency, remote)``.
+        """
+        home = buffer.device_id
+        remote = exec_gpu != home
+        if remote and not process.has_peer_access(exec_gpu, home):
+            raise PeerAccessError(
+                f"process {process.name!r} has no peer access from GPU "
+                f"{exec_gpu} to GPU {home}"
+            )
+        home_gpu = self.gpus[home]
+        cache_access = home_gpu.l2.access
+        hbm_occupy = home_gpu.hbm.occupy
+        transfer = self.interconnect.transfer
+        jitter_next = self._jitter.next
+        timing = self.spec.timing
+        owner = process.pid
+        paddr_of = buffer.paddr
+
+        if remote:
+            hit_base, miss_base = timing.remote_l2_hit, timing.remote_dram
+            hit_sigma, miss_sigma = (
+                timing.jitter_remote_hit,
+                timing.jitter_remote_miss,
+            )
+        else:
+            hit_base, miss_base = timing.local_l2_hit, timing.local_dram
+            hit_sigma, miss_sigma = timing.jitter_local_hit, timing.jitter_local_miss
+
+        latencies = []
+        hits = []
+        total = 0.0
+        evictions = 0
+        misses = 0
+        for position, index in enumerate(indices):
+            stamp = now + position * issue_gap if parallel else now
+            paddr = paddr_of(index)
+            outcome = cache_access(paddr, stamp, owner=owner)
+            if outcome.hit:
+                latency = hit_base + hit_sigma * jitter_next() + outcome.bank_wait
+            else:
+                misses += 1
+                latency = (
+                    miss_base
+                    + miss_sigma * jitter_next()
+                    + outcome.bank_wait
+                    + hbm_occupy(paddr, stamp)
+                )
+            if outcome.evicted_tag is not None:
+                evictions += 1
+            if remote:
+                latency += transfer(exec_gpu, home, stamp)[0]
+            if latency < 1.0:
+                latency = 1.0
+            latencies.append(latency)
+            hits.append(outcome.hit)
+            if parallel:
+                finish = position * issue_gap + latency
+                if finish > total:
+                    total = finish
+            else:
+                total += latency
+
+        count = len(latencies)
+        counters = home_gpu.counters
+        counters.l2_hits += count - misses
+        counters.l2_misses += misses
+        counters.dram_reads += misses
+        counters.l2_evictions += evictions
+        if remote:
+            line = self.spec.gpu.cache.line_size
+            counters.remote_requests_in += count
+            counters.nvlink_bytes_out += count * line
+            issuer = self.gpus[exec_gpu].counters
+            issuer.remote_requests_out += count
+            issuer.nvlink_bytes_in += count * line
+        return latencies, hits, total, remote
+
+    def _count(
+        self,
+        process: Process,
+        home: int,
+        exec_gpu: int,
+        remote: bool,
+        hit: bool,
+        is_write: bool,
+    ) -> None:
+        counters = self.gpus[home].counters
+        if hit:
+            counters.l2_hits += 1
+        else:
+            counters.l2_misses += 1
+            if is_write:
+                counters.dram_writes += 1
+            else:
+                counters.dram_reads += 1
+        if remote:
+            line = self.spec.gpu.cache.line_size
+            counters.remote_requests_in += 1
+            counters.nvlink_bytes_out += line
+            issuer = self.gpus[exec_gpu].counters
+            issuer.remote_requests_out += 1
+            issuer.nvlink_bytes_in += line
+
+    # ------------------------------------------------------------------
+    # Ground-truth helpers (hardware side; used by tests and experiments,
+    # never by attack code)
+    # ------------------------------------------------------------------
+    def set_index_of(self, buffer: DeviceBuffer, index: int) -> int:
+        """Physical L2 set of word ``index`` of ``buffer`` (ground truth)."""
+        home = self.gpus[buffer.device_id]
+        return home.l2.addr.set_index(buffer.paddr(index))
+
+    def line_is_cached(self, buffer: DeviceBuffer, index: int) -> bool:
+        home = self.gpus[buffer.device_id]
+        return home.l2.probe_line(buffer.paddr(index), owner=buffer.process.pid)

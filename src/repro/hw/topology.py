@@ -1,0 +1,74 @@
+"""DGX interconnect topology: NVLink adjacency and routing.
+
+The DGX-1 wires its eight GPUs in a *hybrid cube-mesh* (Fig 1): two
+fully-connected quads joined by four cube edges.  Peer access (and hence the
+paper's attacks) works only between GPUs that share a direct NVLink --
+"NVidia runtime API throws error if the GPUs are not connected via NVLink".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..config import DGXSpec
+from ..errors import ConfigurationError
+
+__all__ = ["Topology"]
+
+Edge = FrozenSet[int]
+
+
+class Topology:
+    """Adjacency + all-pairs shortest paths over the NVLink graph."""
+
+    def __init__(self, spec: DGXSpec) -> None:
+        self.num_gpus = spec.num_gpus
+        self.edges: Tuple[Edge, ...] = tuple(
+            frozenset(edge) for edge in spec.nvlink_edges
+        )
+        self._adj: Dict[int, List[int]] = {g: [] for g in range(spec.num_gpus)}
+        for a, b in spec.nvlink_edges:
+            self._adj[a].append(b)
+            self._adj[b].append(a)
+        self._paths = self._all_pairs_paths()
+
+    def neighbors(self, gpu: int) -> Sequence[int]:
+        return tuple(self._adj[gpu])
+
+    def are_peers(self, a: int, b: int) -> bool:
+        """True when ``a`` and ``b`` share a direct NVLink."""
+        return b in self._adj[a]
+
+    def hops(self, a: int, b: int) -> int:
+        """NVLink hop count of the shortest route (0 for a == b)."""
+        path = self.path(a, b)
+        return len(path)
+
+    def path(self, a: int, b: int) -> Tuple[Edge, ...]:
+        """Shortest route from ``a`` to ``b`` as a tuple of link edges."""
+        route = self._paths.get((a, b))
+        if route is None:
+            raise ConfigurationError(f"no NVLink route between GPU {a} and GPU {b}")
+        return route
+
+    def _all_pairs_paths(self) -> Dict[Tuple[int, int], Tuple[Edge, ...]]:
+        paths: Dict[Tuple[int, int], Tuple[Edge, ...]] = {}
+        for src in range(self.num_gpus):
+            prev: Dict[int, Optional[int]] = {src: None}
+            queue = deque([src])
+            while queue:
+                node = queue.popleft()
+                for nxt in self._adj[node]:
+                    if nxt not in prev:
+                        prev[nxt] = node
+                        queue.append(nxt)
+            for dst in prev:
+                hops: List[Edge] = []
+                node = dst
+                while prev[node] is not None:
+                    parent = prev[node]
+                    hops.append(frozenset((parent, node)))
+                    node = parent
+                paths[(src, dst)] = tuple(reversed(hops))
+        return paths

@@ -1,0 +1,115 @@
+"""Hardware-state invariant checker.
+
+``check_invariants`` audits a :class:`MultiGPUSystem` for internal
+consistency -- the conditions every attack result implicitly relies on.
+Tests call it after stressful scenarios; it is also handy when developing
+new hardware models or defenses.
+
+Checked invariants:
+
+1. no L2 set holds more lines than its associativity;
+2. every frame is either free or owned by exactly one live buffer;
+3. no two live buffers share a frame on the same device;
+4. SM shared-memory accounting is within physical bounds;
+5. counters are coherent (hits + misses == accesses, non-negative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from ..sim.process import Process
+from .system import MultiGPUSystem
+
+__all__ = ["InvariantViolation", "check_invariants"]
+
+
+@dataclass
+class InvariantViolation:
+    """One failed check, with enough context to debug it."""
+
+    gpu_id: int
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting only
+        return f"GPU {self.gpu_id}: [{self.kind}] {self.detail}"
+
+
+def check_invariants(
+    system: MultiGPUSystem, processes: Iterable[Process] = ()
+) -> List[InvariantViolation]:
+    """Audit the system; returns violations (empty list = consistent)."""
+    violations: List[InvariantViolation] = []
+
+    for gpu in system.gpus:
+        spec = gpu.spec
+        # 1. Cache occupancy.
+        for set_index in range(spec.cache.num_sets):
+            occupancy = gpu.l2.set_occupancy(set_index)
+            if occupancy > spec.cache.associativity:
+                violations.append(
+                    InvariantViolation(
+                        gpu.gpu_id,
+                        "cache-overflow",
+                        f"set {set_index} holds {occupancy} lines "
+                        f"(associativity {spec.cache.associativity})",
+                    )
+                )
+        # 4. SM shared-memory accounting.
+        for sm_index, free in enumerate(gpu.sms.shared_mem_free()):
+            if not 0 <= free <= spec.shared_mem_per_sm:
+                violations.append(
+                    InvariantViolation(
+                        gpu.gpu_id,
+                        "sm-accounting",
+                        f"SM {sm_index} reports {free} B free "
+                        f"(physical {spec.shared_mem_per_sm} B)",
+                    )
+                )
+        # 5. Counter coherence.
+        counters = gpu.counters
+        snapshot = counters.snapshot()
+        negatives = {k: v for k, v in snapshot.items() if v < 0}
+        if negatives:
+            violations.append(
+                InvariantViolation(gpu.gpu_id, "counter-negative", str(negatives))
+            )
+        if counters.l2_accesses != counters.l2_hits + counters.l2_misses:
+            violations.append(
+                InvariantViolation(
+                    gpu.gpu_id,
+                    "counter-incoherent",
+                    f"hits {counters.l2_hits} + misses {counters.l2_misses} "
+                    f"!= accesses {counters.l2_accesses}",
+                )
+            )
+
+    # 2/3. Frame ownership across the provided processes.
+    owners: dict = {}
+    for process in processes:
+        for buffer in process.buffers:
+            for frame in buffer.frames:
+                key = (buffer.device_id, frame)
+                if key in owners:
+                    violations.append(
+                        InvariantViolation(
+                            buffer.device_id,
+                            "frame-shared",
+                            f"frame {frame} owned by both "
+                            f"{owners[key]!r} and {buffer.name!r}",
+                        )
+                    )
+                owners[key] = buffer.name
+    for (device_id, frame), name in owners.items():
+        memory = system.gpus[device_id].memory
+        if frame in memory._free:  # intentionally reaching in: this is an audit
+            violations.append(
+                InvariantViolation(
+                    device_id,
+                    "frame-freed-while-owned",
+                    f"frame {frame} of buffer {name!r} is on the free list",
+                )
+            )
+    return violations

@@ -1,0 +1,6 @@
+"""Section VI: noise injection and the SM-occupancy blocking mitigation."""
+
+from .background import BackgroundNoise, noise_kernel
+from .blocking import OccupancyBlocker
+
+__all__ = ["BackgroundNoise", "noise_kernel", "OccupancyBlocker"]

@@ -1,0 +1,108 @@
+"""Background noise: a third-party application sharing the target GPU.
+
+"In real scenarios, there will potentially be other concurrent applications
+running on GPUs, accessing L2 cache and as a result, adding noise to the
+covert or side channel attacks" (Section VI).  :class:`BackgroundNoise`
+launches such an application: a streaming kernel touching a configurable
+footprint of the contended GPU's memory at a configurable rate.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+import numpy as np
+
+from ..runtime.api import Runtime
+from ..sim.engine import StreamHandle
+from ..sim.ops import Compute, ProbeSet
+from ..sim.process import DeviceBuffer, Process
+
+__all__ = ["BackgroundNoise", "noise_kernel"]
+
+
+def noise_kernel(
+    buffer: DeviceBuffer,
+    words_per_line: int,
+    end_time_provider,
+    intensity: float,
+    rng: np.random.Generator,
+    batch_lines: int = 16,
+) -> Generator:
+    """Random-walk the buffer until past the provider's end time.
+
+    ``intensity`` in (0, 1]: the fraction of time spent accessing memory
+    (the rest is dummy compute), i.e. the noise application's memory rate.
+    """
+    from ..sim.ops import ReadClock
+
+    total_lines = buffer.num_words // words_per_line
+    while True:
+        now = yield ReadClock()
+        if now >= end_time_provider():
+            break
+        lines = rng.integers(0, total_lines, batch_lines)
+        burst = yield ProbeSet(
+            buffer, [int(line) * words_per_line for line in lines]
+        )
+        if intensity < 1.0:
+            yield Compute(burst.total_latency * (1.0 - intensity) / intensity)
+
+
+class BackgroundNoise:
+    """A noise process streaming over a buffer on a chosen GPU."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        gpu_id: int,
+        footprint_bytes: int = 2 * 1024 * 1024,
+        intensity: float = 0.5,
+        blocks: int = 2,
+        shared_mem_per_block: int = 8 * 1024,
+        seed: int = 0,
+    ) -> None:
+        self.runtime = runtime
+        self.gpu_id = gpu_id
+        self.intensity = intensity
+        self.blocks = blocks
+        #: Shared memory each noise block requests -- real compute kernels
+        #: stage data in shared memory, which is exactly the resource the
+        #: Section VI occupancy-blocking mitigation exhausts.
+        self.shared_mem_per_block = shared_mem_per_block
+        self.seed = seed
+        self.process: Process = runtime.create_process("noise")
+        self.buffer = runtime.malloc(
+            self.process, gpu_id, footprint_bytes, name="noise_buf"
+        )
+        self._end_time = float("inf")
+        self.handles: List[StreamHandle] = []
+
+    def start(self, duration_cycles: Optional[float] = None) -> None:
+        """Launch the noise blocks (they stop at start + duration)."""
+        runtime = self.runtime
+        now = runtime.engine.now
+        self._end_time = now + duration_cycles if duration_cycles else float("inf")
+        words_per_line = runtime.system.spec.gpu.cache.line_size // 8
+        for block in range(self.blocks):
+            rng = np.random.default_rng(self.seed * 101 + block)
+            self.handles.append(
+                runtime.launch(
+                    noise_kernel(
+                        self.buffer,
+                        words_per_line,
+                        lambda: self._end_time,
+                        self.intensity,
+                        rng,
+                    ),
+                    self.gpu_id,
+                    self.process,
+                    name=f"noise_{block}",
+                    shared_mem=self.shared_mem_per_block,
+                    start=now,
+                )
+            )
+
+    def stop_at(self, time: float) -> None:
+        """Ask the noise blocks to wind down at ``time``."""
+        self._end_time = time

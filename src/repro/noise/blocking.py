@@ -1,0 +1,80 @@
+"""Section VI noise mitigation: SM-occupancy blocking.
+
+"Each thread block can only allocate 32Kb of shared memory on Pascal, which
+is half the size of the available shared memory per SM.  To consume the
+shared memory and block other applications, we launch idle thread blocks to
+use the leftover shared memory without interfering with the attack."
+
+:class:`OccupancyBlocker` launches such idle blocks on every SM of a GPU so
+that the leftover policy has nowhere to place a newcomer's thread blocks,
+giving the attacker exclusive execution.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..errors import LaunchError
+from ..runtime.api import Runtime
+from ..sim.engine import StreamHandle
+from ..sim.ops import Compute, ReadClock
+from ..sim.process import Process
+
+__all__ = ["OccupancyBlocker"]
+
+
+def _idle_block_kernel(end_time_provider) -> Generator:
+    """Pure compute; never touches global memory during the attack."""
+    while True:
+        now = yield ReadClock()
+        if now >= end_time_provider():
+            return
+        yield Compute(50_000.0)
+
+
+class OccupancyBlocker:
+    """Saturate a GPU's per-SM shared memory with idle blocks."""
+
+    def __init__(self, runtime: Runtime, gpu_id: int, process: Process) -> None:
+        self.runtime = runtime
+        self.gpu_id = gpu_id
+        self.process = process
+        self.handles: List[StreamHandle] = []
+        self._end_time = float("inf")
+
+    def engage(self) -> int:
+        """Consume every SM's leftover shared memory with idle blocks.
+
+        The paper's recipe verbatim: the attack's own blocks use no shared
+        memory, idle blocks allocate the 32 KB maximum each until no SM has
+        shared memory left -- so any other application whose kernels need
+        shared memory (which real compute kernels do) cannot be co-located.
+        Returns the number of idle blocks launched.
+        """
+        runtime = self.runtime
+        gpu = runtime.system.gpus[self.gpu_id]
+        block_size = gpu.spec.max_shared_mem_per_block
+        cap = gpu.spec.num_sms * gpu.spec.max_blocks_per_sm + 1
+        launched = 0
+        while gpu.sms.can_place(block_size):
+            self.handles.append(
+                runtime.launch(
+                    _idle_block_kernel(lambda: self._end_time),
+                    self.gpu_id,
+                    self.process,
+                    name=f"blocker_{launched}",
+                    shared_mem=block_size,
+                )
+            )
+            launched += 1
+            if launched > cap:
+                raise LaunchError("blocker runaway: occupancy never saturated")
+        return launched
+
+    def release_at(self, time: float) -> None:
+        self._end_time = time
+
+    def gpu_is_saturated(self, shared_mem_needed: int) -> bool:
+        """Would a victim/noise block of ``shared_mem_needed`` fit anywhere?"""
+        gpu = self.runtime.system.gpus[self.gpu_id]
+        return not gpu.sms.can_place(shared_mem_needed)

@@ -1,0 +1,6 @@
+"""CUDA-like user-level runtime on top of the simulator."""
+
+from .api import Runtime
+from .kernel import access_sequence, touch_lines
+
+__all__ = ["Runtime", "access_sequence", "touch_lines"]

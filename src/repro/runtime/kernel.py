@@ -1,0 +1,42 @@
+"""Small kernel-construction helpers shared by the attack code.
+
+Kernels are plain generators over :mod:`repro.sim.ops`.  These helpers are
+sub-generators used with ``yield from`` to keep the attack kernels close to
+the paper's pseudocode.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..sim.ops import Access, AccessResult, ProbeResult, ProbeSet
+from ..sim.process import DeviceBuffer
+
+__all__ = ["access_sequence", "touch_lines", "line_stride_indices"]
+
+
+def access_sequence(
+    buffer: DeviceBuffer, indices: Sequence[int]
+) -> Iterable:
+    """Access each index in turn; returns the list of AccessResults."""
+    results: List[AccessResult] = []
+    for index in indices:
+        result = yield Access(buffer, index)
+        results.append(result)
+    return results
+
+
+def touch_lines(
+    buffer: DeviceBuffer, indices: Sequence[int], parallel: bool = False
+):
+    """Traverse ``indices`` as one probe; returns the ProbeResult."""
+    result: ProbeResult = yield ProbeSet(buffer, indices, parallel=parallel)
+    return result
+
+
+def line_stride_indices(
+    num_lines: int, line_size: int, word_bytes: int = 8, start_line: int = 0
+) -> List[int]:
+    """Word indices at one-cache-line stride (the 128 B stride of §III-A)."""
+    words_per_line = line_size // word_bytes
+    return [(start_line + i) * words_per_line for i in range(num_lines)]

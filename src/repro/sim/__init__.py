@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel: engine, streams, ops, processes."""
+
+from .engine import Engine, StreamHandle
+from .ops import (
+    Access,
+    Compute,
+    Fence,
+    ProbeSet,
+    ReadClock,
+    SharedStore,
+    Sleep,
+    Store,
+)
+from .process import DeviceBuffer, Process
+from .rng import RngFanout
+
+__all__ = [
+    "Engine",
+    "StreamHandle",
+    "Access",
+    "ProbeSet",
+    "Compute",
+    "Fence",
+    "Sleep",
+    "Store",
+    "SharedStore",
+    "ReadClock",
+    "Process",
+    "DeviceBuffer",
+    "RngFanout",
+]

@@ -1,0 +1,166 @@
+"""Operation vocabulary yielded by kernel coroutines.
+
+A kernel is a Python generator.  Each ``yield`` hands one operation to the
+:class:`repro.sim.engine.Engine`, which executes it against the hardware
+model, charges the stream's clock, and sends the result back into the
+generator::
+
+    def kernel(ctx):
+        value, latency = yield Access(buf, index)      # __ldcg + clock()
+        yield Compute(500)                             # dummy trig work
+        yield SharedStore(times, slot, latency)        # stage into shared mem
+
+The result types are:
+
+========================  =============================================
+op                        result sent back into the generator
+========================  =============================================
+:class:`Access`           ``AccessResult`` (value, latency, hit, ...)
+:class:`ProbeSet`         ``ProbeResult`` (per-line latencies, ...)
+:class:`Store`            latency (float)
+:class:`SharedStore`      ``None``
+:class:`Compute`          ``None``
+:class:`Fence`            ``None``
+:class:`Sleep`            ``None``
+:class:`ReadClock`        current stream clock in cycles (float)
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .process import DeviceBuffer
+
+__all__ = [
+    "Access",
+    "ProbeSet",
+    "Store",
+    "SharedStore",
+    "Compute",
+    "Fence",
+    "Sleep",
+    "ReadClock",
+    "AccessResult",
+    "ProbeResult",
+]
+
+
+@dataclass(frozen=True)
+class Access:
+    """A single load of one 8-byte word.
+
+    ``index`` addresses the buffer as an array of int64 words, so a stride
+    of one cache line (128 B) is 16 indices.
+
+    By default the load models ``__ldcg()``: it bypasses the L1 and is
+    serviced by the L2 of the GPU homing the physical page -- the paper
+    uses ``__ldcg`` for exactly this, because an L1 hit on the attacker's
+    own GPU would hide the remote L2's state.  ``through_l1=True`` models
+    an ordinary load that consults the local L1 first.
+    """
+
+    buffer: "DeviceBuffer"
+    index: int
+    through_l1: bool = False
+
+
+@dataclass(frozen=True)
+class ProbeSet:
+    """Traverse a whole eviction set in one operation.
+
+    ``parallel=False`` models a dependent pointer chase (Algorithm 1/2):
+    latencies add up.  ``parallel=True`` models a warp of threads touching
+    all lines with overlapped latency (the covert-channel probe): the
+    total cost is the slowest access plus per-access issue overhead.
+    The cache-state effect (fills/evictions) is identical in both modes.
+    """
+
+    buffer: "DeviceBuffer"
+    indices: Sequence[int]
+    parallel: bool = False
+    #: Cycles between consecutive issue slots in parallel mode.
+    issue_gap: float = 4.0
+
+
+@dataclass(frozen=True)
+class Store:
+    """A global-memory store (goes through the home L2 like a load)."""
+
+    buffer: "DeviceBuffer"
+    index: int
+    value: int
+
+
+@dataclass(frozen=True)
+class SharedStore:
+    """A store to on-SM shared memory.
+
+    Shared memory is private to the SM and "the access path of the shared
+    buffer is separate than the main memory access path" (Section III-A), so
+    it causes no L2 traffic and costs a handful of cycles.
+    """
+
+    buffer: "DeviceBuffer"
+    index: int
+    value: float
+    cost_cycles: float = 6.0
+
+
+@dataclass(frozen=True)
+class Compute(object):
+    """Occupy the ALUs for ``cycles`` (the paper's dummy trig instructions)."""
+
+    cycles: float
+
+
+@dataclass(frozen=True)
+class Fence:
+    """A ``__threadfence()``; charges a fixed small cost."""
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Advance the stream clock without using any resource."""
+
+    cycles: float
+
+
+@dataclass(frozen=True)
+class ReadClock:
+    """Return the stream's current clock (the CUDA ``clock()`` intrinsic)."""
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a single :class:`Access`."""
+
+    value: int
+    latency: float
+    hit: bool
+    remote: bool
+    home_gpu: int
+
+    @property
+    def miss(self) -> bool:
+        return not self.hit
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of a :class:`ProbeSet` traversal."""
+
+    latencies: List[float] = field(default_factory=list)
+    hits: List[bool] = field(default_factory=list)
+    total_latency: float = 0.0
+    remote: bool = False
+
+    @property
+    def mean_latency(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+    @property
+    def miss_count(self) -> int:
+        return sum(1 for h in self.hits if not h)

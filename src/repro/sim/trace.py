@@ -1,0 +1,161 @@
+"""Access-trace recording: tap the box's memory traffic for offline study.
+
+A :class:`TraceRecorder` hooks the system's access path and logs one
+record per access: (time, executing GPU, home GPU, L2 set, hit, remote,
+process id).  Uses include debugging attack kernels, building datasets
+outside the live simulation, and ground-truth validation of what the
+timing-only attacks inferred.
+
+Recording is explicit and scoped (context manager); the hook costs one
+function call per access, so leave it off for large benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..hw.system import MultiGPUSystem
+
+__all__ = ["TraceRecorder", "AccessRecord", "load_trace"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One memory access, from the hardware's point of view."""
+
+    time: float
+    exec_gpu: int
+    home_gpu: int
+    set_index: int
+    hit: bool
+    remote: bool
+    pid: int
+
+
+_FIELDS = ("time", "exec_gpu", "home_gpu", "set_index", "hit", "remote", "pid")
+
+
+class TraceRecorder:
+    """Context manager wrapping a system's access path with a logger.
+
+    >>> with TraceRecorder(runtime.system) as recorder:
+    ...     runtime.run_kernel(kernel(), 0, process)
+    >>> recorder.records[0].set_index
+    """
+
+    def __init__(
+        self, system: MultiGPUSystem, capacity: Optional[int] = None
+    ) -> None:
+        self.system = system
+        self.capacity = capacity
+        self.records: List[AccessRecord] = []
+        self._original_word = None
+        self._original_batch = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "TraceRecorder":
+        system = self.system
+        if getattr(system, "_trace_active", False):
+            raise SimulationError("trace recorder already active on this system")
+        system._trace_active = True  # type: ignore[attr-defined]
+        self._original_word = system.access_word
+        self._original_batch = system.access_batch
+        recorder = self
+
+        def traced_word(process, buffer, index, exec_gpu, now, is_write=False,
+                        through_l1=False):
+            result = recorder._original_word(
+                process, buffer, index, exec_gpu, now,
+                is_write=is_write, through_l1=through_l1,
+            )
+            recorder._log(
+                now, exec_gpu, buffer, index, result.hit, result.remote,
+                process.pid,
+            )
+            return result
+
+        def traced_batch(process, buffer, indices, exec_gpu, now, parallel,
+                         issue_gap=4.0):
+            latencies, hits, total, remote = recorder._original_batch(
+                process, buffer, indices, exec_gpu, now, parallel,
+                issue_gap=issue_gap,
+            )
+            for index, hit in zip(indices, hits):
+                recorder._log(
+                    now, exec_gpu, buffer, index, hit, remote, process.pid
+                )
+            return latencies, hits, total, remote
+
+        system.access_word = traced_word  # type: ignore[method-assign]
+        system.access_batch = traced_batch  # type: ignore[method-assign]
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.system.access_word = self._original_word  # type: ignore[method-assign]
+        self.system.access_batch = self._original_batch  # type: ignore[method-assign]
+        self._original_word = None
+        self._original_batch = None
+        self.system._trace_active = False  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def _log(self, now, exec_gpu, buffer, index, hit, remote, pid) -> None:
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            return
+        home = buffer.device_id
+        set_index = self.system.gpus[home].l2.addr.set_index(buffer.paddr(index))
+        self.records.append(
+            AccessRecord(
+                time=float(now),
+                exec_gpu=int(exec_gpu),
+                home_gpu=int(home),
+                set_index=int(set_index),
+                hit=bool(hit),
+                remote=bool(remote),
+                pid=int(pid),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict:
+        """Columnar view of the records."""
+        return {
+            "time": np.array([r.time for r in self.records]),
+            "exec_gpu": np.array([r.exec_gpu for r in self.records]),
+            "home_gpu": np.array([r.home_gpu for r in self.records]),
+            "set_index": np.array([r.set_index for r in self.records]),
+            "hit": np.array([r.hit for r in self.records]),
+            "remote": np.array([r.remote for r in self.records]),
+            "pid": np.array([r.pid for r in self.records]),
+        }
+
+    def save(self, path: PathLike) -> None:
+        np.savez_compressed(Path(path), **self.to_arrays())
+
+    def miss_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if not r.hit) / len(self.records)
+
+
+def load_trace(path: PathLike) -> List[AccessRecord]:
+    archive = np.load(Path(path))
+    columns = {name: archive[name] for name in _FIELDS}
+    return [
+        AccessRecord(
+            time=float(columns["time"][i]),
+            exec_gpu=int(columns["exec_gpu"][i]),
+            home_gpu=int(columns["home_gpu"][i]),
+            set_index=int(columns["set_index"][i]),
+            hit=bool(columns["hit"][i]),
+            remote=bool(columns["remote"][i]),
+            pid=int(columns["pid"][i]),
+        )
+        for i in range(len(columns["time"]))
+    ]

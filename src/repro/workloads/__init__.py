@@ -1,0 +1,28 @@
+"""Victim workloads: the six CUDA-toolkit kernels of §V-A plus the MLP."""
+
+from .base import TraceWorkload, Workload
+from .blackscholes import BlackScholes
+from .composite import CompositeWorkload
+from .histogram import Histogram
+from .matmul import MatrixMultiply
+from .mlp import MLPTraining
+from .quasirandom import QuasiRandom
+from .registry import WORKLOADS, make_workload, workload_names
+from .vectoradd import VectorAdd
+from .walsh import WalshTransform
+
+__all__ = [
+    "Workload",
+    "TraceWorkload",
+    "CompositeWorkload",
+    "VectorAdd",
+    "Histogram",
+    "BlackScholes",
+    "MatrixMultiply",
+    "QuasiRandom",
+    "WalshTransform",
+    "MLPTraining",
+    "WORKLOADS",
+    "make_workload",
+    "workload_names",
+]

@@ -1,0 +1,124 @@
+"""Workload protocol and trace-kernel helpers.
+
+A workload is a victim application whose *memory behaviour* runs on the
+simulated GPU: it allocates buffers on its device and issues loads/stores
+through the same access path as everything else, so its lines evict the
+spy's primed lines set by set -- which is exactly the leakage the paper's
+memorygrams capture.
+
+Access patterns follow the real kernels' structure (streaming passes,
+tiled reuse, scattered bins, butterfly strides); arithmetic between memory
+operations is modelled as compute cycles at each kernel's characteristic
+intensity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..runtime.api import Runtime
+from ..sim.ops import Compute, ProbeSet
+from ..sim.process import DeviceBuffer, Process
+
+__all__ = ["Workload", "TraceWorkload"]
+
+#: Lines per ProbeSet batch: large enough to amortize event overhead,
+#: small enough to interleave with the spy at sub-slot granularity.
+_BATCH_LINES = 16
+
+
+class Workload(Protocol):
+    """What the side-channel harness needs from a victim application."""
+
+    name: str
+
+    def allocate(self, runtime: Runtime, process: Process, gpu_id: int) -> None:
+        """Create the victim's device buffers."""
+        ...  # pragma: no cover - protocol
+
+    def kernel(self) -> Generator[Any, Any, Any]:
+        """The victim's execution stream (one generator, run to completion)."""
+        ...  # pragma: no cover - protocol
+
+
+class TraceWorkload:
+    """Base class: buffer management plus streaming/strided access helpers."""
+
+    name = "trace"
+
+    def __init__(self, scale: float = 1.0, seed: int = 0) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+        self.rng = np.random.default_rng(seed)
+        self.buffers: List[DeviceBuffer] = []
+        self._words_per_line: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self, runtime: Runtime, process: Process, gpu_id: int) -> None:
+        self._words_per_line = runtime.system.spec.gpu.cache.line_size // 8
+        for name, kib in self.buffer_plan():
+            size = max(1, int(kib * self.scale)) * 1024
+            self.buffers.append(
+                runtime.malloc(process, gpu_id, size, name=f"{self.name}_{name}")
+            )
+
+    def buffer_plan(self) -> Sequence:
+        """Override: [(buffer_name, size_in_KiB), ...] before scaling."""
+        raise NotImplementedError
+
+    def buffer(self, index: int) -> DeviceBuffer:
+        return self.buffers[index]
+
+    def lines_in(self, index: int) -> int:
+        assert self._words_per_line is not None, "allocate() not called"
+        return self.buffers[index].num_words // self._words_per_line
+
+    # ------------------------------------------------------------------
+    # Trace helpers (used inside kernel() implementations)
+    # ------------------------------------------------------------------
+    def _indices(self, lines: Iterable[int]) -> List[int]:
+        wpl = self._words_per_line
+        assert wpl is not None
+        return [line * wpl for line in lines]
+
+    def stream(self, index: int, start_line: int = 0, num_lines: Optional[int] = None):
+        """Sequential pass over a buffer (vector kernels, input stages)."""
+        total = self.lines_in(index)
+        if num_lines is None:
+            num_lines = total - start_line
+        buf = self.buffers[index]
+        line = start_line
+        end = start_line + num_lines
+        while line < end:
+            batch = list(range(line, min(line + _BATCH_LINES, end)))
+            yield ProbeSet(buf, self._indices(batch))
+            line += _BATCH_LINES
+
+    def strided(self, index: int, stride_lines: int, count: int, start_line: int = 0):
+        """Strided pass (butterfly stages, column walks)."""
+        buf = self.buffers[index]
+        total = self.lines_in(index)
+        lines = [(start_line + k * stride_lines) % total for k in range(count)]
+        for at in range(0, len(lines), _BATCH_LINES):
+            yield ProbeSet(buf, self._indices(lines[at : at + _BATCH_LINES]))
+
+    def scattered(self, index: int, count: int, hot_lines: Optional[int] = None):
+        """Random-ish accesses concentrated on ``hot_lines`` (histogram bins)."""
+        buf = self.buffers[index]
+        total = self.lines_in(index)
+        span = min(hot_lines or total, total)
+        lines = self.rng.integers(0, span, count)
+        for at in range(0, count, _BATCH_LINES):
+            yield ProbeSet(buf, self._indices(int(l) for l in lines[at : at + _BATCH_LINES]))
+
+    def compute(self, cycles: float):
+        yield Compute(cycles)
+
+    # ------------------------------------------------------------------
+    def kernel(self) -> Generator[Any, Any, Any]:
+        raise NotImplementedError

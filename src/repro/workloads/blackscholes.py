@@ -1,0 +1,42 @@
+"""BlackScholes from the CUDA samples: option pricing.
+
+Five arrays (price, strike, time in; call, put out) with *heavy* per-element
+arithmetic (exp, log, CND evaluations) -- the lowest memory rate of the six,
+so its memorygram shows sparse, slow sweeps.
+"""
+
+from __future__ import annotations
+
+from .base import TraceWorkload
+
+__all__ = ["BlackScholes"]
+
+
+class BlackScholes(TraceWorkload):
+    name = "blackscholes"
+
+    def __init__(self, scale: float = 1.0, seed: int = 0, iterations: int = 4) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.iterations = iterations
+
+    def buffer_plan(self):
+        return [
+            ("price", 256),
+            ("strike", 256),
+            ("years", 256),
+            ("call", 256),
+            ("put", 256),
+        ]
+
+    def kernel(self):
+        lines = self.lines_in(0)
+        chunk = 32
+        for _ in range(self.iterations):
+            for start in range(0, lines, chunk):
+                span = min(chunk, lines - start)
+                for buf_index in range(3):  # price, strike, years
+                    yield from self.stream(buf_index, start, span)
+                # exp/log/sqrt-heavy body dominates the runtime.
+                yield from self.compute(span * 60)
+                for buf_index in (3, 4):  # call, put
+                    yield from self.stream(buf_index, start, span)

@@ -1,0 +1,38 @@
+"""histogram from the CUDA samples: scattered bin updates over a stream.
+
+One long sequential input scan plus very hot, very small bin tables:
+a narrow always-hot band in the memorygram over a slow streaming sweep.
+"""
+
+from __future__ import annotations
+
+from .base import TraceWorkload
+
+__all__ = ["Histogram"]
+
+
+class Histogram(TraceWorkload):
+    name = "histogram"
+
+    def __init__(self, scale: float = 1.0, seed: int = 0, passes: int = 3) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.passes = passes
+
+    def buffer_plan(self):
+        # input stream, per-block partial histograms, final 256-bin table
+        return [("input", 1024), ("partials", 64), ("bins", 4)]
+
+    def kernel(self):
+        lines = self.lines_in(0)
+        chunk = 48
+        for _ in range(self.passes):
+            for start in range(0, lines, chunk):
+                span = min(chunk, lines - start)
+                yield from self.stream(0, start, span)
+                # Each input chunk scatters updates into the partials.
+                yield from self.scattered(1, count=span)
+                yield from self.compute(span * 6)
+            # Reduction of partials into the final bins.
+            yield from self.stream(1)
+            yield from self.scattered(2, count=64)
+            yield from self.compute(800)

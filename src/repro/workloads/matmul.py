@@ -1,0 +1,38 @@
+"""matrixMul from the CUDA samples: tiled C = A x B.
+
+Tiled reuse: each output tile re-reads a row band of A against every
+column band of B, so A's sets stay hot while B's sweep repeatedly -- a
+banded, periodic memorygram unlike any of the streaming kernels.
+"""
+
+from __future__ import annotations
+
+from .base import TraceWorkload
+
+__all__ = ["MatrixMultiply"]
+
+
+class MatrixMultiply(TraceWorkload):
+    name = "matmul"
+
+    def __init__(self, scale: float = 1.0, seed: int = 0, tile_lines: int = 32) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.tile_lines = tile_lines
+
+    def buffer_plan(self):
+        # 256 KiB per matrix ~ 256x256 floats, the CUDA sample's default.
+        return [("a", 256), ("b", 256), ("c", 256)]
+
+    def kernel(self):
+        lines = self.lines_in(0)
+        tiles = max(1, lines // self.tile_lines)
+        for row_tile in range(tiles):
+            a_start = row_tile * self.tile_lines
+            for col_tile in range(tiles):
+                b_start = col_tile * self.tile_lines
+                # Row band of A is re-read against this column band of B.
+                yield from self.stream(0, a_start, self.tile_lines)
+                yield from self.strided(1, stride_lines=tiles, count=self.tile_lines, start_line=b_start)
+                yield from self.compute(self.tile_lines * 24)
+            # Write one row band of C.
+            yield from self.stream(2, a_start, self.tile_lines)

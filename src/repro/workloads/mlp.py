@@ -1,0 +1,167 @@
+"""The §V-B victim: an MLP with one hidden layer training on MNIST-sized data.
+
+The paper trains a PyTorch MLP on MNIST and infers the hidden width (and
+the epoch count) from the remote memorygram.  Here the victim issues the
+memory traffic of that training loop with buffer sizes derived from the
+*real* tensor shapes (784 x H weights, batch x 784 inputs, H x 10 outputs,
+forward + backward passes).
+
+Two modelling choices keep the leakage faithful to the hardware:
+
+- **Constant-duration batches.**  On a real GPU a wider hidden layer fills
+  more SMs; wall-clock per batch barely moves while memory traffic grows.
+  The sequential trace reproduces that by padding each batch with dummy
+  compute up to ``target_batch_cycles``, so hidden width changes traffic
+  *intensity* -- which is exactly what Table II's per-set miss counts pick
+  up -- rather than trace length.
+- **Strided tensor sweeps.**  Tensors are swept at a line stride > 1: the
+  set *footprint* (which cache sets get touched, across all pages of the
+  tensor) is preserved while the simulated access count stays tractable.
+
+Inter-epoch gaps (shuffle + host-side bookkeeping, no device traffic) are
+modelled as compute-only pauses; they are what makes epoch boundaries
+visible in Fig 15.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sim.ops import Compute
+from .base import TraceWorkload
+
+__all__ = ["MLPTraining"]
+
+#: MNIST geometry (the paper's dataset).
+_INPUT_DIM = 784
+_NUM_CLASSES = 10
+_BYTES_PER_FLOAT = 4
+
+
+class MLPTraining(TraceWorkload):
+    """Training-loop memory trace of a 784 -> H -> 10 MLP."""
+
+    name = "mlp"
+
+    def __init__(
+        self,
+        hidden_neurons: int = 128,
+        epochs: int = 1,
+        batches_per_epoch: int = 2,
+        batch_size: int = 64,
+        scale: float = 1.0,
+        seed: int = 0,
+        epoch_gap_cycles: float = 700_000.0,
+        target_batch_cycles: float = 4_800_000.0,
+        sweep_stride: int = 4,
+    ) -> None:
+        super().__init__(scale=scale, seed=seed)
+        if hidden_neurons < 1:
+            raise ValueError("hidden_neurons must be >= 1")
+        self.hidden_neurons = hidden_neurons
+        self.epochs = epochs
+        self.batches_per_epoch = batches_per_epoch
+        self.batch_size = batch_size
+        self.epoch_gap_cycles = epoch_gap_cycles
+        self.target_batch_cycles = target_batch_cycles
+        self.sweep_stride = max(1, sweep_stride)
+        self.name = f"mlp{hidden_neurons}"
+
+    def buffer_plan(self):
+        h = self.hidden_neurons
+        to_kib = lambda numel: max(1, numel * _BYTES_PER_FLOAT // 1024)  # noqa: E731
+        return [
+            ("x", to_kib(self.batch_size * _INPUT_DIM)),
+            ("w1", to_kib(_INPUT_DIM * h)),
+            ("act", to_kib(self.batch_size * h)),
+            ("w2", to_kib(max(256, h * _NUM_CLASSES))),
+            ("logits", to_kib(max(256, self.batch_size * _NUM_CLASSES))),
+            ("grads", to_kib(_INPUT_DIM * h + h * _NUM_CLASSES)),
+        ]
+
+    # Buffer indices, for readability inside the kernel.
+    _X, _W1, _ACT, _W2, _LOGITS, _GRADS = range(6)
+
+    def _sweep(self, index: int):
+        """One strided pass over a tensor (footprint-preserving)."""
+        stride = self.sweep_stride
+        count = max(1, self.lines_in(index) // stride)
+        yield from self.strided(index, stride_lines=stride, count=count)
+
+    def _gemm_traffic(self, a_index: int, b_index: int, out_index: int):
+        """Traffic of one GEMM: sweep A and B, write OUT, FLOP-heavy."""
+        yield from self._sweep(a_index)
+        yield from self._sweep(b_index)
+        yield from self.compute(
+            (self.lines_in(a_index) + self.lines_in(b_index)) * 4
+        )
+        yield from self._sweep(out_index)
+
+    def _one_batch(self):
+        # Forward: act = relu(X @ W1); logits = act @ W2
+        yield from self._gemm_traffic(self._X, self._W1, self._ACT)
+        yield from self._gemm_traffic(self._ACT, self._W2, self._LOGITS)
+        # Loss + backward: re-read activations and both weights, write
+        # gradients, then the SGD update re-writes the weights.
+        yield from self._sweep(self._LOGITS)
+        yield from self._gemm_traffic(self._ACT, self._LOGITS, self._GRADS)
+        yield from self._gemm_traffic(self._X, self._ACT, self._GRADS)
+        yield from self._sweep(self._W1)
+        yield from self._sweep(self._W2)
+
+    def _batch_lines(self) -> int:
+        """Lines one batch sweeps (for the pacing-gap estimate)."""
+        stride = self.sweep_stride
+        per_sweep = {
+            i: max(1, self.lines_in(i) // stride) for i in range(len(self.buffers))
+        }
+        gemms = [
+            (self._X, self._W1, self._ACT),
+            (self._ACT, self._W2, self._LOGITS),
+            (self._ACT, self._LOGITS, self._GRADS),
+            (self._X, self._ACT, self._GRADS),
+        ]
+        total = sum(per_sweep[a] + per_sweep[b] + per_sweep[c] for a, b, c in gemms)
+        total += per_sweep[self._LOGITS] + per_sweep[self._W1] + per_sweep[self._W2]
+        return total
+
+    #: Rough cycles per (mostly L2-hit) local access, for pacing estimates.
+    _CYCLES_PER_LINE = 300.0
+
+    def _paced_batch(self):
+        """One batch with its idle time spread *between* traffic bursts.
+
+        On real hardware a narrow layer under-fills the GPU, lowering the
+        traffic rate throughout the batch -- not leaving one long silent
+        tail.  A silent tail would read as an epoch boundary in Fig 15, so
+        the pacing gap is injected after every ProbeSet burst instead.
+        """
+        from ..sim.ops import ProbeSet
+
+        lines = self._batch_lines()
+        bursts = max(1, -(-lines // 16))
+        traffic_cycles = lines * self._CYCLES_PER_LINE
+        gap = max(0.0, (self.target_batch_cycles - traffic_cycles) / bursts)
+
+        inner = self._one_batch()
+        try:
+            op = next(inner)
+            while True:
+                result = yield op
+                if gap > 0.0 and type(op) is ProbeSet:
+                    yield Compute(gap)
+                op = inner.send(result)
+        except StopIteration:
+            pass
+
+    def kernel(self):
+        for _epoch in range(self.epochs):
+            for _batch in range(self.batches_per_epoch):
+                yield from self._paced_batch()
+            # Epoch boundary: shuffle / metrics on the host, device idle.
+            yield Compute(self.epoch_gap_cycles)
+
+    @staticmethod
+    def sweep(hidden_sizes: Sequence[int] = (64, 128, 256, 512), **kwargs):
+        """The Table II configuration set."""
+        return [MLPTraining(hidden_neurons=h, **kwargs) for h in hidden_sizes]

@@ -1,0 +1,34 @@
+"""quasirandomGenerator from the CUDA samples: Sobol sequences.
+
+A tiny, permanently hot direction-vector table plus a long write-only
+output stream with moderate arithmetic: a thin hot band + a pure write
+sweep, distinguishable from histogram by the absence of scattered updates.
+"""
+
+from __future__ import annotations
+
+from .base import TraceWorkload
+
+__all__ = ["QuasiRandom"]
+
+
+class QuasiRandom(TraceWorkload):
+    name = "quasirandom"
+
+    def __init__(self, scale: float = 1.0, seed: int = 0, batches: int = 5) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.batches = batches
+
+    def buffer_plan(self):
+        return [("directions", 8), ("output", 1024)]
+
+    def kernel(self):
+        out_lines = self.lines_in(1)
+        chunk = 48
+        for _ in range(self.batches):
+            for start in range(0, out_lines, chunk):
+                span = min(chunk, out_lines - start)
+                # Direction vectors are re-read for every output chunk.
+                yield from self.stream(0)
+                yield from self.compute(span * 10)
+                yield from self.stream(1, start, span)

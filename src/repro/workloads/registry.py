@@ -1,0 +1,39 @@
+"""Name -> workload factory registry (the §V-A victim set)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import TraceWorkload
+from .blackscholes import BlackScholes
+from .histogram import Histogram
+from .matmul import MatrixMultiply
+from .quasirandom import QuasiRandom
+from .vectoradd import VectorAdd
+from .walsh import WalshTransform
+
+__all__ = ["WORKLOADS", "make_workload", "workload_names"]
+
+WORKLOADS: Dict[str, Callable[..., TraceWorkload]] = {
+    "vectoradd": VectorAdd,
+    "histogram": Histogram,
+    "blackscholes": BlackScholes,
+    "matmul": MatrixMultiply,
+    "quasirandom": QuasiRandom,
+    "walsh": WalshTransform,
+}
+
+
+def workload_names() -> List[str]:
+    """The six victim applications, in the paper's order of mention."""
+    return ["vectoradd", "histogram", "blackscholes", "matmul", "quasirandom", "walsh"]
+
+
+def make_workload(name: str, **kwargs) -> TraceWorkload:
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,35 @@
+"""vectorAdd from the CUDA samples: C[i] = A[i] + B[i].
+
+Pure streaming: three arrays read/written once per pass with almost no
+arithmetic between loads.  Its memorygram is a set of broad, short bursts
+sweeping the whole footprint -- the "widest, fastest" signature of the six.
+"""
+
+from __future__ import annotations
+
+from .base import TraceWorkload
+
+__all__ = ["VectorAdd"]
+
+
+class VectorAdd(TraceWorkload):
+    name = "vectoradd"
+
+    def __init__(self, scale: float = 1.0, seed: int = 0, passes: int = 6) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.passes = passes
+
+    def buffer_plan(self):
+        return [("a", 512), ("b", 512), ("c", 512)]
+
+    def kernel(self):
+        for _ in range(self.passes):
+            lines = self.lines_in(0)
+            # Grid-stride loop: interleave A, B reads and C writes.
+            chunk = 64
+            for start in range(0, lines, chunk):
+                span = min(chunk, lines - start)
+                yield from self.stream(0, start, span)
+                yield from self.stream(1, start, span)
+                yield from self.stream(2, start, span)
+                yield from self.compute(span * 4)

@@ -1,0 +1,35 @@
+"""fastWalshTransform from the CUDA samples: in-place butterfly passes.
+
+log2(N) full passes over one array with doubling strides: the memorygram
+shows the whole footprint re-swept repeatedly, with the stride pattern
+shifting which sets co-activate -- periodic full-width bands.
+"""
+
+from __future__ import annotations
+
+from .base import TraceWorkload
+
+__all__ = ["WalshTransform"]
+
+
+class WalshTransform(TraceWorkload):
+    name = "walsh"
+
+    def __init__(self, scale: float = 1.0, seed: int = 0) -> None:
+        super().__init__(scale=scale, seed=seed)
+
+    def buffer_plan(self):
+        return [("data", 1024)]
+
+    def kernel(self):
+        lines = self.lines_in(0)
+        stride = 1
+        while stride < lines:
+            # One butterfly pass: every line read and written once, paired
+            # at the current stride.
+            for start in range(0, lines, 2 * stride):
+                count = min(stride, lines - start)
+                yield from self.stream(0, start, count)
+                yield from self.strided(0, stride_lines=1, count=count, start_line=start + stride)
+                yield from self.compute(count * 8)
+            stride *= 2

@@ -1,0 +1,73 @@
+"""Physical address decomposition and index hashing."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheSpec
+from repro.hw.address import AddressMap
+
+
+def test_line_address_alignment():
+    amap = AddressMap(CacheSpec())
+    assert amap.line_address(0) == 0
+    assert amap.line_address(127) == 0
+    assert amap.line_address(128) == 128
+    assert amap.line_address(1000) == 896
+
+
+def test_set_index_consecutive_lines():
+    """Consecutive lines map to consecutive sets (no hashing) -- the page
+    structure the paper's memorygrams show."""
+    amap = AddressMap(CacheSpec())
+    sets = [amap.set_index(line * 128) for line in range(10)]
+    assert sets == list(range(10))
+
+
+def test_set_index_wraps_at_stride():
+    spec = CacheSpec()
+    amap = AddressMap(spec)
+    assert amap.set_index(0) == amap.set_index(spec.set_stride)
+    assert amap.set_index(128) == amap.set_index(spec.set_stride + 128)
+
+
+def test_tag_distinguishes_same_set_lines():
+    spec = CacheSpec()
+    amap = AddressMap(spec)
+    assert amap.tag(0) != amap.tag(spec.set_stride)
+    assert amap.set_index(0) == amap.set_index(spec.set_stride)
+
+
+def test_lines_in_page_are_consecutive_flag():
+    assert AddressMap(CacheSpec()).lines_in_page_are_consecutive()
+    assert not AddressMap(CacheSpec(index_hashing=True)).lines_in_page_are_consecutive()
+
+
+def test_hashing_changes_index_distribution():
+    plain = AddressMap(CacheSpec())
+    hashed = AddressMap(CacheSpec(index_hashing=True))
+    addresses = [k * CacheSpec().set_stride for k in range(1, 32)]
+    plain_sets = {plain.set_index(a) for a in addresses}
+    hashed_sets = {hashed.set_index(a) for a in addresses}
+    assert plain_sets == {0}
+    assert len(hashed_sets) > 1
+
+
+@given(paddr=st.integers(min_value=0, max_value=2**40))
+@settings(max_examples=200, deadline=None)
+def test_decomposition_roundtrip(paddr):
+    """(tag, set, line offset) uniquely reconstructs the line address."""
+    spec = CacheSpec()
+    amap = AddressMap(spec)
+    set_index = amap.set_index(paddr)
+    tag = amap.tag(paddr)
+    line = amap.line_address(paddr)
+    rebuilt = (tag << amap.tag_shift) | (set_index << amap.line_bits)
+    assert rebuilt == line
+
+
+@given(paddr=st.integers(min_value=0, max_value=2**40))
+@settings(max_examples=200, deadline=None)
+def test_set_index_in_range(paddr):
+    for hashing in (False, True):
+        amap = AddressMap(CacheSpec(index_hashing=hashing))
+        assert 0 <= amap.set_index(paddr) < 2048

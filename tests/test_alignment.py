@@ -1,0 +1,104 @@
+"""Algorithm 2: cross-process eviction-set alignment."""
+
+import pytest
+
+from repro.core.alignment import align_eviction_sets, check_pair
+from repro.core.eviction import build_eviction_sets, discover_page_coloring
+from repro.errors import AlignmentError
+
+
+@pytest.fixture
+def two_sides(runtime, small_thresholds):
+    """Trojan (local, GPU 0) and spy (GPU 1) with buffers homed on GPU 0."""
+    spec = runtime.system.spec.gpu
+    assoc = spec.cache.associativity
+    pages = 2 * (2 * assoc + 2)
+
+    trojan = runtime.create_process("trojan")
+    spy = runtime.create_process("spy")
+    runtime.enable_peer_access(spy, 1, 0)
+    tbuf = runtime.malloc(trojan, 0, pages * spec.page_size, name="t")
+    sbuf = runtime.malloc(spy, 0, pages * spec.page_size, name="s")
+
+    def sets_for(process, exec_gpu, buffer, threshold, n):
+        coloring = discover_page_coloring(
+            runtime, process, exec_gpu, buffer, assoc, threshold
+        )
+        return build_eviction_sets(
+            runtime, process, exec_gpu, buffer, n, assoc, threshold,
+            deduplicate=False, coloring=coloring, spread=True,
+        )
+
+    trojan_sets = sets_for(trojan, 0, tbuf, small_thresholds.local, 4)
+    spy_sets = sets_for(spy, 1, sbuf, small_thresholds.remote, 4)
+    return runtime, trojan, spy, trojan_sets, spy_sets, small_thresholds
+
+
+def _phys(runtime, es):
+    return runtime.system.set_index_of(es.buffer, es.indices[0])
+
+
+class TestCheckPair:
+    def test_same_physical_set_detected(self, two_sides):
+        runtime, trojan, spy, trojan_sets, spy_sets, thresholds = two_sides
+        match = next(
+            (t, s)
+            for t in trojan_sets
+            for s in spy_sets
+            if _phys(runtime, t) == _phys(runtime, s)
+        )
+        measurement = check_pair(
+            runtime, trojan, spy, 0, 1, match[0], match[1], thresholds.remote
+        )
+        assert measurement.mapped
+        assert measurement.spy_mean_cycles > thresholds.remote
+
+    def test_different_physical_sets_not_mapped(self, two_sides):
+        runtime, trojan, spy, trojan_sets, spy_sets, thresholds = two_sides
+        mismatch = next(
+            (t, s)
+            for t in trojan_sets
+            for s in spy_sets
+            if _phys(runtime, t) != _phys(runtime, s)
+        )
+        measurement = check_pair(
+            runtime, trojan, spy, 0, 1, mismatch[0], mismatch[1], thresholds.remote
+        )
+        assert not measurement.mapped
+        assert measurement.spy_mean_cycles < thresholds.remote
+
+
+class TestAlignAll:
+    def test_aligned_pairs_share_physical_sets(self, two_sides):
+        runtime, trojan, spy, trojan_sets, spy_sets, thresholds = two_sides
+        result = align_eviction_sets(
+            runtime, trojan, spy, 0, 1, trojan_sets, spy_sets, thresholds.remote
+        )
+        assert result.num_aligned >= 1
+        for t, s in result.pairs:
+            assert _phys(runtime, t) == _phys(runtime, s)
+
+    def test_mapping_is_injective(self, two_sides):
+        runtime, trojan, spy, trojan_sets, spy_sets, thresholds = two_sides
+        result = align_eviction_sets(
+            runtime, trojan, spy, 0, 1, trojan_sets, spy_sets, thresholds.remote
+        )
+        spy_ids = [s.set_id for _t, s in result.pairs]
+        assert len(spy_ids) == len(set(spy_ids))
+
+    def test_need_too_many_raises(self, two_sides):
+        runtime, trojan, spy, trojan_sets, spy_sets, thresholds = two_sides
+        with pytest.raises(AlignmentError):
+            align_eviction_sets(
+                runtime, trojan, spy, 0, 1,
+                trojan_sets[:1], spy_sets, thresholds.remote, need=3,
+            )
+
+    def test_summary_mentions_pairs(self, two_sides):
+        runtime, trojan, spy, trojan_sets, spy_sets, thresholds = two_sides
+        result = align_eviction_sets(
+            runtime, trojan, spy, 0, 1, trojan_sets, spy_sets, thresholds.remote,
+            need=1,
+        )
+        assert "aligned 1 eviction-set pairs" in result.summary()
+        assert result.mapping()

@@ -1,0 +1,120 @@
+"""Analysis stack: classifier, features, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.classifier import MLPClassifier
+from repro.analysis.features import feature_dim, memorygram_features
+from repro.analysis.metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    render_confusion,
+)
+from repro.core.sidechannel.memorygram import Memorygram
+from repro.errors import AnalysisError
+
+
+def blob_dataset(n_per_class=40, classes=3, dim=8, seed=0, spread=0.4):
+    rng = np.random.default_rng(seed)
+    X, y = [], []
+    for cls in range(classes):
+        center = rng.normal(0, 2.0, dim)
+        X.append(center + spread * rng.normal(size=(n_per_class, dim)))
+        y.extend([f"class{cls}"] * n_per_class)
+    return np.concatenate(X), np.asarray(y)
+
+
+class TestClassifier:
+    def test_learns_separable_blobs(self):
+        X, y = blob_dataset()
+        model = MLPClassifier(hidden=16, epochs=80, seed=1)
+        model.fit(X, y)
+        assert model.score(X, y) >= 0.95
+
+    def test_generalizes_to_held_out(self):
+        X, y = blob_dataset(n_per_class=60)
+        train = np.arange(len(X)) % 3 != 0
+        model = MLPClassifier(hidden=16, epochs=80, seed=1)
+        model.fit(X[train], y[train])
+        assert model.score(X[~train], y[~train]) >= 0.9
+
+    def test_early_stopping_with_validation(self):
+        X, y = blob_dataset(n_per_class=50)
+        order = np.random.default_rng(0).permutation(len(X))
+        X, y = X[order], y[order]
+        model = MLPClassifier(hidden=16, epochs=500, seed=2, early_stop_patience=5)
+        model.fit(X[:90], y[:90], X_val=X[90:], y_val=y[90:])
+        assert model.score(X[90:], y[90:]) >= 0.9
+
+    def test_predict_proba_normalized(self):
+        X, y = blob_dataset()
+        model = MLPClassifier(hidden=8, epochs=30, seed=0).fit(X, y)
+        probs = model.predict_proba(X[:5])
+        assert probs.shape == (5, 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(AnalysisError):
+            MLPClassifier().predict(np.zeros((1, 4)))
+
+    def test_mismatched_labels_raise(self):
+        with pytest.raises(AnalysisError):
+            MLPClassifier().fit(np.zeros((4, 2)), np.zeros(3))
+
+    def test_deterministic_given_seed(self):
+        X, y = blob_dataset()
+        a = MLPClassifier(hidden=8, epochs=20, seed=5).fit(X, y).predict(X)
+        b = MLPClassifier(hidden=8, epochs=20, seed=5).fit(X, y).predict(X)
+        assert (a == b).all()
+
+
+class TestFeatures:
+    def _gram(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return Memorygram(
+            data=rng.integers(0, 10, (24, 60)), bin_cycles=1000.0, start_time=0.0
+        )
+
+    def test_dimension_contract(self):
+        features = memorygram_features(self._gram(), image_shape=(16, 16))
+        assert features.shape == (feature_dim((16, 16)),)
+
+    def test_features_are_finite(self):
+        assert np.isfinite(memorygram_features(self._gram())).all()
+
+    def test_empty_gram_features_finite(self):
+        gram = Memorygram(np.zeros((8, 8)), 1000.0, 0.0)
+        features = memorygram_features(gram)
+        assert np.isfinite(features).all()
+
+    def test_different_patterns_different_features(self):
+        a = memorygram_features(self._gram(1))
+        b = memorygram_features(self._gram(2))
+        assert not np.allclose(a, b)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score(["a", "b"], ["a", "a"]) == 0.5
+        assert accuracy_score([], []) == 0.0
+
+    def test_confusion_matrix_layout(self):
+        counts = confusion_matrix(
+            ["a", "a", "b"], ["a", "b", "b"], labels=["a", "b"]
+        )
+        assert counts.tolist() == [[1, 1], [0, 1]]
+
+    def test_confusion_infers_labels(self):
+        counts = confusion_matrix(["x", "y"], ["y", "y"])
+        assert counts.sum() == 2
+
+    def test_render_confusion_contains_counts(self):
+        counts = confusion_matrix(["a", "b"], ["a", "b"], labels=["a", "b"])
+        text = render_confusion(counts, ["alpha", "beta"])
+        assert "alph" in text and "beta" in text
+
+    def test_classification_report_overall_line(self):
+        report = classification_report(["a", "b", "b"], ["a", "b", "a"])
+        assert "overall" in report
+        assert "66.67%" in report

@@ -1,0 +1,85 @@
+"""L2 cache model: lookups, eviction, banks."""
+
+import numpy as np
+import pytest
+
+from repro.config import CacheSpec
+from repro.hw.cache import L2Cache
+
+
+@pytest.fixture
+def cache():
+    return L2Cache(CacheSpec(num_sets=16, associativity=4, num_banks=4),
+                   np.random.default_rng(0))
+
+
+def addr(set_index: int, way: int, spec=CacheSpec(num_sets=16, associativity=4, num_banks=4)):
+    """Physical address landing in ``set_index`` with a distinct tag."""
+    return way * spec.set_stride + set_index * spec.line_size
+
+
+class TestAccessPath:
+    def test_cold_miss_then_hit(self, cache):
+        outcome = cache.access(addr(3, 0), now=0.0)
+        assert not outcome.hit and outcome.set_index == 3
+        outcome = cache.access(addr(3, 0), now=10.0)
+        assert outcome.hit
+
+    def test_same_line_different_word_hits(self, cache):
+        cache.access(addr(3, 0), now=0.0)
+        assert cache.access(addr(3, 0) + 64, now=1.0).hit
+
+    def test_eviction_at_associativity(self, cache):
+        for way in range(4):
+            cache.access(addr(5, way), now=way)
+        outcome = cache.access(addr(5, 4), now=10.0)
+        assert not outcome.hit and outcome.evicted_tag is not None
+        # first-filled line was the LRU victim
+        assert not cache.probe_line(addr(5, 0))
+
+    def test_different_sets_do_not_interfere(self, cache):
+        for way in range(8):
+            cache.access(addr(1, way), now=way)
+        cache.access(addr(2, 0), now=20.0)
+        assert cache.access(addr(2, 0), now=21.0).hit
+
+    def test_probe_line_has_no_side_effects(self, cache):
+        assert not cache.probe_line(addr(7, 0))
+        assert not cache.access(addr(7, 0), now=0.0).hit  # still cold
+
+    def test_invalidate_line(self, cache):
+        cache.access(addr(6, 0), now=0.0)
+        assert cache.invalidate_line(addr(6, 0))
+        assert not cache.probe_line(addr(6, 0))
+        assert not cache.invalidate_line(addr(6, 0))
+
+    def test_set_occupancy(self, cache):
+        assert cache.set_occupancy(9) == 0
+        cache.access(addr(9, 0), now=0.0)
+        cache.access(addr(9, 1), now=1.0)
+        assert cache.set_occupancy(9) == 2
+
+    def test_invalidate_all(self, cache):
+        cache.access(addr(2, 0), now=0.0)
+        cache.invalidate_all()
+        assert cache.set_occupancy(2) == 0
+
+
+class TestBankContention:
+    def test_back_to_back_same_bank_queues(self, cache):
+        first = cache.access(addr(4, 0), now=100.0)
+        second = cache.access(addr(4, 1), now=100.0)
+        assert first.bank_wait == 0.0
+        assert second.bank_wait == pytest.approx(
+            cache.spec.bank_service_cycles
+        )
+
+    def test_spaced_accesses_do_not_queue(self, cache):
+        cache.access(addr(4, 0), now=100.0)
+        outcome = cache.access(addr(4, 1), now=1000.0)
+        assert outcome.bank_wait == 0.0
+
+    def test_different_banks_independent(self, cache):
+        cache.access(addr(0, 0), now=100.0)
+        outcome = cache.access(addr(1, 0), now=100.0)  # bank 1 vs bank 0
+        assert outcome.bank_wait == 0.0

@@ -1,0 +1,68 @@
+"""The gpu-spy CLI on the small box."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_lists_all_commands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in (
+        "timing",
+        "reverse-engineer",
+        "covert",
+        "sweep",
+        "memorygram",
+        "fingerprint",
+        "extract",
+        "epochs",
+        "defense",
+        "noise",
+        "replacement",
+    ):
+        assert command in text
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_timing_command(capsys):
+    assert main(["--small", "--seed", "3", "timing"]) == 0
+    out = capsys.readouterr().out
+    assert "local_hit" in out and "remote_miss" in out
+
+
+def test_reverse_engineer_command(capsys):
+    assert main(["--small", "--seed", "3", "reverse-engineer"]) == 0
+    out = capsys.readouterr().out
+    assert "Replacement Policy" in out and "LRU" in out
+
+
+def test_covert_command(capsys):
+    assert main(
+        ["--small", "--seed", "3", "covert", "--message", "Hi", "--sets", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "message received" in out
+
+
+def test_memorygram_command(capsys):
+    assert main(
+        [
+            "--small",
+            "--seed",
+            "3",
+            "memorygram",
+            "--app",
+            "vectoradd",
+            "--monitor-sets",
+            "16",
+            "--scale",
+            "0.03",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "memorygram of vectoradd" in out

@@ -1,0 +1,129 @@
+"""Spec dataclass validation and derived quantities."""
+
+import pytest
+
+from repro.config import CacheSpec, DGXSpec, GPUSpec, LinkSpec, TimingSpec
+from repro.errors import ConfigurationError
+
+
+class TestCacheSpec:
+    def test_defaults_match_table1(self):
+        cache = CacheSpec()
+        assert cache.size_bytes == 4 * 1024 * 1024
+        assert cache.num_sets == 2048
+        assert cache.line_size == 128
+        assert cache.associativity == 16
+        assert cache.replacement == "lru"
+
+    def test_set_stride(self):
+        assert CacheSpec().set_stride == 2048 * 128
+
+    def test_lines(self):
+        assert CacheSpec().lines == 2048 * 16
+
+    def test_rejects_non_pow2_line(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(line_size=100)
+
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(num_sets=1000)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(replacement="fifo")
+
+    def test_rejects_more_banks_than_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(num_sets=16, num_banks=32)
+
+    def test_rejects_zero_associativity(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(associativity=0)
+
+
+class TestTimingSpec:
+    def test_default_cluster_ordering(self):
+        t = TimingSpec()
+        assert t.local_l2_hit < t.local_dram < t.remote_l2_hit < t.remote_dram
+
+    def test_seconds_conversion(self):
+        t = TimingSpec(clock_hz=1e9)
+        assert t.seconds(1e9) == pytest.approx(1.0)
+
+    def test_rejects_inverted_latencies(self):
+        with pytest.raises(ConfigurationError):
+            TimingSpec(local_l2_hit=500.0, local_dram=400.0)
+
+    def test_rejects_remote_below_local(self):
+        with pytest.raises(ConfigurationError):
+            TimingSpec(remote_l2_hit=100.0)
+
+
+class TestLinkSpec:
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            LinkSpec(bandwidth_bytes_per_s=0)
+
+    def test_rejects_zero_lanes(self):
+        with pytest.raises(ConfigurationError):
+            LinkSpec(lanes=0)
+
+
+class TestGPUSpec:
+    def test_p100_defaults(self):
+        gpu = GPUSpec()
+        assert gpu.num_sms == 56
+        assert gpu.warp_size == 32
+        assert gpu.shared_mem_per_sm == 64 * 1024
+        assert gpu.max_shared_mem_per_block == 32 * 1024
+
+    def test_num_frames(self):
+        gpu = GPUSpec()
+        assert gpu.num_frames == gpu.hbm_bytes // gpu.page_size
+
+    def test_page_must_hold_whole_lines(self):
+        with pytest.raises(ConfigurationError):
+            GPUSpec(page_size=64, cache=CacheSpec(line_size=128))
+
+    def test_block_shared_mem_cap(self):
+        with pytest.raises(ConfigurationError):
+            GPUSpec(shared_mem_per_sm=16 * 1024, max_shared_mem_per_block=32 * 1024)
+
+
+class TestDGXSpec:
+    def test_dgx1_has_eight_gpus(self):
+        assert DGXSpec.dgx1().num_gpus == 8
+
+    def test_dgx1_cube_mesh_edges(self):
+        edges = DGXSpec.dgx1().nvlink_edges
+        # two fully-connected quads (6 edges each) + 4 cube edges
+        assert len(edges) == 16
+        assert (0, 4) in edges and (3, 7) in edges
+
+    def test_dgx1_each_gpu_drives_four_links(self):
+        spec = DGXSpec.dgx1()
+        degree = [0] * spec.num_gpus
+        for a, b in spec.nvlink_edges:
+            degree[a] += 1
+            degree[b] += 1
+        assert degree == [4] * 8
+
+    def test_small_spec_is_consistent(self):
+        spec = DGXSpec.small()
+        assert spec.num_gpus == 2
+        assert spec.gpu.cache.num_sets == 64
+
+    def test_small_with_eight_gpus_uses_cube_mesh(self):
+        spec = DGXSpec.small(num_gpus=8)
+        assert len(spec.nvlink_edges) == 16
+
+    def test_rejects_bad_edge(self):
+        with pytest.raises(ConfigurationError):
+            DGXSpec(num_gpus=2, nvlink_edges=((0, 5),))
+
+    def test_with_replacement(self):
+        spec = DGXSpec.dgx1().with_replacement("plru")
+        assert spec.gpu.cache.replacement == "plru"
+        # original untouched (frozen dataclasses)
+        assert DGXSpec.dgx1().gpu.cache.replacement == "lru"

@@ -1,0 +1,141 @@
+"""End-to-end covert channel on the scaled-down box."""
+
+import numpy as np
+import pytest
+
+from repro.core.covert.channel import ChannelReport, CovertChannel
+from repro.core.covert.encoding import text_to_bits
+from repro.core.covert.spy import SpyTrace, adaptive_threshold, decode_trace
+from repro.errors import ChannelError
+
+
+@pytest.fixture
+def channel(runtime):
+    ch = CovertChannel(runtime, trojan_gpu=0, spy_gpu=1)
+    ch.setup(num_sets=2)
+    return ch
+
+
+class TestSetup:
+    def test_pairs_physically_aligned(self, runtime, channel):
+        for trojan_set, spy_set in channel.pairs:
+            assert runtime.system.set_index_of(
+                trojan_set.buffer, trojan_set.indices[0]
+            ) == runtime.system.set_index_of(spy_set.buffer, spy_set.indices[0])
+
+    def test_buffers_homed_on_trojan_gpu(self, channel):
+        for trojan_set, spy_set in channel.pairs:
+            assert trojan_set.buffer.device_id == channel.trojan_gpu
+            assert spy_set.buffer.device_id == channel.trojan_gpu
+
+    def test_transmit_before_setup_raises(self, runtime):
+        with pytest.raises(ChannelError):
+            CovertChannel(runtime).transmit([1, 0, 1])
+
+
+class TestTransmission:
+    def test_text_message_received(self, channel):
+        outcome = channel.send_text("Hi")
+        assert outcome.error_rate <= 0.10
+        assert len(outcome.received_bits) == len(text_to_bits("Hi"))
+
+    def test_random_payload_low_error(self, channel):
+        rng = np.random.default_rng(0)
+        bits = [int(b) for b in rng.integers(0, 2, 96)]
+        outcome = channel.transmit(bits)
+        assert outcome.error_rate <= 0.08
+        assert outcome.num_sets == 2
+
+    def test_all_zero_payload(self, channel):
+        """An all-quiet payload must not produce phantom ones."""
+        outcome = channel.transmit([0] * 48)
+        assert sum(outcome.received_bits) <= 3
+
+    def test_all_one_payload(self, channel):
+        outcome = channel.transmit([1] * 48)
+        assert sum(outcome.received_bits) >= 44
+
+    def test_bandwidth_accounting(self, channel):
+        bits = [1, 0] * 24
+        outcome = channel.transmit(bits)
+        expected_seconds = channel.runtime.system.timing.seconds(
+            outcome.duration_cycles
+        )
+        assert outcome.duration_seconds == pytest.approx(expected_seconds)
+        assert outcome.bandwidth_bytes_per_s == pytest.approx(
+            (len(bits) / 8.0) / expected_seconds
+        )
+
+    def test_traces_exposed_for_waveform(self, channel):
+        outcome = channel.transmit([1, 0, 1, 1] * 8)
+        assert len(outcome.traces) == 2
+        assert len(outcome.traces[0].times) == len(outcome.traces[0].latencies)
+
+
+class TestChannelReport:
+    def test_best_row(self):
+        report = ChannelReport()
+        report.add(1, 100.0, 0.01)
+        report.add(4, 400.0, 0.02)
+        report.add(8, 300.0, 0.30)
+        assert report.best() == (4, 400.0, 0.02)
+        assert "sets" in report.summary()
+
+
+class TestDecoder:
+    def _synthetic_trace(self, bits, slot=1000.0, period=300.0, start=5000.0):
+        """Hand-built trace: quiet lead-in, then per-slot latencies."""
+        from repro.core.covert.encoding import PREAMBLE
+
+        frame = list(PREAMBLE) + bits
+        times, latencies = [], []
+        t = 0.0
+        while t < start:
+            times.append(t)
+            latencies.append(630.0)
+            t += period
+        for slot_index, bit in enumerate(frame):
+            lo = start + slot_index * slot
+            while t < lo + slot:
+                times.append(t)
+                latencies.append(950.0 if bit else 630.0)
+                t += period
+        return SpyTrace(times=times, latencies=latencies)
+
+    def _thresholds(self):
+        from repro.core.timing import TimingThresholds
+
+        return TimingThresholds(265.0, 470.0, 630.0, 950.0)
+
+    def test_decodes_synthetic_trace(self):
+        bits = [1, 0, 0, 1, 1, 0, 1, 0, 0, 0, 1, 1]
+        trace = self._synthetic_trace(bits)
+        decoded, _start = decode_trace(trace, self._thresholds(), 1000.0, len(bits))
+        assert decoded == bits
+
+    def test_decodes_with_phase_offset(self):
+        bits = [0, 1, 1, 0, 1, 0, 0, 1]
+        trace = self._synthetic_trace(bits, start=5130.0)
+        decoded, _ = decode_trace(trace, self._thresholds(), 1000.0, len(bits))
+        assert decoded == bits
+
+    def test_no_contention_raises(self):
+        trace = SpyTrace(
+            times=[i * 300.0 for i in range(50)], latencies=[630.0] * 50
+        )
+        with pytest.raises(ChannelError):
+            decode_trace(trace, self._thresholds(), 1000.0, 8)
+
+    def test_adaptive_threshold_tracks_load(self):
+        quiet = [630.0] * 30 + [950.0] * 10
+        loaded = [v + 200.0 for v in quiet]
+        half_gap = 160.0
+        assert adaptive_threshold(quiet, half_gap) == pytest.approx(790, abs=20)
+        assert adaptive_threshold(loaded, half_gap) == pytest.approx(990, abs=20)
+
+    def test_adaptive_threshold_single_sample(self):
+        """One sample: it is taken as the hit level."""
+        assert adaptive_threshold([700.0], 160.0) == pytest.approx(860.0)
+
+    def test_adaptive_threshold_empty(self):
+        assert adaptive_threshold([], 160.0) == pytest.approx(160.0)

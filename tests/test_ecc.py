@@ -1,0 +1,102 @@
+"""Hamming(7,4) coding layer for the covert channel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.covert.ecc import (
+    code_rate,
+    decode_with_length,
+    encode_with_length,
+    hamming74_decode,
+    hamming74_encode,
+)
+
+
+def test_code_rate():
+    assert code_rate() == pytest.approx(4 / 7)
+
+
+def test_roundtrip_simple():
+    bits = [1, 0, 1, 1, 0, 0, 1, 0]
+    encoded = hamming74_encode(bits)
+    assert len(encoded) == 14
+    decoded, corrections = hamming74_decode(encoded)
+    assert decoded[: len(bits)] == bits
+    assert corrections == 0
+
+
+def test_corrects_any_single_bit_error():
+    bits = [1, 0, 1, 1]
+    encoded = hamming74_encode(bits)
+    for position in range(7):
+        corrupted = list(encoded)
+        corrupted[position] ^= 1
+        decoded, corrections = hamming74_decode(corrupted)
+        assert decoded == bits, f"flip at {position}"
+        assert corrections == 1
+
+
+def test_double_error_not_corrected():
+    bits = [1, 0, 1, 1]
+    encoded = hamming74_encode(bits)
+    corrupted = list(encoded)
+    corrupted[0] ^= 1
+    corrupted[6] ^= 1
+    decoded, _ = hamming74_decode(corrupted)
+    assert decoded != bits  # Hamming(7,4) cannot fix 2 errors
+
+
+def test_padding_tail():
+    decoded, _ = hamming74_decode(hamming74_encode([1, 0, 1]))
+    assert decoded[:3] == [1, 0, 1]
+
+
+def test_length_framing_roundtrip():
+    payload = [1, 0, 0, 1, 1]
+    framed = encode_with_length(payload)
+    recovered, corrections = decode_with_length(framed)
+    assert recovered == payload
+    assert corrections == 0
+
+
+def test_length_framing_survives_sparse_errors():
+    rng = np.random.default_rng(0)
+    payload = [int(b) for b in rng.integers(0, 2, 80)]
+    framed = encode_with_length(payload)
+    # one flip per codeword is always correctable
+    corrupted = list(framed)
+    for at in range(0, len(corrupted) - 6, 7):
+        corrupted[at + int(rng.integers(0, 7))] ^= 1
+    recovered, corrections = decode_with_length(corrupted)
+    assert recovered == payload
+    assert corrections == len(framed) // 7
+
+
+def test_oversized_payload_rejected():
+    with pytest.raises(ValueError):
+        encode_with_length([0] * (1 << 16))
+
+
+@given(bits=st.lists(st.integers(0, 1), min_size=0, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_roundtrip_property(bits):
+    decoded, corrections = hamming74_decode(hamming74_encode(bits))
+    assert decoded[: len(bits)] == bits
+    assert corrections == 0
+
+
+@given(
+    bits=st.lists(st.integers(0, 1), min_size=4, max_size=120),
+    flips=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_single_error_per_codeword_property(bits, flips):
+    encoded = hamming74_encode(bits)
+    corrupted = list(encoded)
+    for at in range(0, len(corrupted) - 6, 7):
+        if flips.draw(st.booleans()):
+            corrupted[at + flips.draw(st.integers(0, 6))] ^= 1
+    decoded, _ = hamming74_decode(corrupted)
+    assert decoded[: len(bits)] == bits

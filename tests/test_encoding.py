@@ -1,0 +1,82 @@
+"""Covert-channel bit framing, including hypothesis round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.covert.encoding import (
+    PREAMBLE,
+    bit_error_rate,
+    bits_to_text,
+    deinterleave,
+    interleave,
+    text_to_bits,
+)
+
+
+def test_preamble_alternates():
+    assert PREAMBLE[0] == 1
+    assert all(a != b for a, b in zip(PREAMBLE, PREAMBLE[1:]))
+
+
+def test_text_roundtrip_simple():
+    message = "Hello! How are you?"
+    assert bits_to_text(text_to_bits(message)) == message
+
+
+def test_text_to_bits_msb_first():
+    assert text_to_bits("A") == [0, 1, 0, 0, 0, 0, 0, 1]
+
+
+def test_interleave_round_robin():
+    shares = interleave([1, 2, 3, 4, 5, 6, 7], 3)
+    assert shares[0] == [1, 4, 7]
+    assert shares[1] == [2, 5, 0]  # zero-padded
+    assert shares[2] == [3, 6, 0]
+
+
+def test_interleave_single_set():
+    assert interleave([1, 0, 1], 1) == [[1, 0, 1]]
+
+
+def test_deinterleave_inverse():
+    bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1]
+    shares = interleave(bits, 4)
+    assert deinterleave(shares, len(bits)) == bits
+
+
+def test_bit_error_rate_counts_missing_as_errors():
+    assert bit_error_rate([1, 1, 1, 1], [1, 1]) == 0.5
+
+
+def test_bit_error_rate_zero_for_exact():
+    assert bit_error_rate([0, 1, 0], [0, 1, 0]) == 0.0
+
+
+def test_bit_error_rate_empty():
+    assert bit_error_rate([], []) == 0.0
+
+
+@given(
+    bits=st.lists(st.integers(0, 1), min_size=1, max_size=300),
+    num_sets=st.integers(1, 12),
+)
+@settings(max_examples=120, deadline=None)
+def test_interleave_roundtrip_property(bits, num_sets):
+    shares = interleave(bits, num_sets)
+    assert deinterleave(shares, len(bits)) == bits
+    assert len(shares) == num_sets
+    assert len({len(share) for share in shares}) == 1  # equal lengths
+
+
+@given(text=st.text(max_size=60))
+@settings(max_examples=120, deadline=None)
+def test_text_roundtrip_property(text):
+    assert bits_to_text(text_to_bits(text)) == text
+
+
+@given(bits=st.lists(st.integers(0, 1), min_size=1, max_size=100))
+@settings(max_examples=60, deadline=None)
+def test_error_rate_bounds(bits):
+    flipped = [1 - b for b in bits]
+    assert bit_error_rate(bits, bits) == 0.0
+    assert bit_error_rate(bits, flipped) == 1.0

@@ -1,0 +1,218 @@
+"""Discrete-event engine: scheduling, ops, interleaving, SM occupancy."""
+
+import pytest
+
+from repro.config import DGXSpec
+from repro.errors import SimulationError
+from repro.runtime.api import Runtime
+from repro.sim.ops import (
+    Access,
+    Compute,
+    Fence,
+    ProbeSet,
+    ReadClock,
+    SharedStore,
+    Sleep,
+    Store,
+)
+
+
+@pytest.fixture
+def rt():
+    return Runtime(DGXSpec.small(), seed=3)
+
+
+def test_compute_advances_clock(rt):
+    proc = rt.create_process()
+
+    def kernel():
+        t0 = yield ReadClock()
+        yield Compute(500)
+        t1 = yield ReadClock()
+        return t1 - t0
+
+    assert rt.run_kernel(kernel(), 0, proc) == pytest.approx(500.0)
+
+
+def test_sleep_and_fence_cost(rt):
+    proc = rt.create_process()
+
+    def kernel():
+        t0 = yield ReadClock()
+        yield Sleep(100)
+        yield Fence()
+        t1 = yield ReadClock()
+        return t1 - t0
+
+    expected = 100 + rt.system.timing.fence_cycles
+    assert rt.run_kernel(kernel(), 0, proc) == pytest.approx(expected)
+
+
+def test_access_returns_result_and_charges_latency(rt):
+    proc = rt.create_process()
+    buf = rt.malloc_lines(proc, 0, 2)
+
+    def kernel():
+        t0 = yield ReadClock()
+        result = yield Access(buf, 0)
+        t1 = yield ReadClock()
+        return result.latency, t1 - t0
+
+    latency, elapsed = rt.run_kernel(kernel(), 0, proc)
+    assert elapsed == pytest.approx(latency)
+
+
+def test_store_and_load_roundtrip(rt):
+    proc = rt.create_process()
+    buf = rt.malloc_lines(proc, 0, 2)
+
+    def kernel():
+        yield Store(buf, 3, 1234)
+        result = yield Access(buf, 3)
+        return result.value
+
+    assert rt.run_kernel(kernel(), 0, proc) == 1234
+
+
+def test_shared_store_writes_shared_memory(rt):
+    proc = rt.create_process()
+    shared = proc.shared_buffer("times", 4)
+
+    def kernel():
+        yield SharedStore(shared, 2, 3.25)
+
+    rt.run_kernel(kernel(), 0, proc)
+    assert shared.data[2] == 3.25
+
+
+def test_shared_store_causes_no_l2_traffic(rt):
+    proc = rt.create_process()
+    shared = proc.shared_buffer("times", 4)
+    before = rt.system.gpus[0].counters.l2_accesses
+
+    def kernel():
+        for slot in range(4):
+            yield SharedStore(shared, slot, float(slot))
+
+    rt.run_kernel(kernel(), 0, proc)
+    assert rt.system.gpus[0].counters.l2_accesses == before
+
+
+def test_unknown_op_raises(rt):
+    proc = rt.create_process()
+
+    def kernel():
+        yield object()
+
+    with pytest.raises(SimulationError):
+        rt.run_kernel(kernel(), 0, proc)
+
+
+def test_streams_interleave_in_time_order(rt):
+    order = []
+    proc = rt.create_process()
+
+    def ticker(name, period, count):
+        for _ in range(count):
+            yield Compute(period)
+            now = yield ReadClock()
+            order.append((name, now))
+
+    rt.launch(ticker("fast", 100, 6), 0, proc, name="fast")
+    rt.launch(ticker("slow", 250, 2), 0, proc, name="slow")
+    rt.synchronize()
+    times = [t for _n, t in order]
+    assert times == sorted(times)
+    assert order[0][0] == "fast"
+
+
+def test_launch_start_delays_kernel(rt):
+    proc = rt.create_process()
+    seen = []
+
+    def kernel():
+        now = yield ReadClock()
+        seen.append(now)
+
+    rt.launch(kernel(), 0, proc, start=5000.0)
+    rt.synchronize()
+    assert seen[0] >= 5000.0
+
+
+def test_run_until_pauses_and_resumes(rt):
+    proc = rt.create_process()
+
+    def kernel():
+        for _ in range(10):
+            yield Compute(100)
+        return "done"
+
+    handle = rt.launch(kernel(), 0, proc)
+    rt.synchronize(until=450)
+    assert not handle.done
+    rt.synchronize()
+    assert handle.done and handle.result == "done"
+
+
+def test_probe_set_sequential_vs_parallel(rt):
+    proc = rt.create_process()
+    buf = rt.malloc_lines(proc, 0, 8)
+    wpl = rt.system.spec.gpu.cache.line_size // 8
+    indices = [i * wpl for i in range(8)]
+
+    def probe(parallel):
+        result = yield ProbeSet(buf, indices, parallel=parallel)
+        return result
+
+    sequential = rt.run_kernel(probe(False), 0, proc)
+    rt.system.gpus[0].l2.invalidate_all()
+    parallel = rt.run_kernel(probe(True), 0, proc)
+    assert sequential.total_latency > parallel.total_latency
+    assert len(sequential.latencies) == len(parallel.latencies) == 8
+
+
+def test_max_events_guard(rt):
+    proc = rt.create_process()
+
+    def forever():
+        while True:
+            yield Compute(1)
+
+    rt.launch(forever(), 0, proc)
+    with pytest.raises(SimulationError):
+        rt.engine.run(max_events=1000)
+
+
+def test_invalid_gpu_rejected(rt):
+    proc = rt.create_process()
+
+    def kernel():
+        yield Compute(1)
+
+    with pytest.raises(SimulationError):
+        rt.launch(kernel(), 99, proc)
+
+
+def test_sm_block_released_on_completion(rt):
+    proc = rt.create_process()
+    sms = rt.system.gpus[0].sms
+
+    def kernel():
+        yield Compute(10)
+
+    rt.launch(kernel(), 0, proc, shared_mem=1024)
+    assert sms.resident_blocks() == 1
+    rt.synchronize()
+    assert sms.resident_blocks() == 0
+
+
+def test_drain_releases_blocks(rt):
+    proc = rt.create_process()
+
+    def kernel():
+        yield Compute(10)
+
+    rt.launch(kernel(), 0, proc, shared_mem=1024)
+    rt.engine.drain()
+    assert rt.system.gpus[0].sms.resident_blocks() == 0
+    assert rt.engine.pending_streams == 0

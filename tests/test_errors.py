@@ -1,0 +1,37 @@
+"""Exception hierarchy: every library error is catchable as ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.SimulationError,
+    errors.ConfigurationError,
+    errors.AllocationError,
+    errors.TranslationError,
+    errors.PeerAccessError,
+    errors.LaunchError,
+    errors.AttackError,
+    errors.EvictionSetError,
+    errors.AlignmentError,
+    errors.ChannelError,
+    errors.AnalysisError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")
+
+
+def test_attack_errors_form_a_subfamily():
+    for exc in (errors.EvictionSetError, errors.AlignmentError, errors.ChannelError):
+        assert issubclass(exc, errors.AttackError)
+
+
+def test_all_exported():
+    for name in errors.__all__:
+        assert hasattr(errors, name)

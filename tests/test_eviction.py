@@ -1,0 +1,308 @@
+"""Eviction-set discovery: Algorithm 1, reduction, coloring, aliasing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.eviction import (
+    EvictionSet,
+    build_eviction_sets,
+    deduplicate_eviction_sets,
+    discover_page_coloring,
+    find_eviction_set,
+    measure_associativity,
+    reduce_to_minimal,
+    run_algorithm1,
+    sets_alias,
+    validate_eviction_set,
+)
+from repro.errors import EvictionSetError
+
+
+def _page_reps(runtime, buffer):
+    wpp = runtime.system.spec.gpu.page_size // 8
+    return [p * wpp for p in range(buffer.num_words // wpp)]
+
+
+def _ground_truth_set(runtime, buffer, index):
+    return runtime.system.set_index_of(buffer, index)
+
+
+class TestAlgorithm1:
+    def test_no_chase_no_eviction(self, spy_setup):
+        runtime, process, buffer, thresholds = spy_setup
+        outcome = run_algorithm1(
+            runtime, process, 1, buffer, 0, [], thresholds.remote
+        )
+        assert not outcome.evicted
+        assert outcome.second_access_cycles < thresholds.remote
+
+    def test_first_access_is_dram_time(self, spy_setup):
+        runtime, process, buffer, thresholds = spy_setup
+        outcome = run_algorithm1(
+            runtime, process, 1, buffer, 0, [], thresholds.remote
+        )
+        assert outcome.first_access_cycles > thresholds.remote
+
+    def test_conflicting_chase_evicts(self, spy_setup):
+        runtime, process, buffer, thresholds = spy_setup
+        reps = _page_reps(runtime, buffer)
+        target_set = _ground_truth_set(runtime, buffer, reps[0])
+        assoc = runtime.system.spec.gpu.cache.associativity
+        same = [
+            r
+            for r in reps[1:]
+            if _ground_truth_set(runtime, buffer, r) == target_set
+        ][:assoc]
+        assert len(same) == assoc, "fixture buffer too small"
+        outcome = run_algorithm1(
+            runtime, process, 1, buffer, reps[0], same, thresholds.remote
+        )
+        assert outcome.evicted
+
+    def test_insufficient_chase_does_not_evict(self, spy_setup):
+        runtime, process, buffer, thresholds = spy_setup
+        reps = _page_reps(runtime, buffer)
+        target_set = _ground_truth_set(runtime, buffer, reps[0])
+        assoc = runtime.system.spec.gpu.cache.associativity
+        same = [
+            r
+            for r in reps[1:]
+            if _ground_truth_set(runtime, buffer, r) == target_set
+        ][: assoc - 1]
+        outcome = run_algorithm1(
+            runtime, process, 1, buffer, reps[0], same, thresholds.remote
+        )
+        assert not outcome.evicted
+
+
+class TestFindEvictionSet:
+    def test_finds_only_same_set_addresses(self, spy_setup):
+        runtime, process, buffer, thresholds = spy_setup
+        reps = _page_reps(runtime, buffer)
+        assoc = runtime.system.spec.gpu.cache.associativity
+        # pick a target whose color has plenty of members
+        from collections import Counter
+
+        colors = Counter(_ground_truth_set(runtime, buffer, r) for r in reps)
+        rich_set, _count = colors.most_common(1)[0]
+        target = next(
+            r for r in reps if _ground_truth_set(runtime, buffer, r) == rich_set
+        )
+        found = find_eviction_set(
+            runtime,
+            process,
+            1,
+            buffer,
+            target,
+            [r for r in reps if r != target],
+            assoc,
+            thresholds.remote,
+        )
+        assert len(found) == assoc
+        for index in found.indices:
+            assert _ground_truth_set(runtime, buffer, index) == rich_set
+
+    def test_raises_when_pool_too_poor(self, spy_setup):
+        runtime, process, buffer, thresholds = spy_setup
+        reps = _page_reps(runtime, buffer)
+        assoc = runtime.system.spec.gpu.cache.associativity
+        target_set = _ground_truth_set(runtime, buffer, reps[0])
+        same = [
+            r for r in reps[1:] if _ground_truth_set(runtime, buffer, r) == target_set
+        ]
+        poor_pool = same[: 2 * assoc - 2]  # one short of the 2a-1 requirement
+        with pytest.raises(EvictionSetError):
+            find_eviction_set(
+                runtime, process, 1, buffer, reps[0], poor_pool, assoc,
+                thresholds.remote,
+            )
+
+
+class TestReduction:
+    def test_reduces_to_minimal_conflicting_set(self, spy_setup):
+        runtime, process, buffer, thresholds = spy_setup
+        reps = _page_reps(runtime, buffer)
+        assoc = runtime.system.spec.gpu.cache.associativity
+        target = reps[0]
+        target_set = _ground_truth_set(runtime, buffer, target)
+        minimal = reduce_to_minimal(
+            runtime, process, 1, buffer, target, reps[1:], assoc, thresholds.remote
+        )
+        assert len(minimal) == assoc
+        for index in minimal:
+            assert _ground_truth_set(runtime, buffer, index) == target_set
+
+    def test_raises_on_non_evicting_pool(self, spy_setup):
+        runtime, process, buffer, thresholds = spy_setup
+        reps = _page_reps(runtime, buffer)
+        target_set = _ground_truth_set(runtime, buffer, reps[0])
+        others = [
+            r for r in reps[1:] if _ground_truth_set(runtime, buffer, r) != target_set
+        ]
+        with pytest.raises(EvictionSetError):
+            reduce_to_minimal(
+                runtime, process, 1, buffer, reps[0], others,
+                runtime.system.spec.gpu.cache.associativity, thresholds.remote,
+            )
+
+
+class TestColoring:
+    def test_groups_are_color_pure(self, spy_setup):
+        runtime, process, buffer, thresholds = spy_setup
+        assoc = runtime.system.spec.gpu.cache.associativity
+        coloring = discover_page_coloring(
+            runtime, process, 1, buffer, assoc, thresholds.remote
+        )
+        wpp = coloring.words_per_page
+        for group in coloring.groups:
+            sets = {_ground_truth_set(runtime, buffer, p * wpp) for p in group}
+            assert len(sets) == 1
+
+    def test_groups_partition_usable_pages(self, spy_setup):
+        runtime, process, buffer, thresholds = spy_setup
+        assoc = runtime.system.spec.gpu.cache.associativity
+        coloring = discover_page_coloring(
+            runtime, process, 1, buffer, assoc, thresholds.remote
+        )
+        all_pages = [p for group in coloring.groups for p in group]
+        assert len(all_pages) == len(set(all_pages))
+
+    def test_usable_sets_counts(self, spy_setup):
+        runtime, process, buffer, thresholds = spy_setup
+        assoc = runtime.system.spec.gpu.cache.associativity
+        coloring = discover_page_coloring(
+            runtime, process, 1, buffer, assoc, thresholds.remote
+        )
+        assert coloring.usable_sets() == len(coloring.groups) * coloring.lines_per_page
+
+
+class TestBuildEvictionSets:
+    @pytest.mark.parametrize("spread", [False, True])
+    def test_sets_are_homogeneous_and_distinct(self, spy_setup, spread):
+        runtime, process, buffer, thresholds = spy_setup
+        assoc = runtime.system.spec.gpu.cache.associativity
+        sets = build_eviction_sets(
+            runtime, process, 1, buffer, num_sets=8, associativity=assoc,
+            miss_threshold=thresholds.remote, spread=spread,
+        )
+        assert len(sets) == 8
+        physical = []
+        for es in sets:
+            truth = {_ground_truth_set(runtime, buffer, i) for i in es.indices}
+            assert len(truth) == 1
+            physical.append(truth.pop())
+        assert len(set(physical)) == 8
+
+    def test_spread_covers_multiple_regions(self, spy_setup):
+        runtime, process, buffer, thresholds = spy_setup
+        assoc = runtime.system.spec.gpu.cache.associativity
+        sets = build_eviction_sets(
+            runtime, process, 1, buffer, num_sets=8, associativity=assoc,
+            miss_threshold=thresholds.remote, spread=True,
+        )
+        physical = sorted(
+            _ground_truth_set(runtime, buffer, es.indices[0]) for es in sets
+        )
+        span = physical[-1] - physical[0]
+        assert span > runtime.system.spec.gpu.cache.num_sets // 2
+
+    def test_too_many_sets_raises(self, spy_setup):
+        runtime, process, buffer, thresholds = spy_setup
+        assoc = runtime.system.spec.gpu.cache.associativity
+        with pytest.raises(EvictionSetError):
+            build_eviction_sets(
+                runtime, process, 1, buffer,
+                num_sets=10_000, associativity=assoc,
+                miss_threshold=thresholds.remote,
+            )
+
+
+class TestValidationAndAssociativity:
+    def _one_set_with_target(self, spy_setup):
+        runtime, process, buffer, thresholds = spy_setup
+        assoc = runtime.system.spec.gpu.cache.associativity
+        coloring = discover_page_coloring(
+            runtime, process, 1, buffer, assoc, thresholds.remote
+        )
+        rich = max(coloring.groups, key=len)
+        assert len(rich) > assoc
+        wpp = coloring.words_per_page
+        eviction_set = EvictionSet(
+            buffer=buffer,
+            indices=tuple(p * wpp for p in rich[:assoc]),
+        )
+        target = rich[assoc] * wpp
+        return runtime, process, buffer, thresholds, eviction_set, target, assoc
+
+    def test_measured_associativity_matches(self, spy_setup):
+        runtime, process, buffer, thresholds, es, target, assoc = (
+            self._one_set_with_target(spy_setup)
+        )
+        measured = measure_associativity(
+            runtime, process, 1, buffer, target, list(es.indices), thresholds.remote
+        )
+        assert measured == assoc
+
+    def test_validation_is_deterministic_lru(self, spy_setup):
+        runtime, process, buffer, thresholds, es, target, assoc = (
+            self._one_set_with_target(spy_setup)
+        )
+        report = validate_eviction_set(
+            runtime, process, 1, es, target, thresholds.remote
+        )
+        assert report.eviction_at == assoc
+        assert report.deterministic_lru(assoc)
+
+
+class TestAliasing:
+    def test_alias_detected_and_distinct_passes(self, spy_setup):
+        runtime, process, buffer, thresholds = spy_setup
+        assoc = runtime.system.spec.gpu.cache.associativity
+        coloring = discover_page_coloring(
+            runtime, process, 1, buffer, assoc, thresholds.remote
+        )
+        rich = max(coloring.groups, key=len)
+        assert len(rich) >= 2 * assoc
+        wpp = coloring.words_per_page
+        alias_a = EvictionSet(buffer, tuple(p * wpp for p in rich[:assoc]), 0)
+        alias_b = EvictionSet(
+            buffer, tuple(p * wpp for p in rich[assoc : 2 * assoc]), 1
+        )
+        wpl = coloring.words_per_line
+        distinct = EvictionSet(
+            buffer, tuple(p * wpp + wpl for p in rich[:assoc]), 2
+        )
+        assert sets_alias(runtime, process, 1, alias_a, alias_b, thresholds.remote)
+        assert not sets_alias(runtime, process, 1, alias_a, distinct, thresholds.remote)
+        kept = deduplicate_eviction_sets(
+            runtime, process, 1, [alias_a, alias_b, distinct], thresholds.remote
+        )
+        assert len(kept) == 2
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=5, deadline=None)
+def test_coloring_pure_for_any_seed(seed):
+    """Property: page-color discovery never mixes colors, whatever the
+    (random) physical page placement."""
+    from repro.config import DGXSpec
+    from repro.core.timing import characterize_timing
+    from repro.runtime.api import Runtime
+
+    runtime = Runtime(DGXSpec.small(), seed=seed)
+    thresholds = characterize_timing(runtime).thresholds()
+    process = runtime.create_process("prop")
+    runtime.enable_peer_access(process, 1, 0)
+    spec = runtime.system.spec.gpu
+    buffer = runtime.malloc(
+        process, 0, 2 * (2 * spec.cache.associativity + 2) * spec.page_size
+    )
+    coloring = discover_page_coloring(
+        runtime, process, 1, buffer, spec.cache.associativity,
+        thresholds.remote,
+    )
+    wpp = coloring.words_per_page
+    for group in coloring.groups:
+        sets = {runtime.system.set_index_of(buffer, p * wpp) for p in group}
+        assert len(sets) == 1

@@ -1,0 +1,69 @@
+"""The GpuBox facade on the small spec."""
+
+import pytest
+
+from repro import DGXSpec, GpuBox
+
+
+@pytest.fixture
+def box():
+    return GpuBox(spec=DGXSpec.small(), seed=13)
+
+
+def test_default_spec_is_dgx1():
+    assert GpuBox(seed=0).spec.num_gpus == 8
+
+
+def test_characterize_timing(box):
+    report = box.characterize_timing()
+    assert report.clusters_are_separated()
+
+
+def test_reverse_engineer_matches_spec(box):
+    report = box.reverse_engineer()
+    cache = box.spec.gpu.cache
+    assert report.num_sets == cache.num_sets
+    assert report.associativity == cache.associativity
+    assert report.line_size == cache.line_size
+    assert report.replacement_policy == "LRU"
+
+
+def test_covert_send_text(box):
+    result = box.covert_send_text("ok", num_sets=2)
+    assert result.error_rate <= 0.15
+
+
+def test_covert_bandwidth_sweep(box):
+    report = box.covert_bandwidth_sweep(set_counts=(1, 2), payload_bits=64)
+    assert len(report.rows) == 2
+    assert report.rows[1][1] > report.rows[0][1]  # bandwidth grows
+
+
+def test_fingerprint_two_apps(box):
+    result = box.fingerprint_applications(
+        traces_per_app=4,
+        apps=("vectoradd", "histogram"),
+        num_sets=16,
+    )
+    assert 0.0 <= result.accuracy <= 1.0
+    assert result.confusion.sum() > 0
+
+
+def test_scan_box_idle(box):
+    report = box.scan_box(num_sets=8)
+    assert report.active_gpus() == []
+
+
+def test_extract_mlp_width_small(box):
+    report = box.extract_mlp_width(hidden_sizes=(16, 48))
+    assert len(report.rows) == 2
+    widths = sorted(h for h, _avg in report.rows)
+    assert widths == [16, 48]
+
+
+def test_scan_box_locates_victim(box):
+    from repro.workloads import make_workload
+
+    victim = make_workload("vectoradd", scale=0.02, seed=2)
+    report = box.scan_box(victims={0: victim}, num_sets=8)
+    assert 0 in report.active_gpus()

@@ -1,0 +1,60 @@
+"""Fingerprinting under realistic interference (§VI's open question).
+
+"Of course, this approach is more difficult for side channels" -- the
+paper leaves side-channel noise robustness open.  These tests check the
+graceful-degradation story at small scale: a victim's memorygram under
+concurrent background activity is still closer (in feature space) to its
+own clean signature than to a different application's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.features import memorygram_features
+from repro.core.sidechannel.prober import MemorygramProber
+from repro.workloads import CompositeWorkload, make_workload
+
+
+@pytest.fixture
+def prober(runtime):
+    p = MemorygramProber(runtime)
+    p.setup(num_sets=16)
+    return p
+
+
+def _features(prober, workload):
+    gram = prober.record(workload, bin_cycles=10_000.0)
+    return memorygram_features(gram)
+
+
+def test_noisy_trace_stays_closest_to_own_class(prober):
+    clean_a = _features(prober, make_workload("vectoradd", scale=0.03, seed=1))
+    clean_b = _features(prober, make_workload("histogram", scale=0.03, seed=1))
+    noisy_a = _features(
+        prober,
+        CompositeWorkload(
+            [
+                make_workload("vectoradd", scale=0.03, seed=2),
+                make_workload("blackscholes", scale=0.015, seed=3),
+            ]
+        ),
+    )
+    to_own = float(np.linalg.norm(noisy_a - clean_a))
+    to_other = float(np.linalg.norm(noisy_a - clean_b))
+    assert to_own < to_other
+
+
+def test_interference_adds_misses_not_removes(prober):
+    clean = prober.record(
+        make_workload("quasirandom", scale=0.03, seed=4), bin_cycles=10_000.0
+    )
+    noisy = prober.record(
+        CompositeWorkload(
+            [
+                make_workload("quasirandom", scale=0.03, seed=4),
+                make_workload("walsh", scale=0.02, seed=5),
+            ]
+        ),
+        bin_cycles=10_000.0,
+    )
+    assert noisy.total_misses() >= 0.7 * clean.total_misses()

@@ -1,0 +1,100 @@
+"""NVLink occupancy, lanes, multi-hop penalty; HBM channels; counters."""
+
+import pytest
+
+from repro.config import DGXSpec, LinkSpec
+from repro.hw.counters import GpuCounters
+from repro.hw.dram import HBMStack
+from repro.hw.interconnect import Interconnect
+from repro.hw.topology import Topology
+
+
+def make_icx(num_gpus=8, lanes=2):
+    import dataclasses
+
+    spec = DGXSpec(
+        num_gpus=num_gpus,
+        nvlink=LinkSpec(lanes=lanes),
+    )
+    topo = Topology(spec)
+    return spec, Interconnect(spec, topo)
+
+
+class TestInterconnect:
+    def test_same_gpu_is_free(self):
+        _spec, icx = make_icx()
+        assert icx.transfer(3, 3, now=0.0) == (0.0, 0)
+
+    def test_single_hop_no_queue_no_extra(self):
+        _spec, icx = make_icx()
+        extra, hops = icx.transfer(0, 1, now=0.0)
+        assert hops == 1 and extra == 0.0
+
+    def test_two_hop_pays_per_hop_penalty(self):
+        spec, icx = make_icx()
+        extra, hops = icx.transfer(0, 5, now=0.0)
+        assert hops == 2
+        assert extra == pytest.approx(spec.timing.per_extra_hop)
+
+    def test_burst_queues_after_lanes_fill(self):
+        spec, icx = make_icx(lanes=2)
+        waits = [icx.transfer(0, 1, now=0.0)[0] for _ in range(6)]
+        assert waits[0] == 0.0 and waits[1] == 0.0  # two lanes
+        assert waits[2] > 0.0
+        assert waits[5] > waits[3]
+
+    def test_lanes_relieve_contention(self):
+        _s1, one_lane = make_icx(lanes=1)
+        _s2, two_lanes = make_icx(lanes=2)
+        wait_one = [one_lane.transfer(0, 1, 0.0)[0] for _ in range(4)][-1]
+        wait_two = [two_lanes.transfer(0, 1, 0.0)[0] for _ in range(4)][-1]
+        assert wait_two < wait_one
+
+    def test_reset_clears_queues(self):
+        _spec, icx = make_icx()
+        for _ in range(5):
+            icx.transfer(0, 1, 0.0)
+        icx.reset()
+        assert icx.transfer(0, 1, 0.0)[0] == 0.0
+
+    def test_link_utilization_reports_busy(self):
+        _spec, icx = make_icx()
+        icx.transfer(0, 1, 0.0)
+        utilization = icx.link_utilization()
+        assert utilization[frozenset((0, 1))] > 0.0
+
+
+class TestHBM:
+    def test_queueing_on_same_channel(self):
+        hbm = HBMStack(num_channels=4, service_cycles=10.0)
+        assert hbm.occupy(0, now=0.0) == 0.0
+        assert hbm.occupy(0, now=0.0) == pytest.approx(10.0)
+
+    def test_different_channels_independent(self):
+        hbm = HBMStack(num_channels=4, service_cycles=10.0)
+        hbm.occupy(0, now=0.0)
+        assert hbm.occupy(256, now=0.0) == 0.0
+
+    def test_reset(self):
+        hbm = HBMStack()
+        hbm.occupy(0, 0.0)
+        hbm.reset()
+        assert hbm.occupy(0, 0.0) == 0.0
+
+
+class TestCounters:
+    def test_snapshot_delta(self):
+        counters = GpuCounters()
+        before = counters.snapshot()
+        counters.l2_hits += 5
+        counters.l2_misses += 3
+        delta = counters.delta_from(before)
+        assert delta["l2_hits"] == 5 and delta["l2_misses"] == 3
+
+    def test_miss_rate(self):
+        counters = GpuCounters(l2_hits=6, l2_misses=2)
+        assert counters.l2_accesses == 8
+        assert counters.l2_miss_rate == pytest.approx(0.25)
+
+    def test_miss_rate_empty(self):
+        assert GpuCounters().l2_miss_rate == 0.0

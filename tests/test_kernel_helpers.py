@@ -1,0 +1,55 @@
+"""Kernel-construction helpers and the run_kernels convenience."""
+
+import pytest
+
+from repro.runtime.kernel import access_sequence, touch_lines
+from repro.sim.engine import run_kernels
+from repro.sim.ops import Compute
+
+
+def test_access_sequence_returns_results(runtime):
+    proc = runtime.create_process()
+    buf = runtime.malloc_lines(proc, 0, 3)
+    wpl = runtime.system.spec.gpu.cache.line_size // 8
+
+    def kernel():
+        results = yield from access_sequence(buf, [0, wpl, 2 * wpl])
+        return results
+
+    results = runtime.run_kernel(kernel(), 0, proc)
+    assert len(results) == 3
+    assert all(not r.hit for r in results)  # cold buffer
+
+
+def test_touch_lines_parallel_flag(runtime):
+    proc = runtime.create_process()
+    buf = runtime.malloc_lines(proc, 0, 4)
+    wpl = runtime.system.spec.gpu.cache.line_size // 8
+    indices = [i * wpl for i in range(4)]
+
+    def kernel(parallel):
+        probe = yield from touch_lines(buf, indices, parallel=parallel)
+        return probe
+
+    sequential = runtime.run_kernel(kernel(False), 0, proc)
+    runtime.system.gpus[0].l2.invalidate_all()
+    parallel = runtime.run_kernel(kernel(True), 0, proc)
+    assert sequential.total_latency > parallel.total_latency
+
+
+def test_run_kernels_convenience(runtime):
+    proc = runtime.create_process()
+
+    def kernel(value):
+        yield Compute(10)
+        return value
+
+    handles = run_kernels(
+        runtime.system,
+        [
+            (kernel("a"), 0, proc, "ka"),
+            (kernel("b"), 1, proc, "kb"),
+        ],
+    )
+    assert [h.result for h in handles] == ["a", "b"]
+    assert all(h.done for h in handles)

@@ -1,0 +1,76 @@
+"""Physical frame allocator: randomization, exhaustion, double free."""
+
+import numpy as np
+import pytest
+
+from repro.config import GPUSpec
+from repro.errors import AllocationError
+from repro.hw.memory import PhysicalMemory
+
+
+@pytest.fixture
+def memory():
+    spec = GPUSpec(
+        name="mini", num_sms=2, hbm_bytes=64 * 4096, page_size=4096
+    )
+    return PhysicalMemory(spec, np.random.default_rng(3))
+
+
+def test_allocation_is_randomized(memory):
+    frames = memory.allocate(16)
+    assert list(frames) != sorted(frames)
+
+
+def test_frames_are_unique(memory):
+    frames = memory.allocate(32)
+    assert len(set(frames)) == 32
+
+
+def test_free_then_reallocate(memory):
+    frames = memory.allocate(10)
+    memory.free(frames)
+    assert memory.free_frames == memory.total_frames
+    again = memory.allocate(10)
+    assert len(again) == 10
+
+
+def test_exhaustion_raises(memory):
+    with pytest.raises(AllocationError):
+        memory.allocate(memory.total_frames + 1)
+
+
+def test_double_free_raises(memory):
+    frames = memory.allocate(4)
+    memory.free(frames)
+    with pytest.raises(AllocationError):
+        memory.free(frames)
+
+
+def test_zero_allocation_raises(memory):
+    with pytest.raises(AllocationError):
+        memory.allocate(0)
+
+
+def test_frames_needed_rounds_up(memory):
+    assert memory.frames_needed(1) == 1
+    assert memory.frames_needed(4096) == 1
+    assert memory.frames_needed(4097) == 2
+
+
+def test_frames_needed_rejects_nonpositive(memory):
+    with pytest.raises(AllocationError):
+        memory.frames_needed(0)
+
+
+def test_same_seed_same_order():
+    spec = GPUSpec(name="mini", num_sms=2, hbm_bytes=64 * 4096, page_size=4096)
+    a = PhysicalMemory(spec, np.random.default_rng(9)).allocate(20)
+    b = PhysicalMemory(spec, np.random.default_rng(9)).allocate(20)
+    assert a == b
+
+
+def test_different_seed_different_order():
+    spec = GPUSpec(name="mini", num_sms=2, hbm_bytes=64 * 4096, page_size=4096)
+    a = PhysicalMemory(spec, np.random.default_rng(1)).allocate(20)
+    b = PhysicalMemory(spec, np.random.default_rng(2)).allocate(20)
+    assert a != b

@@ -1,0 +1,78 @@
+"""Memorygram container: statistics, downsampling, rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sidechannel.memorygram import Memorygram
+
+
+def gram_from(data):
+    return Memorygram(data=np.asarray(data), bin_cycles=1000.0, start_time=0.0)
+
+
+class TestBasics:
+    def test_shape_properties(self):
+        gram = gram_from(np.zeros((4, 10)))
+        assert gram.num_sets == 4
+        assert gram.num_bins == 10
+        assert gram.duration_cycles == 10_000.0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            gram_from(np.zeros(5))
+
+    def test_total_and_per_set(self):
+        gram = gram_from([[1, 2], [3, 4]])
+        assert gram.total_misses() == 10
+        assert list(gram.misses_per_set()) == [3, 7]
+        assert gram.average_misses_per_set() == 5.0
+
+    def test_activity_per_bin(self):
+        gram = gram_from([[1, 0, 2], [0, 0, 1]])
+        assert list(gram.activity_per_bin()) == [1, 0, 3]
+
+
+class TestImage:
+    def test_image_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        gram = gram_from(rng.integers(0, 20, (40, 100)))
+        image = gram.as_image((16, 16))
+        assert image.shape == (16, 16)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_all_zero_image(self):
+        image = gram_from(np.zeros((8, 8))).as_image((4, 4))
+        assert np.all(image == 0.0)
+
+    def test_upsamples_small_grams(self):
+        image = gram_from(np.ones((2, 3))).as_image((8, 8))
+        assert image.shape == (8, 8)
+
+    def test_hot_region_stays_hot(self):
+        data = np.zeros((32, 32))
+        data[:16, :] = 50
+        image = gram_from(data).as_image((8, 8), log_scale=False)
+        assert image[:4].mean() > image[4:].mean()
+
+    @given(
+        rows=st.integers(1, 40),
+        cols=st.integers(1, 60),
+        target=st.sampled_from([4, 8, 16]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_image_shape_property(self, rows, cols, target):
+        rng = np.random.default_rng(rows * 100 + cols)
+        gram = gram_from(rng.integers(0, 5, (rows, cols)))
+        assert gram.as_image((target, target)).shape == (target, target)
+
+
+class TestAscii:
+    def test_render_dimensions(self):
+        rng = np.random.default_rng(1)
+        gram = gram_from(rng.integers(0, 9, (20, 50)))
+        text = gram.to_ascii(width=30, height=6)
+        lines = text.split("\n")
+        assert len(lines) == 6
+        assert all(len(line) == 30 for line in lines)

@@ -1,0 +1,166 @@
+"""Section VI noise / blocking and Section VII defenses on the small box."""
+
+import numpy as np
+import pytest
+
+from repro.core.covert.channel import CovertChannel
+from repro.defense.detection import ContentionDetector
+from repro.defense.partitioning import PartitionedL2Cache, enable_mig_partitioning
+from repro.errors import AlignmentError, ChannelError, ConfigurationError, EvictionSetError, LaunchError
+from repro.noise.background import BackgroundNoise
+from repro.noise.blocking import OccupancyBlocker
+
+
+class TestBackgroundNoise:
+    def test_noise_generates_l2_traffic(self, runtime):
+        noise = BackgroundNoise(runtime, gpu_id=0, footprint_bytes=64 * 1024, seed=1)
+        before = runtime.system.gpus[0].counters.l2_accesses
+        noise.start(duration_cycles=100_000)
+        runtime.synchronize()
+        assert runtime.system.gpus[0].counters.l2_accesses > before
+
+    def test_noise_stops_at_deadline(self, runtime):
+        noise = BackgroundNoise(runtime, gpu_id=0, footprint_bytes=64 * 1024, seed=1)
+        noise.start(duration_cycles=50_000)
+        end = runtime.synchronize()
+        assert end <= 120_000  # bounded overshoot past the deadline
+
+
+class TestOccupancyBlocking:
+    def test_blocker_saturates_gpu(self, runtime):
+        process = runtime.create_process("attacker")
+        blocker = OccupancyBlocker(runtime, 0, process)
+        launched = blocker.engage()
+        assert launched > 0
+        assert blocker.gpu_is_saturated(
+            runtime.system.spec.gpu.max_shared_mem_per_block
+        )
+
+    def test_noise_cannot_launch_when_blocked(self, runtime):
+        process = runtime.create_process("attacker")
+        blocker = OccupancyBlocker(runtime, 0, process)
+        blocker.engage()
+        noise = BackgroundNoise(
+            runtime, gpu_id=0, footprint_bytes=64 * 1024,
+            blocks=runtime.system.spec.gpu.num_sms * 64, seed=1,
+        )
+        with pytest.raises(LaunchError):
+            noise.start(duration_cycles=10_000)
+
+    def test_release_frees_sms(self, runtime):
+        process = runtime.create_process("attacker")
+        blocker = OccupancyBlocker(runtime, 0, process)
+        blocker.engage()
+        blocker.release_at(runtime.engine.now)
+        runtime.synchronize()
+        assert runtime.system.gpus[0].sms.resident_blocks() == 0
+
+
+class TestNoiseHurtsChannel:
+    def test_error_rate_increases_under_noise(self, runtime):
+        channel = CovertChannel(runtime)
+        channel.setup(num_sets=1)
+        rng = np.random.default_rng(3)
+        bits = [int(b) for b in rng.integers(0, 2, 64)]
+        quiet = channel.transmit(bits, strict=False)
+        noise = BackgroundNoise(
+            runtime, gpu_id=0, footprint_bytes=128 * 1024,
+            intensity=0.9, blocks=4, seed=2,
+        )
+        noise.start(duration_cycles=3_000_000)
+        noisy = channel.transmit(bits, strict=False)
+        noise.stop_at(runtime.engine.now)
+        runtime.synchronize()
+        assert noisy.error_rate >= quiet.error_rate
+
+
+class TestPartitioning:
+    def test_slice_isolation(self):
+        from repro.config import CacheSpec
+
+        cache = PartitionedL2Cache(
+            CacheSpec(num_sets=16, associativity=4, num_banks=4),
+            np.random.default_rng(0),
+            num_slices=2,
+        )
+        cache.assign_owner(1, 0)
+        cache.assign_owner(2, 1)
+        spec = cache.spec
+        # Owner 1 fills "its" ways of set 3; owner 2's fills cannot evict.
+        for way in range(4):
+            cache.access(way * spec.set_stride + 3 * spec.line_size, 0.0, owner=1)
+        for way in range(10, 20):
+            cache.access(way * spec.set_stride + 3 * spec.line_size, 1.0, owner=2)
+        hit = cache.access(0 * spec.set_stride + 3 * spec.line_size, 2.0, owner=1)
+        # way-slice is 2 entries: owner 1's own fills may self-evict, but
+        # owner 2's activity must not have touched them beyond that.
+        assert cache.slice_of(1) != cache.slice_of(2)
+
+    def test_same_owner_still_conflicts(self):
+        from repro.config import CacheSpec
+
+        cache = PartitionedL2Cache(
+            CacheSpec(num_sets=16, associativity=4, num_banks=4),
+            np.random.default_rng(0),
+            num_slices=2,
+        )
+        spec = cache.spec
+        addresses = [w * spec.set_stride + 5 * spec.line_size for w in range(3)]
+        for address in addresses:
+            cache.access(address, 0.0, owner=7)
+        # slice has 2 ways -> the first line was evicted
+        assert not cache.probe_line(addresses[0], owner=7)
+
+    def test_indivisible_slices_rejected(self):
+        from repro.config import CacheSpec
+
+        with pytest.raises(ConfigurationError):
+            PartitionedL2Cache(
+                CacheSpec(num_sets=16, associativity=4, num_banks=4),
+                np.random.default_rng(0),
+                num_slices=3,
+            )
+
+    def test_partitioning_kills_small_channel(self, small_spec):
+        from repro.runtime.api import Runtime
+
+        runtime = Runtime(small_spec, seed=21)
+        enable_mig_partitioning(runtime.system, gpu_id=0, num_slices=2)
+        channel = CovertChannel(runtime)
+        rng = np.random.default_rng(1)
+        bits = [int(b) for b in rng.integers(0, 2, 64)]
+        try:
+            channel.setup(num_sets=1)
+            outcome = channel.transmit(bits, strict=False)
+            # If setup somehow succeeded, the channel must be useless.
+            assert outcome.error_rate > 0.25
+        except (AlignmentError, ChannelError, EvictionSetError):
+            pass  # expected: the contention signal is gone
+
+
+class TestDetection:
+    def test_attack_traffic_flagged(self, runtime):
+        detector = ContentionDetector(runtime.system, gpu_id=0)
+        channel = CovertChannel(runtime)
+        channel.setup(num_sets=1)
+        rng = np.random.default_rng(5)
+        bits = [int(b) for b in rng.integers(0, 2, 64)]
+        detector.open_window(runtime.engine.now)
+        channel.transmit(bits, strict=False)
+        report = detector.close_window(runtime.engine.now)
+        assert report.flagged
+        assert "remote" in report.summary() or report.reasons
+
+    def test_local_workload_not_flagged(self, runtime):
+        from repro.workloads import make_workload
+
+        detector = ContentionDetector(runtime.system, gpu_id=0)
+        victim = runtime.create_process("honest")
+        workload = make_workload("vectoradd", scale=0.05)
+        workload.allocate(runtime, victim, 0)
+        detector.open_window(runtime.engine.now)
+        runtime.launch(workload.kernel(), 0, victim, name="honest")
+        runtime.synchronize()
+        report = detector.close_window(runtime.engine.now)
+        assert not report.flagged
+        assert "normal" in report.summary()

@@ -1,0 +1,79 @@
+"""Artifact persistence: memorygrams, datasets, experiment results."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.persistence import (
+    load_dataset,
+    load_memorygrams,
+    load_result,
+    result_from_json,
+    result_to_json,
+    save_dataset,
+    save_memorygrams,
+    save_result,
+)
+from repro.core.sidechannel.memorygram import Memorygram
+from repro.errors import AnalysisError
+from repro.experiments.common import ExperimentResult
+
+
+def _gram(seed):
+    rng = np.random.default_rng(seed)
+    return Memorygram(
+        data=rng.integers(0, 9, (6, 12)), bin_cycles=2500.0, start_time=100.0
+    )
+
+
+class TestMemorygrams:
+    def test_roundtrip(self, tmp_path):
+        grams = [_gram(1), _gram(2)]
+        save_memorygrams(tmp_path / "grams.npz", grams, ["vectoradd", "walsh"])
+        loaded, labels = load_memorygrams(tmp_path / "grams.npz")
+        assert labels == ["vectoradd", "walsh"]
+        for original, restored in zip(grams, loaded):
+            assert (original.data == restored.data).all()
+            assert restored.bin_cycles == 2500.0
+            assert restored.start_time == 100.0
+
+    def test_label_mismatch_raises(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            save_memorygrams(tmp_path / "x.npz", [_gram(1)], ["a", "b"])
+
+
+class TestDataset:
+    def test_roundtrip(self, tmp_path):
+        X = np.random.default_rng(0).normal(size=(10, 5))
+        y = np.asarray(["a"] * 5 + ["b"] * 5)
+        save_dataset(tmp_path / "d.npz", X, y)
+        X2, y2 = load_dataset(tmp_path / "d.npz")
+        assert np.allclose(X, X2)
+        assert list(y2) == list(y)
+
+
+class TestResults:
+    def _result(self):
+        result = ExperimentResult(
+            "table2", "Avg misses", ["neurons", "misses"],
+            paper_reference="monotone",
+        )
+        result.add_row(64, np.float64(123.5))
+        result.add_row(128, 456)
+        result.notes = "note"
+        return result
+
+    def test_json_roundtrip(self):
+        restored = result_from_json(result_to_json(self._result()))
+        assert restored.experiment_id == "table2"
+        assert restored.rows == [[64, 123.5], [128, 456]]
+        assert restored.notes == "note"
+
+    def test_file_roundtrip(self, tmp_path):
+        save_result(tmp_path / "r.json", self._result())
+        restored = load_result(tmp_path / "r.json")
+        assert restored.title == "Avg misses"
+        assert restored.summary()  # renders
+
+    def test_numpy_values_jsonable(self):
+        text = result_to_json(self._result())
+        assert "123.5" in text

@@ -1,0 +1,70 @@
+"""ASCII figure renderers."""
+
+import numpy as np
+
+from repro.analysis.plots import (
+    ascii_bars,
+    ascii_histogram,
+    ascii_series,
+    ascii_waveform,
+)
+
+
+class TestHistogram:
+    def test_renders_title_and_axis(self):
+        rng = np.random.default_rng(0)
+        text = ascii_histogram(rng.normal(500, 30, 200), title="fig4")
+        assert text.startswith("fig4")
+        assert "4" in text.splitlines()[-1]  # axis labels present
+
+    def test_empty(self):
+        assert ascii_histogram([]) == "(no samples)"
+
+    def test_bimodal_shows_two_masses(self):
+        samples = [100.0] * 50 + [900.0] * 50
+        text = ascii_histogram(samples, bins=20, height=4)
+        body = text.splitlines()[-2]
+        assert body[0] != " " and body[-1] != " "
+        assert " " in body[5:15]  # valley between the modes
+
+
+class TestSeries:
+    def test_marks_points(self):
+        text = ascii_series([1, 2, 3, 4], [10, 20, 15, 40], width=20, height=5)
+        assert text.count("*") >= 3
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_series([1, 2, 3], [5, 5, 5])
+        assert "*" in text
+
+    def test_empty(self):
+        assert ascii_series([], []) == "(no data)"
+
+
+class TestBars:
+    def test_longest_bar_for_max(self):
+        text = ascii_bars(["a", "bb"], [1.0, 4.0], width=8)
+        line_a, line_b = text.splitlines()
+        assert line_b.count("#") > line_a.count("#")
+
+    def test_values_printed(self):
+        text = ascii_bars(["x"], [3.5])
+        assert "3.5" in text
+
+    def test_empty(self):
+        assert ascii_bars([], []) == "(no data)"
+
+
+class TestWaveform:
+    def test_two_levels(self):
+        values = [600.0] * 10 + [950.0] * 10
+        text = ascii_waveform(range(20), values, threshold=790.0)
+        assert text == "_" * 10 + "#" * 10
+
+    def test_downsamples_to_width(self):
+        values = [600.0] * 100
+        text = ascii_waveform(range(100), values, threshold=790.0, width=25)
+        assert len(text) == 25
+
+    def test_empty(self):
+        assert ascii_waveform([], [], 0.0) == "(no samples)"

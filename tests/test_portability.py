@@ -1,0 +1,39 @@
+"""Porting the attacks to a Volta box (DGX-1V), per §II-B's expectation."""
+
+import pytest
+
+from repro.config import DGXSpec
+from repro.core.covert.channel import CovertChannel
+from repro.core.reverse_engineering import reverse_engineer_cache
+from repro.runtime.api import Runtime
+
+
+@pytest.fixture(scope="module")
+def volta_runtime():
+    return Runtime(DGXSpec.dgx1v(), seed=23)
+
+
+def test_volta_spec_geometry():
+    spec = DGXSpec.dgx1v()
+    assert spec.gpu.cache.size_bytes == 6 * 1024 * 1024
+    assert spec.gpu.cache.associativity == 12
+    assert spec.nvlink.bandwidth_bytes_per_s == 25e9
+    assert spec.num_gpus == 8
+
+
+@pytest.mark.slow
+def test_reverse_engineering_ports_to_volta(volta_runtime):
+    """No Pascal constants anywhere: the pipeline rediscovers Volta's L2."""
+    report = reverse_engineer_cache(volta_runtime)
+    assert report.associativity == 12
+    assert report.num_sets == 4096
+    assert report.line_size == 128
+    assert report.replacement_policy == "LRU"
+
+
+@pytest.mark.slow
+def test_covert_channel_ports_to_volta(volta_runtime):
+    channel = CovertChannel(volta_runtime)
+    channel.setup(num_sets=2)
+    outcome = channel.send_text("volta")
+    assert outcome.error_rate <= 0.10

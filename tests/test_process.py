@@ -1,0 +1,83 @@
+"""Processes, device buffers, shared memory."""
+
+import pytest
+
+from repro.errors import AllocationError, TranslationError
+from repro.sim.process import WORD_BYTES, Process
+
+
+def make_process(pid=0):
+    return Process(pid=pid, name=f"p{pid}")
+
+
+def test_address_spaces_disjoint_across_pids():
+    a = make_process(0).add_allocation("x", 0, 512, (0,), 4096)
+    b = make_process(1).add_allocation("x", 0, 512, (0,), 4096)
+    assert abs(a.base_vaddr - b.base_vaddr) >= 1 << 40
+
+
+def test_paddr_uses_frames():
+    proc = make_process()
+    buf = proc.add_allocation("x", 0, 1024, (7, 3), 4096)
+    words_per_page = 4096 // WORD_BYTES
+    assert buf.paddr(0) == 7 * 4096
+    assert buf.paddr(words_per_page) == 3 * 4096
+    assert buf.paddr(words_per_page + 1) == 3 * 4096 + WORD_BYTES
+
+
+def test_paddr_bounds_checked():
+    proc = make_process()
+    buf = proc.add_allocation("x", 0, 512, (0,), 4096)
+    with pytest.raises(TranslationError):
+        buf.paddr(512)
+    with pytest.raises(TranslationError):
+        buf.paddr(-1)
+
+
+def test_vaddr_arithmetic():
+    proc = make_process()
+    buf = proc.add_allocation("x", 0, 512, (0,), 4096)
+    assert buf.vaddr(3) == buf.base_vaddr + 3 * WORD_BYTES
+
+
+def test_load_store_roundtrip():
+    proc = make_process()
+    buf = proc.add_allocation("x", 0, 512, (0,), 4096)
+    buf.store(17, 42)
+    assert buf.load(17) == 42
+
+
+def test_frame_count_validation():
+    proc = make_process()
+    with pytest.raises(AllocationError):
+        proc.add_allocation("x", 0, 1024, (0,), 4096)  # needs 2 frames
+
+
+def test_zero_word_allocation_rejected():
+    with pytest.raises(AllocationError):
+        make_process().add_allocation("x", 0, 0, (), 4096)
+
+
+def test_shared_buffer_reuse_by_name():
+    proc = make_process()
+    a = proc.shared_buffer("times", 8)
+    b = proc.shared_buffer("times", 8)
+    assert a is b
+    c = proc.shared_buffer("other", 4)
+    assert c is not a
+
+
+def test_peer_access_book_keeping():
+    proc = make_process()
+    assert proc.has_peer_access(0, 0)  # local always allowed
+    assert not proc.has_peer_access(1, 0)
+    proc.enable_peer_access(1, 0)
+    assert proc.has_peer_access(1, 0)
+    assert not proc.has_peer_access(0, 1)  # directional
+
+
+def test_find_buffer():
+    proc = make_process()
+    buf = proc.add_allocation("probe", 0, 512, (0,), 4096)
+    assert proc.find_buffer("probe") is buf
+    assert proc.find_buffer("nope") is None

@@ -1,0 +1,145 @@
+"""System-level property tests (hypothesis): invariants the attacks rely on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheSpec, DGXSpec
+from repro.hw.cache import L2Cache
+from repro.runtime.api import Runtime
+from repro.sim.ops import Compute, ProbeSet, ReadClock
+
+
+class TestCacheInvariants:
+    @given(
+        accesses=st.lists(
+            st.integers(min_value=0, max_value=255), min_size=1, max_size=400
+        ),
+        policy=st.sampled_from(["lru", "plru", "random"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_never_exceeds_geometry(self, accesses, policy):
+        spec = CacheSpec(num_sets=8, associativity=2, num_banks=4, replacement=policy)
+        cache = L2Cache(spec, np.random.default_rng(0))
+        for line in accesses:
+            cache.access(line * spec.line_size, now=0.0)
+        for set_index in range(spec.num_sets):
+            assert cache.set_occupancy(set_index) <= spec.associativity
+
+    @given(
+        accesses=st.lists(
+            st.integers(min_value=0, max_value=255), min_size=1, max_size=200
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_immediate_reaccess_always_hits_lru(self, accesses):
+        spec = CacheSpec(num_sets=8, associativity=2, num_banks=4)
+        cache = L2Cache(spec, np.random.default_rng(0))
+        for line in accesses:
+            cache.access(line * spec.line_size, now=0.0)
+            assert cache.probe_line(line * spec.line_size)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_lru_thrash_period_is_assoc_plus_one(self, seed):
+        """The Fig 5 premise as a property: for ANY set, accessing
+        assoc+1 same-set lines cyclically never hits."""
+        spec = CacheSpec(num_sets=16, associativity=4, num_banks=4)
+        cache = L2Cache(spec, np.random.default_rng(seed))
+        rng = np.random.default_rng(seed)
+        target_set = int(rng.integers(16))
+        lines = [w * spec.set_stride + target_set * spec.line_size for w in range(5)]
+        for line in lines:  # warm
+            cache.access(line, 0.0)
+        hits = sum(cache.access(line, 1.0).hit for _ in range(3) for line in lines)
+        assert hits == 0
+
+
+class TestNumaInvariant:
+    @given(seed=st.integers(0, 1_000), home=st.integers(0, 1))
+    @settings(max_examples=15, deadline=None)
+    def test_lines_cached_only_at_home_gpu(self, seed, home):
+        """The paper's central discovery as a property: wherever an access
+        executes, the line lands in the home GPU's L2 and nowhere else."""
+        runtime = Runtime(DGXSpec.small(), seed=seed)
+        proc = runtime.create_process()
+        runtime.enable_peer_access(proc, 0, 1)
+        runtime.enable_peer_access(proc, 1, 0)
+        buf = runtime.malloc_lines(proc, home, 4)
+        exec_gpu = 1 - home
+        runtime.system.access_word(proc, buf, 0, exec_gpu=exec_gpu, now=0.0)
+        home_l2 = runtime.system.gpus[home].l2
+        other_l2 = runtime.system.gpus[1 - home].l2
+        paddr = buf.paddr(0)
+        assert home_l2.probe_line(paddr)
+        assert not other_l2.probe_line(paddr)
+
+
+class TestEngineInvariants:
+    @given(
+        periods=st.lists(st.integers(50, 500), min_size=2, max_size=6),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_observed_times_globally_monotone(self, periods, seed):
+        runtime = Runtime(DGXSpec.small(), seed=seed)
+        proc = runtime.create_process()
+        observed = []
+
+        def ticker(period):
+            for _ in range(5):
+                yield Compute(period)
+                now = yield ReadClock()
+                observed.append(now)
+
+        for index, period in enumerate(periods):
+            runtime.launch(ticker(period), index % 2, proc, name=f"t{index}")
+        runtime.synchronize()
+        assert observed == sorted(observed)
+
+    @given(num_lines=st.integers(1, 16), seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_probe_total_bounds(self, num_lines, seed):
+        """Sequential probe time equals the latency sum; parallel probe
+        time is bounded by [max latency, sum of latencies]."""
+        runtime = Runtime(DGXSpec.small(), seed=seed)
+        proc = runtime.create_process()
+        buf = runtime.malloc_lines(proc, 0, num_lines)
+        wpl = runtime.system.spec.gpu.cache.line_size // 8
+        indices = [i * wpl for i in range(num_lines)]
+
+        def probe(parallel):
+            result = yield ProbeSet(buf, indices, parallel=parallel)
+            return result
+
+        sequential = runtime.run_kernel(probe(False), 0, proc)
+        assert sequential.total_latency == pytest.approx(
+            sum(sequential.latencies)
+        )
+        runtime.system.gpus[0].l2.invalidate_all()
+        parallel = runtime.run_kernel(probe(True), 0, proc)
+        assert parallel.total_latency <= sum(parallel.latencies) + 1e-9
+        assert parallel.total_latency >= max(parallel.latencies) - 1e-9
+
+
+class TestFrameAccounting:
+    @given(
+        sizes=st.lists(st.integers(1, 6), min_size=1, max_size=10),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_alloc_free_conserves_frames(self, sizes, seed):
+        runtime = Runtime(DGXSpec.small(), seed=seed)
+        memory = runtime.system.gpus[0].memory
+        before = memory.free_frames
+        proc = runtime.create_process()
+        page = runtime.system.spec.gpu.page_size
+        buffers = [
+            runtime.malloc(proc, 0, pages * page, name=f"b{i}")
+            for i, pages in enumerate(sizes)
+        ]
+        assert memory.free_frames == before - sum(sizes)
+        for buf in buffers:
+            runtime.free(buf)
+        assert memory.free_frames == before

@@ -1,0 +1,57 @@
+"""Reactive defense: detection triggers partitioning mid-attack."""
+
+import numpy as np
+import pytest
+
+from repro.core.covert.channel import CovertChannel
+from repro.defense.monitor import ReactiveDefense
+from repro.errors import ReproError
+from repro.workloads import make_workload
+
+
+class TestReactiveDefense:
+    def test_quiet_box_never_triggers(self, runtime):
+        defense = ReactiveDefense(runtime, gpu_id=0, max_windows=5)
+        defense.arm()
+        runtime.synchronize()
+        assert not defense.triggered
+        assert len(defense.reports) == 5
+
+    def test_double_arm_rejected(self, runtime):
+        defense = ReactiveDefense(runtime, gpu_id=0, max_windows=1)
+        defense.arm()
+        with pytest.raises(ReproError):
+            defense.arm()
+
+    def test_honest_workload_does_not_trigger(self, runtime):
+        defense = ReactiveDefense(runtime, gpu_id=0, max_windows=8)
+        victim = runtime.create_process("honest")
+        workload = make_workload("vectoradd", scale=0.05)
+        workload.allocate(runtime, victim, 0)
+        defense.arm()
+        runtime.launch(workload.kernel(), 0, victim, name="honest")
+        runtime.synchronize()
+        assert not defense.triggered
+
+    def test_attack_triggers_and_kills_channel(self, runtime):
+        channel = CovertChannel(runtime)
+        channel.setup(num_sets=1)
+
+        defense = ReactiveDefense(runtime, gpu_id=0, window_cycles=100_000.0)
+        rng = np.random.default_rng(8)
+        bits = [int(b) for b in rng.integers(0, 2, 256)]
+
+        attack_start = runtime.engine.now
+        pending = channel.launch_transmission(bits)
+        defense.arm()
+        runtime.synchronize()
+        outcome = channel.decode_transmission(pending, strict=False)
+
+        assert defense.triggered
+        latency = defense.detection_latency(attack_start)
+        assert latency is not None and latency > 0
+        # The transmission outlives several windows, so early bits got
+        # through but the post-trigger remainder is corrupted.
+        assert outcome.error_rate > 0.10
+        # Detection happened well before the transmission ended.
+        assert latency < outcome.duration_cycles + 20_000.0

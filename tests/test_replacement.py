@@ -1,0 +1,167 @@
+"""Replacement policies, including a hypothesis LRU reference model."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hw.replacement import LruSet, PlruSet, RandomSet, make_set
+
+
+class TestLruSet:
+    def test_miss_then_hit(self):
+        s = LruSet(2)
+        hit, evicted = s.access(1)
+        assert (hit, evicted) == (False, None)
+        hit, evicted = s.access(1)
+        assert (hit, evicted) == (True, None)
+
+    def test_evicts_least_recently_used(self):
+        s = LruSet(2)
+        s.access(1)
+        s.access(2)
+        s.access(1)  # 2 is now LRU
+        hit, evicted = s.access(3)
+        assert not hit and evicted == 2
+
+    def test_fills_before_evicting(self):
+        s = LruSet(4)
+        for tag in range(4):
+            _hit, evicted = s.access(tag)
+            assert evicted is None
+
+    def test_resident_tags(self):
+        s = LruSet(3)
+        for tag in (5, 6, 7):
+            s.access(tag)
+        assert sorted(s.resident_tags()) == [5, 6, 7]
+
+    def test_invalidate(self):
+        s = LruSet(2)
+        s.access(9)
+        assert s.invalidate(9) is True
+        assert s.invalidate(9) is False
+        assert not s.contains(9)
+
+    def test_thrash_pattern_all_misses(self):
+        """assoc+1 lines accessed cyclically under LRU never hit."""
+        s = LruSet(4)
+        hits = 0
+        for round_ in range(5):
+            for tag in range(5):
+                hit, _ = s.access(tag)
+                hits += hit
+        assert hits == 0
+
+    @given(
+        ops=st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=200),
+        assoc=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_model(self, ops, assoc):
+        """LruSet behaves exactly like an OrderedDict reference LRU."""
+        real = LruSet(assoc)
+        model: "OrderedDict[int, None]" = OrderedDict()
+        for tag in ops:
+            hit, evicted = real.access(tag)
+            expected_hit = tag in model
+            expected_evicted = None
+            if expected_hit:
+                model.move_to_end(tag)
+            else:
+                if len(model) >= assoc:
+                    expected_evicted, _ = model.popitem(last=False)
+                model[tag] = None
+            assert hit == expected_hit
+            assert evicted == expected_evicted
+            assert sorted(real.resident_tags()) == sorted(model)
+
+
+class TestPlruSet:
+    def test_requires_pow2(self):
+        with pytest.raises(ConfigurationError):
+            PlruSet(3)
+
+    def test_basic_hit_miss(self):
+        s = PlruSet(4)
+        assert s.access(1) == (False, None)
+        assert s.access(1) == (True, None)
+
+    def test_fills_invalid_ways_first(self):
+        s = PlruSet(4)
+        for tag in range(4):
+            _hit, evicted = s.access(tag)
+            assert evicted is None
+        _hit, evicted = s.access(99)
+        assert evicted is not None
+
+    def test_victim_is_not_most_recent(self):
+        s = PlruSet(4)
+        for tag in range(4):
+            s.access(tag)
+        s.access(3)  # make 3 hottest
+        _hit, evicted = s.access(50)
+        assert evicted != 3
+
+    def test_invalidate_frees_way(self):
+        s = PlruSet(4)
+        for tag in range(4):
+            s.access(tag)
+        assert s.invalidate(2)
+        _hit, evicted = s.access(77)
+        assert evicted is None  # reused the freed way
+
+    @given(ops=st.lists(st.integers(0, 7), min_size=1, max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_never_exceeds_ways(self, ops):
+        s = PlruSet(4)
+        for tag in ops:
+            s.access(tag)
+            assert len(s.resident_tags()) <= 4
+
+
+class TestRandomSet:
+    def test_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            make_set("random", 4, rng=None)
+
+    def test_hit_behaviour(self):
+        s = RandomSet(2, np.random.default_rng(0))
+        s.access(1)
+        assert s.access(1) == (True, None)
+
+    def test_eviction_is_from_resident(self):
+        rng = np.random.default_rng(1)
+        s = RandomSet(2, rng)
+        s.access(1)
+        s.access(2)
+        _hit, evicted = s.access(3)
+        assert evicted in (1, 2)
+
+    def test_not_deterministic_across_fills(self):
+        """Unlike LRU, the victim varies -- the ablation's point."""
+        rng = np.random.default_rng(2)
+        evictions = set()
+        for trial in range(20):
+            s = RandomSet(4, rng)
+            for tag in range(4):
+                s.access(tag)
+            _hit, evicted = s.access(100)
+            evictions.add(evicted)
+        assert len(evictions) > 1
+
+
+class TestMakeSet:
+    def test_dispatch(self):
+        assert isinstance(make_set("lru", 4), LruSet)
+        assert isinstance(make_set("plru", 4), PlruSet)
+        assert isinstance(
+            make_set("random", 4, np.random.default_rng(0)), RandomSet
+        )
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            make_set("mru", 4)

@@ -1,0 +1,46 @@
+"""Whole-evaluation report generator (on the scaled-down box)."""
+
+import pytest
+
+from repro.experiments.report import EXPERIMENTS, generate_report, run_experiment
+
+
+def test_registry_covers_all_paper_artifacts():
+    expected = {
+        "fig4", "table1", "fig5", "fig6", "fig7", "fig9", "fig10",
+        "fig11", "fig12", "table2", "fig14", "fig15",
+        "sec6-noise", "sec7-defense",
+    }
+    assert expected == set(EXPERIMENTS)
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        run_experiment("fig99")
+    with pytest.raises(KeyError):
+        generate_report(only=["nope"], small=True)
+
+
+def test_single_experiment_runs_small():
+    result = run_experiment("fig4", seed=3, small=True)
+    assert result.experiment_id == "fig4"
+    assert len(result.rows) == 4
+
+
+def test_report_subset_renders_and_persists(tmp_path):
+    text = generate_report(
+        seed=3,
+        small=True,
+        only=["fig4", "table1"],
+        json_dir=tmp_path / "json",
+        progress=lambda _msg: None,
+    )
+    assert "fig4" in text and "table1" in text
+    assert "scaled-down box" in text
+    assert (tmp_path / "json" / "fig4.json").exists()
+    assert (tmp_path / "json" / "table1.json").exists()
+
+    from repro.analysis.persistence import load_result
+
+    restored = load_result(tmp_path / "json" / "fig4.json")
+    assert restored.experiment_id == "fig4"

@@ -1,0 +1,33 @@
+"""Seeded RNG fan-out."""
+
+from repro.sim.rng import RngFanout, derive_seed
+
+
+def test_same_key_same_stream():
+    fan = RngFanout(7)
+    a = fan.generator("x").random(5)
+    b = fan.generator("x").random(5)
+    assert (a == b).all()
+
+
+def test_different_keys_differ():
+    fan = RngFanout(7)
+    assert (fan.generator("x").random(5) != fan.generator("y").random(5)).any()
+
+
+def test_different_seeds_differ():
+    a = RngFanout(1).generator("x").random(5)
+    b = RngFanout(2).generator("x").random(5)
+    assert (a != b).any()
+
+
+def test_child_fanout_is_deterministic():
+    a = RngFanout(3).child("sub").generator("k").random(3)
+    b = RngFanout(3).child("sub").generator("k").random(3)
+    assert (a == b).all()
+
+
+def test_derive_seed_positive_63bit():
+    for key in ("a", "b", "c/d"):
+        seed = derive_seed(12345, key)
+        assert 0 <= seed < 2**63

@@ -1,0 +1,116 @@
+"""CUDA-like runtime API: allocation, peer access, free semantics."""
+
+import pytest
+
+from repro.config import DGXSpec
+from repro.errors import AllocationError, PeerAccessError
+from repro.runtime.api import Runtime
+from repro.runtime.kernel import line_stride_indices
+from repro.sim.ops import Access
+
+
+@pytest.fixture
+def rt():
+    return Runtime(DGXSpec.small(), seed=5)
+
+
+class TestMalloc:
+    def test_buffer_homed_on_requested_device(self, rt):
+        proc = rt.create_process()
+        buf = rt.malloc(proc, 1, 8192, name="b")
+        assert buf.device_id == 1
+
+    def test_rejects_unaligned_size(self, rt):
+        proc = rt.create_process()
+        with pytest.raises(AllocationError):
+            rt.malloc(proc, 0, 12)
+
+    def test_rejects_zero_size(self, rt):
+        proc = rt.create_process()
+        with pytest.raises(AllocationError):
+            rt.malloc(proc, 0, 0)
+
+    def test_rejects_bad_device(self, rt):
+        proc = rt.create_process()
+        with pytest.raises(AllocationError):
+            rt.malloc(proc, 9, 4096)
+
+    def test_malloc_lines(self, rt):
+        proc = rt.create_process()
+        buf = rt.malloc_lines(proc, 0, 4)
+        assert buf.size_bytes == 4 * rt.system.spec.gpu.cache.line_size
+
+    def test_distinct_buffers_distinct_frames(self, rt):
+        proc = rt.create_process()
+        a = rt.malloc(proc, 0, 8192, name="a")
+        b = rt.malloc(proc, 0, 8192, name="b")
+        assert not set(a.frames) & set(b.frames)
+
+    def test_virtual_addresses_do_not_overlap(self, rt):
+        proc = rt.create_process()
+        a = rt.malloc(proc, 0, 8192, name="a")
+        b = rt.malloc(proc, 0, 8192, name="b")
+        assert a.base_vaddr + a.size_bytes <= b.base_vaddr
+
+
+class TestFree:
+    def test_free_returns_frames(self, rt):
+        proc = rt.create_process()
+        before = rt.system.gpus[0].memory.free_frames
+        buf = rt.malloc(proc, 0, 8192)
+        rt.free(buf)
+        assert rt.system.gpus[0].memory.free_frames == before
+        assert buf not in proc.buffers
+
+    def test_free_scrubs_cached_lines(self, rt):
+        """Recycled frames must not leak warm lines to the next owner --
+        the bug class that would corrupt re-calibration otherwise."""
+        proc = rt.create_process()
+        buf = rt.malloc_lines(proc, 0, 4)
+
+        def touch():
+            for index in line_stride_indices(4, rt.system.spec.gpu.cache.line_size):
+                yield Access(buf, index)
+
+        rt.run_kernel(touch(), 0, proc)
+        assert rt.system.line_is_cached(buf, 0)
+        frames = buf.frames
+        rt.free(buf)
+        gpu = rt.system.gpus[0]
+        base = frames[0] * rt.system.spec.gpu.page_size
+        assert not gpu.l2.probe_line(base)
+
+
+class TestPeerAccess:
+    def test_enable_requires_nvlink(self, rt):
+        proc = rt.create_process()
+        rt.enable_peer_access(proc, 0, 1)  # ring edge exists
+        assert proc.has_peer_access(0, 1)
+
+    def test_unknown_gpu_raises(self, rt):
+        proc = rt.create_process()
+        with pytest.raises((PeerAccessError, AllocationError)):
+            rt.enable_peer_access(proc, 0, 7)
+
+
+class TestKernelHelpers:
+    def test_line_stride_indices(self):
+        assert line_stride_indices(3, 128) == [0, 16, 32]
+        assert line_stride_indices(2, 128, start_line=4) == [64, 80]
+
+    def test_run_concurrent_returns_handles(self, rt):
+        proc = rt.create_process()
+
+        def kernel(value):
+            from repro.sim.ops import Compute
+
+            yield Compute(10)
+            return value
+
+        handles = rt.run_concurrent(
+            [
+                dict(kernel=kernel(1), gpu_id=0, process=proc, name="a"),
+                dict(kernel=kernel(2), gpu_id=1, process=proc, name="b"),
+            ]
+        )
+        assert [h.result for h in handles] == [1, 2]

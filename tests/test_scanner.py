@@ -1,0 +1,47 @@
+"""Box-wide scanning (the §V-A 'first step' extension)."""
+
+import pytest
+
+from repro.config import DGXSpec
+from repro.core.sidechannel.scanner import BoxScanner, plan_spy_placement
+from repro.runtime.api import Runtime
+from repro.workloads import make_workload
+
+
+class TestPlacement:
+    def test_dgx1_covered_by_few_spies(self):
+        runtime = Runtime(DGXSpec.small(num_gpus=8), seed=1)
+        placement = plan_spy_placement(runtime)
+        covered = set()
+        for spy, targets in placement.items():
+            covered.add(spy)
+            covered.update(targets)
+            for target in targets:
+                assert runtime.system.topology.are_peers(spy, target)
+        assert covered == set(range(8))
+        assert len(placement) <= 3
+
+    def test_two_gpu_box(self):
+        runtime = Runtime(DGXSpec.small(), seed=1)
+        placement = plan_spy_placement(runtime)
+        covered = {t for ts in placement.values() for t in ts} | set(placement)
+        assert covered == {0, 1}
+
+
+class TestScan:
+    @pytest.fixture
+    def scanner(self):
+        runtime = Runtime(DGXSpec.small(), seed=9)
+        return BoxScanner(runtime, num_sets=8, bin_cycles=10_000.0)
+
+    def test_idle_box_reports_inactive(self, scanner):
+        report = scanner.scan(observation_cycles=300_000.0)
+        assert report.active_gpus() == []
+
+    def test_victim_located(self, scanner):
+        victim = make_workload("vectoradd", scale=0.02, seed=1)
+        report = scanner.scan(
+            victims={0: victim}, observation_cycles=1_000_000.0
+        )
+        assert 0 in report.active_gpus()
+        assert "gpu" in report.summary()

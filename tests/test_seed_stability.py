@@ -1,0 +1,46 @@
+"""Headline results must not be seed-lucky (small-box sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.config import DGXSpec
+from repro.core.covert.channel import CovertChannel
+from repro.core.timing import characterize_timing
+from repro.runtime.api import Runtime
+
+
+@pytest.mark.parametrize("seed", [1, 2, 5, 8, 13])
+def test_timing_clusters_separate_for_any_seed(seed):
+    runtime = Runtime(DGXSpec.small(), seed=seed)
+    assert characterize_timing(runtime).clusters_are_separated()
+
+
+@pytest.mark.parametrize("seed", [1, 2, 5, 8, 13])
+def test_covert_channel_reliable_for_any_seed(seed):
+    runtime = Runtime(DGXSpec.small(), seed=seed)
+    channel = CovertChannel(runtime)
+    channel.setup(num_sets=2)
+    rng = np.random.default_rng(seed)
+    bits = [int(b) for b in rng.integers(0, 2, 96)]
+    outcome = channel.transmit(bits, strict=False)
+    assert outcome.error_rate <= 0.10, f"seed {seed}: {outcome.error_rate}"
+
+
+@pytest.mark.parametrize("seed", [1, 5, 13])
+def test_coloring_covers_cache_for_any_seed(seed):
+    from repro.core.eviction import discover_page_coloring
+
+    runtime = Runtime(DGXSpec.small(), seed=seed)
+    thresholds = characterize_timing(runtime).thresholds()
+    process = runtime.create_process("spy")
+    runtime.enable_peer_access(process, 1, 0)
+    spec = runtime.system.spec.gpu
+    buffer = runtime.malloc(
+        process, 0, 2 * (2 * spec.cache.associativity + 2) * spec.page_size
+    )
+    coloring = discover_page_coloring(
+        runtime, process, 1, buffer, spec.cache.associativity, thresholds.remote
+    )
+    # Both colors of the small box found, each with a full set's worth.
+    assert len(coloring.groups) == 2
+    assert all(len(g) >= spec.cache.associativity for g in coloring.groups)

@@ -1,0 +1,98 @@
+"""Memorygram phase segmentation (the §V-A kernel-location step)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.segmentation import (
+    Phase,
+    phase_signature_similarity,
+    segment_phases,
+)
+from repro.core.sidechannel.memorygram import Memorygram
+
+
+def gram_from(data):
+    return Memorygram(np.asarray(data, dtype=np.int64), 1000.0, 0.0)
+
+
+def synthetic_phases(patterns, bins_per_phase=10, gap_bins=4, sets=12):
+    """Build a memorygram with known phases and quiet gaps."""
+    columns = []
+    for hot_rows in patterns:
+        profile = np.zeros(sets, dtype=np.int64)
+        profile[list(hot_rows)] = 30
+        for _ in range(bins_per_phase):
+            columns.append(profile)
+        for _ in range(gap_bins):
+            columns.append(np.zeros(sets, dtype=np.int64))
+    return gram_from(np.stack(columns, axis=1))
+
+
+class TestSegmentation:
+    def test_empty_gram_no_phases(self):
+        assert segment_phases(gram_from(np.zeros((4, 20)))) == []
+
+    def test_counts_gap_separated_phases(self):
+        gram = synthetic_phases([(0, 1), (4, 5), (8, 9)])
+        phases = segment_phases(gram)
+        assert len(phases) == 3
+
+    def test_detects_signature_change_without_gap(self):
+        gram = synthetic_phases([(0, 1, 2)], gap_bins=0)
+        other = synthetic_phases([(8, 9, 10)], gap_bins=0)
+        stitched = gram_from(
+            np.concatenate([gram.data, other.data], axis=1)
+        )
+        phases = segment_phases(stitched, smooth_bins=1)
+        assert len(phases) == 2
+        assert phases[0].end_bin == phases[1].start_bin
+
+    def test_phase_boundaries_and_totals(self):
+        gram = synthetic_phases([(0,), (5,)], bins_per_phase=8, gap_bins=3)
+        phases = segment_phases(gram)
+        assert phases[0].start_bin == 0
+        assert phases[0].num_bins >= 6
+        assert sum(p.total_misses for p in phases) == int(gram.data.sum())
+
+    def test_signatures_identify_recurring_phase(self):
+        """The same kernel appearing twice produces near-identical
+        signatures; a different kernel does not."""
+        gram = synthetic_phases([(0, 1), (6, 7), (0, 1)])
+        phases = segment_phases(gram)
+        assert len(phases) == 3
+        same = phase_signature_similarity(phases[0], phases[2])
+        different = phase_signature_similarity(phases[0], phases[1])
+        assert same > 0.99
+        assert different < 0.2
+
+    def test_fragments_merge_into_neighbours(self):
+        data = np.zeros((6, 20), dtype=np.int64)
+        data[0, :10] = 30
+        data[0, 10] = 31  # a 1-bin blip with the same rows stays merged
+        phases = segment_phases(gram_from(data), smooth_bins=1)
+        assert len(phases) == 1
+
+    def test_duration_helper(self):
+        phase = Phase(2, 7, 10, np.ones(3) / np.sqrt(3))
+        assert phase.num_bins == 5
+        assert phase.duration_cycles(1000.0) == 5000.0
+
+
+class TestOnSimulatedVictims:
+    def test_mlp_batches_appear_as_phases(self, runtime):
+        from repro.core.sidechannel.prober import MemorygramProber
+        from repro.workloads.mlp import MLPTraining
+
+        prober = MemorygramProber(runtime)
+        prober.setup(num_sets=16)
+        victim = MLPTraining(
+            hidden_neurons=32,
+            epochs=2,
+            batches_per_epoch=1,
+            target_batch_cycles=400_000.0,
+            epoch_gap_cycles=150_000.0,
+        )
+        gram = prober.record(victim, bin_cycles=20_000.0)
+        phases = segment_phases(gram)
+        # Two epochs, separated by the epoch gap: at least two phases.
+        assert len(phases) >= 2

@@ -1,0 +1,133 @@
+"""End-to-end §V attacks on the scaled-down box."""
+
+import numpy as np
+import pytest
+
+from repro.core.sidechannel.fingerprint import FingerprintAttack, FingerprintDataset
+from repro.core.sidechannel.memorygram import Memorygram
+from repro.core.sidechannel.model_extraction import (
+    ModelExtractionAttack,
+    NeuronCountReport,
+    count_epochs,
+    infer_hidden_size,
+)
+from repro.errors import AttackError
+
+
+class TestFingerprintSmall:
+    @pytest.fixture
+    def attack(self, runtime):
+        return FingerprintAttack(
+            runtime, num_sets=16, workload_scale=0.03, bin_cycles=10_000.0, seed=1
+        )
+
+    def test_memorygrams_differ_across_apps(self, attack):
+        gram_a = attack.record_app("vectoradd", trace_seed=0)
+        gram_b = attack.record_app("histogram", trace_seed=0)
+        assert gram_a.total_misses() > 0 and gram_b.total_misses() > 0
+        from repro.analysis.features import memorygram_features
+
+        fa = memorygram_features(gram_a)
+        fb = memorygram_features(gram_b)
+        assert not np.allclose(fa, fb)
+
+    def test_two_class_attack_beats_chance(self, attack):
+        result = attack.run(
+            apps=("vectoradd", "blackscholes"), traces_per_app=6, train_fraction=0.5
+        )
+        assert result.accuracy >= 0.75
+        assert result.confusion.shape == (2, 2)
+
+    def test_single_class_rejected(self, attack):
+        dataset = attack.collect_dataset(apps=("vectoradd",), traces_per_app=2)
+        with pytest.raises(AttackError):
+            attack.evaluate(dataset)
+
+    def test_dataset_split_stratified(self):
+        X = np.zeros((12, 4))
+        y = np.array(["a"] * 6 + ["b"] * 6)
+        dataset = FingerprintDataset(X=X, y=y)
+        train, test = dataset.split(0.5, seed=0)
+        assert sorted(np.unique(train.y)) == ["a", "b"]
+        assert sorted(np.unique(test.y)) == ["a", "b"]
+        assert len(train.y) + len(test.y) == 12
+
+
+class TestModelExtractionSmall:
+    @pytest.fixture
+    def attack(self, runtime):
+        return ModelExtractionAttack(
+            runtime,
+            num_sets=16,
+            bin_cycles=20_000.0,
+            batches_per_epoch=1,
+            max_duration_cycles=4_000_000.0,
+            seed=2,
+        )
+
+    def _fast_victim_kwargs(self):
+        return dict()
+
+    def test_wider_layer_more_misses(self, runtime, attack):
+        from repro.workloads.mlp import MLPTraining
+
+        # patch in small, fast victims via record_training's parameters
+        totals = []
+        for hidden in (32, 256):
+            victim = MLPTraining(
+                hidden_neurons=hidden,
+                batches_per_epoch=1,
+                target_batch_cycles=600_000.0,
+                epoch_gap_cycles=100_000.0,
+                seed=3,
+            )
+            gram = attack.prober.setup(num_sets=16) if not attack._ready else None
+            attack._ready = True
+            gram = attack.prober.record(
+                victim, bin_cycles=20_000.0, max_duration_cycles=4_000_000.0
+            )
+            totals.append(gram.total_misses())
+        assert totals[1] > totals[0]
+
+    def test_report_monotonic_check(self):
+        report = NeuronCountReport()
+        gram = Memorygram(np.zeros((2, 2)), 1.0, 0.0)
+        for hidden, avg in ((64, 10.0), (128, 20.0), (256, 30.0)):
+            report.add(hidden, avg, gram)
+        assert report.is_monotonic()
+        report.add(512, 5.0, gram)
+        assert not report.is_monotonic()
+        assert "Number of Neurons" in report.summary()
+
+    def test_infer_hidden_size_nearest(self):
+        rows = [(64, 100.0), (128, 200.0), (256, 400.0)]
+        assert infer_hidden_size(180.0, rows) == 128
+        assert infer_hidden_size(90.0, rows) == 64
+        assert infer_hidden_size(500.0, rows) == 256
+        with pytest.raises(AttackError):
+            infer_hidden_size(1.0, [])
+
+
+class TestCountEpochs:
+    def _gram_with_bursts(self, bursts, burst_bins=10, gap_bins=8):
+        bins = []
+        for _ in range(bursts):
+            bins.extend([40] * burst_bins)
+            bins.extend([0] * gap_bins)
+        data = np.tile(np.array(bins), (4, 1))
+        return Memorygram(data=data, bin_cycles=1000.0, start_time=0.0)
+
+    @pytest.mark.parametrize("true_epochs", [1, 2, 3, 5])
+    def test_counts_bursts(self, true_epochs):
+        gram = self._gram_with_bursts(true_epochs)
+        assert count_epochs(gram) == true_epochs
+
+    def test_empty_gram_zero_epochs(self):
+        gram = Memorygram(np.zeros((4, 20)), 1000.0, 0.0)
+        assert count_epochs(gram) == 0
+
+    def test_short_dips_not_counted_as_gaps(self):
+        data = np.full((4, 30), 40)
+        data[:, 10] = 0  # one quiet bin only
+        gram = Memorygram(data, 1000.0, 0.0)
+        assert count_epochs(gram) == 1

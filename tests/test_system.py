@@ -1,0 +1,164 @@
+"""The NUMA access path: the paper's central reverse-engineering result."""
+
+import numpy as np
+import pytest
+
+from repro.config import DGXSpec
+from repro.errors import PeerAccessError
+from repro.hw.system import MultiGPUSystem
+from repro.runtime.api import Runtime
+
+
+@pytest.fixture
+def rt():
+    return Runtime(DGXSpec.small(), seed=11)
+
+
+def _alloc(rt, process, device, lines=8, name="buf"):
+    return rt.malloc_lines(process, device, lines, name=name)
+
+
+class TestNumaCaching:
+    def test_local_access_cached_locally(self, rt):
+        proc = rt.create_process()
+        buf = _alloc(rt, proc, 0)
+        result = rt.system.access_word(proc, buf, 0, exec_gpu=0, now=0.0)
+        assert not result.hit and not result.remote and result.home_gpu == 0
+        assert rt.system.line_is_cached(buf, 0)
+
+    def test_remote_access_cached_on_home_gpu(self, rt):
+        """Data accessed over NVLink is cached in the REMOTE (home) L2,
+        not the local one -- Section III-A's key discovery."""
+        proc = rt.create_process()
+        rt.enable_peer_access(proc, 1, 0)
+        buf = _alloc(rt, proc, 0)
+        result = rt.system.access_word(proc, buf, 0, exec_gpu=1, now=0.0)
+        assert result.remote and result.home_gpu == 0
+        # cached at home GPU 0:
+        assert rt.system.line_is_cached(buf, 0)
+        # and a subsequent remote access hits:
+        assert rt.system.access_word(proc, buf, 0, exec_gpu=1, now=10.0).hit
+
+    def test_local_and_remote_share_the_same_lines(self, rt):
+        """A local victim access and a remote spy access contend in one L2."""
+        victim = rt.create_process("victim")
+        spy = rt.create_process("spy")
+        rt.enable_peer_access(spy, 1, 0)
+        victim_buf = _alloc(rt, victim, 0, name="v")
+        rt.system.access_word(victim, victim_buf, 0, exec_gpu=0, now=0.0)
+        assert rt.system.access_word(victim, victim_buf, 0, exec_gpu=0, now=1.0).hit
+
+    def test_four_timing_classes_ordered(self, rt):
+        proc = rt.create_process()
+        rt.enable_peer_access(proc, 1, 0)
+        local = _alloc(rt, proc, 0, name="l")
+        remote = _alloc(rt, proc, 1, name="r")
+        rt.enable_peer_access(proc, 0, 1)
+        lm = rt.system.access_word(proc, local, 0, 0, 0.0).latency
+        lh = rt.system.access_word(proc, local, 0, 0, 10.0).latency
+        rm = rt.system.access_word(proc, remote, 0, 0, 20.0).latency
+        rh = rt.system.access_word(proc, remote, 0, 0, 30.0).latency
+        assert lh < lm < rh < rm
+
+
+class TestPeerAccess:
+    def test_remote_access_without_peer_raises(self, rt):
+        proc = rt.create_process()
+        buf = _alloc(rt, proc, 0)
+        with pytest.raises(PeerAccessError):
+            rt.system.access_word(proc, buf, 0, exec_gpu=1, now=0.0)
+
+    def test_peer_access_is_directional(self, rt):
+        proc = rt.create_process()
+        rt.enable_peer_access(proc, 1, 0)
+        buf1 = _alloc(rt, proc, 1)
+        with pytest.raises(PeerAccessError):
+            rt.system.access_word(proc, buf1, 0, exec_gpu=0, now=0.0)
+
+    def test_peer_access_is_per_process(self, rt):
+        a = rt.create_process("a")
+        b = rt.create_process("b")
+        rt.enable_peer_access(a, 1, 0)
+        buf = _alloc(rt, b, 0)
+        with pytest.raises(PeerAccessError):
+            rt.system.access_word(b, buf, 0, exec_gpu=1, now=0.0)
+
+    def test_non_nvlink_pair_rejected_at_enable(self):
+        """The CUDA error the paper reports for non-NVLink GPU pairs."""
+        rt8 = Runtime(DGXSpec.small(num_gpus=8), seed=1)
+        proc = rt8.create_process()
+        with pytest.raises(PeerAccessError):
+            rt8.enable_peer_access(proc, 0, 5)  # two hops in the cube-mesh
+        rt8.enable_peer_access(proc, 0, 4)  # direct cube edge is fine
+
+
+class TestCounters:
+    def test_remote_traffic_counted_on_both_ends(self, rt):
+        proc = rt.create_process()
+        rt.enable_peer_access(proc, 1, 0)
+        buf = _alloc(rt, proc, 0)
+        rt.system.access_word(proc, buf, 0, exec_gpu=1, now=0.0)
+        line = rt.system.spec.gpu.cache.line_size
+        assert rt.system.gpus[0].counters.remote_requests_in == 1
+        assert rt.system.gpus[0].counters.nvlink_bytes_out == line
+        assert rt.system.gpus[1].counters.remote_requests_out == 1
+        assert rt.system.gpus[1].counters.nvlink_bytes_in == line
+
+    def test_hit_miss_counting(self, rt):
+        proc = rt.create_process()
+        buf = _alloc(rt, proc, 0)
+        rt.system.access_word(proc, buf, 0, 0, 0.0)
+        rt.system.access_word(proc, buf, 0, 0, 1.0)
+        counters = rt.system.gpus[0].counters
+        assert counters.l2_misses >= 1 and counters.l2_hits >= 1
+
+
+class TestAccessBatch:
+    def test_batch_matches_scalar_semantics(self, rt):
+        proc = rt.create_process()
+        buf = _alloc(rt, proc, 0, lines=4)
+        wpl = rt.system.spec.gpu.cache.line_size // 8
+        indices = [i * wpl for i in range(4)]
+        latencies, hits, total, remote = rt.system.access_batch(
+            proc, buf, indices, exec_gpu=0, now=0.0, parallel=False
+        )
+        assert hits == [False] * 4  # cold
+        assert total == pytest.approx(sum(latencies))
+        assert not remote
+        latencies2, hits2, _total2, _ = rt.system.access_batch(
+            proc, buf, indices, exec_gpu=0, now=1e6, parallel=False
+        )
+        assert hits2 == [True] * 4
+
+    def test_parallel_total_is_not_sum(self, rt):
+        proc = rt.create_process()
+        buf = _alloc(rt, proc, 0, lines=8)
+        wpl = rt.system.spec.gpu.cache.line_size // 8
+        indices = [i * wpl for i in range(8)]
+        latencies, _hits, total, _ = rt.system.access_batch(
+            proc, buf, indices, exec_gpu=0, now=0.0, parallel=True
+        )
+        assert total < sum(latencies)
+        assert total >= max(latencies)
+
+    def test_batch_requires_peer_access(self, rt):
+        proc = rt.create_process()
+        buf = _alloc(rt, proc, 0)
+        with pytest.raises(PeerAccessError):
+            rt.system.access_batch(proc, buf, [0], exec_gpu=1, now=0.0, parallel=False)
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_latencies(self):
+        def trace(seed):
+            r = Runtime(DGXSpec.small(), seed=seed)
+            p = r.create_process()
+            buf = r.malloc_lines(p, 0, 8)
+            wpl = r.system.spec.gpu.cache.line_size // 8
+            lat, _, _, _ = r.system.access_batch(
+                p, buf, [i * wpl for i in range(8)], 0, 0.0, parallel=False
+            )
+            return lat
+
+        assert trace(42) == trace(42)
+        assert trace(42) != trace(43)

@@ -1,0 +1,77 @@
+"""Section III-A timing characterization (the Fig 4 microbenchmark)."""
+
+import pytest
+
+from repro.config import DGXSpec
+from repro.core.timing import CLASSES, characterize_timing, measure_access_classes
+from repro.runtime.api import Runtime
+
+
+@pytest.fixture
+def report(runtime):
+    return characterize_timing(runtime)
+
+
+def test_four_classes_measured(report):
+    assert set(report.samples) == set(CLASSES)
+    for cls in CLASSES:
+        assert len(report.samples[cls]) == 48
+
+
+def test_cluster_ordering(report):
+    means = [report.mean(c) for c in CLASSES]
+    assert means == sorted(means)
+
+
+def test_clusters_are_separated(report):
+    assert report.clusters_are_separated()
+
+
+def test_means_near_configured_latencies(runtime, report):
+    timing = runtime.system.spec.timing
+    assert report.mean("local_hit") == pytest.approx(timing.local_l2_hit, rel=0.15)
+    assert report.mean("local_miss") == pytest.approx(timing.local_dram, rel=0.15)
+    assert report.mean("remote_hit") == pytest.approx(timing.remote_l2_hit, rel=0.15)
+    assert report.mean("remote_miss") == pytest.approx(timing.remote_dram, rel=0.15)
+
+
+def test_thresholds_between_clusters(report):
+    thresholds = report.thresholds()
+    assert report.mean("local_hit") < thresholds.local < report.mean("local_miss")
+    assert report.mean("remote_hit") < thresholds.remote < report.mean("remote_miss")
+
+
+def test_threshold_helpers(report):
+    thresholds = report.thresholds()
+    assert thresholds.is_remote_miss(report.mean("remote_miss"))
+    assert not thresholds.is_remote_miss(report.mean("remote_hit"))
+    assert thresholds.is_local_miss(report.mean("local_miss"))
+    assert not thresholds.is_local_miss(report.mean("local_hit"))
+    assert thresholds.remote_half_gap > 0
+
+
+def test_histogram_covers_all_samples(report):
+    counts, _edges = report.histogram(bins=40)
+    assert counts.sum() == 4 * 48
+
+
+def test_summary_mentions_all_classes(report):
+    text = report.summary()
+    for cls in CLASSES:
+        assert cls in text
+
+
+def test_measurement_uses_shared_memory_only(runtime):
+    """The timing record path must not itself pollute the L2 (the paper
+    stores timer values in shared memory for exactly this reason)."""
+    process = runtime.create_process("quiet")
+    counters = runtime.system.gpus[0].counters
+    measure_access_classes(runtime, process, 0, 1)
+    # Every L2 access was a timed __ldcg of the probe buffers: 2 passes
+    # over 48 lines on each of two buffers (plus nothing else).
+    assert counters.l2_accesses <= 4 * 48
+
+
+def test_works_on_any_nvlink_pair(eight_gpu_runtime):
+    report = characterize_timing(eight_gpu_runtime, local_gpu=2, remote_gpu=6)
+    assert report.clusters_are_separated()

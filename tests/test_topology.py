@@ -1,0 +1,77 @@
+"""DGX-1 hybrid cube-mesh topology and routing."""
+
+import pytest
+
+from repro.config import DGXSpec
+from repro.errors import ConfigurationError
+from repro.hw.topology import Topology
+
+
+@pytest.fixture
+def dgx1():
+    return Topology(DGXSpec.dgx1())
+
+
+class TestAdjacency:
+    def test_quad_members_are_peers(self, dgx1):
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert dgx1.are_peers(a, b)
+
+    def test_cube_edges_are_peers(self, dgx1):
+        for i in range(4):
+            assert dgx1.are_peers(i, i + 4)
+
+    def test_cross_quad_non_cube_not_peers(self, dgx1):
+        """The paper: peer access fails for GPUs without a direct NVLink."""
+        assert not dgx1.are_peers(0, 5)
+        assert not dgx1.are_peers(1, 6)
+        assert not dgx1.are_peers(3, 4)
+
+    def test_every_gpu_has_four_neighbors(self, dgx1):
+        for gpu in range(8):
+            assert len(dgx1.neighbors(gpu)) == 4
+
+
+class TestRouting:
+    def test_self_route_is_empty(self, dgx1):
+        assert dgx1.hops(2, 2) == 0
+
+    def test_direct_route_one_hop(self, dgx1):
+        assert dgx1.hops(0, 1) == 1
+        assert dgx1.hops(2, 6) == 1
+
+    def test_cross_quad_two_hops(self, dgx1):
+        assert dgx1.hops(0, 5) == 2
+        assert dgx1.hops(3, 4) == 2
+
+    def test_max_diameter_is_two(self, dgx1):
+        for a in range(8):
+            for b in range(8):
+                assert dgx1.hops(a, b) <= 2
+
+    def test_path_edges_are_links(self, dgx1):
+        for a in range(8):
+            for b in range(8):
+                for edge in dgx1.path(a, b):
+                    x, y = tuple(edge)
+                    assert dgx1.are_peers(x, y)
+
+    def test_path_connects_endpoints(self, dgx1):
+        path = dgx1.path(0, 5)
+        assert 0 in path[0]
+        assert 5 in path[-1]
+
+    def test_symmetric_hop_counts(self, dgx1):
+        for a in range(8):
+            for b in range(8):
+                assert dgx1.hops(a, b) == dgx1.hops(b, a)
+
+
+class TestDisconnected:
+    def test_unreachable_raises(self):
+        spec = DGXSpec(num_gpus=3, nvlink_edges=((0, 1),))
+        topo = Topology(spec)
+        with pytest.raises(ConfigurationError):
+            topo.path(0, 2)

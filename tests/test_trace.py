@@ -1,0 +1,83 @@
+"""Access-trace recorder."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.ops import Access, ProbeSet
+from repro.sim.trace import TraceRecorder, load_trace
+
+
+def _touch(rt, proc, buf, indices):
+    def kernel():
+        yield ProbeSet(buf, indices)
+
+    rt.run_kernel(kernel(), 0, proc)
+
+
+def test_records_batch_accesses(runtime):
+    proc = runtime.create_process()
+    buf = runtime.malloc_lines(proc, 0, 4)
+    wpl = runtime.system.spec.gpu.cache.line_size // 8
+    with TraceRecorder(runtime.system) as recorder:
+        _touch(runtime, proc, buf, [i * wpl for i in range(4)])
+    assert len(recorder.records) == 4
+    assert all(not record.hit for record in recorder.records)  # cold
+    assert recorder.miss_rate() == 1.0
+
+
+def test_records_scalar_accesses_and_ground_truth(runtime):
+    proc = runtime.create_process()
+    buf = runtime.malloc_lines(proc, 0, 1)
+
+    def kernel():
+        yield Access(buf, 0)
+        yield Access(buf, 0)
+
+    with TraceRecorder(runtime.system) as recorder:
+        runtime.run_kernel(kernel(), 0, proc)
+    assert [r.hit for r in recorder.records] == [False, True]
+    truth = runtime.system.set_index_of(buf, 0)
+    assert recorder.records[0].set_index == truth
+
+
+def test_hook_removed_on_exit(runtime):
+    proc = runtime.create_process()
+    buf = runtime.malloc_lines(proc, 0, 1)
+    with TraceRecorder(runtime.system) as recorder:
+        pass
+    _touch(runtime, proc, buf, [0])
+    assert recorder.records == []
+
+
+def test_nested_recorders_rejected(runtime):
+    with TraceRecorder(runtime.system):
+        with pytest.raises(SimulationError):
+            TraceRecorder(runtime.system).__enter__()
+
+
+def test_capacity_cap(runtime):
+    proc = runtime.create_process()
+    buf = runtime.malloc_lines(proc, 0, 8)
+    wpl = runtime.system.spec.gpu.cache.line_size // 8
+    with TraceRecorder(runtime.system, capacity=3) as recorder:
+        _touch(runtime, proc, buf, [i * wpl for i in range(8)])
+    assert len(recorder.records) == 3
+
+
+def test_save_and_load_roundtrip(runtime, tmp_path):
+    proc = runtime.create_process()
+    rproc = runtime.create_process("remote")
+    runtime.enable_peer_access(rproc, 1, 0)
+    buf = runtime.malloc_lines(rproc, 0, 2)
+    wpl = runtime.system.spec.gpu.cache.line_size // 8
+
+    def kernel():
+        yield ProbeSet(buf, [0, wpl])
+
+    with TraceRecorder(runtime.system) as recorder:
+        runtime.run_kernel(kernel(), 1, rproc)
+    recorder.save(tmp_path / "trace.npz")
+    restored = load_trace(tmp_path / "trace.npz")
+    assert len(restored) == 2
+    assert all(record.remote for record in restored)
+    assert restored[0].exec_gpu == 1 and restored[0].home_gpu == 0

@@ -1,0 +1,45 @@
+"""The hardware invariant auditor."""
+
+import numpy as np
+import pytest
+
+from repro.core.covert.channel import CovertChannel
+from repro.hw.validation import check_invariants
+
+
+def test_fresh_box_is_consistent(runtime):
+    assert check_invariants(runtime.system) == []
+
+
+def test_consistent_after_covert_channel(runtime):
+    channel = CovertChannel(runtime)
+    channel.setup(num_sets=2)
+    rng = np.random.default_rng(0)
+    channel.transmit([int(b) for b in rng.integers(0, 2, 64)], strict=False)
+    processes = [p for p in (channel.trojan, channel.spy) if p]
+    assert check_invariants(runtime.system, processes) == []
+
+
+def test_detects_shared_frames(runtime):
+    a = runtime.create_process("a")
+    b = runtime.create_process("b")
+    buf_a = runtime.malloc(a, 0, 4096, name="a0")
+    buf_b = runtime.malloc(b, 0, 4096, name="b0")
+    # Corrupt: force frame sharing.
+    buf_b.frames = buf_a.frames
+    violations = check_invariants(runtime.system, [a, b])
+    assert any(v.kind == "frame-shared" for v in violations)
+
+
+def test_detects_freed_while_owned(runtime):
+    proc = runtime.create_process()
+    buf = runtime.malloc(proc, 0, 4096, name="x")
+    runtime.system.gpus[0].memory.free(buf.frames)  # free behind the buffer's back
+    violations = check_invariants(runtime.system, [proc])
+    assert any(v.kind == "frame-freed-while-owned" for v in violations)
+
+
+def test_detects_counter_incoherence(runtime):
+    runtime.system.gpus[0].counters.l2_hits = -3
+    violations = check_invariants(runtime.system)
+    assert any(v.kind == "counter-negative" for v in violations)

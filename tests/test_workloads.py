@@ -1,0 +1,146 @@
+"""Victim workloads: allocation plans, traces, registry."""
+
+import pytest
+
+from repro.sim.ops import Compute, ProbeSet
+from repro.workloads import (
+    WORKLOADS,
+    MLPTraining,
+    TraceWorkload,
+    make_workload,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_six_victims(self):
+        assert len(workload_names()) == 6
+        assert set(workload_names()) == set(WORKLOADS)
+
+    def test_make_workload(self):
+        workload = make_workload("vectoradd", scale=0.1)
+        assert workload.name == "vectoradd"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_workload("bitcoin_miner")
+
+
+def _drive(runtime, workload, gpu=0, max_ops=200_000):
+    """Run a workload kernel to completion; return (probe_ops, compute_ops)."""
+    process = runtime.create_process(f"victim_{workload.name}")
+    workload.allocate(runtime, process, gpu)
+    probes = computes = 0
+    gen = workload.kernel()
+    try:
+        op = next(gen)
+        while True:
+            if isinstance(op, ProbeSet):
+                probes += 1
+                result_needed = runtime.run_kernel(
+                    _single(op), gpu, process, name="drive"
+                )
+                op = gen.send(result_needed)
+            else:
+                if isinstance(op, Compute):
+                    computes += 1
+                op = gen.send(None)
+            if probes + computes > max_ops:
+                raise AssertionError("workload never terminates")
+    except StopIteration:
+        pass
+    return probes, computes
+
+
+def _single(op):
+    result = yield op
+    return result
+
+
+@pytest.mark.parametrize("name", workload_names())
+class TestEachWorkload:
+    def test_allocates_buffers(self, runtime, name):
+        workload = make_workload(name, scale=0.05)
+        process = runtime.create_process("v")
+        workload.allocate(runtime, process, 0)
+        assert workload.buffers
+        assert all(buf.device_id == 0 for buf in workload.buffers)
+
+    def test_kernel_terminates_and_touches_memory(self, runtime, name):
+        workload = make_workload(name, scale=0.05)
+        probes, computes = _drive(runtime, workload)
+        assert probes > 0
+        assert computes >= 0
+
+    def test_scale_shrinks_footprint(self, runtime, name):
+        big = make_workload(name, scale=0.2)
+        small = make_workload(name, scale=0.05)
+        process = runtime.create_process("v")
+        big.allocate(runtime, process, 0)
+        small.allocate(runtime, process, 1)
+        assert sum(b.size_bytes for b in big.buffers) > sum(
+            b.size_bytes for b in small.buffers
+        )
+
+
+class TestTraceHelpers:
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            make_workload("vectoradd", scale=0.0)
+
+    def test_stream_covers_requested_lines(self, runtime):
+        workload = make_workload("vectoradd", scale=0.05)
+        process = runtime.create_process("v")
+        workload.allocate(runtime, process, 0)
+        ops = list(workload.stream(0, 0, 40))
+        lines = sum(len(op.indices) for op in ops)
+        assert lines == 40
+
+    def test_strided_wraps_at_buffer_end(self, runtime):
+        workload = make_workload("vectoradd", scale=0.05)
+        process = runtime.create_process("v")
+        workload.allocate(runtime, process, 0)
+        total = workload.lines_in(0)
+        ops = list(workload.strided(0, stride_lines=7, count=total + 5))
+        wpl = runtime.system.spec.gpu.cache.line_size // 8
+        for op in ops:
+            for index in op.indices:
+                assert 0 <= index < workload.buffers[0].num_words
+
+
+class TestMLPWorkload:
+    def test_buffer_sizes_scale_with_width(self):
+        small = dict(MLPTraining(hidden_neurons=64).buffer_plan())
+        large = dict(MLPTraining(hidden_neurons=512).buffer_plan())
+        assert large["w1"] >= 7 * small["w1"]
+        assert large["x"] == small["x"]  # input traffic is width-independent
+
+    def test_batch_lines_monotone_in_width(self, runtime):
+        lines = []
+        for hidden in (64, 128, 256):
+            workload = MLPTraining(hidden_neurons=hidden)
+            process = runtime.create_process(f"m{hidden}")
+            workload.allocate(runtime, process, 0)
+            lines.append(workload._batch_lines())
+        assert lines == sorted(lines)
+
+    def test_rejects_zero_neurons(self):
+        with pytest.raises(ValueError):
+            MLPTraining(hidden_neurons=0)
+
+    def test_name_encodes_width(self):
+        assert MLPTraining(hidden_neurons=256).name == "mlp256"
+
+    def test_sweep_builds_table2_set(self):
+        victims = MLPTraining.sweep()
+        assert [v.hidden_neurons for v in victims] == [64, 128, 256, 512]
+
+    def test_kernel_terminates(self, runtime):
+        workload = MLPTraining(
+            hidden_neurons=16,
+            batches_per_epoch=1,
+            target_batch_cycles=50_000.0,
+            epoch_gap_cycles=10_000.0,
+        )
+        probes, _computes = _drive(runtime, workload)
+        assert probes > 0
