@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench report examples clean
+.PHONY: install test bench perf report examples clean
 
 install:
 	pip install -e .
@@ -18,6 +18,9 @@ bench:
 
 bench-log:
 	$(PY) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+perf:
+	PYTHONPATH=src $(PY) benchmarks/bench_perf_simulator.py
 
 report:
 	$(PY) -m repro.cli report --output evaluation_report.txt

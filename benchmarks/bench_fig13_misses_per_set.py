@@ -1,6 +1,5 @@
 """Fig 13: per-set miss histogram intensifies with the hidden width."""
 
-import numpy as np
 import pytest
 
 from repro.config import DGXSpec

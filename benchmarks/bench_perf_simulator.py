@@ -1,0 +1,225 @@
+"""Simulator performance harness: vectorized vs scalar L2 backend.
+
+Measures end-to-end simulator throughput (simulated memory accesses
+serviced per wall-clock second, from ``Engine.stats``) on three
+attack-shaped scenarios:
+
+* ``probe_storm``   -- a 256-set x 16-way memorygram probe storm on the
+  full DGX-1, the shape the vectorized fast path was built for.  The
+  acceptance bar is a >= 5x accesses/sec speedup over the scalar
+  reference backend.
+* ``memorygram``    -- a full remote memorygram capture of a victim
+  workload on the small box (setup excluded, capture phase timed).
+* ``covert_frames`` -- covert-channel frames (trojan+spy transmission)
+  on the small box.
+
+Each run appends one record to ``benchmarks/perf_trajectory.json`` so
+throughput can be tracked across revisions.
+
+Run standalone (``make perf``)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_simulator.py
+
+or as a benchmark::
+
+    pytest benchmarks/bench_perf_simulator.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import time
+from collections import defaultdict
+from typing import Dict, List
+
+import pytest
+
+from repro.config import DGXSpec
+from repro.core.covert.channel import CovertChannel
+from repro.core.sidechannel.prober import MemorygramProber
+from repro.runtime.api import Runtime
+from repro.sim.ops import ProbeEpoch
+from repro.workloads.vectoradd import VectorAdd
+
+TRAJECTORY_PATH = pathlib.Path(__file__).parent / "perf_trajectory.json"
+
+BACKENDS = ("vectorized", "scalar")
+
+#: Per-backend sweep counts for the probe storm: the scalar reference is
+#: given fewer sweeps so the comparison stays quick; throughput is
+#: normalized per second, so the counts do not bias the ratio.
+STORM_SWEEPS = {"vectorized": 24, "scalar": 4}
+
+
+def _stats_record(stats, **extra) -> Dict:
+    record = {
+        "events": stats.events,
+        "accesses": stats.accesses,
+        "wall_seconds": round(stats.wall_seconds, 6),
+        "events_per_sec": round(stats.events_per_sec),
+        "accesses_per_sec": round(stats.accesses_per_sec),
+    }
+    record.update(extra)
+    return record
+
+
+# ----------------------------------------------------------------------
+# Scenario: 256-set probe storm on the full DGX-1
+# ----------------------------------------------------------------------
+def _ground_truth_sets(
+    rt: Runtime, proc, home_gpu: int, num_sets: int, ways: int
+):
+    """Group buffer lines by their physical L2 set (ground truth) and
+    return ``num_sets`` word-index groups of ``ways`` lines each."""
+    spec = rt.system.spec.gpu
+    words_per_line = spec.cache.line_size // 8
+    colors = max(1, spec.cache.set_stride // spec.page_size)
+    pages = colors * (ways + 8)  # headroom so enough sets fill up
+    buf = rt.malloc_lines(
+        proc, home_gpu, pages * spec.page_size // spec.cache.line_size, name="storm"
+    )
+    groups: Dict[int, List[int]] = defaultdict(list)
+    for line in range(buf.num_words // words_per_line):
+        word = line * words_per_line
+        groups[rt.system.set_index_of(buf, word)].append(word)
+    sets = [words[:ways] for words in groups.values() if len(words) >= ways]
+    if len(sets) < num_sets:
+        raise RuntimeError(
+            f"ground truth covered only {len(sets)}/{num_sets} sets; "
+            "increase the allocation headroom"
+        )
+    return buf, sets[:num_sets]
+
+
+def run_probe_storm(backend: str, num_sets: int = 256, seed: int = 7) -> Dict:
+    spec = DGXSpec.dgx1().with_l2_backend(backend)
+    rt = Runtime(spec, seed=seed)
+    proc = rt.create_process("storm_spy")
+    rt.enable_peer_access(proc, 1, 0)
+    buf, sets = _ground_truth_sets(
+        rt, proc, home_gpu=0, num_sets=num_sets, ways=spec.gpu.cache.associativity
+    )
+    sweeps = STORM_SWEEPS[backend]
+
+    def storm():
+        for _ in range(sweeps):
+            yield ProbeEpoch(buf, sets, parallel=True)
+
+    rt.engine.stats.reset()
+    rt.run_kernel(storm(), 1, proc)
+    return _stats_record(rt.engine.stats, sweeps=sweeps, num_sets=num_sets)
+
+
+# ----------------------------------------------------------------------
+# Scenario: memorygram capture on the small box
+# ----------------------------------------------------------------------
+def run_memorygram(backend: str, seed: int = 3) -> Dict:
+    spec = DGXSpec.small(num_sets=64, associativity=4).with_l2_backend(backend)
+    rt = Runtime(spec, seed=seed)
+    prober = MemorygramProber(rt, victim_gpu=0, spy_gpu=1)
+    prober.setup(num_sets=32)
+    rt.engine.stats.reset()
+    gram = prober.record(
+        VectorAdd(scale=0.05, seed=seed, passes=2), bin_cycles=10_000.0
+    )
+    return _stats_record(rt.engine.stats, total_misses=int(gram.total_misses()))
+
+
+# ----------------------------------------------------------------------
+# Scenario: covert-channel frames on the small box
+# ----------------------------------------------------------------------
+def run_covert_frames(backend: str, num_bits: int = 64, seed: int = 5) -> Dict:
+    spec = DGXSpec.small(num_sets=64, associativity=4).with_l2_backend(backend)
+    rt = Runtime(spec, seed=seed)
+    channel = CovertChannel(rt, trojan_gpu=0, spy_gpu=1)
+    channel.setup(num_sets=4)
+    bits = [random.Random(seed).randrange(2) for _ in range(num_bits)]
+    rt.engine.stats.reset()
+    outcome = channel.transmit(bits, strict=False)
+    return _stats_record(
+        rt.engine.stats, error_rate=round(outcome.error_rate, 4)
+    )
+
+
+SCENARIOS = {
+    "probe_storm": run_probe_storm,
+    "memorygram": run_memorygram,
+    "covert_frames": run_covert_frames,
+}
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def run_all() -> Dict:
+    results: Dict[str, Dict] = {}
+    for name, scenario in SCENARIOS.items():
+        results[name] = {}
+        for backend in BACKENDS:
+            results[name][backend] = scenario(backend)
+        fast = results[name]["vectorized"]["accesses_per_sec"]
+        slow = results[name]["scalar"]["accesses_per_sec"]
+        results[name]["speedup"] = round(fast / slow, 2) if slow else None
+    return results
+
+
+def append_trajectory(results: Dict) -> None:
+    trajectory = []
+    if TRAJECTORY_PATH.exists():
+        trajectory = json.loads(TRAJECTORY_PATH.read_text())
+    trajectory.append(
+        {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"), "scenarios": results}
+    )
+    TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def format_results(results: Dict) -> str:
+    lines = [
+        f"{'scenario':<14}  {'backend':<10}  {'accesses/s':>12}  "
+        f"{'events/s':>10}  {'wall s':>8}"
+    ]
+    for name, entry in results.items():
+        for backend in BACKENDS:
+            record = entry[backend]
+            lines.append(
+                f"{name:<14}  {backend:<10}  {record['accesses_per_sec']:>12,}  "
+                f"{record['events_per_sec']:>10,}  {record['wall_seconds']:>8.3f}"
+            )
+        lines.append(f"{name:<14}  {'speedup':<10}  {entry['speedup']:>11}x")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    results = run_all()
+    print(format_results(results))
+    append_trajectory(results)
+    print(f"\ntrajectory appended to {TRAJECTORY_PATH}")
+
+
+# ----------------------------------------------------------------------
+# Benchmark-suite entry point
+# ----------------------------------------------------------------------
+@pytest.mark.paper
+def test_perf_probe_storm_speedup(benchmark, print_result):
+    """The vectorized backend must clear 5x scalar throughput on the
+    256-set memorygram probe storm (the PR's acceptance bar)."""
+    results = benchmark.pedantic(
+        lambda: {"probe_storm": {b: run_probe_storm(b) for b in BACKENDS}},
+        rounds=1,
+        iterations=1,
+    )
+    storm = results["probe_storm"]
+    speedup = (
+        storm["vectorized"]["accesses_per_sec"]
+        / storm["scalar"]["accesses_per_sec"]
+    )
+    storm["speedup"] = round(speedup, 2)
+    print_result(format_results(results))
+    append_trajectory(results)
+    assert speedup >= 5.0, f"vectorized speedup {speedup:.1f}x below the 5x bar"
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,9 @@ __all__ = [
 ReplacementPolicyName = str
 _VALID_POLICIES = ("lru", "plru", "random")
 
+# Cache-model backends implemented in repro.hw.cache.
+_VALID_BACKENDS = ("vectorized", "scalar")
+
 
 def _require(cond: bool, message: str) -> None:
     if not cond:
@@ -63,8 +66,18 @@ class CacheSpec:
     #: observations (page-consecutive set placement) match hashing disabled,
     #: which is the default.
     index_hashing: bool = False
+    #: Cache-model backend: "vectorized" services whole probe batches with
+    #: numpy array ops (LRU only -- other policies fall back to the scalar
+    #: reference); "scalar" forces the per-set Python reference model.  The
+    #: two are behaviourally identical (tests/test_vector_cache.py); the
+    #: flag exists for differential testing and the perf baseline bench.
+    l2_backend: str = "vectorized"
 
     def __post_init__(self) -> None:
+        _require(
+            self.l2_backend in _VALID_BACKENDS,
+            f"l2_backend must be one of {_VALID_BACKENDS}, got {self.l2_backend!r}",
+        )
         _require(_is_pow2(self.line_size), "line_size must be a power of two")
         _require(_is_pow2(self.num_sets), "num_sets must be a power of two")
         _require(self.associativity >= 1, "associativity must be >= 1")
@@ -307,4 +320,9 @@ class DGXSpec:
     def with_replacement(self, policy: ReplacementPolicyName) -> "DGXSpec":
         """Return a copy of this spec using a different replacement policy."""
         cache = replace(self.gpu.cache, replacement=policy)
+        return replace(self, gpu=replace(self.gpu, cache=cache))
+
+    def with_l2_backend(self, backend: str) -> "DGXSpec":
+        """Return a copy of this spec using a different L2 model backend."""
+        cache = replace(self.gpu.cache, l2_backend=backend)
         return replace(self, gpu=replace(self.gpu, cache=cache))

@@ -19,7 +19,7 @@ import numpy as np
 
 from ...errors import AttackError
 from ...runtime.api import Runtime
-from ...sim.ops import Compute, ProbeSet, ReadClock
+from ...sim.ops import Compute, ProbeEpoch, ProbeSet, ReadClock
 from ...sim.process import Process
 from ..eviction import EvictionSet, build_eviction_sets, discover_page_coloring
 from ..timing import TimingThresholds, measure_access_classes
@@ -50,6 +50,7 @@ def _prober_block_kernel(
     grace_cycles: float,
     sweep_period: float,
     phase_offset: float,
+    epoch_probe: bool = True,
 ) -> Generator:
     """One spy thread block cycling Prime+Probe over its chunk of sets.
 
@@ -58,10 +59,29 @@ def _prober_block_kernel(
     only keeps a count), so the block idles in dummy compute between sweeps
     -- the "balance sampling coverage and the speed of the attack" knob of
     Section V-B.
+
+    With ``epoch_probe`` a whole sweep is one :class:`ProbeEpoch` (the
+    block pipelines its sets back-to-back and syncs once), so the sweep is
+    a single batched call against the hardware model; per-set sample
+    times come from the epoch's start offsets.  The per-set
+    :class:`ProbeSet` path remains for probe buffers spread over multiple
+    allocations.
     """
+    # Epoch probing needs all monitored sets inside one probe buffer (the
+    # prober allocates exactly one); otherwise fall back to per-set probes.
+    epoch_ok = epoch_probe and len(
+        {id(eviction_set.buffer) for _row, eviction_set in sets_chunk}
+    ) == 1
+    epoch_buffer = sets_chunk[0][1].buffer if sets_chunk else None
+    epoch_sets = tuple(
+        tuple(eviction_set.indices) for _row, eviction_set in sets_chunk
+    )
     # Warm-up prime: fill every monitored set with spy lines.
-    for _row, eviction_set in sets_chunk:
-        yield ProbeSet(eviction_set.buffer, eviction_set.indices, parallel=True)
+    if epoch_ok:
+        yield ProbeEpoch(epoch_buffer, epoch_sets, parallel=True)
+    else:
+        for _row, eviction_set in sets_chunk:
+            yield ProbeSet(eviction_set.buffer, eviction_set.indices, parallel=True)
     if phase_offset > 0:
         # Stagger the blocks' sweep phases so their probe bursts do not
         # all hit the NVLink at the same instant.
@@ -75,14 +95,25 @@ def _prober_block_kernel(
             stop_at = sweep_start + grace_cycles
         if stop_at is not None and sweep_start >= stop_at:
             break
-        for row, eviction_set in sets_chunk:
-            start = yield ReadClock()
-            probe = yield ProbeSet(
-                eviction_set.buffer, eviction_set.indices, parallel=True
-            )
-            samples.append(
-                ProbeSample(row=row, time=start, latencies=tuple(probe.latencies))
-            )
+        if epoch_ok:
+            epoch = yield ProbeEpoch(epoch_buffer, epoch_sets, parallel=True)
+            for (row, _eviction_set), start, latencies in zip(
+                sets_chunk, epoch.set_starts, epoch.set_latencies
+            ):
+                samples.append(
+                    ProbeSample(
+                        row=row, time=sweep_start + start, latencies=latencies
+                    )
+                )
+        else:
+            for row, eviction_set in sets_chunk:
+                start = yield ReadClock()
+                probe = yield ProbeSet(
+                    eviction_set.buffer, eviction_set.indices, parallel=True
+                )
+                samples.append(
+                    ProbeSample(row=row, time=start, latencies=tuple(probe.latencies))
+                )
         now = yield ReadClock()
         remaining = sweep_period - (now - sweep_start)
         if remaining > 0:

@@ -34,5 +34,30 @@ class HBMStack:
         self._busy[channel] = now + wait + self.service_cycles
         return wait
 
+    def occupy_batch(self, paddrs: np.ndarray, stamps: np.ndarray) -> np.ndarray:
+        """Charge a stream of line fills; returns per-fill queue waits.
+
+        ``stamps`` must be non-decreasing (batch issue order); each
+        channel's queue is advanced exactly as sequential :meth:`occupy`
+        calls would.
+        """
+        from .occupancy import single_server_waits
+
+        channels = (paddrs >> 8) % self.num_channels
+        waits = np.zeros(paddrs.size, dtype=np.float64)
+        # Group the batch into per-channel runs with one stable sort
+        # (cheaper than a boolean scan per channel).
+        order = np.argsort(channels, kind="stable")
+        grouped = channels[order]
+        starts = np.nonzero(np.r_[True, grouped[1:] != grouped[:-1]])[0]
+        bounds = np.append(starts, channels.size)
+        for at in range(starts.size):
+            sel = order[bounds[at] : bounds[at + 1]]
+            channel = int(grouped[bounds[at]])
+            waits[sel], self._busy[channel] = single_server_waits(
+                float(self._busy[channel]), stamps[sel], self.service_cycles
+            )
+        return waits
+
     def reset(self) -> None:
         self._busy[:] = 0.0

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from ..config import GPUSpec
 from ..sim.rng import RngFanout
-from .cache import L2Cache
+from .cache import make_l2
 from .counters import GpuCounters
 from .l1 import L1Cache
 from .dram import HBMStack
@@ -20,7 +20,7 @@ class GPU:
     def __init__(self, gpu_id: int, spec: GPUSpec, rng: RngFanout) -> None:
         self.gpu_id = gpu_id
         self.spec = spec
-        self.l2 = L2Cache(spec.cache, rng.generator(f"gpu{gpu_id}/replacement"))
+        self.l2 = make_l2(spec.cache, rng.generator(f"gpu{gpu_id}/replacement"))
         self.l1 = L1Cache(seed=gpu_id)
         self.memory = PhysicalMemory(spec, rng.generator(f"gpu{gpu_id}/frames"))
         self.hbm = HBMStack()

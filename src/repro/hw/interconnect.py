@@ -13,7 +13,10 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Tuple
 
+import numpy as np
+
 from ..config import DGXSpec
+from .occupancy import multi_server_waits
 from .topology import Topology
 
 __all__ = ["Interconnect"]
@@ -57,6 +60,34 @@ class Interconnect:
         # additional hops each add a fixed penalty.
         extra += (len(route) - 1) * self.spec.timing.per_extra_hop
         return extra, len(route)
+
+    def transfer_batch(
+        self, src_gpu: int, dst_gpu: int, stamps: np.ndarray
+    ) -> np.ndarray:
+        """Charge a stream of cache-line transfers; returns per-transfer
+        extra cycles (queueing plus multi-hop penalty).
+
+        ``stamps`` must be non-decreasing (batch issue order).  Equivalent
+        to sequential :meth:`transfer` calls: each transfer occupies the
+        least-busy lane of every link on its route, and queueing on one
+        link delays the transfer's arrival at the next.
+        """
+        n = stamps.size
+        extras = np.zeros(n, dtype=np.float64)
+        if src_gpu == dst_gpu or n == 0:
+            return extras
+        route = self.topology.path(src_gpu, dst_gpu)
+        serialization = float(self.spec.nvlink.serialization_cycles)
+        clock = np.asarray(stamps, dtype=np.float64).copy()
+        for edge in route:
+            waits, new_busy = multi_server_waits(
+                np.asarray(self._busy[edge]), clock, serialization
+            )
+            self._busy[edge] = [float(b) for b in new_busy]
+            extras += waits
+            clock += waits + serialization
+        extras += (len(route) - 1) * self.spec.timing.per_extra_hop
+        return extras
 
     def link_utilization(self) -> Dict[Edge, float]:
         """Latest busy-until per link (diagnostics / the §VII detector)."""

@@ -1,0 +1,144 @@
+"""Vectorized busy-until queue scans for the resource-occupancy models.
+
+Cache banks, HBM channels and NVLink lanes all share one shape: a server
+is busy until some time ``b``; a request stamped ``s`` waits
+``max(0, b - s)`` and re-busies the server until ``max(b, s) + c`` for a
+fixed service time ``c``.  The scalar access path updates these one
+request at a time; the batched fast path needs whole request streams
+serviced per call, which these helpers do with prefix-max scans.
+
+Single server
+-------------
+
+For requests ``s_0 <= s_1 <= ...`` (batch order) the busy time unrolls to
+
+    b_i = (i + 1) * c + max(b_start, max_{j <= i} (s_j - j * c))
+
+so one ``np.maximum.accumulate`` yields every intermediate busy time and
+therefore every wait.
+
+Multi server (NVLink lanes)
+---------------------------
+
+A link with ``L`` lanes is a FIFO multi-server queue with deterministic
+service.  Each request grabs the least-busy lane, so the lane-busy value a
+request waits behind is the minimum of the current busy multiset.  With
+non-decreasing stamps the departures are non-decreasing too, which makes
+the minimum at step ``i`` either the next unconsumed *initial* lane busy
+time (sorted ascending) or the departure of request ``i - k`` where ``k``
+initial lanes have been consumed so far.  :func:`multi_server_waits` walks
+those at-most-``L`` phases, vectorizing each phase as ``k`` independent
+single-server chains (one per residue class mod ``k``), and reproduces
+the scalar least-busy-lane loop exactly up to float associativity.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["single_server_waits", "multi_server_waits"]
+
+
+def single_server_waits(
+    busy_start: float, stamps: np.ndarray, service: float
+) -> Tuple[np.ndarray, float]:
+    """Waits for a stream of requests against one server.
+
+    Returns ``(waits, busy_end)`` for requests with non-decreasing
+    ``stamps`` hitting a server busy until ``busy_start``, each occupying
+    it for ``service`` cycles.
+    """
+    n = stamps.size
+    if n == 0:
+        return np.zeros(0, dtype=np.float64), busy_start
+    steps = np.arange(n, dtype=np.float64)
+    running = np.empty(n + 1, dtype=np.float64)
+    running[0] = busy_start
+    running[1:] = stamps - steps * service
+    np.maximum.accumulate(running, out=running)
+    busy_before = running[:-1] + steps * service
+    waits = np.maximum(busy_before - stamps, 0.0)
+    busy_end = float(running[-1] + n * service)
+    return waits, busy_end
+
+
+def _chain_fill(
+    departures: np.ndarray,
+    waits: np.ndarray,
+    positions: np.ndarray,
+    stamps: np.ndarray,
+    seed: float,
+    service: float,
+) -> None:
+    """Run one single-server chain over ``positions`` seeded at ``seed``.
+
+    Writes the chain's departures and waits into the full-batch arrays.
+    """
+    chain_stamps = stamps[positions]
+    chain_waits, _busy = single_server_waits(seed, chain_stamps, service)
+    waits[positions] = chain_waits
+    departures[positions] = chain_stamps + chain_waits + service
+
+
+def multi_server_waits(
+    lane_busy: np.ndarray, stamps: np.ndarray, service: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Waits for a stream of requests against ``L`` interchangeable lanes.
+
+    ``lane_busy`` holds each lane's busy-until time; ``stamps`` must be
+    non-decreasing.  Returns ``(waits, new_lane_busy)`` where
+    ``new_lane_busy`` is the (sorted) busy multiset after the batch --
+    lane identity is irrelevant because every request picks the least-busy
+    lane by value.
+    """
+    lanes = np.sort(np.asarray(lane_busy, dtype=np.float64))
+    num_lanes = lanes.size
+    n = stamps.size
+    if n == 0:
+        return np.zeros(0, dtype=np.float64), lanes
+    if num_lanes == 1:
+        waits, busy_end = single_server_waits(float(lanes[0]), stamps, service)
+        return waits, np.asarray([busy_end])
+    departures = np.empty(n, dtype=np.float64)
+    waits = np.empty(n, dtype=np.float64)
+    consumed = 0  # initial lane busy times consumed so far
+    job = 0
+    while job < n:
+        next_lane = lanes[consumed] if consumed < num_lanes else None
+        # A request waits behind min(next unconsumed lane, departure of
+        # request job-consumed); with no departures available yet, or the
+        # lane value at most the departure, the lane is consumed.
+        if next_lane is not None and (
+            consumed == 0 or job - consumed < 0 or next_lane <= departures[job - consumed]
+        ):
+            start = max(float(stamps[job]), float(next_lane))
+            waits[job] = start - float(stamps[job])
+            departures[job] = start + service
+            consumed += 1
+            job += 1
+            continue
+        # Stable phase: `consumed` chains recurse on departures[i - consumed].
+        # Vectorize the remaining jobs per residue class, then roll back to
+        # the first job whose chain departure is overtaken by the next lane.
+        for residue in range(min(consumed, n - job)):
+            first = job + residue
+            chain = np.arange(first, n, consumed)
+            _chain_fill(
+                departures, waits, chain, stamps, float(departures[first - consumed]), service
+            )
+        if next_lane is None:
+            break
+        # First job that should have consumed next_lane instead: the one
+        # whose predecessor-departure reaches next_lane.
+        window = departures[job - consumed : n - consumed]
+        crossing = int(np.searchsorted(window, next_lane, side="left"))
+        job = job + crossing
+        # jobs before the crossing keep their chain results; the crossing
+        # job is re-serviced against the lane on the next loop iteration.
+    # Final busy multiset: unconsumed initial lane times plus the last
+    # `consumed` departures (one per lane in rotation).
+    pending = departures[n - consumed :] if consumed else np.zeros(0)
+    new_busy = np.sort(np.concatenate([lanes[consumed:], pending]))
+    return waits, new_busy

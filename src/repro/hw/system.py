@@ -15,9 +15,10 @@ import numpy as np
 
 from ..config import DGXSpec, TimingSpec
 from ..errors import PeerAccessError
-from ..sim.ops import AccessResult
+from ..sim.ops import AccessResult, EpochResult
 from ..sim.process import DeviceBuffer, Process
 from ..sim.rng import RngFanout
+from .cache import VectorL2Cache
 from .gpu import GPU
 from .interconnect import Interconnect
 from .topology import Topology
@@ -41,6 +42,25 @@ class _JitterPool:
         value = self._buf[self._pos]
         self._pos += 1
         return value
+
+    def take(self, count: int) -> np.ndarray:
+        """Return the next ``count`` draws in stream order (one array).
+
+        Consumes the same underlying values as ``count`` calls to
+        :meth:`next`, so the scalar and vectorized access paths see
+        identical jitter sequences.
+        """
+        out = np.empty(count, dtype=np.float64)
+        filled = 0
+        while filled < count:
+            if self._pos >= self._block:
+                self._buf = self._rng.standard_normal(self._block)
+                self._pos = 0
+            grab = min(self._block - self._pos, count - filled)
+            out[filled : filled + grab] = self._buf[self._pos : self._pos + grab]
+            self._pos += grab
+            filled += grab
+        return out
 
 
 class MultiGPUSystem:
@@ -166,6 +186,9 @@ class MultiGPUSystem:
 
         Semantically identical to looping :meth:`access_word`, but the hot
         constants are hoisted and no per-access result objects are built.
+        With a vectorized L2 backend the whole burst is serviced with
+        array operations (one jitter draw, one tag-matrix pass, one
+        occupancy scan per resource) instead of a per-access Python loop.
         Returns ``(latencies, hits, total_latency, remote)``.
         """
         home = buffer.device_id
@@ -176,14 +199,209 @@ class MultiGPUSystem:
                 f"{exec_gpu} to GPU {home}"
             )
         home_gpu = self.gpus[home]
+        if not hasattr(indices, "__len__"):
+            indices = list(indices)
+        count = len(indices)
+        if count == 0:
+            return [], [], 0.0, remote
+
+        # Below ~32 accesses the array machinery costs more than it saves
+        # (a covert-channel probe is 4-16 lines); the scalar core drives
+        # the same cache state through VectorL2Cache.access, so the
+        # backends stay exactly equivalent either way.
+        if isinstance(home_gpu.l2, VectorL2Cache) and count >= 32:
+            index_array = np.asarray(indices, dtype=np.int64)
+            paddrs = buffer.paddrs(index_array)
+            stamps = self._issue_stamps(count, now, parallel, issue_gap)
+            latencies, hits, misses, evictions = self._service_batch_vector(
+                home_gpu, exec_gpu, home, remote, paddrs, stamps
+            )
+            latencies_out = latencies.tolist()
+            hits_out = hits.tolist()
+            if parallel:
+                total = float(
+                    np.max(
+                        np.arange(count, dtype=np.float64) * issue_gap + latencies
+                    )
+                )
+            else:
+                total = float(np.cumsum(latencies)[-1])
+        else:
+            if parallel:
+                stamps = [now + at * issue_gap for at in range(count)]
+            else:
+                stamps = [float(now)] * count
+            paddrs = [buffer.paddr(index) for index in indices]
+            latencies_out, hits_out, misses, evictions = self._service_batch_scalar(
+                home_gpu, exec_gpu, home, remote, paddrs, stamps, process.pid
+            )
+            if parallel:
+                total = max(
+                    at * issue_gap + lat for at, lat in enumerate(latencies_out)
+                )
+            else:
+                total = float(sum(latencies_out))
+        self._count_batch(home_gpu, exec_gpu, remote, count, misses, evictions)
+        return latencies_out, hits_out, total, remote
+
+    def access_epoch(
+        self,
+        process: Process,
+        buffer: DeviceBuffer,
+        sets,
+        exec_gpu: int,
+        now: float,
+        parallel: bool = True,
+        issue_gap: float = 4.0,
+    ) -> EpochResult:
+        """Probe a sequence of eviction sets back-to-back in one call.
+
+        This is the multi-set fast path behind
+        :class:`~repro.sim.ops.ProbeEpoch`: the accesses of every set are
+        concatenated into one batch and serviced together, so a whole
+        monitored block's sweep costs one vectorized pass instead of
+        ``sets x associativity`` Python iterations.
+
+        Issue semantics: in parallel mode the epoch pipelines all sets at
+        the warp issue rate (flat access ``p`` is stamped
+        ``now + p * issue_gap``) and synchronizes once at the end; each
+        set's latency total is measured against its own first issue slot.
+        In sequential mode every access is stamped at the epoch start
+        (the atomic-probe convention, see ``docs/architecture.md``) and
+        per-set totals are the sums of their chase latencies.
+        """
+        home = buffer.device_id
+        remote = exec_gpu != home
+        if remote and not process.has_peer_access(exec_gpu, home):
+            raise PeerAccessError(
+                f"process {process.name!r} has no peer access from GPU "
+                f"{exec_gpu} to GPU {home}"
+            )
+        home_gpu = self.gpus[home]
+        set_lists = [
+            indices if hasattr(indices, "__len__") else list(indices)
+            for indices in sets
+        ]
+        counts = np.asarray([len(s) for s in set_lists], dtype=np.int64)
+        count = int(counts.sum())
+        if count == 0:
+            return EpochResult(remote=remote)
+        offsets = np.zeros(len(set_lists), dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        flat = np.concatenate(
+            [np.asarray(s, dtype=np.int64) for s in set_lists if len(s)]
+        )
+        stamps = self._issue_stamps(count, now, parallel, issue_gap)
+
+        if isinstance(home_gpu.l2, VectorL2Cache):
+            paddrs = buffer.paddrs(flat)
+            latencies, hits, misses, evictions = self._service_batch_vector(
+                home_gpu, exec_gpu, home, remote, paddrs, stamps
+            )
+        else:
+            paddrs = [buffer.paddr(int(index)) for index in flat]
+            lat_list, hit_list, misses, evictions = self._service_batch_scalar(
+                home_gpu, exec_gpu, home, remote, paddrs, stamps.tolist(), process.pid
+            )
+            latencies = np.asarray(lat_list)
+            hits = np.asarray(hit_list, dtype=bool)
+
+        live = counts > 0
+        starts_at = offsets[live]
+        if parallel:
+            positions = np.arange(count, dtype=np.float64)
+            rel_finish = (
+                positions - np.repeat(offsets[live].astype(np.float64), counts[live])
+            ) * issue_gap + latencies
+            set_totals = np.zeros(len(set_lists), dtype=np.float64)
+            set_totals[live] = np.maximum.reduceat(rel_finish, starts_at)
+            set_starts = offsets.astype(np.float64) * issue_gap
+            total = float(np.max(positions * issue_gap + latencies))
+        else:
+            set_totals = np.zeros(len(set_lists), dtype=np.float64)
+            set_totals[live] = np.add.reduceat(latencies, starts_at)
+            set_starts = np.zeros(len(set_lists), dtype=np.float64)
+            np.cumsum(set_totals[:-1], out=set_starts[1:])
+            total = float(np.cumsum(latencies)[-1])
+
+        self._count_batch(home_gpu, exec_gpu, remote, count, misses, evictions)
+        bounds = [(int(o), int(o + c)) for o, c in zip(offsets, counts)]
+        # Convert once, then slice Python lists: far cheaper than one
+        # ndarray slice + tolist per set.
+        lat_list = latencies.tolist()
+        hit_list = hits.tolist() if isinstance(hits, np.ndarray) else list(hits)
+        return EpochResult(
+            set_latencies=tuple(tuple(lat_list[lo:hi]) for lo, hi in bounds),
+            set_hits=tuple(tuple(hit_list[lo:hi]) for lo, hi in bounds),
+            set_starts=tuple(set_starts.tolist()),
+            set_totals=tuple(set_totals.tolist()),
+            total_latency=total,
+            remote=remote,
+        )
+
+    # ------------------------------------------------------------------
+    # Batch service cores (shared by access_batch and access_epoch)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _issue_stamps(
+        count: int, now: float, parallel: bool, issue_gap: float
+    ) -> np.ndarray:
+        if parallel:
+            return now + np.arange(count, dtype=np.float64) * issue_gap
+        return np.full(count, float(now))
+
+    def _service_batch_vector(
+        self,
+        home_gpu: GPU,
+        exec_gpu: int,
+        home: int,
+        remote: bool,
+        paddrs: np.ndarray,
+        stamps: np.ndarray,
+    ):
+        """Vectorized service of one batch; returns arrays + counts."""
+        timing = self.spec.timing
+        hits, evictions, bank_waits, _sets = home_gpu.l2.access_lines(paddrs, stamps)
+        jitter = self._jitter.take(paddrs.size)
+        if remote:
+            hit_base, miss_base = timing.remote_l2_hit, timing.remote_dram
+            hit_sigma, miss_sigma = (
+                timing.jitter_remote_hit,
+                timing.jitter_remote_miss,
+            )
+        else:
+            hit_base, miss_base = timing.local_l2_hit, timing.local_dram
+            hit_sigma, miss_sigma = timing.jitter_local_hit, timing.jitter_local_miss
+        latencies = np.where(
+            hits, hit_base + hit_sigma * jitter, miss_base + miss_sigma * jitter
+        )
+        latencies += bank_waits
+        missed = ~hits
+        if missed.any():
+            latencies[missed] += home_gpu.hbm.occupy_batch(
+                paddrs[missed], stamps[missed]
+            )
+        if remote:
+            latencies += self.interconnect.transfer_batch(exec_gpu, home, stamps)
+        np.maximum(latencies, 1.0, out=latencies)
+        return latencies, hits, int(missed.sum()), int(evictions.sum())
+
+    def _service_batch_scalar(
+        self,
+        home_gpu: GPU,
+        exec_gpu: int,
+        home: int,
+        remote: bool,
+        paddrs,
+        stamps,
+        owner: int,
+    ):
+        """Reference per-access loop; returns lists + counts."""
+        timing = self.spec.timing
         cache_access = home_gpu.l2.access
         hbm_occupy = home_gpu.hbm.occupy
         transfer = self.interconnect.transfer
         jitter_next = self._jitter.next
-        timing = self.spec.timing
-        owner = process.pid
-        paddr_of = buffer.paddr
-
         if remote:
             hit_base, miss_base = timing.remote_l2_hit, timing.remote_dram
             hit_sigma, miss_sigma = (
@@ -196,12 +414,9 @@ class MultiGPUSystem:
 
         latencies = []
         hits = []
-        total = 0.0
         evictions = 0
         misses = 0
-        for position, index in enumerate(indices):
-            stamp = now + position * issue_gap if parallel else now
-            paddr = paddr_of(index)
+        for paddr, stamp in zip(paddrs, stamps):
             outcome = cache_access(paddr, stamp, owner=owner)
             if outcome.hit:
                 latency = hit_base + hit_sigma * jitter_next() + outcome.bank_wait
@@ -221,14 +436,17 @@ class MultiGPUSystem:
                 latency = 1.0
             latencies.append(latency)
             hits.append(outcome.hit)
-            if parallel:
-                finish = position * issue_gap + latency
-                if finish > total:
-                    total = finish
-            else:
-                total += latency
+        return latencies, hits, misses, evictions
 
-        count = len(latencies)
+    def _count_batch(
+        self,
+        home_gpu: GPU,
+        exec_gpu: int,
+        remote: bool,
+        count: int,
+        misses: int,
+        evictions: int,
+    ) -> None:
         counters = home_gpu.counters
         counters.l2_hits += count - misses
         counters.l2_misses += misses
@@ -241,7 +459,6 @@ class MultiGPUSystem:
             issuer = self.gpus[exec_gpu].counters
             issuer.remote_requests_out += count
             issuer.nvlink_bytes_in += count * line
-        return latencies, hits, total, remote
 
     def _count(
         self,

@@ -1,0 +1,200 @@
+"""Numpy-backed tag store: the vectorized L2 fast path's cache state.
+
+The scalar reference model (:mod:`repro.hw.replacement`) keeps one Python
+object per cache set; at memorygram scale (256-1024 monitored sets x 16
+lines per probe x thousands of sweeps) the per-access dict operations
+dominate the whole simulator.  :class:`LruTagStore` holds every set's tags
+in one ``(num_sets, ways)`` int64 matrix plus an age matrix, and services a
+whole batch of accesses with array operations.
+
+Exact-LRU equivalence
+---------------------
+
+Age-stamp LRU is exactly equivalent to the reference ``LruSet`` (an
+``OrderedDict`` in recency order): on a hit the line's age is bumped to the
+current tick, on a miss an invalid way is filled first, otherwise the
+minimum-age (least recently used) valid way is evicted.  The differential
+tests in ``tests/test_vector_cache.py`` pin the two implementations to
+identical hit/miss/eviction sequences.
+
+Batch processing happens in *rounds*: round ``r`` services the ``r``-th
+access of every distinct set in the batch.  Within a round all accesses
+touch different sets, so the updates are independent and fully
+vectorizable; across rounds the per-set sequential semantics (an access
+sees the fills and evictions of earlier accesses to its set) are
+preserved.  An eviction-set traversal (16 accesses to one set) therefore
+costs 16 small rounds, while a multi-set probe epoch (256 sets x 16 lines)
+costs 16 rounds of 256-wide array ops instead of 4096 Python iterations.
+
+Only true LRU is vectorized -- the policy the paper reverse-engineers on
+the P100 ("evicted consistently after the 16th address", Fig 5).  The
+pLRU/random ablation policies stay on the scalar reference path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["LruTagStore", "occurrence_ranks"]
+
+_INVALID = -1
+_AGE_MAX = np.iinfo(np.int64).max
+
+
+def occurrence_ranks(values: np.ndarray) -> np.ndarray:
+    """Rank of each element among equal elements, in array order.
+
+    ``occurrence_ranks([5, 3, 5, 5, 3]) == [0, 0, 1, 2, 1]``.  Used to
+    split a batch into rounds of distinct-set accesses.
+    """
+    n = values.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(values, kind="stable")
+    sorted_values = values[order]
+    positions = np.arange(n, dtype=np.int64)
+    group_start = np.zeros(n, dtype=np.int64)
+    new_group = sorted_values[1:] != sorted_values[:-1]
+    group_start[1:] = np.where(new_group, positions[1:], 0)
+    group_start = np.maximum.accumulate(group_start)
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order] = positions - group_start
+    return ranks
+
+
+class LruTagStore:
+    """All cache sets of one L2 as flat matrices, with batched access.
+
+    Validity is encoded in the tag matrix itself: real tags are physical
+    addresses shifted right, hence always >= 0, so ``_INVALID`` (-1) can
+    never collide with a resident line.  This keeps the hot loop to one
+    fancy-indexed read of ``_tags`` per round.
+    """
+
+    __slots__ = ("num_sets", "ways", "_tags", "_age", "_tick")
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+        self._tags = np.full((num_sets, ways), _INVALID, dtype=np.int64)
+        self._age = np.zeros((num_sets, ways), dtype=np.int64)
+        self._tick = 1
+
+    # ------------------------------------------------------------------
+    # Batched access (the fast path)
+    # ------------------------------------------------------------------
+    def access_lines(
+        self, set_indices: np.ndarray, tags: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Lookup-and-fill a batch of lines in order; returns masks.
+
+        ``set_indices`` and ``tags`` are parallel int64 arrays, one entry
+        per access, in program order.  Returns ``(hits, evictions)`` bool
+        arrays: whether each access hit, and whether it evicted a valid
+        line (a fill into an invalid way is a miss without an eviction).
+        """
+        n = set_indices.size
+        hits = np.zeros(n, dtype=bool)
+        evictions = np.zeros(n, dtype=bool)
+        if n == 0:
+            return hits, evictions
+        if n <= 2 * self.ways:
+            # Small burst (one or two traversals' worth): the rounds
+            # would be nearly as numerous as the accesses, so a direct
+            # scalar walk beats the array machinery.
+            for at, (row, tag) in enumerate(
+                zip(set_indices.tolist(), tags.tolist())
+            ):
+                hit, evicted = self.access_one(row, tag)
+                hits[at] = hit
+                evictions[at] = evicted is not None
+            return hits, evictions
+        ranks = occurrence_ranks(set_indices)
+        for rank in range(int(ranks.max()) + 1):
+            sel = np.nonzero(ranks == rank)[0]
+            rows = set_indices[sel]
+            wanted = tags[sel]
+            tag_rows = self._tags[rows]
+            match = tag_rows == wanted[:, None]
+            hit = match.any(axis=1)
+            hits[sel] = hit
+            tick = self._tick
+            self._tick = tick + 1
+            if hit.any():
+                hit_rows = rows[hit]
+                hit_ways = match[hit].argmax(axis=1)
+                self._age[hit_rows, hit_ways] = tick
+            miss = ~hit
+            if miss.any():
+                miss_rows = rows[miss]
+                miss_invalid = tag_rows[miss] == _INVALID
+                has_free = miss_invalid.any(axis=1)
+                free_way = miss_invalid.argmax(axis=1)
+                lru_way = np.where(
+                    miss_invalid, _AGE_MAX, self._age[miss_rows]
+                ).argmin(axis=1)
+                way = np.where(has_free, free_way, lru_way)
+                evictions[sel[miss]] = ~has_free
+                self._tags[miss_rows, way] = wanted[miss]
+                self._age[miss_rows, way] = tick
+        return hits, evictions
+
+    # ------------------------------------------------------------------
+    # Scalar access (kept for the single-word path and maintenance ops)
+    # ------------------------------------------------------------------
+    def access_one(self, set_index: int, tag: int) -> Tuple[bool, Optional[int]]:
+        """One lookup-and-fill; returns ``(hit, evicted_tag_or_None)``.
+
+        Works on a plain-Python copy of the (small) set row: list scans
+        are several times cheaper than the equivalent numpy reductions at
+        ``ways``-sized operands, which matters for scalar-access-heavy
+        kernels (victim workloads, reverse-engineering probes).
+        """
+        row = self._tags[set_index]
+        tag_list = row.tolist()
+        tick = self._tick
+        self._tick = tick + 1
+        try:
+            way = tag_list.index(tag)
+            self._age[set_index, way] = tick
+            return True, None
+        except ValueError:
+            pass
+        evicted: Optional[int] = None
+        try:
+            way = tag_list.index(_INVALID)
+        except ValueError:
+            ages = self._age[set_index].tolist()
+            way = min(range(self.ways), key=ages.__getitem__)
+            evicted = tag_list[way]
+        row[way] = tag
+        self._age[set_index, way] = tick
+        return False, evicted
+
+    def contains(self, set_index: int, tag: int) -> bool:
+        return tag in self._tags[set_index].tolist()
+
+    def invalidate(self, set_index: int, tag: int) -> bool:
+        try:
+            way = self._tags[set_index].tolist().index(tag)
+        except ValueError:
+            return False
+        self._tags[set_index, way] = _INVALID
+        return True
+
+    def resident_tags(self, set_index: int) -> List[int]:
+        """Resident tags in LRU-to-MRU order (matches ``LruSet``)."""
+        row = self._tags[set_index]
+        ways = np.nonzero(row != _INVALID)[0]
+        ordered = ways[np.argsort(self._age[set_index, ways], kind="stable")]
+        return [int(t) for t in row[ordered]]
+
+    def occupancy(self, set_index: int) -> int:
+        return int((self._tags[set_index] != _INVALID).sum())
+
+    def reset(self) -> None:
+        self._tags.fill(_INVALID)
+        self._age.fill(0)
+        self._tick = 1

@@ -15,13 +15,16 @@ an order of magnitude fewer heap events at memorygram scale.
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Any, Generator, List, Optional
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
 from ..errors import SimulationError
 from .ops import (
     Access,
     Compute,
     Fence,
+    ProbeEpoch,
     ProbeResult,
     ProbeSet,
     ReadClock,
@@ -34,9 +37,55 @@ from .process import Process
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..hw.system import MultiGPUSystem
 
-__all__ = ["Engine", "StreamHandle"]
+__all__ = ["Engine", "EngineStats", "StreamHandle"]
 
 Kernel = Generator[Any, Any, Any]
+
+
+@dataclass
+class EngineStats:
+    """Throughput instrumentation for one engine (the perf baseline).
+
+    ``events`` counts engine-loop dispatches (one per yielded op);
+    ``accesses`` counts simulated memory accesses serviced, which is the
+    quantity the performance benches report as events/sec -- a probe
+    epoch is one event but hundreds of accesses.  ``wall_seconds``
+    accumulates real time spent inside :meth:`Engine.run`.
+    """
+
+    events: int = 0
+    accesses: int = 0
+    wall_seconds: float = 0.0
+    sim_cycles: float = 0.0
+    op_counts: Dict[str, int] = field(default_factory=dict)
+
+    def count_op(self, op_name: str, accesses: int = 0) -> None:
+        self.events += 1
+        self.accesses += accesses
+        self.op_counts[op_name] = self.op_counts.get(op_name, 0) + 1
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def accesses_per_sec(self) -> float:
+        return self.accesses / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def reset(self) -> None:
+        self.events = 0
+        self.accesses = 0
+        self.wall_seconds = 0.0
+        self.sim_cycles = 0.0
+        self.op_counts.clear()
+
+    def summary(self) -> str:
+        return (
+            f"{self.events} events / {self.accesses} accesses in "
+            f"{self.wall_seconds:.3f}s wall "
+            f"({self.accesses_per_sec:,.0f} accesses/s, "
+            f"{self.sim_cycles:,.0f} simulated cycles)"
+        )
 
 
 class StreamHandle:
@@ -83,6 +132,7 @@ class Engine:
     def __init__(self, system: "MultiGPUSystem") -> None:
         self.system = system
         self.now: float = 0.0
+        self.stats = EngineStats()
         self._heap: List = []
         self._seq = 0
         self._events = 0
@@ -122,29 +172,36 @@ class Engine:
         Returns the final simulation time.
         """
         heap = self._heap
-        while heap:
-            when, _seq, handle = heap[0]
-            if until is not None and when > until:
-                break
-            heapq.heappop(heap)
-            self.now = when
-            self._events += 1
-            if self._events > max_events:
-                raise SimulationError(
-                    f"exceeded {max_events} events; runaway kernel "
-                    f"{handle.name!r}?"
-                )
-            try:
-                op = handle.generator.send(handle.pending)
-            except StopIteration as stop:
-                handle.done = True
-                handle.result = stop.value
-                self._release(handle)
-                continue
-            latency, result = self._execute(op, handle, when)
-            handle.clock = when + latency
-            handle.pending = result
-            self._push(handle)
+        stats = self.stats
+        started_at = self.now
+        wall_start = time.perf_counter()
+        try:
+            while heap:
+                when, _seq, handle = heap[0]
+                if until is not None and when > until:
+                    break
+                heapq.heappop(heap)
+                self.now = when
+                self._events += 1
+                if self._events > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; runaway kernel "
+                        f"{handle.name!r}?"
+                    )
+                try:
+                    op = handle.generator.send(handle.pending)
+                except StopIteration as stop:
+                    handle.done = True
+                    handle.result = stop.value
+                    self._release(handle)
+                    continue
+                latency, result = self._execute(op, handle, when)
+                handle.clock = when + latency
+                handle.pending = result
+                self._push(handle)
+        finally:
+            stats.wall_seconds += time.perf_counter() - wall_start
+            stats.sim_cycles += self.now - started_at
         return self.now
 
     def _release(self, handle: StreamHandle) -> None:
@@ -157,7 +214,9 @@ class Engine:
     # ------------------------------------------------------------------
     def _execute(self, op: Any, handle: StreamHandle, now: float):
         system = self.system
+        stats = self.stats
         if type(op) is Access:
+            stats.count_op("Access", 1)
             result = system.access_word(
                 handle.process,
                 op.buffer,
@@ -168,25 +227,53 @@ class Engine:
             )
             return result.latency, result
         if type(op) is ProbeSet:
+            stats.count_op("ProbeSet", len(op.indices))
             return self._execute_probe(op, handle, now)
+        if type(op) is ProbeEpoch:
+            stats.count_op("ProbeEpoch", sum(len(s) for s in op.sets))
+            return self._execute_epoch(op, handle, now)
         if type(op) is Compute:
+            stats.count_op("Compute")
             return float(op.cycles), None
         if type(op) is SharedStore:
+            stats.count_op("SharedStore")
             op.buffer.data[op.index] = op.value
             return float(op.cost_cycles), None
         if type(op) is Store:
+            stats.count_op("Store", 1)
             op.buffer.store(op.index, op.value)
             result = system.access_word(
                 handle.process, op.buffer, op.index, handle.gpu_id, now, is_write=True
             )
-            return result.latency, result.latency
+            # Like Access, the stream resumes with the full AccessResult
+            # (the latency alone used to be sent back, making the two
+            # memory ops inconsistent to kernel code).
+            return result.latency, result
         if type(op) is Fence:
+            stats.count_op("Fence")
             return float(system.timing.fence_cycles), None
         if type(op) is Sleep:
+            stats.count_op("Sleep")
             return float(op.cycles), None
         if type(op) is ReadClock:
+            stats.count_op("ReadClock")
             return 0.0, handle.clock
         raise SimulationError(f"kernel {handle.name!r} yielded unknown op {op!r}")
+
+    def _execute_epoch(self, op: ProbeEpoch, handle: StreamHandle, now: float):
+        # Like ProbeSet, the whole epoch executes atomically at its start
+        # time; per-set start offsets in the result let the prober place
+        # samples on the time axis without one event per set.
+        epoch = self.system.access_epoch(
+            handle.process,
+            op.buffer,
+            op.sets,
+            handle.gpu_id,
+            now,
+            parallel=op.parallel,
+            issue_gap=op.issue_gap,
+        )
+        return epoch.total_latency, epoch
 
     def _execute_probe(self, op: ProbeSet, handle: StreamHandle, now: float):
         # In parallel (warp) mode access i issues at now + i*gap and the

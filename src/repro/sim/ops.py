@@ -17,7 +17,8 @@ op                        result sent back into the generator
 ========================  =============================================
 :class:`Access`           ``AccessResult`` (value, latency, hit, ...)
 :class:`ProbeSet`         ``ProbeResult`` (per-line latencies, ...)
-:class:`Store`            latency (float)
+:class:`ProbeEpoch`       ``EpochResult`` (per-set latencies, ...)
+:class:`Store`            ``AccessResult`` (like :class:`Access`)
 :class:`SharedStore`      ``None``
 :class:`Compute`          ``None``
 :class:`Fence`            ``None``
@@ -29,7 +30,7 @@ op                        result sent back into the generator
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, TYPE_CHECKING
+from typing import List, Sequence, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .process import DeviceBuffer
@@ -37,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "Access",
     "ProbeSet",
+    "ProbeEpoch",
     "Store",
     "SharedStore",
     "Compute",
@@ -45,6 +47,7 @@ __all__ = [
     "ReadClock",
     "AccessResult",
     "ProbeResult",
+    "EpochResult",
 ]
 
 
@@ -81,6 +84,26 @@ class ProbeSet:
     buffer: "DeviceBuffer"
     indices: Sequence[int]
     parallel: bool = False
+    #: Cycles between consecutive issue slots in parallel mode.
+    issue_gap: float = 4.0
+
+
+@dataclass(frozen=True)
+class ProbeEpoch:
+    """Traverse many eviction sets back-to-back in one operation.
+
+    The multi-set fast path of the memorygram prober: one epoch covers a
+    spy block's whole sweep over its monitored sets, serviced as a single
+    batched call against the hardware model (see
+    :meth:`repro.hw.system.MultiGPUSystem.access_epoch` for the issue
+    semantics).  The result reports each set's latencies plus its start
+    offset within the epoch, so per-set samples can still be placed on
+    the memorygram time axis.
+    """
+
+    buffer: "DeviceBuffer"
+    sets: Sequence[Sequence[int]]
+    parallel: bool = True
     #: Cycles between consecutive issue slots in parallel mode.
     issue_gap: float = 4.0
 
@@ -164,3 +187,27 @@ class ProbeResult:
     @property
     def miss_count(self) -> int:
         return sum(1 for h in self.hits if not h)
+
+
+@dataclass(frozen=True)
+class EpochResult:
+    """Outcome of a :class:`ProbeEpoch`: one entry per probed set."""
+
+    #: Per-set tuples of per-line latencies, in probe order.
+    set_latencies: Tuple[Tuple[float, ...], ...] = ()
+    set_hits: Tuple[Tuple[bool, ...], ...] = ()
+    #: Cycles from the epoch start to each set's first issue slot.
+    set_starts: Tuple[float, ...] = ()
+    #: Each set's traversal latency relative to its own start.
+    set_totals: Tuple[float, ...] = ()
+    total_latency: float = 0.0
+    remote: bool = False
+
+    @property
+    def num_sets(self) -> int:
+        return len(self.set_latencies)
+
+    def miss_counts(self) -> List[int]:
+        """Per-set miss counts (ground truth; attack code thresholds
+        latencies instead)."""
+        return [sum(1 for h in hs if not h) for hs in self.set_hits]

@@ -59,6 +59,7 @@ class DeviceBuffer:
         "frames",
         "page_size",
         "_words_per_page",
+        "_frame_array",
     )
 
     def __init__(
@@ -80,6 +81,7 @@ class DeviceBuffer:
         self.frames = frames
         self.page_size = page_size
         self._words_per_page = page_size // WORD_BYTES
+        self._frame_array = np.asarray(frames, dtype=np.int64)
 
     @property
     def size_bytes(self) -> int:
@@ -98,6 +100,17 @@ class DeviceBuffer:
             )
         page, offset = divmod(index, self._words_per_page)
         return self.frames[page] * self.page_size + offset * WORD_BYTES
+
+    def paddrs(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`paddr` for a whole batch of word indices."""
+        if indices.size and (
+            int(indices.min()) < 0 or int(indices.max()) >= self.num_words
+        ):
+            raise TranslationError(
+                f"index outside buffer {self.name!r} ({self.num_words} words)"
+            )
+        pages, offsets = np.divmod(indices, self._words_per_page)
+        return self._frame_array[pages] * self.page_size + offsets * WORD_BYTES
 
     def load(self, index: int) -> int:
         return int(self.data[index])

@@ -1,6 +1,5 @@
 """Composite (concurrent multi-app) victims."""
 
-import numpy as np
 import pytest
 
 from repro.core.sidechannel.prober import MemorygramProber

@@ -7,8 +7,10 @@ from repro.errors import SimulationError
 from repro.runtime.api import Runtime
 from repro.sim.ops import (
     Access,
+    AccessResult,
     Compute,
     Fence,
+    ProbeEpoch,
     ProbeSet,
     ReadClock,
     SharedStore,
@@ -72,6 +74,68 @@ def test_store_and_load_roundtrip(rt):
         return result.value
 
     assert rt.run_kernel(kernel(), 0, proc) == 1234
+
+
+def test_store_resumes_with_access_result(rt):
+    """A Store resumes the kernel with a full AccessResult, like Access."""
+    proc = rt.create_process()
+    buf = rt.malloc_lines(proc, 0, 2)
+
+    def kernel():
+        t0 = yield ReadClock()
+        result = yield Store(buf, 3, 77)
+        t1 = yield ReadClock()
+        return result, t1 - t0
+
+    result, elapsed = rt.run_kernel(kernel(), 0, proc)
+    assert isinstance(result, AccessResult)
+    assert not result.remote and result.home_gpu == 0
+    assert elapsed == pytest.approx(result.latency)
+
+
+def test_probe_epoch_returns_per_set_results(rt):
+    proc = rt.create_process()
+    buf = rt.malloc_lines(proc, 0, 32)
+    wpl = rt.system.spec.gpu.cache.line_size // 8
+    sets = [[i * wpl for i in range(8)], [(8 + i) * wpl for i in range(8)]]
+
+    def kernel():
+        t0 = yield ReadClock()
+        epoch = yield ProbeEpoch(buf, sets, parallel=True)
+        t1 = yield ReadClock()
+        return epoch, t1 - t0
+
+    epoch, elapsed = rt.run_kernel(kernel(), 0, proc)
+    assert epoch.num_sets == 2
+    assert all(len(lats) == 8 for lats in epoch.set_latencies)
+    assert epoch.set_starts[0] == pytest.approx(0.0)
+    assert epoch.set_starts[1] > 0.0
+    assert elapsed == pytest.approx(epoch.total_latency)
+
+
+def test_engine_stats_count_ops_and_accesses(rt):
+    proc = rt.create_process()
+    buf = rt.malloc_lines(proc, 0, 16)
+    wpl = rt.system.spec.gpu.cache.line_size // 8
+    indices = [i * wpl for i in range(8)]
+
+    def kernel():
+        yield Access(buf, 0)
+        yield ProbeSet(buf, indices, parallel=True)
+        yield ProbeEpoch(buf, [indices, indices])
+        yield Compute(10)
+
+    rt.run_kernel(kernel(), 0, proc)
+    stats = rt.engine.stats
+    assert stats.op_counts["Access"] == 1
+    assert stats.op_counts["ProbeSet"] == 1
+    assert stats.op_counts["ProbeEpoch"] == 1
+    assert stats.accesses == 1 + 8 + 16
+    assert stats.events >= 4
+    assert stats.wall_seconds > 0.0
+    assert stats.accesses_per_sec > 0.0
+    stats.reset()
+    assert stats.events == 0 and stats.op_counts == {}
 
 
 def test_shared_store_writes_shared_memory(rt):

@@ -1,6 +1,5 @@
 """Experiment harness modules on the scaled-down box."""
 
-import pytest
 
 from repro.config import DGXSpec
 from repro.experiments import (

@@ -10,7 +10,6 @@ from repro.hw.topology import Topology
 
 
 def make_icx(num_gpus=8, lanes=2):
-    import dataclasses
 
     spec = DGXSpec(
         num_gpus=num_gpus,

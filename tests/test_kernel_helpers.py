@@ -1,6 +1,5 @@
 """Kernel-construction helpers and the run_kernels convenience."""
 
-import pytest
 
 from repro.runtime.kernel import access_sequence, touch_lines
 from repro.sim.engine import run_kernels

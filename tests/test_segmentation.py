@@ -1,7 +1,6 @@
 """Memorygram phase segmentation (the §V-A kernel-location step)."""
 
 import numpy as np
-import pytest
 
 from repro.analysis.segmentation import (
     Phase,

@@ -1,11 +1,9 @@
 """The NUMA access path: the paper's central reverse-engineering result."""
 
-import numpy as np
 import pytest
 
 from repro.config import DGXSpec
 from repro.errors import PeerAccessError
-from repro.hw.system import MultiGPUSystem
 from repro.runtime.api import Runtime
 
 

@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.config import DGXSpec
 from repro.core.timing import CLASSES, characterize_timing, measure_access_classes
-from repro.runtime.api import Runtime
 
 
 @pytest.fixture

@@ -1,7 +1,6 @@
 """The hardware invariant auditor."""
 
 import numpy as np
-import pytest
 
 from repro.core.covert.channel import CovertChannel
 from repro.hw.validation import check_invariants

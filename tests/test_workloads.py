@@ -6,7 +6,6 @@ from repro.sim.ops import Compute, ProbeSet
 from repro.workloads import (
     WORKLOADS,
     MLPTraining,
-    TraceWorkload,
     make_workload,
     workload_names,
 )
