@@ -41,6 +41,7 @@ from repro.core.covert.channel import CovertChannel
 from repro.core.sidechannel.prober import MemorygramProber
 from repro.runtime.api import Runtime
 from repro.sim.ops import ProbeEpoch
+from repro.telemetry import attach_tracer
 from repro.workloads.vectoradd import VectorAdd
 
 TRAJECTORY_PATH = pathlib.Path(__file__).parent / "perf_trajectory.json"
@@ -93,7 +94,9 @@ def _ground_truth_sets(
     return buf, sets[:num_sets]
 
 
-def run_probe_storm(backend: str, num_sets: int = 256, seed: int = 7) -> Dict:
+def run_probe_storm(
+    backend: str, num_sets: int = 256, seed: int = 7, traced: bool = False
+) -> Dict:
     spec = DGXSpec.dgx1().with_l2_backend(backend)
     rt = Runtime(spec, seed=seed)
     proc = rt.create_process("storm_spy")
@@ -107,9 +110,33 @@ def run_probe_storm(backend: str, num_sets: int = 256, seed: int = 7) -> Dict:
         for _ in range(sweeps):
             yield ProbeEpoch(buf, sets, parallel=True)
 
+    if traced:
+        attach_tracer(rt, sample_cadence=50_000.0)
     rt.engine.stats.reset()
     rt.run_kernel(storm(), 1, proc)
     return _stats_record(rt.engine.stats, sweeps=sweeps, num_sets=num_sets)
+
+
+def run_tracing_overhead(num_sets: int = 256, seed: int = 7) -> Dict:
+    """Tracing-off vs tracing-on throughput on the vectorized probe storm.
+
+    'off' is the plain engine (the nullable hook costs one branch per
+    dispatched op); 'on' attaches the full tracer (event ring + counter
+    sampler).  The overhead record lands in ``perf_trajectory.json`` so
+    telemetry regressions are visible across revisions.
+    """
+    off = run_probe_storm("vectorized", num_sets=num_sets, seed=seed)
+    on = run_probe_storm("vectorized", num_sets=num_sets, seed=seed, traced=True)
+    overhead = (
+        1.0 - on["accesses_per_sec"] / off["accesses_per_sec"]
+        if off["accesses_per_sec"]
+        else None
+    )
+    return {
+        "off": off,
+        "on": on,
+        "overhead_pct": round(overhead * 100.0, 2) if overhead is not None else None,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -162,6 +189,7 @@ def run_all() -> Dict:
         fast = results[name]["vectorized"]["accesses_per_sec"]
         slow = results[name]["scalar"]["accesses_per_sec"]
         results[name]["speedup"] = round(fast / slow, 2) if slow else None
+    results["tracing"] = run_tracing_overhead()
     return results
 
 
@@ -181,6 +209,19 @@ def format_results(results: Dict) -> str:
         f"{'events/s':>10}  {'wall s':>8}"
     ]
     for name, entry in results.items():
+        if name == "tracing":
+            for mode in ("off", "on"):
+                record = entry[mode]
+                lines.append(
+                    f"{name:<14}  {mode:<10}  "
+                    f"{record['accesses_per_sec']:>12,}  "
+                    f"{record['events_per_sec']:>10,}  "
+                    f"{record['wall_seconds']:>8.3f}"
+                )
+            lines.append(
+                f"{name:<14}  {'overhead':<10}  {entry['overhead_pct']:>11}%"
+            )
+            continue
         for backend in BACKENDS:
             record = entry[backend]
             lines.append(

@@ -12,25 +12,79 @@ DGX-1 and prints the corresponding table/figure data::
     gpu-spy extract                        # Table II
     gpu-spy epochs --epochs 2              # Fig 15
     gpu-spy defense / gpu-spy noise / gpu-spy replacement   # ablations
+    gpu-spy trace --scenario covert --out trace.json        # telemetry
 
 ``--small`` runs on the scaled-down box (fast, same behaviours).
+
+``--trace OUT`` works with any subcommand: it attaches the telemetry
+tracer to the command's runtime and, when the command finishes, writes a
+Chrome trace-event JSON (open it at https://ui.perfetto.dev), a metrics
+JSONL and a run manifest next to ``OUT``.  Commands that build several
+runtimes (``sweep``, ``validate``) trace the last one.  See
+``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Tuple
 
 from .config import DGXSpec
 from .runtime.api import Runtime
 
 __all__ = ["main", "build_parser"]
 
+#: (runtime, tracer) pairs created by ``--trace`` during one main() call.
+_TRACED: List[Tuple] = []
+
 
 def _runtime(args) -> Runtime:
     spec = DGXSpec.small() if args.small else DGXSpec.dgx1()
-    return Runtime(spec, seed=args.seed)
+    runtime = Runtime(spec, seed=args.seed)
+    if getattr(args, "trace", None):
+        from .telemetry import attach_tracer
+
+        tracer = attach_tracer(runtime, sample_cadence=args.trace_cadence)
+        _TRACED.append((runtime, tracer))
+    return runtime
+
+
+def _telemetry_paths(out: Path) -> Tuple[Path, Path, Path]:
+    """Derive (trace, metrics, manifest) paths from the trace output path."""
+    return (
+        out,
+        out.with_name(out.stem + ".metrics.jsonl"),
+        out.with_name(out.stem + ".manifest.json"),
+    )
+
+
+def _export_telemetry(runtime, tracer, out, label: str, seed: int) -> None:
+    """Write trace + metrics + manifest for one traced runtime."""
+    from .telemetry.exporters import write_chrome_trace, write_metrics_jsonl
+    from .telemetry.manifest import build_manifest
+
+    tracer.finish(runtime.engine.now)
+    clock_hz = runtime.system.spec.timing.clock_hz
+    trace_path, metrics_path, manifest_path = _telemetry_paths(Path(out))
+    write_chrome_trace(
+        trace_path, tracer, clock_hz, metadata={"label": label, "seed": seed}
+    )
+    written = [trace_path]
+    if tracer.timeseries is not None:
+        write_metrics_jsonl(metrics_path, tracer.timeseries, clock_hz)
+        written.append(metrics_path)
+    build_manifest(
+        runtime,
+        label=label,
+        seed=seed,
+        extras={"trace_file": trace_path.name},
+    ).write(manifest_path)
+    written.append(manifest_path)
+    print("telemetry written:")
+    for path in written:
+        print(f"  {path}")
 
 
 def _cmd_timing(args) -> int:
@@ -229,6 +283,64 @@ def _cmd_scan(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Replay a scenario under full telemetry and write trace+metrics+manifest.
+
+    The ``covert`` scenario is the paper's fig 9/10-style covert channel
+    (trojan on GPU 0, spy on GPU 1); ``memorygram`` records a victim
+    workload through the side-channel prober.  After the run the Section
+    VII detector replays the sampled counter timeseries and reports how
+    many windows it would have flagged.
+    """
+    from .defense.detection import ContentionDetector
+    from .telemetry import attach_tracer
+
+    spec = DGXSpec.small() if args.small else DGXSpec.dgx1()
+    runtime = Runtime(spec, seed=args.seed)
+    tracer = attach_tracer(
+        runtime, capacity=args.capacity, sample_cadence=args.cadence
+    )
+
+    if args.scenario == "covert":
+        from .core.covert.channel import CovertChannel
+
+        channel = CovertChannel(runtime)
+        channel.setup(args.sets)
+        outcome = channel.send_text(args.message, slot_cycles=args.slot_cycles)
+        print(
+            f"covert scenario: sent {args.message!r}, received "
+            f"{outcome.received_text()!r} "
+            f"(bit error rate {outcome.error_rate * 100:.2f}%)"
+        )
+    else:
+        from .core.sidechannel.prober import MemorygramProber
+        from .workloads.registry import make_workload
+
+        prober = MemorygramProber(runtime)
+        prober.setup(num_sets=args.monitor_sets)
+        workload = make_workload("vectoradd", scale=args.scale, seed=args.seed)
+        gram = prober.record(workload)
+        print(
+            f"memorygram scenario: {gram.num_sets} sets x {gram.num_bins} "
+            f"bins, {gram.total_misses()} misses"
+        )
+
+    _export_telemetry(
+        runtime, tracer, args.out, label=f"trace:{args.scenario}", seed=args.seed
+    )
+
+    # The detector consumes the sampled timeseries: GPU 0 homes the probed
+    # buffer, so that is where the attack signature lands.
+    detector = ContentionDetector(runtime.system, gpu_id=0)
+    reports = detector.scan_timeseries(tracer.timeseries)
+    flagged = sum(1 for report in reports if report.flagged)
+    print(f"detector replay: {flagged}/{len(reports)} windows flagged on GPU 0")
+    if flagged:
+        first = next(report for report in reports if report.flagged)
+        print(first.summary())
+    return 0
+
+
 def _cmd_multigpu(args) -> int:
     from .experiments import ext_multi_gpu
 
@@ -248,6 +360,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
     parser.add_argument(
         "--small", action="store_true", help="use the scaled-down test box"
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT",
+        help="write a Chrome trace (+ metrics JSONL + run manifest) of the "
+        "command's run to OUT",
+    )
+    parser.add_argument(
+        "--trace-cadence",
+        type=float,
+        default=50_000.0,
+        help="counter sampling cadence in simulated cycles (with --trace)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -324,13 +449,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     multi.add_argument("--pairs", type=int, nargs="+", default=[1, 2, 4])
     multi.set_defaults(func=_cmd_multigpu)
+
+    trace = sub.add_parser(
+        "trace",
+        help="telemetry: replay a scenario and write trace + timeseries "
+        "+ manifest",
+    )
+    trace.add_argument(
+        "--scenario", choices=("covert", "memorygram"), default="covert"
+    )
+    trace.add_argument("--out", default="gpu-spy-trace.json")
+    trace.add_argument(
+        "--cadence",
+        type=float,
+        default=25_000.0,
+        help="counter sampling cadence in simulated cycles",
+    )
+    trace.add_argument(
+        "--capacity", type=int, default=1 << 16, help="event ring capacity"
+    )
+    trace.add_argument("--sets", type=int, default=4, help="covert: eviction sets")
+    trace.add_argument("--message", default="covert", help="covert: payload text")
+    trace.add_argument("--slot-cycles", type=float, default=3000.0)
+    trace.add_argument(
+        "--monitor-sets", type=int, default=32, help="memorygram: monitored sets"
+    )
+    trace.add_argument(
+        "--scale", type=float, default=0.05, help="memorygram: workload scale"
+    )
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    _TRACED.clear()
+    status = args.func(args)
+    if status == 0 and getattr(args, "trace", None) and _TRACED:
+        if len(_TRACED) > 1:
+            print(
+                f"note: command built {len(_TRACED)} runtimes; "
+                "exporting the last one's telemetry"
+            )
+        runtime, tracer = _TRACED[-1]
+        _export_telemetry(
+            runtime, tracer, args.trace, label=args.command, seed=args.seed
+        )
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

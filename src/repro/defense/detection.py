@@ -14,9 +14,12 @@ eviction sets forever).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Mapping
 
 from ..hw.system import MultiGPUSystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.timeseries import CounterTimeseries
 
 __all__ = ["ContentionDetector", "DetectionReport"]
 
@@ -69,13 +72,35 @@ class ContentionDetector:
     def close_window(self, now: float) -> DetectionReport:
         """Evaluate the window ending at ``now``."""
         delta = self.system.gpus[self.gpu_id].counters.delta_from(self._snapshot)
-        window = max(1.0, now - self._window_start)
+        return self.evaluate(delta, now - self._window_start)
+
+    def scan_timeseries(
+        self, timeseries: "CounterTimeseries"
+    ) -> List[DetectionReport]:
+        """Evaluate every sampled window of a counter timeseries.
+
+        This is the offline/streaming twin of the windowed monitor: a
+        :class:`~repro.telemetry.timeseries.CounterSampler` already
+        produced per-window deltas for this GPU, so each sample maps to
+        one verdict.  Samples with an empty window (back-to-back samples
+        at the same instant) are evaluated against a 1-cycle floor.
+        """
+        return [
+            self.evaluate(sample.delta, sample.window)
+            for sample in timeseries.for_gpu(self.gpu_id)
+        ]
+
+    def evaluate(
+        self, delta: Mapping[str, int], window_cycles: float
+    ) -> DetectionReport:
+        """Judge one window given its counter deltas (the detector core)."""
+        window = max(1.0, window_cycles)
         kcycles = window / 1000.0
 
-        remote_rate = delta["remote_requests_in"] / kcycles
-        accesses = delta["l2_hits"] + delta["l2_misses"]
-        miss_rate = delta["l2_misses"] / accesses if accesses else 0.0
-        nvlink_rate = delta["nvlink_bytes_out"] / kcycles
+        remote_rate = delta.get("remote_requests_in", 0) / kcycles
+        accesses = delta.get("l2_hits", 0) + delta.get("l2_misses", 0)
+        miss_rate = delta.get("l2_misses", 0) / accesses if accesses else 0.0
+        nvlink_rate = delta.get("nvlink_bytes_out", 0) / kcycles
 
         reasons: List[str] = []
         if remote_rate > self.remote_rate_threshold:

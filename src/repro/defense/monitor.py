@@ -20,6 +20,7 @@ from typing import Generator, List, Optional
 from ..errors import ReproError
 from ..runtime.api import Runtime
 from ..sim.ops import ReadClock, Sleep
+from ..telemetry.timeseries import CounterSampler, CounterTimeseries
 from .detection import ContentionDetector, DetectionReport
 from .partitioning import enable_mig_partitioning
 
@@ -39,11 +40,18 @@ class ReactiveDefense:
     #: Simulation time at which partitioning was triggered (None = never).
     triggered_at: Optional[float] = None
     reports: List[DetectionReport] = field(default_factory=list)
+    #: The guarded GPU's counter timeseries, one sample per window --
+    #: kept after the run for forensics (what did the attack look like?).
+    sampler: Optional[CounterSampler] = field(default=None, repr=False)
     _armed: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.detector is None:
             self.detector = ContentionDetector(self.runtime.system, self.gpu_id)
+
+    @property
+    def timeseries(self) -> Optional[CounterTimeseries]:
+        return self.sampler.timeseries if self.sampler is not None else None
 
     # ------------------------------------------------------------------
     def arm(self) -> None:
@@ -64,13 +72,23 @@ class ReactiveDefense:
         )
 
     def _monitor_kernel(self) -> Generator:
+        # The monitor consumes the telemetry sampler: one counter-delta
+        # sample per window, judged by the detector core.  The samples
+        # stay in self.timeseries, so a flagged run carries its own
+        # evidence trail (and an unflagged one its baseline).
         assert self.detector is not None
         now = yield ReadClock()
-        self.detector.open_window(now)
+        self.sampler = CounterSampler(
+            self.runtime.system,
+            self.window_cycles,
+            gpus=(self.gpu_id,),
+            start=now,
+        )
         for _window in range(self.max_windows):
             yield Sleep(self.window_cycles)
             now = yield ReadClock()
-            report = self.detector.close_window(now)
+            (sample,) = self.sampler.sample(now)
+            report = self.detector.evaluate(sample.delta, sample.window)
             self.reports.append(report)
             if report.flagged:
                 enable_mig_partitioning(
@@ -78,7 +96,6 @@ class ReactiveDefense:
                 )
                 self.triggered_at = now
                 return
-            self.detector.open_window(now)
 
     # ------------------------------------------------------------------
     @property

@@ -1,11 +1,16 @@
-"""Shared experiment plumbing: result container and table rendering."""
+"""Shared experiment plumbing: result container, tables, run manifests."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["ExperimentResult", "format_table", "default_runtime"]
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "default_runtime",
+    "attach_manifest",
+]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
@@ -46,6 +51,11 @@ class ExperimentResult:
     def add_row(self, *values: Any) -> None:
         self.rows.append(list(values))
 
+    @property
+    def manifest(self):
+        """The run manifest, if one was attached (see :func:`attach_manifest`)."""
+        return self.extras.get("manifest")
+
     def summary(self) -> str:
         parts = [f"== {self.experiment_id}: {self.title} =="]
         parts.append(format_table(self.headers, self.rows))
@@ -63,3 +73,23 @@ def default_runtime(seed: int = 0, small: bool = False):
 
     spec = DGXSpec.small() if small else DGXSpec.dgx1()
     return Runtime(spec, seed=seed)
+
+
+def attach_manifest(
+    result: ExperimentResult,
+    runtime,
+    seed: Optional[int] = None,
+    extras: Optional[Dict[str, Any]] = None,
+) -> ExperimentResult:
+    """Stamp ``result`` with a provenance manifest for ``runtime``.
+
+    The manifest (config hash, seed, git revision, wall/sim time, final
+    counters, engine stats) makes every figure reproduction attributable;
+    ``gpu-spy report --json-dir`` persists it next to the result JSON.
+    """
+    from ..telemetry.manifest import build_manifest
+
+    result.extras["manifest"] = build_manifest(
+        runtime, label=result.experiment_id, seed=seed, extras=extras
+    )
+    return result

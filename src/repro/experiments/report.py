@@ -11,14 +11,16 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
-from .common import ExperimentResult, default_runtime
+from .common import ExperimentResult, attach_manifest, default_runtime
 
 __all__ = ["generate_report", "EXPERIMENTS", "run_experiment"]
 
 
 def _with_runtime(module_runner, **fixed):
     def runner(seed: int, small: bool):
-        return module_runner(runtime=default_runtime(seed, small=small), **fixed)
+        runtime = default_runtime(seed, small=small)
+        result = module_runner(runtime=runtime, **fixed)
+        return attach_manifest(result, runtime, seed=seed)
 
     return runner
 
@@ -52,47 +54,42 @@ def _registry() -> Dict[str, Callable[[int, bool], ExperimentResult]]:
             payload_bits=256,
         )
 
+    def _run_with_manifest(module_runner, seed: int, small: bool, **kwargs):
+        runtime = default_runtime(seed, small=small)
+        result = module_runner(runtime=runtime, **kwargs)
+        return attach_manifest(result, runtime, seed=seed)
+
     def fig12(seed: int, small: bool):
         kwargs = dict(seed=seed, traces_per_app=4)
         if small:
             kwargs.update(num_sets=16, workload_scale=0.03)
-        return fig12_fingerprint.run(
-            runtime=default_runtime(seed, small=small), **kwargs
-        )
+        return _run_with_manifest(fig12_fingerprint.run, seed, small, **kwargs)
 
     def table2(seed: int, small: bool):
         hidden = (16, 64) if small else (64, 128, 256, 512)
         kwargs = dict(seed=seed, hidden_sizes=hidden)
         if small:
             kwargs.update(num_sets=16)
-        return table2_neurons.run(
-            runtime=default_runtime(seed, small=small), **kwargs
-        )
+        return _run_with_manifest(table2_neurons.run, seed, small, **kwargs)
 
     def fig14(seed: int, small: bool):
         hidden = (16, 64) if small else (128, 512)
         kwargs = dict(seed=seed, hidden_sizes=hidden)
         if small:
             kwargs.update(num_sets=16)
-        return fig14_mlp_memorygram.run(
-            runtime=default_runtime(seed, small=small), **kwargs
-        )
+        return _run_with_manifest(fig14_mlp_memorygram.run, seed, small, **kwargs)
 
     def fig15(seed: int, small: bool):
         kwargs = dict(seed=seed, epoch_counts=(1, 2))
         if small:
             kwargs.update(num_sets=16, hidden_neurons=16)
-        return fig15_epochs.run(
-            runtime=default_runtime(seed, small=small), **kwargs
-        )
+        return _run_with_manifest(fig15_epochs.run, seed, small, **kwargs)
 
     def fig11(seed: int, small: bool):
         kwargs = dict(seed=seed)
         if small:
             kwargs.update(num_sets=16, workload_scale=0.03)
-        return fig11_memorygrams.run(
-            runtime=default_runtime(seed, small=small), **kwargs
-        )
+        return _run_with_manifest(fig11_memorygrams.run, seed, small, **kwargs)
 
     return {
         "fig4": _with_runtime(fig04_timing.run),
@@ -101,9 +98,8 @@ def _registry() -> Dict[str, Callable[[int, bool], ExperimentResult]]:
         "fig6": _with_runtime(fig06_aliasing.run),
         "fig7": _with_runtime(fig07_alignment.run),
         "fig9": fig9,
-        "fig10": lambda seed, small: fig10_message.run(
-            runtime=default_runtime(seed, small=small),
-            num_sets=2 if small else 4,
+        "fig10": lambda seed, small: _run_with_manifest(
+            fig10_message.run, seed, small, num_sets=2 if small else 4
         ),
         "fig11": fig11,
         "fig12": fig12,
@@ -163,4 +159,7 @@ def generate_report(
 
             json_dir.mkdir(parents=True, exist_ok=True)
             save_result(json_dir / f"{name}.json", result)
+            manifest = result.extras.get("manifest")
+            if manifest is not None:
+                manifest.write(json_dir / f"{name}.manifest.json")
     return "\n".join(sections)

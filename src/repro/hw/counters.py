@@ -44,9 +44,30 @@ class GpuCounters:
         }
 
     def delta_from(self, earlier: Dict[str, int]) -> Dict[str, int]:
-        """Difference between now and an earlier :meth:`snapshot`."""
+        """Difference between now and an earlier :meth:`snapshot`.
+
+        Tolerates missing keys on *either* side (a snapshot taken by an
+        older schema, or a hand-built baseline): absent keys count as 0,
+        and keys only present in ``earlier`` still appear in the delta.
+        """
         now = self.snapshot()
-        return {key: now[key] - earlier.get(key, 0) for key in now}
+        extra = [key for key in earlier if key not in now]
+        return {
+            key: now.get(key, 0) - earlier.get(key, 0)
+            for key in (*now, *extra)
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (fresh baseline for a new measurement)."""
+        self.l2_hits = 0
+        self.l2_misses = 0
+        self.l2_evictions = 0
+        self.dram_reads = 0
+        self.dram_writes = 0
+        self.remote_requests_in = 0
+        self.remote_requests_out = 0
+        self.nvlink_bytes_in = 0
+        self.nvlink_bytes_out = 0
 
     @property
     def l2_accesses(self) -> int:

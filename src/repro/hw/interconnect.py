@@ -30,6 +30,9 @@ class Interconnect:
     def __init__(self, spec: DGXSpec, topology: Topology) -> None:
         self.spec = spec
         self.topology = topology
+        #: Nullable telemetry hook (see :mod:`repro.telemetry`): stall
+        #: events are emitted only when transfers actually queue.
+        self.tracer = None
         lanes = spec.nvlink.lanes
         self._busy: Dict[Edge, list] = {
             edge: [0.0] * lanes for edge in topology.edges
@@ -58,7 +61,17 @@ class Interconnect:
             clock += wait + serialization
         # The first hop's base latency is part of TimingSpec.remote_*;
         # additional hops each add a fixed penalty.
+        queue_wait = extra
         extra += (len(route) - 1) * self.spec.timing.per_extra_hop
+        if self.tracer is not None and queue_wait > 0.0:
+            self.tracer.emit(
+                "nvlink_stall",
+                "nvlink",
+                now,
+                dur=queue_wait,
+                gpu=src_gpu,
+                args={"src": src_gpu, "dst": dst_gpu, "hops": len(route)},
+            )
         return extra, len(route)
 
     def transfer_batch(
@@ -86,6 +99,24 @@ class Interconnect:
             self._busy[edge] = [float(b) for b in new_busy]
             extras += waits
             clock += waits + serialization
+        if self.tracer is not None:
+            total_wait = float(extras.sum())
+            if total_wait > 0.0:
+                # One aggregate event per batch: ``dur`` is the summed
+                # queueing over all transfers (see docs/observability.md).
+                self.tracer.emit(
+                    "nvlink_stall_batch",
+                    "nvlink",
+                    float(stamps[0]),
+                    dur=total_wait,
+                    gpu=src_gpu,
+                    args={
+                        "src": src_gpu,
+                        "dst": dst_gpu,
+                        "hops": len(route),
+                        "transfers": int(n),
+                    },
+                )
         extras += (len(route) - 1) * self.spec.timing.per_extra_hop
         return extras
 

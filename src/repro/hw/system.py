@@ -74,6 +74,9 @@ class MultiGPUSystem:
         ]
         self.topology = Topology(self.spec)
         self.interconnect = Interconnect(self.spec, self.topology)
+        #: Nullable telemetry hook (see :mod:`repro.telemetry`): the access
+        #: path pays one branch per serviced access/batch when unset.
+        self.tracer = None
         self._jitter = _JitterPool(self.rng.generator("timing/jitter"))
         self._next_pid = 0
 
@@ -155,9 +158,13 @@ class MultiGPUSystem:
         if latency < 1.0:
             latency = 1.0
 
-        self._count(process, home, exec_gpu, remote, outcome.hit, is_write)
+        self._count(process, home, exec_gpu, remote, outcome.hit, is_write, now)
         if outcome.evicted_tag is not None:
             home_gpu.counters.l2_evictions += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "l2_eviction", "cache", now, gpu=home, args={"count": 1}
+                )
 
         if is_write:
             value = 0
@@ -241,7 +248,7 @@ class MultiGPUSystem:
                 )
             else:
                 total = float(sum(latencies_out))
-        self._count_batch(home_gpu, exec_gpu, remote, count, misses, evictions)
+        self._count_batch(home_gpu, exec_gpu, remote, count, misses, evictions, now)
         return latencies_out, hits_out, total, remote
 
     def access_epoch(
@@ -324,7 +331,7 @@ class MultiGPUSystem:
             np.cumsum(set_totals[:-1], out=set_starts[1:])
             total = float(np.cumsum(latencies)[-1])
 
-        self._count_batch(home_gpu, exec_gpu, remote, count, misses, evictions)
+        self._count_batch(home_gpu, exec_gpu, remote, count, misses, evictions, now)
         bounds = [(int(o), int(o + c)) for o, c in zip(offsets, counts)]
         # Convert once, then slice Python lists: far cheaper than one
         # ndarray slice + tolist per set.
@@ -446,6 +453,7 @@ class MultiGPUSystem:
         count: int,
         misses: int,
         evictions: int,
+        now: float = 0.0,
     ) -> None:
         counters = home_gpu.counters
         counters.l2_hits += count - misses
@@ -459,6 +467,23 @@ class MultiGPUSystem:
             issuer = self.gpus[exec_gpu].counters
             issuer.remote_requests_out += count
             issuer.nvlink_bytes_in += count * line
+        tracer = self.tracer
+        if tracer is not None:
+            home = home_gpu.gpu_id
+            if remote:
+                line = self.spec.gpu.cache.line_size
+                tracer.emit(
+                    "nvlink_transfer",
+                    "nvlink",
+                    now,
+                    gpu=exec_gpu,
+                    args={"src": exec_gpu, "dst": home, "bytes": count * line},
+                )
+            if evictions:
+                tracer.emit(
+                    "l2_eviction", "cache", now, gpu=home,
+                    args={"count": evictions},
+                )
 
     def _count(
         self,
@@ -468,6 +493,7 @@ class MultiGPUSystem:
         remote: bool,
         hit: bool,
         is_write: bool,
+        now: float = 0.0,
     ) -> None:
         counters = self.gpus[home].counters
         if hit:
@@ -485,6 +511,14 @@ class MultiGPUSystem:
             issuer = self.gpus[exec_gpu].counters
             issuer.remote_requests_out += 1
             issuer.nvlink_bytes_in += line
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "nvlink_transfer",
+                    "nvlink",
+                    now,
+                    gpu=exec_gpu,
+                    args={"src": exec_gpu, "dst": home, "bytes": line},
+                )
 
     # ------------------------------------------------------------------
     # Ground-truth helpers (hardware side; used by tests and experiments,

@@ -36,6 +36,7 @@ from .process import Process
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..hw.system import MultiGPUSystem
+    from ..telemetry.tracer import Tracer
 
 __all__ = ["Engine", "EngineStats", "StreamHandle"]
 
@@ -64,13 +65,33 @@ class EngineStats:
         self.accesses += accesses
         self.op_counts[op_name] = self.op_counts.get(op_name, 0) + 1
 
+    def _per_sec(self, count: int) -> float:
+        # Zero/negative wall time (a run too short for the perf counter to
+        # tick, or a freshly reset stats object) yields 0.0, never a
+        # ZeroDivisionError or inf.
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return count / self.wall_seconds
+
     @property
     def events_per_sec(self) -> float:
-        return self.events / self.wall_seconds if self.wall_seconds > 0 else 0.0
+        return self._per_sec(self.events)
 
     @property
     def accesses_per_sec(self) -> float:
-        return self.accesses / self.wall_seconds if self.wall_seconds > 0 else 0.0
+        return self._per_sec(self.accesses)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready view of the stats (manifests, perf trajectory)."""
+        return {
+            "events": self.events,
+            "accesses": self.accesses,
+            "wall_seconds": self.wall_seconds,
+            "sim_cycles": self.sim_cycles,
+            "events_per_sec": self.events_per_sec,
+            "accesses_per_sec": self.accesses_per_sec,
+            "op_counts": dict(self.op_counts),
+        }
 
     def reset(self) -> None:
         self.events = 0
@@ -133,6 +154,9 @@ class Engine:
         self.system = system
         self.now: float = 0.0
         self.stats = EngineStats()
+        #: Nullable telemetry hook (see :mod:`repro.telemetry`): when None
+        #: the event loop pays a single branch per dispatch.
+        self.tracer: Optional["Tracer"] = None
         self._heap: List = []
         self._seq = 0
         self._events = 0
@@ -160,6 +184,8 @@ class Engine:
         handle = StreamHandle(name, gpu_id, process, kernel, begin)
         handle.placement = self.system.gpus[gpu_id].sms.place_block(shared_mem)
         self._push(handle)
+        if self.tracer is not None:
+            self.tracer.kernel_event("launch", handle, begin)
         return handle
 
     def _push(self, handle: StreamHandle) -> None:
@@ -173,6 +199,7 @@ class Engine:
         """
         heap = self._heap
         stats = self.stats
+        tracer = self.tracer
         started_at = self.now
         wall_start = time.perf_counter()
         try:
@@ -194,8 +221,12 @@ class Engine:
                     handle.done = True
                     handle.result = stop.value
                     self._release(handle)
+                    if tracer is not None:
+                        tracer.kernel_event("end", handle, when)
                     continue
                 latency, result = self._execute(op, handle, when)
+                if tracer is not None:
+                    tracer.op_event(op, handle, when, latency)
                 handle.clock = when + latency
                 handle.pending = result
                 self._push(handle)

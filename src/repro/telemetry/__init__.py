@@ -1,0 +1,52 @@
+"""Unified telemetry: event tracing, counter timeseries, run manifests.
+
+The paper's defense story (Section VII) rests on *observing* the attack --
+"detection ... is possible by monitoring the traffic over NVLinks and
+access patterns on L2" -- which requires time-resolved data, not just
+end-of-run counter snapshots.  This package provides that observability
+layer for the whole simulator:
+
+* :class:`~repro.telemetry.tracer.Tracer` -- ring-buffered structured
+  events (kernel launches, op dispatches, probe epochs, NVLink transfers,
+  evictions) emitted by the engine, the access path and the interconnect
+  behind a nullable hook: the hot path pays a single ``is not None``
+  branch when tracing is off.
+* :class:`~repro.telemetry.timeseries.CounterSampler` -- periodic
+  :class:`~repro.hw.counters.GpuCounters` deltas at a configurable
+  sim-cycle cadence, the substrate the Section VII detector consumes.
+* :mod:`~repro.telemetry.exporters` -- Chrome trace-event JSON (loadable
+  in Perfetto / ``chrome://tracing``) and a JSONL metrics stream.
+* :class:`~repro.telemetry.manifest.RunManifest` -- per-run provenance
+  (config hash, seed, git revision, wall/sim time, final counters) so
+  every figure reproduction is attributable.
+
+See ``docs/observability.md`` for the file formats and workflow.
+"""
+
+from .events import EventRing, TraceEvent
+from .exporters import (
+    chrome_trace_dict,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from .manifest import RunManifest, build_manifest, config_hash, git_revision
+from .timeseries import CounterSample, CounterSampler, CounterTimeseries
+from .tracer import Tracer, attach_tracer, detach_tracer
+
+__all__ = [
+    "EventRing",
+    "TraceEvent",
+    "Tracer",
+    "attach_tracer",
+    "detach_tracer",
+    "CounterSample",
+    "CounterSampler",
+    "CounterTimeseries",
+    "chrome_trace_dict",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+    "RunManifest",
+    "build_manifest",
+    "config_hash",
+    "git_revision",
+]

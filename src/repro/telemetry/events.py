@@ -1,0 +1,80 @@
+"""Structured trace events and the bounded ring that stores them.
+
+A :class:`TraceEvent` is one timestamped happening inside the simulator
+(an op dispatch, a kernel launch, an NVLink stall ...).  Events live in an
+:class:`EventRing`: a fixed-capacity circular buffer, so a tracer left on
+for a long run costs bounded memory -- the oldest events are overwritten
+and counted in :attr:`EventRing.overwritten` instead of growing the heap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "EventRing"]
+
+
+@dataclass
+class TraceEvent:
+    """One structured event on the simulated timeline.
+
+    Timestamps and durations are in simulated GPU cycles; exporters
+    convert to microseconds using the spec's core clock.  ``dur == 0``
+    marks an instant event (a point, not a span).
+    """
+
+    name: str
+    category: str
+    ts: float
+    dur: float = 0.0
+    gpu: int = -1
+    stream: Optional[str] = None
+    args: Optional[Dict] = None
+
+    @property
+    def instant(self) -> bool:
+        return self.dur == 0.0
+
+
+class EventRing:
+    """Fixed-capacity circular event buffer (oldest events overwritten)."""
+
+    __slots__ = ("capacity", "_buf", "_head", "_count", "overwritten")
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("EventRing capacity must be >= 1")
+        self.capacity = capacity
+        self._buf: List[Optional[TraceEvent]] = [None] * capacity
+        self._head = 0  # next write slot
+        self._count = 0
+        self.overwritten = 0
+
+    def append(self, event: TraceEvent) -> None:
+        if self._count == self.capacity:
+            self.overwritten += 1
+        else:
+            self._count += 1
+        self._buf[self._head] = event
+        self._head = (self._head + 1) % self.capacity
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        """Yield events oldest-first."""
+        start = (self._head - self._count) % self.capacity
+        for offset in range(self._count):
+            event = self._buf[(start + offset) % self.capacity]
+            assert event is not None
+            yield event
+
+    def to_list(self) -> List[TraceEvent]:
+        return list(self)
+
+    def clear(self) -> None:
+        self._buf = [None] * self.capacity
+        self._head = 0
+        self._count = 0
+        self.overwritten = 0

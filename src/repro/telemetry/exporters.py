@@ -1,0 +1,173 @@
+"""Trace and metrics exporters.
+
+Two formats:
+
+* **Chrome trace-event JSON** (:func:`write_chrome_trace`) -- the
+  ``{"traceEvents": [...]}`` object format understood by Perfetto
+  (https://ui.perfetto.dev) and ``chrome://tracing``.  GPUs map to
+  processes (``pid``), kernel streams to threads (``tid``); op events are
+  complete ("X") slices, markers are instants ("i"), and the counter
+  timeseries becomes counter ("C") tracks so NVLink/L2 traffic renders as
+  stacked area charts alongside the slices.
+* **Metrics JSONL** (:func:`write_metrics_jsonl`) -- one JSON object per
+  counter sample, grep/pandas-friendly, for offline detector work.
+
+Timestamps are converted from simulated cycles to microseconds with the
+spec's core clock so Perfetto's time axis reads as real device time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .timeseries import CounterTimeseries
+    from .tracer import Tracer
+
+__all__ = ["chrome_trace_dict", "write_chrome_trace", "write_metrics_jsonl"]
+
+PathLike = Union[str, Path]
+
+#: Counters exported as Chrome counter tracks (deltas per sample window).
+COUNTER_TRACKS = (
+    "l2_hits",
+    "l2_misses",
+    "l2_evictions",
+    "remote_requests_in",
+    "nvlink_bytes_out",
+)
+
+
+def _cycles_to_us(cycles: float, clock_hz: float) -> float:
+    return cycles / clock_hz * 1e6
+
+
+def chrome_trace_dict(
+    tracer: "Tracer",
+    clock_hz: float,
+    metadata: Optional[Dict] = None,
+) -> Dict:
+    """Render a tracer's events (and timeseries) as a Chrome trace object."""
+    events: List[Dict] = []
+    thread_ids: Dict[tuple, int] = {}
+    seen_gpus = set()
+
+    def tid_for(gpu: int, stream: Optional[str]) -> int:
+        key = (gpu, stream or "")
+        if key not in thread_ids:
+            tid = len([k for k in thread_ids if k[0] == gpu]) + 1
+            thread_ids[key] = tid
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": gpu,
+                    "tid": tid,
+                    "args": {"name": stream or "stream"},
+                }
+            )
+        return thread_ids[key]
+
+    def ensure_gpu(gpu: int) -> None:
+        if gpu in seen_gpus:
+            return
+        seen_gpus.add(gpu)
+        name = f"GPU {gpu}" if gpu >= 0 else "host"
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": gpu,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+
+    for event in tracer.events:
+        ensure_gpu(event.gpu)
+        record: Dict = {
+            "name": event.name,
+            "cat": event.category,
+            "pid": event.gpu,
+            "tid": tid_for(event.gpu, event.stream),
+            "ts": _cycles_to_us(event.ts, clock_hz),
+        }
+        if event.args:
+            record["args"] = dict(event.args)
+        if event.dur > 0.0:
+            record["ph"] = "X"
+            record["dur"] = _cycles_to_us(event.dur, clock_hz)
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"  # thread-scoped instant
+        events.append(record)
+
+    timeseries = tracer.timeseries
+    if timeseries is not None:
+        for sample in timeseries:
+            ensure_gpu(sample.gpu_id)
+            args = {
+                key: sample.delta.get(key, 0)
+                for key in COUNTER_TRACKS
+                if key in sample.delta
+            }
+            events.append(
+                {
+                    "ph": "C",
+                    "name": "gpu_counters",
+                    "pid": sample.gpu_id,
+                    "tid": 0,
+                    "ts": _cycles_to_us(sample.time, clock_hz),
+                    "args": args,
+                }
+            )
+
+    other: Dict = {
+        "clock_hz": clock_hz,
+        "time_unit": "simulated cycles converted to us",
+        "events_recorded": len(tracer.events),
+        "events_overwritten": tracer.events.overwritten,
+    }
+    if metadata:
+        other.update(metadata)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    path: PathLike,
+    tracer: "Tracer",
+    clock_hz: float,
+    metadata: Optional[Dict] = None,
+) -> Path:
+    """Write the Chrome trace JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace_dict(tracer, clock_hz, metadata)))
+    return path
+
+
+def write_metrics_jsonl(
+    path: PathLike,
+    timeseries: "CounterTimeseries",
+    clock_hz: float,
+) -> Path:
+    """Write one JSON object per counter sample; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for sample in timeseries:
+            record = {
+                "t_cycles": sample.time,
+                "t_us": _cycles_to_us(sample.time, clock_hz),
+                "gpu": sample.gpu_id,
+                "window_cycles": sample.window,
+            }
+            record.update(sample.delta)
+            handle.write(json.dumps(record) + "\n")
+    return path

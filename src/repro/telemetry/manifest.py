@@ -1,0 +1,137 @@
+"""Run manifests: provenance for every experiment / trace run.
+
+A :class:`RunManifest` records everything needed to attribute a figure
+reproduction to a specific simulator state: a stable hash of the hardware
+spec, the seed, the git revision the code ran at, wall/sim time, the
+engine's throughput stats and the final per-GPU counter snapshots.
+Manifests are plain JSON and round-trip losslessly through
+:meth:`RunManifest.write` / :meth:`RunManifest.load`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import DGXSpec
+    from ..runtime.api import Runtime
+
+__all__ = ["RunManifest", "build_manifest", "config_hash", "git_revision"]
+
+PathLike = Union[str, Path]
+
+#: Manifest schema version; bump when fields change incompatibly.
+SCHEMA_VERSION = 1
+
+
+def config_hash(spec: "DGXSpec") -> str:
+    """Stable short hash of a hardware spec.
+
+    Frozen dataclasses repr deterministically, so the repr is a canonical
+    serialization of every knob (geometry, timing, topology, backend).
+    """
+    return hashlib.sha256(repr(spec).encode()).hexdigest()[:16]
+
+
+def git_revision() -> Optional[str]:
+    """The repo's current commit hash, or ``None`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+@dataclass
+class RunManifest:
+    """Provenance record for one simulator run."""
+
+    label: str
+    config_hash: str
+    seed: Optional[int] = None
+    git_rev: Optional[str] = None
+    created: str = ""
+    schema_version: int = SCHEMA_VERSION
+    #: Spec summary (human-oriented; the hash is the authoritative key).
+    spec: Dict[str, Any] = field(default_factory=dict)
+    sim_cycles: float = 0.0
+    wall_seconds: float = 0.0
+    #: EngineStats snapshot (events, accesses, rates, per-op counts).
+    engine: Dict[str, Any] = field(default_factory=dict)
+    #: Final per-GPU counter snapshots, index == gpu_id.
+    counters: List[Dict[str, int]] = field(default_factory=list)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(raw: Dict[str, Any]) -> "RunManifest":
+        return RunManifest(**raw)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def write(self, path: PathLike) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @staticmethod
+    def load(path: PathLike) -> "RunManifest":
+        return RunManifest.from_dict(json.loads(Path(path).read_text()))
+
+
+def _spec_summary(spec: "DGXSpec") -> Dict[str, Any]:
+    cache = spec.gpu.cache
+    return {
+        "num_gpus": spec.num_gpus,
+        "gpu": spec.gpu.name,
+        "l2_sets": cache.num_sets,
+        "l2_ways": cache.associativity,
+        "l2_line_bytes": cache.line_size,
+        "l2_backend": cache.l2_backend,
+        "replacement": cache.replacement,
+        "page_size": spec.gpu.page_size,
+        "clock_hz": spec.timing.clock_hz,
+    }
+
+
+def build_manifest(
+    runtime: "Runtime",
+    label: str,
+    seed: Optional[int] = None,
+    extras: Optional[Dict[str, Any]] = None,
+) -> RunManifest:
+    """Snapshot a runtime's provenance after (part of) a run."""
+    spec = runtime.system.spec
+    stats = runtime.engine.stats
+    return RunManifest(
+        label=label,
+        config_hash=config_hash(spec),
+        seed=seed,
+        git_rev=git_revision(),
+        created=time.strftime("%Y-%m-%dT%H:%M:%S"),
+        spec=_spec_summary(spec),
+        sim_cycles=stats.sim_cycles,
+        wall_seconds=stats.wall_seconds,
+        engine=stats.snapshot(),
+        counters=[gpu.counters.snapshot() for gpu in runtime.system.gpus],
+        extras=dict(extras) if extras else {},
+    )

@@ -1,0 +1,159 @@
+"""Periodic :class:`~repro.hw.counters.GpuCounters` sampling.
+
+The Section VII detector needs *time-resolved* counter deltas, not one
+end-of-run snapshot: a Prime+Probe attack is a sustained rate, and a rate
+needs a window.  :class:`CounterSampler` takes per-GPU counter deltas at a
+configurable cadence (in simulated cycles) and appends them to a
+:class:`CounterTimeseries` that :mod:`repro.defense.detection` and
+:mod:`repro.defense.monitor` consume.
+
+The sampler is pull-driven: the engine calls ``maybe_sample(now)`` as
+simulation time advances (via the tracer hook), so a sample lands on the
+first event at least one cadence after the previous sample -- sample
+spacing is therefore *at least* the cadence, never less.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.system import MultiGPUSystem
+
+__all__ = ["CounterSample", "CounterTimeseries", "CounterSampler"]
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One GPU's counter deltas over one sampling window.
+
+    ``time`` is the simulated cycle the sample was taken at; ``window``
+    is the cycles elapsed since this GPU's previous sample (so rates are
+    ``delta[key] / window``).
+    """
+
+    time: float
+    gpu_id: int
+    window: float
+    delta: Dict[str, int]
+
+    def rate_per_kcycle(self, key: str) -> float:
+        """Events per kilocycle for one counter over this window."""
+        kcycles = max(self.window, 1.0) / 1000.0
+        return self.delta.get(key, 0) / kcycles
+
+
+class CounterTimeseries:
+    """Ordered per-GPU counter samples for one run."""
+
+    def __init__(self, num_gpus: int) -> None:
+        self.num_gpus = num_gpus
+        self.samples: List[CounterSample] = []
+
+    def append(self, sample: CounterSample) -> None:
+        self.samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    def for_gpu(self, gpu_id: int) -> List[CounterSample]:
+        return [s for s in self.samples if s.gpu_id == gpu_id]
+
+    def window_delta(
+        self, gpu_id: int, start: float, end: float
+    ) -> Dict[str, int]:
+        """Summed counter deltas for ``gpu_id`` over ``[start, end]``."""
+        total: Dict[str, int] = {}
+        for sample in self.samples:
+            if sample.gpu_id != gpu_id or not (start <= sample.time <= end):
+                continue
+            for key, value in sample.delta.items():
+                total[key] = total.get(key, 0) + value
+        return total
+
+    def column(self, gpu_id: int, key: str) -> Tuple[List[float], List[int]]:
+        """(times, values) of one counter on one GPU, for plotting."""
+        times: List[float] = []
+        values: List[int] = []
+        for sample in self.for_gpu(gpu_id):
+            times.append(sample.time)
+            values.append(sample.delta.get(key, 0))
+        return times, values
+
+
+@dataclass
+class CounterSampler:
+    """Takes counter deltas every ``cadence_cycles`` of simulated time.
+
+    ``gpus`` restricts sampling to a subset of the box (the reactive
+    defense watches one guarded GPU); the default samples every GPU.
+    """
+
+    system: "MultiGPUSystem"
+    cadence_cycles: float
+    timeseries: Optional[CounterTimeseries] = None
+    gpus: Optional[Sequence[int]] = None
+    start: float = 0.0
+    _last: Dict[int, Dict[str, int]] = field(default_factory=dict, repr=False)
+    _last_time: Dict[int, float] = field(default_factory=dict, repr=False)
+    _next_due: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cadence_cycles <= 0:
+            raise ValueError("cadence_cycles must be positive")
+        if self.timeseries is None:
+            self.timeseries = CounterTimeseries(len(self.system.gpus))
+        if self.gpus is None:
+            self.gpus = tuple(range(len(self.system.gpus)))
+        else:
+            self.gpus = tuple(self.gpus)
+        self.reset(self.start)
+
+    # ------------------------------------------------------------------
+    def reset(self, now: float = 0.0) -> None:
+        """Re-baseline every watched GPU at simulated time ``now``."""
+        for gpu_id in self.gpus:
+            self._last[gpu_id] = self.system.gpus[gpu_id].counters.snapshot()
+            self._last_time[gpu_id] = float(now)
+        self._next_due = float(now) + self.cadence_cycles
+
+    def maybe_sample(self, now: float) -> None:
+        """Sample iff ``now`` has reached the next cadence boundary."""
+        if now >= self._next_due:
+            self.sample(now)
+
+    def sample(self, now: float) -> List[CounterSample]:
+        """Take one sample of every watched GPU, unconditionally."""
+        assert self.timeseries is not None
+        taken: List[CounterSample] = []
+        for gpu_id in self.gpus:
+            counters = self.system.gpus[gpu_id].counters
+            delta = counters.delta_from(self._last[gpu_id])
+            sample = CounterSample(
+                time=float(now),
+                gpu_id=gpu_id,
+                window=float(now) - self._last_time[gpu_id],
+                delta=delta,
+            )
+            self.timeseries.append(sample)
+            taken.append(sample)
+            self._last[gpu_id] = counters.snapshot()
+            self._last_time[gpu_id] = float(now)
+        # The next boundary is a full cadence after the sample actually
+        # taken (not the grid point it was due at): spacing is therefore
+        # *at least* the cadence, the contract consumers rely on.
+        self._next_due = float(now) + self.cadence_cycles
+        return taken
+
+
+def merge_deltas(deltas: Iterable[Dict[str, int]]) -> Dict[str, int]:
+    """Sum a sequence of counter-delta dicts key-wise."""
+    total: Dict[str, int] = {}
+    for delta in deltas:
+        for key, value in delta.items():
+            total[key] = total.get(key, 0) + value
+    return total

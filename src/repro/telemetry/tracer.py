@@ -1,0 +1,145 @@
+"""The tracer: one nullable hook threaded through the whole stack.
+
+A :class:`Tracer` owns a bounded :class:`~repro.telemetry.events.EventRing`
+and (optionally) a :class:`~repro.telemetry.timeseries.CounterSampler`.
+Three components carry a ``tracer`` attribute that defaults to ``None``:
+
+* :class:`repro.sim.engine.Engine` -- emits kernel launch/end and one
+  event per dispatched op (``Access``, ``ProbeSet``, ``ProbeEpoch`` ...),
+  and drives the periodic counter sampler off the event loop clock.
+* :class:`repro.hw.system.MultiGPUSystem` -- emits NVLink transfer and
+  L2 eviction events from the access path.
+* :class:`repro.hw.interconnect.Interconnect` -- emits link stall events
+  when transfers queue behind each other.
+
+When the attribute is ``None`` (the default) each site pays exactly one
+``is not None`` branch, which keeps tracing-off overhead within the <= 5 %
+budget of the perf harness.  Use :func:`attach_tracer` /
+:func:`detach_tracer` to wire all three sites at once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from .events import EventRing, TraceEvent
+from .timeseries import CounterSampler, CounterTimeseries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.api import Runtime
+    from ..sim.engine import StreamHandle
+
+__all__ = ["Tracer", "attach_tracer", "detach_tracer"]
+
+
+class Tracer:
+    """Ring-buffered structured events plus optional counter sampling."""
+
+    def __init__(
+        self,
+        system=None,
+        capacity: int = 65536,
+        sample_cadence: Optional[float] = None,
+        sample_gpus=None,
+    ) -> None:
+        self.enabled = True
+        self.events = EventRing(capacity)
+        self.sampler: Optional[CounterSampler] = None
+        if sample_cadence is not None:
+            if system is None:
+                raise ValueError("counter sampling requires a system")
+            self.sampler = CounterSampler(
+                system, sample_cadence, gpus=sample_gpus
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def timeseries(self) -> Optional[CounterTimeseries]:
+        return self.sampler.timeseries if self.sampler is not None else None
+
+    # ------------------------------------------------------------------
+    # Emission entry points
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        name: str,
+        category: str,
+        ts: float,
+        dur: float = 0.0,
+        gpu: int = -1,
+        stream: Optional[str] = None,
+        args: Optional[Dict] = None,
+    ) -> None:
+        """Record one event (no-op while the tracer is disabled)."""
+        if not self.enabled:
+            return
+        self.events.append(
+            TraceEvent(name, category, float(ts), float(dur), gpu, stream, args)
+        )
+
+    def op_event(self, op, handle: "StreamHandle", ts: float, dur: float) -> None:
+        """One engine op dispatch: called from the event-loop hot path."""
+        if not self.enabled:
+            return
+        name = type(op).__name__
+        args: Optional[Dict] = None
+        if name == "ProbeEpoch":
+            args = {"num_sets": len(op.sets)}
+        elif name == "ProbeSet":
+            args = {"num_lines": len(op.indices)}
+        self.events.append(
+            TraceEvent(name, "op", ts, dur, handle.gpu_id, handle.name, args)
+        )
+        sampler = self.sampler
+        if sampler is not None:
+            sampler.maybe_sample(ts)
+
+    def kernel_event(
+        self, phase: str, handle: "StreamHandle", ts: float
+    ) -> None:
+        """Kernel lifecycle marker (``launch`` / ``end``)."""
+        if not self.enabled:
+            return
+        self.events.append(
+            TraceEvent(
+                f"kernel_{phase}", "kernel", ts, 0.0, handle.gpu_id, handle.name
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def finish(self, now: float) -> None:
+        """Take a final counter sample so the tail of the run is covered."""
+        if self.sampler is not None and self.enabled:
+            self.sampler.sample(now)
+
+
+def attach_tracer(
+    runtime: "Runtime",
+    capacity: int = 65536,
+    sample_cadence: Optional[float] = None,
+    sample_gpus=None,
+) -> Tracer:
+    """Create a tracer and wire it into every instrumented layer.
+
+    Returns the tracer; pass the same runtime to :func:`detach_tracer`
+    to unhook it (the hooks then cost nothing again).
+    """
+    tracer = Tracer(
+        system=runtime.system,
+        capacity=capacity,
+        sample_cadence=sample_cadence,
+        sample_gpus=sample_gpus,
+    )
+    runtime.engine.tracer = tracer
+    runtime.system.tracer = tracer
+    runtime.system.interconnect.tracer = tracer
+    return tracer
+
+
+def detach_tracer(runtime: "Runtime") -> Optional[Tracer]:
+    """Unhook whatever tracer is attached; returns it (or ``None``)."""
+    tracer = runtime.engine.tracer
+    runtime.engine.tracer = None
+    runtime.system.tracer = None
+    runtime.system.interconnect.tracer = None
+    return tracer

@@ -20,6 +20,7 @@ def test_parser_lists_all_commands():
         "defense",
         "noise",
         "replacement",
+        "trace",
     ):
         assert command in text
 
@@ -66,3 +67,65 @@ def test_memorygram_command(capsys):
     ) == 0
     out = capsys.readouterr().out
     assert "memorygram of vectoradd" in out
+
+
+def test_trace_command_writes_telemetry_files(tmp_path, capsys):
+    """The trace subcommand writes trace + metrics + manifest and replays
+    the detector over the sampled timeseries."""
+    import json
+
+    out = tmp_path / "trace.json"
+    assert main(
+        [
+            "--small",
+            "--seed",
+            "3",
+            "trace",
+            "--scenario",
+            "covert",
+            "--out",
+            str(out),
+            "--sets",
+            "2",
+            "--message",
+            "Hi",
+        ]
+    ) == 0
+    text = capsys.readouterr().out
+    assert "covert scenario" in text
+    assert "telemetry written" in text
+    assert "detector replay" in text
+
+    trace = json.loads(out.read_text())
+    assert trace["traceEvents"]
+    metrics = tmp_path / "trace.metrics.jsonl"
+    assert metrics.exists()
+    assert all(json.loads(line) for line in metrics.read_text().splitlines())
+    manifest = json.loads((tmp_path / "trace.manifest.json").read_text())
+    assert manifest["label"] == "trace:covert"
+    assert manifest["seed"] == 3
+
+
+def test_global_trace_flag_exports_after_subcommand(tmp_path, capsys):
+    """--trace on any subcommand exports that run's telemetry."""
+    import json
+
+    out = tmp_path / "covert.json"
+    assert main(
+        [
+            "--small",
+            "--seed",
+            "3",
+            "--trace",
+            str(out),
+            "covert",
+            "--message",
+            "Hi",
+            "--sets",
+            "2",
+        ]
+    ) == 0
+    text = capsys.readouterr().out
+    assert "message received" in text and "telemetry written" in text
+    assert json.loads(out.read_text())["traceEvents"]
+    assert (tmp_path / "covert.manifest.json").exists()

@@ -138,6 +138,22 @@ def test_engine_stats_count_ops_and_accesses(rt):
     assert stats.events == 0 and stats.op_counts == {}
 
 
+def test_engine_stats_zero_wall_time_rates_are_zero():
+    """Regression: rates must be 0.0 (not ZeroDivisionError / inf) when no
+    wall time has accumulated -- a freshly reset stats object, or a run too
+    short for the perf counter to tick."""
+    from repro.sim.engine import EngineStats
+
+    stats = EngineStats(events=100, accesses=1000, wall_seconds=0.0)
+    assert stats.events_per_sec == 0.0
+    assert stats.accesses_per_sec == 0.0
+    stats.wall_seconds = -1e-9  # clock skew must not produce negative rates
+    assert stats.events_per_sec == 0.0
+    snapshot = stats.snapshot()
+    assert snapshot["accesses_per_sec"] == 0.0
+    assert snapshot["events"] == 100 and snapshot["accesses"] == 1000
+
+
 def test_shared_store_writes_shared_memory(rt):
     proc = rt.create_process()
     shared = proc.shared_buffer("times", 4)

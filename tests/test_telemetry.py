@@ -1,0 +1,461 @@
+"""Telemetry subsystem: event ring, tracer hook, counter timeseries,
+exporters and run manifests.
+
+The load-bearing guarantee is the differential test: attaching a tracer
+must not change anything *simulated* (hit/miss sequences, latencies) on
+either L2 backend -- the tracer only reads.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import DGXSpec
+from repro.defense.detection import ContentionDetector
+from repro.defense.monitor import ReactiveDefense
+from repro.hw.counters import GpuCounters
+from repro.runtime.api import Runtime
+from repro.sim.ops import Access, ProbeEpoch, ProbeSet, Sleep
+from repro.telemetry import (
+    CounterSample,
+    CounterSampler,
+    CounterTimeseries,
+    EventRing,
+    RunManifest,
+    TraceEvent,
+    Tracer,
+    attach_tracer,
+    build_manifest,
+    chrome_trace_dict,
+    config_hash,
+    detach_tracer,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+
+BACKENDS = ("vectorized", "scalar")
+
+
+def _event(name="e", ts=0.0, dur=0.0, gpu=0):
+    return TraceEvent(name=name, category="test", ts=ts, dur=dur, gpu=gpu)
+
+
+# ----------------------------------------------------------------------
+# EventRing
+# ----------------------------------------------------------------------
+class TestEventRing:
+    def test_append_and_order(self):
+        ring = EventRing(8)
+        for i in range(5):
+            ring.append(_event(ts=float(i)))
+        assert len(ring) == 5
+        assert [e.ts for e in ring] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert ring.overwritten == 0
+
+    def test_wrap_drops_oldest_and_counts(self):
+        ring = EventRing(4)
+        for i in range(10):
+            ring.append(_event(ts=float(i)))
+        assert len(ring) == 4
+        assert ring.overwritten == 6
+        assert [e.ts for e in ring] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_clear(self):
+        ring = EventRing(2)
+        ring.append(_event())
+        ring.append(_event())
+        ring.append(_event())
+        ring.clear()
+        assert len(ring) == 0 and ring.overwritten == 0
+        assert ring.to_list() == []
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EventRing(0)
+
+
+# ----------------------------------------------------------------------
+# GpuCounters: reset + symmetric delta_from (satellite b)
+# ----------------------------------------------------------------------
+class TestGpuCounters:
+    def test_reset_zeroes_everything(self):
+        counters = GpuCounters(l2_hits=5, nvlink_bytes_out=128, dram_reads=2)
+        counters.reset()
+        assert all(v == 0 for v in counters.snapshot().values())
+
+    def test_delta_tolerates_missing_keys_in_baseline(self):
+        counters = GpuCounters(l2_hits=7)
+        delta = counters.delta_from({"l2_misses": 3})
+        assert delta["l2_hits"] == 7
+        assert delta["l2_misses"] == -3
+        # Every current counter still appears even with a sparse baseline.
+        assert set(counters.snapshot()) <= set(delta)
+
+    def test_delta_keeps_keys_only_in_baseline(self):
+        counters = GpuCounters()
+        delta = counters.delta_from({"legacy_counter": 4})
+        assert delta["legacy_counter"] == -4
+
+    def test_delta_round_trip(self):
+        counters = GpuCounters()
+        before = counters.snapshot()
+        counters.l2_hits += 10
+        counters.l2_misses += 2
+        delta = counters.delta_from(before)
+        assert delta["l2_hits"] == 10 and delta["l2_misses"] == 2
+        assert delta["dram_writes"] == 0
+
+
+# ----------------------------------------------------------------------
+# Tracer wiring and event capture
+# ----------------------------------------------------------------------
+class TestTracerEvents:
+    def test_attach_wires_all_three_layers(self, runtime):
+        tracer = attach_tracer(runtime)
+        assert runtime.engine.tracer is tracer
+        assert runtime.system.tracer is tracer
+        assert runtime.system.interconnect.tracer is tracer
+        assert detach_tracer(runtime) is tracer
+        assert runtime.engine.tracer is None
+        assert runtime.system.tracer is None
+        assert runtime.system.interconnect.tracer is None
+
+    def test_kernel_and_op_events_recorded(self, runtime):
+        tracer = attach_tracer(runtime)
+        proc = runtime.create_process("spy")
+        runtime.enable_peer_access(proc, 1, 0)
+        buf = runtime.malloc_lines(proc, 0, 8, name="probe")
+
+        def kernel():
+            yield Access(buf, 0)
+            yield ProbeSet(buf, [0, 16, 32], parallel=True)
+
+        runtime.run_kernel(kernel(), 1, proc, name="traced")
+        names = [e.name for e in tracer.events]
+        assert "kernel_launch" in names and "kernel_end" in names
+        assert "Access" in names and "ProbeSet" in names
+        # Remote accesses (GPU 1 -> home GPU 0) emit transfer events.
+        assert "nvlink_transfer" in names
+        probe = next(e for e in tracer.events if e.name == "ProbeSet")
+        assert probe.args == {"num_lines": 3}
+        assert probe.gpu == 1 and probe.stream == "traced"
+        assert probe.dur > 0.0
+
+    def test_disabled_tracer_records_nothing(self, runtime):
+        tracer = attach_tracer(runtime)
+        tracer.enabled = False
+        proc = runtime.create_process()
+        buf = runtime.malloc_lines(proc, 0, 2)
+
+        def kernel():
+            yield Access(buf, 0)
+
+        runtime.run_kernel(kernel(), 0, proc)
+        assert len(tracer.events) == 0
+
+    def test_sampling_without_system_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(system=None, sample_cadence=1000.0)
+
+
+# ----------------------------------------------------------------------
+# Differential: tracing must not change the simulation (satellite c)
+# ----------------------------------------------------------------------
+def _probe_sequence(backend: str, traced: bool):
+    """Run a fixed probe workload; return the full observable sequence."""
+    spec = DGXSpec.small().with_l2_backend(backend)
+    rt = Runtime(spec, seed=11)
+    if traced:
+        attach_tracer(rt, sample_cadence=5_000.0)
+    proc = rt.create_process("spy")
+    rt.enable_peer_access(proc, 1, 0)
+    words_per_line = rt.system.spec.gpu.cache.line_size // 8
+    buf = rt.malloc_lines(proc, 0, 64, name="probe")
+    groups = [
+        [(s * 8 + w) * words_per_line for w in range(4)] for s in range(8)
+    ]
+
+    def kernel():
+        observed = []
+        for _ in range(3):
+            for group in groups:
+                result = yield ProbeSet(buf, group, parallel=True)
+                observed.append(
+                    (tuple(result.hits), tuple(result.latencies))
+                )
+        epoch = yield ProbeEpoch(buf, groups, parallel=True)
+        observed.append((epoch.set_hits, epoch.set_latencies))
+        return observed
+
+    sequence = rt.run_kernel(kernel(), 1, proc)
+    return sequence, rt.engine.now
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_tracing_does_not_change_simulation(backend):
+    """Identical hit/miss + latency sequences with the tracer on or off."""
+    baseline, base_now = _probe_sequence(backend, traced=False)
+    traced, traced_now = _probe_sequence(backend, traced=True)
+    assert traced == baseline
+    assert traced_now == base_now
+
+
+def test_tracing_overhead_smoke(runtime):
+    """Tracer on records events without perturbing the engine's counts."""
+    proc = runtime.create_process()
+    buf = runtime.malloc_lines(proc, 0, 16)
+
+    def kernel():
+        for i in range(64):
+            yield Access(buf, (i * 16) % buf.num_words)
+
+    runtime.engine.stats.reset()
+    runtime.run_kernel(kernel(), 0, proc)
+    off_events = runtime.engine.stats.events
+
+    tracer = attach_tracer(runtime)
+    runtime.engine.stats.reset()
+    runtime.run_kernel(kernel(), 0, proc)
+    assert runtime.engine.stats.events == off_events
+    # launch + end markers plus one event per dispatched op.
+    assert len(tracer.events) >= off_events
+
+
+# ----------------------------------------------------------------------
+# Counter timeseries cadence (satellite c)
+# ----------------------------------------------------------------------
+class TestSamplerCadence:
+    def test_samples_spaced_at_least_cadence(self, runtime):
+        cadence = 2_000.0
+        tracer = attach_tracer(runtime, sample_cadence=cadence)
+        proc = runtime.create_process()
+        buf = runtime.malloc_lines(proc, 0, 4)
+
+        def kernel():
+            for i in range(50):
+                yield Access(buf, (i * 16) % buf.num_words)
+                yield Sleep(400.0)
+
+        runtime.run_kernel(kernel(), 0, proc)
+        timeseries = tracer.timeseries
+        assert timeseries is not None and len(timeseries) > 3
+        for gpu_id in range(len(runtime.system.gpus)):
+            times = [s.time for s in timeseries.for_gpu(gpu_id)]
+            spacings = [b - a for a, b in zip(times, times[1:])]
+            assert all(gap >= cadence - 1e-9 for gap in spacings)
+        # Pull-driven sampling can never exceed elapsed/cadence samples
+        # per GPU (plus the final flush).
+        elapsed = runtime.engine.now
+        per_gpu = len(timeseries.for_gpu(0))
+        assert per_gpu <= elapsed / cadence + 1
+
+    def test_each_sample_carries_its_window(self, runtime):
+        sampler = CounterSampler(runtime.system, 1_000.0, gpus=(0,))
+        runtime.system.gpus[0].counters.l2_hits += 3
+        (sample,) = sampler.sample(2_500.0)
+        assert sample.window == pytest.approx(2_500.0)
+        assert sample.delta["l2_hits"] == 3
+        runtime.system.gpus[0].counters.l2_hits += 2
+        (sample2,) = sampler.sample(4_000.0)
+        assert sample2.window == pytest.approx(1_500.0)
+        assert sample2.delta["l2_hits"] == 2
+
+    def test_maybe_sample_respects_boundary(self, runtime):
+        sampler = CounterSampler(runtime.system, 1_000.0, gpus=(0,))
+        sampler.maybe_sample(999.0)
+        assert len(sampler.timeseries) == 0
+        sampler.maybe_sample(1_000.0)
+        assert len(sampler.timeseries) == 1
+        sampler.maybe_sample(1_001.0)  # next boundary is 2000
+        assert len(sampler.timeseries) == 1
+
+    def test_nonpositive_cadence_rejected(self, runtime):
+        with pytest.raises(ValueError):
+            CounterSampler(runtime.system, 0.0)
+
+    def test_column_and_window_delta(self):
+        ts = CounterTimeseries(2)
+        ts.append(CounterSample(1_000.0, 0, 1_000.0, {"l2_misses": 4}))
+        ts.append(CounterSample(2_000.0, 0, 1_000.0, {"l2_misses": 6}))
+        ts.append(CounterSample(2_000.0, 1, 2_000.0, {"l2_misses": 9}))
+        times, values = ts.column(0, "l2_misses")
+        assert times == [1_000.0, 2_000.0] and values == [4, 6]
+        assert ts.window_delta(0, 0.0, 2_000.0) == {"l2_misses": 10}
+        assert ts.window_delta(1, 1_500.0, 2_500.0) == {"l2_misses": 9}
+
+
+# ----------------------------------------------------------------------
+# Detector consumption of the timeseries
+# ----------------------------------------------------------------------
+class TestDetectorTimeseries:
+    def test_scan_timeseries_flags_attack_windows(self, runtime):
+        detector = ContentionDetector(runtime.system, gpu_id=0)
+        ts = CounterTimeseries(2)
+        ts.append(  # loud Prime+Probe-shaped window
+            CounterSample(
+                10_000.0,
+                0,
+                10_000.0,
+                {
+                    "remote_requests_in": 100,
+                    "l2_hits": 10,
+                    "l2_misses": 90,
+                    "nvlink_bytes_out": 12_800,
+                },
+            )
+        )
+        ts.append(  # quiet window
+            CounterSample(
+                20_000.0,
+                0,
+                10_000.0,
+                {"remote_requests_in": 1, "l2_hits": 50, "l2_misses": 5},
+            )
+        )
+        ts.append(  # other GPU, must be ignored
+            CounterSample(
+                20_000.0, 1, 10_000.0, {"remote_requests_in": 500}
+            )
+        )
+        reports = detector.scan_timeseries(ts)
+        assert len(reports) == 2
+        assert reports[0].flagged and not reports[1].flagged
+        assert reports[0].remote_request_rate == pytest.approx(10.0)
+
+    def test_reactive_defense_keeps_timeseries(self, runtime):
+        defense = ReactiveDefense(runtime, gpu_id=0, max_windows=3)
+        defense.arm()
+        runtime.synchronize()
+        assert defense.timeseries is not None
+        assert len(defense.timeseries.for_gpu(0)) == 3
+        assert len(defense.reports) == 3
+        # evaluate() on the sampled windows reproduces the live verdicts.
+        replay = ContentionDetector(runtime.system, gpu_id=0).scan_timeseries(
+            defense.timeseries
+        )
+        assert [r.flagged for r in replay] == [
+            r.flagged for r in defense.reports
+        ]
+
+
+# ----------------------------------------------------------------------
+# Exporters: Chrome trace schema + metrics JSONL (satellite c)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def traced_run(runtime):
+    tracer = attach_tracer(runtime, sample_cadence=2_000.0)
+    proc = runtime.create_process("spy")
+    runtime.enable_peer_access(proc, 1, 0)
+    buf = runtime.malloc_lines(proc, 0, 8, name="probe")
+
+    def kernel():
+        for i in range(32):
+            yield Access(buf, (i * 16) % buf.num_words)
+            yield Sleep(250.0)
+
+    runtime.run_kernel(kernel(), 1, proc, name="spy_probe")
+    tracer.finish(runtime.engine.now)
+    return runtime, tracer
+
+
+class TestChromeTrace:
+    def test_schema(self, traced_run):
+        runtime, tracer = traced_run
+        trace = chrome_trace_dict(
+            tracer, runtime.system.spec.timing.clock_hz
+        )
+        events = trace["traceEvents"]
+        assert events
+        for event in events:
+            assert event["ph"] in {"X", "i", "C", "M"}
+            assert isinstance(event["pid"], int)
+            if event["ph"] != "M":
+                assert isinstance(event["ts"], float)
+                assert event["ts"] >= 0.0
+            if event["ph"] == "X":
+                assert event["dur"] > 0.0
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+        phases = {e["ph"] for e in events}
+        assert {"X", "i", "C", "M"} <= phases
+        meta_names = {
+            e["name"] for e in events if e["ph"] == "M"
+        }
+        assert meta_names == {"process_name", "thread_name"}
+        other = trace["otherData"]
+        assert other["events_recorded"] == len(tracer.events)
+        assert other["events_overwritten"] == 0
+
+    def test_counter_tracks_carry_deltas(self, traced_run):
+        runtime, tracer = traced_run
+        trace = chrome_trace_dict(
+            tracer, runtime.system.spec.timing.clock_hz
+        )
+        counters = [
+            e for e in trace["traceEvents"] if e["ph"] == "C"
+        ]
+        assert counters
+        # The remote probe traffic must be visible on GPU 0's track.
+        gpu0_remote = sum(
+            e["args"].get("remote_requests_in", 0)
+            for e in counters
+            if e["pid"] == 0
+        )
+        assert gpu0_remote >= 32
+
+    def test_json_serializable_and_loadable(self, traced_run, tmp_path):
+        runtime, tracer = traced_run
+        path = write_chrome_trace(
+            tmp_path / "nested" / "trace.json",
+            tracer,
+            runtime.system.spec.timing.clock_hz,
+            metadata={"label": "unit"},
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"]
+        assert loaded["otherData"]["label"] == "unit"
+
+    def test_metrics_jsonl(self, traced_run, tmp_path):
+        runtime, tracer = traced_run
+        path = write_metrics_jsonl(
+            tmp_path / "metrics.jsonl",
+            tracer.timeseries,
+            runtime.system.spec.timing.clock_hz,
+        )
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) == len(tracer.timeseries)
+        for row in rows:
+            assert {"t_cycles", "t_us", "gpu", "window_cycles"} <= set(row)
+            assert "l2_misses" in row
+
+
+# ----------------------------------------------------------------------
+# Run manifests
+# ----------------------------------------------------------------------
+class TestManifest:
+    def test_config_hash_stable_and_sensitive(self, small_spec):
+        assert config_hash(small_spec) == config_hash(DGXSpec.small())
+        assert config_hash(small_spec) != config_hash(
+            small_spec.with_l2_backend("scalar")
+        )
+        assert len(config_hash(small_spec)) == 16
+
+    def test_build_and_round_trip(self, runtime, tmp_path):
+        proc = runtime.create_process()
+        buf = runtime.malloc_lines(proc, 0, 2)
+
+        def kernel():
+            yield Access(buf, 0)
+
+        runtime.run_kernel(kernel(), 0, proc)
+        manifest = build_manifest(
+            runtime, "unit-test", seed=7, extras={"note": "round-trip"}
+        )
+        assert manifest.config_hash == config_hash(runtime.system.spec)
+        assert manifest.engine["events"] >= 1
+        assert len(manifest.counters) == len(runtime.system.gpus)
+        assert manifest.spec["l2_backend"] == "vectorized"
+        path = manifest.write(tmp_path / "run" / "manifest.json")
+        assert RunManifest.load(path) == manifest
