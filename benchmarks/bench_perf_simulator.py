@@ -170,10 +170,36 @@ def run_covert_frames(backend: str, num_bits: int = 64, seed: int = 5) -> Dict:
     )
 
 
+# ----------------------------------------------------------------------
+# Scenario: NVLink fabric covert channel on the small box
+# ----------------------------------------------------------------------
+def run_link_covert(backend: str, num_bits: int = 96, seed: int = 9) -> Dict:
+    """Fabric-channel frames: LinkProbe floods + probes, no L2 traffic.
+
+    Exercises the interconnect lane model (transfer_batch reservations,
+    per-edge counters) rather than the cache fast path; both backends
+    should land near the same throughput since the channel never touches
+    an eviction set.
+    """
+    from repro.core.linkchannel.covert import LinkCovertChannel
+
+    spec = DGXSpec.small(num_gpus=4).with_l2_backend(backend)
+    rt = Runtime(spec, seed=seed)
+    channel = LinkCovertChannel.auto(rt, num_links=1)
+    channel.setup()
+    bits = [random.Random(seed).randrange(2) for _ in range(num_bits)]
+    rt.engine.stats.reset()
+    outcome = channel.transmit(bits, strict=False)
+    return _stats_record(
+        rt.engine.stats, error_rate=round(outcome.error_rate, 4)
+    )
+
+
 SCENARIOS = {
     "probe_storm": run_probe_storm,
     "memorygram": run_memorygram,
     "covert_frames": run_covert_frames,
+    "link_covert": run_link_covert,
 }
 
 

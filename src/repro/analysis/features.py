@@ -1,4 +1,4 @@
-"""Memorygram -> feature vector for the fingerprint classifier.
+"""Activity-gram -> feature vector for the fingerprint classifiers.
 
 The paper feeds memorygram *images* to an image classifier.  We do the
 same -- a downsampled image -- and append a few global statistics (miss
@@ -6,6 +6,12 @@ density, temporal burstiness, per-set concentration) that summarize the
 qualitative differences visible in Fig 11: streaming kernels sweep wide,
 histogram hammers a narrow hot band, blackscholes is sparse, matmul is
 periodic.
+
+The same recipe applies to the fabric side channel's *linkgram*
+(:mod:`repro.core.linkchannel.sidechannel`): the rows are GPU pairs
+instead of cache sets and the cells hold excess link latency instead of
+miss counts, but the discriminative structure -- which rows are hot, how
+bursty, what duty cycle -- is identical in kind.
 """
 
 from __future__ import annotations
@@ -16,13 +22,42 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis is a
     # dependency of core.sidechannel.fingerprint, not the other way round)
+    from ..core.linkchannel.sidechannel import Linkgram
     from ..core.sidechannel.memorygram import Memorygram
 
-__all__ = ["memorygram_features", "feature_dim"]
+__all__ = ["memorygram_features", "linkgram_features", "feature_dim"]
 
 
 def feature_dim(image_shape: Tuple[int, int] = (16, 16)) -> int:
     return image_shape[0] * image_shape[1] + 6
+
+
+def _activity_stats(
+    per_row: np.ndarray, per_bin: np.ndarray, cells: int
+) -> np.ndarray:
+    """Six O(1)-range statistics shared by both gram flavours.
+
+    ``per_row`` is total activity per row (cache set / GPU pair),
+    ``per_bin`` per time bin, ``cells`` the rows x bins cell count.
+    """
+    total = per_row.sum()
+    density = total / max(1, cells)
+    row_mean = per_row.mean()
+    row_concentration = per_row.max() / (row_mean + 1e-9) if total else 0.0
+    active_rows = float((per_row > 0).mean())
+    bin_mean = per_bin.mean()
+    burstiness = per_bin.std() / (bin_mean + 1e-9) if total else 0.0
+    duty_cycle = float((per_bin > 0.1 * (per_bin.max() + 1e-9)).mean())
+    return np.array(
+        [
+            np.log1p(density),
+            np.log1p(row_concentration),
+            active_rows,
+            np.log1p(burstiness),
+            duty_cycle,
+            np.log1p(total) / 12.0,
+        ]
+    )
 
 
 def memorygram_features(
@@ -32,24 +67,22 @@ def memorygram_features(
     image = gram.as_image(image_shape, log_scale=True)
     per_set = gram.misses_per_set().astype(np.float64)
     per_bin = gram.activity_per_bin().astype(np.float64)
-    total = per_set.sum()
+    stats = _activity_stats(per_set, per_bin, gram.num_sets * gram.num_bins)
+    return np.concatenate([image.ravel(), stats])
 
-    density = total / max(1, gram.num_sets * gram.num_bins)
-    set_mean = per_set.mean()
-    set_concentration = per_set.max() / (set_mean + 1e-9) if total else 0.0
-    active_sets = float((per_set > 0).mean())
-    bin_mean = per_bin.mean()
-    burstiness = per_bin.std() / (bin_mean + 1e-9) if total else 0.0
-    duty_cycle = float((per_bin > 0.1 * (per_bin.max() + 1e-9)).mean())
 
-    stats = np.array(
-        [
-            np.log1p(density),
-            np.log1p(set_concentration),
-            active_sets,
-            np.log1p(burstiness),
-            duty_cycle,
-            np.log1p(total) / 12.0,
-        ]
-    )
+def linkgram_features(
+    gram: "Linkgram", image_shape: Tuple[int, int] = (8, 16)
+) -> np.ndarray:
+    """Linkgram counterpart of :func:`memorygram_features`.
+
+    Same layout (flattened image + the six shared statistics) so the
+    fingerprint tooling can consume either gram; use
+    ``feature_dim(image_shape)`` for the vector length.
+    """
+    image = gram.as_image(image_shape, log_scale=True)
+    excess = gram.excess()
+    per_pair = excess.sum(axis=1)
+    per_bin = excess.sum(axis=0)
+    stats = _activity_stats(per_pair, per_bin, excess.size)
     return np.concatenate([image.ravel(), stats])

@@ -13,8 +13,12 @@ DGX-1 and prints the corresponding table/figure data::
     gpu-spy epochs --epochs 2              # Fig 15
     gpu-spy defense / gpu-spy noise / gpu-spy replacement   # ablations
     gpu-spy trace --scenario covert --out trace.json        # telemetry
+    gpu-spy link-covert --message "over the fabric"   # NVLink covert channel
+    gpu-spy linkgram --victim-src 2 --victim-dst 6    # fabric side channel
 
-``--small`` runs on the scaled-down box (fast, same behaviours).
+``--small`` runs on the scaled-down box (fast, same behaviours) and
+``--topology``/``--routing`` swap in one of the fabric presets
+(cube-mesh, NVSwitch star, ring, fully connected).
 
 ``--trace OUT`` works with any subcommand: it attaches the telemetry
 tracer to the command's runtime and, when the command finishes, writes a
@@ -31,7 +35,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Tuple
 
-from .config import DGXSpec
+from .config import ROUTING_POLICIES, TOPOLOGY_PRESETS, DGXSpec
 from .runtime.api import Runtime
 
 __all__ = ["main", "build_parser"]
@@ -40,9 +44,25 @@ __all__ = ["main", "build_parser"]
 _TRACED: List[Tuple] = []
 
 
+def _spec(args) -> DGXSpec:
+    """Resolve the box spec from the global --small/--topology/--routing."""
+    topology = getattr(args, "topology", None)
+    routing = getattr(args, "routing", None)
+    if args.small:
+        # The dgx1 cube-mesh is defined for exactly 8 GPUs; other presets
+        # scale down to the small box's default GPU count.
+        spec = DGXSpec.small(num_gpus=8) if topology == "dgx1" else DGXSpec.small()
+    else:
+        spec = DGXSpec.dgx1()
+    if topology is not None:
+        spec = spec.with_topology(topology, routing=routing)
+    elif routing is not None:
+        spec = spec.with_routing(routing)
+    return spec
+
+
 def _runtime(args) -> Runtime:
-    spec = DGXSpec.small() if args.small else DGXSpec.dgx1()
-    runtime = Runtime(spec, seed=args.seed)
+    runtime = Runtime(_spec(args), seed=args.seed)
     if getattr(args, "trace", None):
         from .telemetry import attach_tracer
 
@@ -155,8 +175,7 @@ def _cmd_sweep(args) -> int:
     from .experiments import fig09_bandwidth
 
     def factory(seed):
-        spec = DGXSpec.small() if args.small else DGXSpec.dgx1()
-        return Runtime(spec, seed=seed)
+        return Runtime(_spec(args), seed=seed)
 
     result = fig09_bandwidth.run(
         runtime_factory=factory,
@@ -295,10 +314,12 @@ def _cmd_trace(args) -> int:
     from .defense.detection import ContentionDetector
     from .telemetry import attach_tracer
 
-    spec = DGXSpec.small() if args.small else DGXSpec.dgx1()
-    runtime = Runtime(spec, seed=args.seed)
+    runtime = Runtime(_spec(args), seed=args.seed)
     tracer = attach_tracer(
-        runtime, capacity=args.capacity, sample_cadence=args.cadence
+        runtime,
+        capacity=args.capacity,
+        sample_cadence=args.cadence,
+        sample_links=True,
     )
 
     if args.scenario == "covert":
@@ -310,6 +331,18 @@ def _cmd_trace(args) -> int:
         print(
             f"covert scenario: sent {args.message!r}, received "
             f"{outcome.received_text()!r} "
+            f"(bit error rate {outcome.error_rate * 100:.2f}%)"
+        )
+    elif args.scenario == "link-covert":
+        from .core.linkchannel.covert import LinkCovertChannel
+
+        channel = LinkCovertChannel.auto(runtime, num_links=1)
+        channel.setup()
+        outcome = channel.send_text(args.message, slot_cycles=args.slot_cycles)
+        print(
+            f"link-covert scenario: sent {args.message!r}, received "
+            f"{outcome.received_text()!r} over link "
+            f"{channel.links[0][0]}<->{channel.links[0][1]} "
             f"(bit error rate {outcome.error_rate * 100:.2f}%)"
         )
     else:
@@ -351,6 +384,129 @@ def _cmd_multigpu(args) -> int:
     return 0
 
 
+def _write_result_json(out: Path, payload: dict, runtime, label: str, seed: int):
+    """Persist a subcommand's result JSON plus its run manifest."""
+    import json
+
+    from .telemetry.manifest import build_manifest
+
+    out.write_text(json.dumps(payload, indent=2, default=str))
+    manifest_path = out.with_name(out.stem + ".manifest.json")
+    build_manifest(
+        runtime, label=label, seed=seed, extras={"result_file": out.name}
+    ).write(manifest_path)
+    print(f"result written: {out}")
+    print(f"manifest written: {manifest_path}")
+
+
+def _cmd_link_covert(args) -> int:
+    """Fabric covert channel: flood/probe over one or more NVLink routes."""
+    from .core.covert.encoding import text_to_bits
+    from .core.linkchannel.covert import LinkCovertChannel
+
+    runtime = _runtime(args)
+    fabric = None
+    if args.defense:
+        from .defense.partitioning import enable_lane_partitioning
+
+        fabric = enable_lane_partitioning(runtime.system, num_slices=2)
+    channel = LinkCovertChannel.auto(runtime, num_links=args.links)
+    channel.setup()
+    if fabric is not None:
+        for trojan, spy in zip(channel.trojans, channel.spies):
+            fabric.assign_owner(trojan.pid, 0)
+            fabric.assign_owner(spy.pid, 1)
+    for calibration in channel.calibrations:
+        print(calibration.summary())
+    outcome = channel.transmit(
+        text_to_bits(args.message),
+        slot_cycles=args.slot_cycles,
+        strict=not args.defense,
+    )
+    print(
+        f"sent {args.message!r} over {len(channel.links)} link(s) "
+        f"{channel.links}: received {outcome.received_text()!r}"
+    )
+    print(
+        f"bit error rate {outcome.error_rate * 100:.2f}%, bandwidth "
+        f"{outcome.bandwidth_bytes_per_s / 1024.0:.1f} KB/s"
+        + (" [lane-partition defense active]" if args.defense else "")
+    )
+    if args.out:
+        _write_result_json(
+            Path(args.out),
+            {
+                "message": args.message,
+                "received": outcome.received_text(),
+                "links": channel.links,
+                "slot_cycles": args.slot_cycles,
+                "defense": bool(args.defense),
+                "error_rate": outcome.error_rate,
+                "bandwidth_bytes_per_s": outcome.bandwidth_bytes_per_s,
+                "calibrations": [c.summary() for c in channel.calibrations],
+            },
+            runtime,
+            label="link-covert",
+            seed=args.seed,
+        )
+    return 0
+
+
+def _cmd_linkgram(args) -> int:
+    """Fabric side channel: record a linkgram and locate the victim pair."""
+    from .core.linkchannel.sidechannel import LinkgramRecorder
+
+    runtime = _runtime(args)
+    recorder = LinkgramRecorder(runtime, bin_cycles=args.bin_cycles)
+    recorder.setup()
+    launcher = recorder.victim_launcher(
+        args.victim_src,
+        args.victim_dst,
+        args.duration,
+        period_cycles=args.period,
+    )
+    gram = recorder.record(args.duration, launcher)
+    print(
+        f"linkgram: {len(gram.probe_pairs)} probed pairs x "
+        f"{gram.num_bins} bins of {gram.bin_cycles:.0f} cycles"
+    )
+    print(gram.to_ascii())
+    located = recorder.locate(gram)
+    period = recorder.burst_period(gram)
+    truth = (
+        min(args.victim_src, args.victim_dst),
+        max(args.victim_src, args.victim_dst),
+    )
+    print(
+        f"victim pair: located {located[0]}-{located[1]} "
+        f"(actual {truth[0]}-{truth[1]}, "
+        f"{'correct' if located == truth else 'WRONG'})"
+    )
+    if period is not None:
+        print(f"burst cadence: {period:.0f} cycles (actual {args.period:.0f})")
+    else:
+        print("burst cadence: no periodic structure found")
+    if args.out:
+        _write_result_json(
+            Path(args.out),
+            {
+                "probe_pairs": list(gram.probe_pairs),
+                "bin_cycles": gram.bin_cycles,
+                "victim_pair": list(truth),
+                "located_pair": list(located),
+                "burst_period": period,
+                "true_period": args.period,
+                "latency": gram.latency.tolist(),
+                "baseline": gram.baseline.tolist(),
+                "counts": gram.counts.tolist(),
+            },
+            runtime,
+            label="linkgram",
+            seed=args.seed,
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gpu-spy",
@@ -360,6 +516,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
     parser.add_argument(
         "--small", action="store_true", help="use the scaled-down test box"
+    )
+    parser.add_argument(
+        "--topology",
+        choices=sorted(TOPOLOGY_PRESETS),
+        default=None,
+        help="fabric preset (default: the spec's own topology; dgx1 with "
+        "--small switches to an 8-GPU small box)",
+    )
+    parser.add_argument(
+        "--routing",
+        choices=sorted(ROUTING_POLICIES),
+        default=None,
+        help="multi-hop route selection policy",
     )
     parser.add_argument(
         "--trace",
@@ -450,13 +619,44 @@ def build_parser() -> argparse.ArgumentParser:
     multi.add_argument("--pairs", type=int, nargs="+", default=[1, 2, 4])
     multi.set_defaults(func=_cmd_multigpu)
 
+    link = sub.add_parser(
+        "link-covert",
+        help="extension: covert channel over NVLink lane contention",
+    )
+    link.add_argument("--message", default="fabric says hi")
+    link.add_argument("--links", type=int, default=1, help="parallel links")
+    link.add_argument("--slot-cycles", type=float, default=3000.0)
+    link.add_argument(
+        "--defense",
+        action="store_true",
+        help="lane-partition the fabric (expect the channel to die)",
+    )
+    link.add_argument("--out", default=None, help="write result JSON + manifest")
+    link.set_defaults(func=_cmd_link_covert)
+
+    linkgram = sub.add_parser(
+        "linkgram",
+        help="extension: locate a victim's GPU pair via link probing",
+    )
+    linkgram.add_argument("--victim-src", type=int, default=2)
+    linkgram.add_argument("--victim-dst", type=int, default=6)
+    linkgram.add_argument("--period", type=float, default=12_000.0)
+    linkgram.add_argument("--bin-cycles", type=float, default=2000.0)
+    linkgram.add_argument("--duration", type=float, default=120_000.0)
+    linkgram.add_argument(
+        "--out", default=None, help="write result JSON + manifest"
+    )
+    linkgram.set_defaults(func=_cmd_linkgram)
+
     trace = sub.add_parser(
         "trace",
         help="telemetry: replay a scenario and write trace + timeseries "
         "+ manifest",
     )
     trace.add_argument(
-        "--scenario", choices=("covert", "memorygram"), default="covert"
+        "--scenario",
+        choices=("covert", "memorygram", "link-covert"),
+        default="covert",
     )
     trace.add_argument("--out", default="gpu-spy-trace.json")
     trace.add_argument(

@@ -25,6 +25,9 @@ __all__ = [
     "GPUSpec",
     "DGXSpec",
     "ReplacementPolicyName",
+    "TOPOLOGY_PRESETS",
+    "ROUTING_POLICIES",
+    "topology_preset",
 ]
 
 # Replacement policies implemented in repro.hw.replacement.
@@ -33,6 +36,15 @@ _VALID_POLICIES = ("lru", "plru", "random")
 
 # Cache-model backends implemented in repro.hw.cache.
 _VALID_BACKENDS = ("vectorized", "scalar")
+
+#: Routing policies implemented in repro.hw.topology: "shortest" keeps the
+#: first shortest path BFS discovers (stable, matches the original model);
+#: "ecmp" breaks ties between equal-cost paths with a deterministic hash of
+#: (src, dst), spreading flows across the fabric like NVSwitch does.
+ROUTING_POLICIES = ("shortest", "ecmp")
+
+#: Named interconnect topologies selectable via DGXSpec.with_topology().
+TOPOLOGY_PRESETS = ("dgx1", "dgx2", "ring", "fully-connected")
 
 
 def _require(cond: bool, message: str) -> None:
@@ -224,6 +236,48 @@ def _dgx1_links() -> Tuple[Tuple[int, int], ...]:
     return tuple(quad_a + quad_b + cube)
 
 
+def topology_preset(
+    name: str, num_gpus: int
+) -> Tuple[Tuple[Tuple[int, int], ...], int]:
+    """Edges and switch-node count for a named topology preset.
+
+    Returns ``(edges, num_switch_nodes)``.  Switch nodes are extra graph
+    vertices numbered after the GPUs (``num_gpus .. num_gpus + k - 1``);
+    they forward traffic but host no memory, like an NVSwitch chip.
+
+    * ``dgx1`` -- the hybrid cube-mesh of Fig 1 (requires 8 GPUs).
+    * ``dgx2`` -- an NVSwitch-style star: every GPU uplinks to one switch
+      vertex, so every GPU pair is reachable in exactly two hops and
+      distinct pairs can share an uplink (the NVSwitch contention shape).
+    * ``ring`` -- GPU ``i`` links to ``i + 1 (mod n)``.
+    * ``fully-connected`` -- a direct link between every GPU pair.
+    """
+    if name == "dgx1":
+        _require(
+            num_gpus == 8,
+            f"the dgx1 cube-mesh preset is wired for 8 GPUs, got {num_gpus}",
+        )
+        return _dgx1_links(), 0
+    if name == "dgx2":
+        _require(num_gpus >= 2, "the dgx2 preset needs at least 2 GPUs")
+        switch = num_gpus
+        return tuple((g, switch) for g in range(num_gpus)), 1
+    if name == "ring":
+        _require(num_gpus >= 2, "the ring preset needs at least 2 GPUs")
+        if num_gpus == 2:
+            return ((0, 1),), 0
+        return tuple((i, (i + 1) % num_gpus) for i in range(num_gpus)), 0
+    if name == "fully-connected":
+        _require(num_gpus >= 2, "the fully-connected preset needs at least 2 GPUs")
+        return (
+            tuple((a, b) for a in range(num_gpus) for b in range(a + 1, num_gpus)),
+            0,
+        )
+    raise ConfigurationError(
+        f"unknown topology preset {name!r}; valid presets: {TOPOLOGY_PRESETS}"
+    )
+
+
 @dataclass(frozen=True)
 class DGXSpec:
     """The whole multi-GPU box."""
@@ -237,15 +291,29 @@ class DGXSpec:
         )
     )
     timing: TimingSpec = field(default_factory=TimingSpec)
-    #: NVLink edges as (gpu_a, gpu_b) pairs.
+    #: NVLink edges as (node_a, node_b) pairs.  Nodes ``< num_gpus`` are
+    #: GPUs; nodes ``num_gpus .. num_gpus + num_switch_nodes - 1`` are
+    #: memoryless switch vertices (NVSwitch chips) that only forward.
     nvlink_edges: Tuple[Tuple[int, int], ...] = field(default_factory=_dgx1_links)
+    #: Label of the topology the edges were built from (informational).
+    topology: str = "dgx1"
+    #: Number of switch vertices appended after the GPU nodes.
+    num_switch_nodes: int = 0
+    #: Route selection policy; see :data:`ROUTING_POLICIES`.
+    routing: str = "shortest"
 
     def __post_init__(self) -> None:
         _require(self.num_gpus >= 1, "num_gpus must be >= 1")
+        _require(self.num_switch_nodes >= 0, "num_switch_nodes must be >= 0")
+        _require(
+            self.routing in ROUTING_POLICIES,
+            f"routing must be one of {ROUTING_POLICIES}, got {self.routing!r}",
+        )
+        num_nodes = self.num_gpus + self.num_switch_nodes
         for a, b in self.nvlink_edges:
             _require(
-                0 <= a < self.num_gpus and 0 <= b < self.num_gpus and a != b,
-                f"invalid NVLink edge ({a}, {b}) for {self.num_gpus} GPUs",
+                0 <= a < num_nodes and 0 <= b < num_nodes and a != b,
+                f"invalid NVLink edge ({a}, {b}) for {num_nodes} fabric nodes",
             )
 
     # ------------------------------------------------------------------
@@ -308,14 +376,20 @@ class DGXSpec:
             page_size=page_size,
         )
         if num_gpus == 8:
-            edges = _dgx1_links()
-        else:
+            edges, switches, label = _dgx1_links(), 0, "dgx1"
+        elif num_gpus > 1:
             # A ring (or single edge) keeps every pair reachable and at
             # least one single-hop NVLink pair for peer access.
-            edges = tuple(
-                (i, (i + 1) % num_gpus) for i in range(num_gpus) if num_gpus > 1
-            )
-        return DGXSpec(num_gpus=num_gpus, gpu=gpu, nvlink_edges=edges)
+            (edges, switches), label = topology_preset("ring", num_gpus), "ring"
+        else:
+            edges, switches, label = (), 0, "ring"
+        return DGXSpec(
+            num_gpus=num_gpus,
+            gpu=gpu,
+            nvlink_edges=edges,
+            topology=label,
+            num_switch_nodes=switches,
+        )
 
     def with_replacement(self, policy: ReplacementPolicyName) -> "DGXSpec":
         """Return a copy of this spec using a different replacement policy."""
@@ -326,3 +400,23 @@ class DGXSpec:
         """Return a copy of this spec using a different L2 model backend."""
         cache = replace(self.gpu.cache, l2_backend=backend)
         return replace(self, gpu=replace(self.gpu, cache=cache))
+
+    def with_topology(self, name: str, routing: str | None = None) -> "DGXSpec":
+        """Return a copy rewired to a named topology preset.
+
+        The GPU count is preserved; switch vertices (dgx2) are added on
+        top of it.  ``routing`` optionally switches the route policy at
+        the same time.
+        """
+        edges, switches = topology_preset(name, self.num_gpus)
+        return replace(
+            self,
+            nvlink_edges=edges,
+            topology=name,
+            num_switch_nodes=switches,
+            routing=self.routing if routing is None else routing,
+        )
+
+    def with_routing(self, routing: str) -> "DGXSpec":
+        """Return a copy of this spec using a different routing policy."""
+        return replace(self, routing=routing)

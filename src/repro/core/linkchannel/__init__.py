@@ -1,0 +1,40 @@
+"""NVLink fabric contention channels (link probes, covert + side channel).
+
+The paper's attacks contend on the remote L2; its follow-ups (NVBleed,
+arXiv 2503.17847; Beyond the Bridge, arXiv 2404.03877) show the NVLink
+fabric *itself* is a timing channel: transfers serialize on link lanes, so
+one tenant's traffic delays another's, independent of any cache state.
+This package exploits the simulator's per-link lane queueing:
+
+* :mod:`.probe` -- the link-probe and link-flood kernels plus per-link
+  idle/contended latency calibration.
+* :mod:`.covert` -- a covert channel over pure link contention (no shared
+  L2 sets): the trojan floods its NVLink, the spy times probe bursts on
+  the same link and threshold-decodes.
+* :mod:`.sidechannel` -- the "linkgram": per-link occupancy over time,
+  locating which GPU pair a victim's NVLink traffic crosses and
+  fingerprinting its burst cadence.
+"""
+
+from .covert import LinkCovertChannel, decode_link_trace
+from .probe import (
+    LinkCalibration,
+    calibrate_link,
+    flood_gap,
+    link_flood_kernel,
+    link_probe_kernel,
+)
+from .sidechannel import Linkgram, LinkgramRecorder, victim_traffic_kernel
+
+__all__ = [
+    "LinkCalibration",
+    "LinkCovertChannel",
+    "Linkgram",
+    "LinkgramRecorder",
+    "calibrate_link",
+    "decode_link_trace",
+    "flood_gap",
+    "link_flood_kernel",
+    "link_probe_kernel",
+    "victim_traffic_kernel",
+]

@@ -9,21 +9,35 @@ another's lines -- which removes the contention signal the attacks need.
 The paper notes MIG "requires privileged access and is not available in
 Pascal and Volta based DGX machines"; here it is a configuration switch so
 the ablation bench can show the attack dying under it.
+
+The same idea extends to the fabric channel
+(:mod:`repro.core.linkchannel`): :class:`PartitionedInterconnect` reserves
+a private group of lanes per tenant on every link (plus an optional
+per-tenant rate shaper), so one tenant's transfers never queue behind
+another's and the link-contention signal disappears.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..config import CacheSpec
+from ..config import CacheSpec, DGXSpec
 from ..errors import ConfigurationError
 from ..hw.cache import L2Cache
+from ..hw.interconnect import Edge, Interconnect
+from ..hw.occupancy import single_server_waits
 from ..hw.replacement import CacheSet, make_set
 from ..hw.system import MultiGPUSystem
+from ..hw.topology import Topology
 
-__all__ = ["PartitionedL2Cache", "enable_mig_partitioning"]
+__all__ = [
+    "PartitionedL2Cache",
+    "PartitionedInterconnect",
+    "enable_mig_partitioning",
+    "enable_lane_partitioning",
+]
 
 
 class PartitionedL2Cache(L2Cache):
@@ -97,6 +111,138 @@ class PartitionedL2Cache(L2Cache):
                     self.spec.replacement, self._ways_per_slice, self._rng
                 )
         self._bank_busy = [0.0] * self.spec.num_banks
+
+
+class PartitionedInterconnect(Interconnect):
+    """Lane-partitioned NVLink fabric: each tenant gets private lanes.
+
+    Every link's ``lanes`` are split into ``num_slices`` equal groups and
+    owners (process ids) are mapped to groups round-robin on first use
+    (pin explicitly with :meth:`assign_owner`).  A transfer only ever
+    queues on its owner's group, so a trojan's floods cannot delay a spy's
+    probes -- the fabric covert/side channel loses its signal, at the cost
+    of each tenant seeing ``lanes / num_slices`` of the link's capacity.
+
+    ``rate_limit_cycles`` adds an optional per-tenant ingress shaper: one
+    transfer per that many cycles per (owner, src, dst) flow, modelling a
+    QoS rate cap.  Shaping alone throttles a flooder without isolating
+    lanes; combined with slicing it also bounds intra-slice queueing.
+    """
+
+    def __init__(
+        self,
+        spec: DGXSpec,
+        topology: Topology,
+        num_slices: int = 2,
+        rate_limit_cycles: float = 0.0,
+    ) -> None:
+        lanes = spec.nvlink.lanes
+        if num_slices < 1:
+            raise ConfigurationError("num_slices must be >= 1")
+        if lanes % num_slices:
+            raise ConfigurationError(
+                f"{lanes} lanes not divisible into {num_slices} slices"
+            )
+        if rate_limit_cycles < 0:
+            raise ConfigurationError("rate_limit_cycles must be >= 0")
+        super().__init__(spec, topology)
+        self.num_slices = num_slices
+        self.rate_limit_cycles = float(rate_limit_cycles)
+        lanes_per = lanes // num_slices
+        self._slice_busy: Dict[Edge, List[list]] = {
+            edge: [[0.0] * lanes_per for _ in range(num_slices)]
+            for edge in topology.edges
+        }
+        self._owner_slice: Dict[Optional[int], int] = {}
+        self._shaper: Dict[Tuple[Optional[int], int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    def slice_of(self, owner: Optional[int]) -> int:
+        if owner not in self._owner_slice:
+            self._owner_slice[owner] = len(self._owner_slice) % self.num_slices
+        return self._owner_slice[owner]
+
+    def assign_owner(self, owner: int, slice_index: int) -> None:
+        if not 0 <= slice_index < self.num_slices:
+            raise ConfigurationError(f"no lane slice {slice_index}")
+        self._owner_slice[owner] = slice_index
+
+    def _lane_state(self, edge: Edge, owner: Optional[int]) -> list:
+        return self._slice_busy[edge][self.slice_of(owner)]
+
+    # ------------------------------------------------------------------
+    # Ingress shaping
+    # ------------------------------------------------------------------
+    def _shape_one(
+        self, owner: Optional[int], src_gpu: int, dst_gpu: int, now: float
+    ) -> float:
+        key = (owner, src_gpu, dst_gpu)
+        free = self._shaper.get(key, 0.0)
+        start = now if now > free else free
+        self._shaper[key] = start + self.rate_limit_cycles
+        return start - now
+
+    def transfer(self, src_gpu, dst_gpu, now, owner=None):
+        if self.rate_limit_cycles > 0.0 and src_gpu != dst_gpu:
+            delay = self._shape_one(owner, src_gpu, dst_gpu, now)
+            extra, hops = super().transfer(src_gpu, dst_gpu, now + delay, owner)
+            return extra + delay, hops
+        return super().transfer(src_gpu, dst_gpu, now, owner)
+
+    def transfer_batch(self, src_gpu, dst_gpu, stamps, owner=None):
+        if (
+            self.rate_limit_cycles > 0.0
+            and src_gpu != dst_gpu
+            and np.asarray(stamps).size
+        ):
+            key = (owner, src_gpu, dst_gpu)
+            stamps_arr = np.asarray(stamps, dtype=np.float64)
+            delays, busy_end = single_server_waits(
+                self._shaper.get(key, 0.0), stamps_arr, self.rate_limit_cycles
+            )
+            self._shaper[key] = busy_end
+            return (
+                super().transfer_batch(src_gpu, dst_gpu, stamps_arr + delays, owner)
+                + delays
+            )
+        return super().transfer_batch(src_gpu, dst_gpu, stamps, owner)
+
+    # ------------------------------------------------------------------
+    def link_busy_until(self) -> Dict[Edge, float]:
+        return {
+            edge: max(max(lanes) for lanes in slices)
+            for edge, slices in self._slice_busy.items()
+        }
+
+    def reset(self) -> None:
+        super().reset()
+        for slices in self._slice_busy.values():
+            for lanes in slices:
+                for lane in range(len(lanes)):
+                    lanes[lane] = 0.0
+        self._shaper.clear()
+
+
+def enable_lane_partitioning(
+    system: MultiGPUSystem,
+    num_slices: int = 2,
+    rate_limit_cycles: float = 0.0,
+) -> PartitionedInterconnect:
+    """Swap the box's interconnect for a lane-partitioned one.
+
+    Returns the new interconnect so the caller can pin owners to slices.
+    In-flight lane reservations are dropped, as a fabric reconfiguration
+    would; the telemetry hook carries over.
+    """
+    partitioned = PartitionedInterconnect(
+        system.spec,
+        system.topology,
+        num_slices=num_slices,
+        rate_limit_cycles=rate_limit_cycles,
+    )
+    partitioned.tracer = system.interconnect.tracer
+    system.interconnect = partitioned
+    return partitioned
 
 
 def enable_mig_partitioning(

@@ -22,6 +22,9 @@ module                          reproduces
 ``ablation_replacement``        (extra) policy ablation for §III-B
 ``ablation_noise``              §VI -- noise and occupancy blocking
 ``ablation_defense``            §VII -- partitioning and detection
+``ext_multi_gpu``               (extra) covert striping across GPU pairs
+``ext_link_covert``             (extra) NVLink fabric covert channel
+``ext_link_locate``             (extra) linkgram victim-pair location
 ==============================  ==========================================
 """
 

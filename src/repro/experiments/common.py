@@ -66,12 +66,27 @@ class ExperimentResult:
         return "\n".join(parts)
 
 
-def default_runtime(seed: int = 0, small: bool = False):
-    """Build a runtime for an experiment (full DGX-1 unless ``small``)."""
+def default_runtime(
+    seed: int = 0,
+    small: bool = False,
+    topology: Optional[str] = None,
+    routing: Optional[str] = None,
+):
+    """Build a runtime for an experiment (full DGX-1 unless ``small``).
+
+    ``topology``/``routing`` swap the fabric for one of the
+    :data:`repro.config.TOPOLOGY_PRESETS` (keeping the GPU count) -- the
+    fabric-channel experiments use this to compare cube-mesh and switched
+    boxes.
+    """
     from ..config import DGXSpec
     from ..runtime.api import Runtime
 
     spec = DGXSpec.small() if small else DGXSpec.dgx1()
+    if topology is not None:
+        spec = spec.with_topology(topology, routing=routing)
+    elif routing is not None:
+        spec = spec.with_routing(routing)
     return Runtime(spec, seed=seed)
 
 

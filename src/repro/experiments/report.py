@@ -29,6 +29,8 @@ def _registry() -> Dict[str, Callable[[int, bool], ExperimentResult]]:
     from . import (
         ablation_defense,
         ablation_noise,
+        ext_link_covert,
+        ext_link_locate,
         fig04_timing,
         fig05_eviction,
         fig06_aliasing,
@@ -113,6 +115,18 @@ def _registry() -> Dict[str, Callable[[int, bool], ExperimentResult]]:
         "sec7-defense": lambda seed, small: ablation_defense.run(
             seed=seed, num_sets=1 if small else 2, payload_bits=64 if small else 256,
             small=small,
+        ),
+        "ext-link-covert": lambda seed, small: ext_link_covert.run(
+            seed=seed,
+            small=small,
+            link_counts=(1, 2) if small else (1, 2, 4),
+            payload_bits=64 if small else 192,
+        ),
+        "ext-link-locate": lambda seed, small: ext_link_locate.run(
+            seed=seed,
+            small=small,
+            topologies=("dgx2",) if small else ("dgx1", "dgx2"),
+            duration_cycles=60_000.0 if small else 120_000.0,
         ),
     }
 

@@ -6,12 +6,18 @@ latencies.  This model adds (a) per-extra-hop latency when a route crosses
 more than one link, and (b) *serialization queueing*: each cache-line
 transfer occupies every link on its route for a few cycles, so concurrent
 remote traffic jitters each other's timing -- measurable noise during
-multi-set covert transmission.
+multi-set covert transmission, and the whole signal of the
+:mod:`repro.core.linkchannel` fabric channel.
+
+Each transfer carries an optional ``owner`` (the issuing process id).
+The base model ignores it; :class:`repro.defense.partitioning`'s
+lane-partitioned interconnect overrides :meth:`Interconnect._lane_state`
+to give each tenant its own lane slice, which is what kills the channel.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 import numpy as np
 
@@ -22,6 +28,11 @@ from .topology import Topology
 __all__ = ["Interconnect"]
 
 Edge = FrozenSet[int]
+
+
+def _edge_key(edge: Edge) -> str:
+    a, b = sorted(edge)
+    return f"link{a}-{b}"
 
 
 class Interconnect:
@@ -37,8 +48,32 @@ class Interconnect:
         self._busy: Dict[Edge, list] = {
             edge: [0.0] * lanes for edge in topology.edges
         }
+        # Per-link lifetime counters (feed telemetry.CounterSampler).
+        self._transfers: Dict[Edge, int] = {edge: 0 for edge in self._busy}
+        self._queued_cycles: Dict[Edge, float] = {edge: 0.0 for edge in self._busy}
+        self._busy_cycles: Dict[Edge, float] = {edge: 0.0 for edge in self._busy}
 
-    def transfer(self, src_gpu: int, dst_gpu: int, now: float) -> Tuple[float, int]:
+    # ------------------------------------------------------------------
+    # Lane-state hook
+    # ------------------------------------------------------------------
+    def _lane_state(self, edge: Edge, owner: Optional[int]) -> list:
+        """Mutable busy-until lane list a transfer by ``owner`` queues on.
+
+        The base interconnect shares every lane between all tenants;
+        partitioned subclasses return an owner-specific slice.
+        """
+        return self._busy[edge]
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        src_gpu: int,
+        dst_gpu: int,
+        now: float,
+        owner: Optional[int] = None,
+    ) -> Tuple[float, int]:
         """Charge one cache-line transfer from ``src_gpu`` to ``dst_gpu``.
 
         Returns ``(extra_cycles, hops)``: the queueing + multi-hop delay to
@@ -52,11 +87,14 @@ class Interconnect:
         extra = 0.0
         clock = now
         for edge in route:
-            lanes = self._busy[edge]
+            lanes = self._lane_state(edge, owner)
             lane = min(range(len(lanes)), key=lanes.__getitem__)
             busy = lanes[lane]
             wait = busy - clock if busy > clock else 0.0
             lanes[lane] = clock + wait + serialization
+            self._transfers[edge] += 1
+            self._queued_cycles[edge] += wait
+            self._busy_cycles[edge] += serialization
             extra += wait
             clock += wait + serialization
         # The first hop's base latency is part of TimingSpec.remote_*;
@@ -75,7 +113,11 @@ class Interconnect:
         return extra, len(route)
 
     def transfer_batch(
-        self, src_gpu: int, dst_gpu: int, stamps: np.ndarray
+        self,
+        src_gpu: int,
+        dst_gpu: int,
+        stamps: np.ndarray,
+        owner: Optional[int] = None,
     ) -> np.ndarray:
         """Charge a stream of cache-line transfers; returns per-transfer
         extra cycles (queueing plus multi-hop penalty).
@@ -92,27 +134,35 @@ class Interconnect:
         route = self.topology.path(src_gpu, dst_gpu)
         serialization = float(self.spec.nvlink.serialization_cycles)
         clock = np.asarray(stamps, dtype=np.float64).copy()
-        for edge in route:
+        for hop, edge in enumerate(route):
+            lanes = self._lane_state(edge, owner)
+            arrival = float(clock[0])
             waits, new_busy = multi_server_waits(
-                np.asarray(self._busy[edge]), clock, serialization
+                np.asarray(lanes), clock, serialization
             )
-            self._busy[edge] = [float(b) for b in new_busy]
+            lanes[:] = [float(b) for b in new_busy]
+            self._transfers[edge] += int(n)
+            hop_wait = float(waits.sum())
+            self._queued_cycles[edge] += hop_wait
+            self._busy_cycles[edge] += serialization * n
             extras += waits
             clock += waits + serialization
-        if self.tracer is not None:
-            total_wait = float(extras.sum())
-            if total_wait > 0.0:
-                # One aggregate event per batch: ``dur`` is the summed
-                # queueing over all transfers (see docs/observability.md).
+            if self.tracer is not None and hop_wait > 0.0:
+                # One event per *hop*, stamped when the batch reaches that
+                # link, so Perfetto lines stalls up with the probe epochs
+                # they delayed; ``dur`` is the hop's summed queueing.
+                a, b = sorted(edge)
                 self.tracer.emit(
                     "nvlink_stall_batch",
                     "nvlink",
-                    float(stamps[0]),
-                    dur=total_wait,
+                    arrival,
+                    dur=hop_wait,
                     gpu=src_gpu,
                     args={
                         "src": src_gpu,
                         "dst": dst_gpu,
+                        "hop": hop,
+                        "link": [a, b],
                         "hops": len(route),
                         "transfers": int(n),
                     },
@@ -120,11 +170,66 @@ class Interconnect:
         extras += (len(route) - 1) * self.spec.timing.per_extra_hop
         return extras
 
-    def link_utilization(self) -> Dict[Edge, float]:
-        """Latest busy-until per link (diagnostics / the §VII detector)."""
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def link_busy_until(self) -> Dict[Edge, float]:
+        """Latest busy-until stamp per link (raw lane state)."""
         return {edge: max(lanes) for edge, lanes in self._busy.items()}
+
+    def link_utilization(self) -> Dict[Edge, float]:
+        """Latest busy-until per link (diagnostics / the §VII detector).
+
+        .. deprecated:: kept for the detector; despite the name this is a
+           raw busy-until *timestamp*, not a fraction.  New code wanting a
+           real utilization should call :meth:`utilization`.
+        """
+        return self.link_busy_until()
+
+    def busy_cycles(self) -> Dict[Edge, float]:
+        """Cumulative lane-occupancy cycles charged per link."""
+        return dict(self._busy_cycles)
+
+    def utilization(
+        self,
+        window_cycles: float,
+        since: Optional[Dict[Edge, float]] = None,
+    ) -> Dict[Edge, float]:
+        """True windowed utilization: busy cycles / lane-capacity cycles.
+
+        ``since`` is an earlier :meth:`busy_cycles` snapshot marking the
+        window start (defaults to zero, i.e. the whole run).  A link's
+        capacity over the window is ``window_cycles * lanes``, so the
+        result is a fraction in [0, 1].
+        """
+        if window_cycles <= 0:
+            raise ValueError("window_cycles must be positive")
+        capacity = window_cycles * self.spec.nvlink.lanes
+        baseline = since or {}
+        return {
+            edge: min(max((busy - baseline.get(edge, 0.0)) / capacity, 0.0), 1.0)
+            for edge, busy in self._busy_cycles.items()
+        }
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        """Flat per-link counters for :class:`telemetry.CounterSampler`.
+
+        Keys are ``link<a>-<b>:{transfers,queued_cycles,busy_cycles}``
+        with cycle counts rounded to ints (sampler deltas are integral).
+        """
+        snapshot: Dict[str, int] = {}
+        for edge in self._busy:
+            key = _edge_key(edge)
+            snapshot[f"{key}:transfers"] = self._transfers[edge]
+            snapshot[f"{key}:queued_cycles"] = int(self._queued_cycles[edge])
+            snapshot[f"{key}:busy_cycles"] = int(self._busy_cycles[edge])
+        return snapshot
 
     def reset(self) -> None:
         for lanes in self._busy.values():
             for lane in range(len(lanes)):
                 lanes[lane] = 0.0
+        for edge in self._busy:
+            self._transfers[edge] = 0
+            self._queued_cycles[edge] = 0.0
+            self._busy_cycles[edge] = 0.0

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..config import DGXSpec, TimingSpec
 from ..errors import PeerAccessError
-from ..sim.ops import AccessResult, EpochResult
+from ..sim.ops import AccessResult, EpochResult, LinkProbeResult
 from ..sim.process import DeviceBuffer, Process
 from ..sim.rng import RngFanout
 from .cache import VectorL2Cache
@@ -153,7 +153,9 @@ class MultiGPUSystem:
         if not outcome.hit:
             latency += home_gpu.hbm.occupy(paddr, now)
         if remote:
-            extra, _hops = self.interconnect.transfer(exec_gpu, home, now)
+            extra, _hops = self.interconnect.transfer(
+                exec_gpu, home, now, owner=process.pid
+            )
             latency += extra
         if latency < 1.0:
             latency = 1.0
@@ -221,7 +223,7 @@ class MultiGPUSystem:
             paddrs = buffer.paddrs(index_array)
             stamps = self._issue_stamps(count, now, parallel, issue_gap)
             latencies, hits, misses, evictions = self._service_batch_vector(
-                home_gpu, exec_gpu, home, remote, paddrs, stamps
+                home_gpu, exec_gpu, home, remote, paddrs, stamps, process.pid
             )
             latencies_out = latencies.tolist()
             hits_out = hits.tolist()
@@ -303,7 +305,7 @@ class MultiGPUSystem:
         if isinstance(home_gpu.l2, VectorL2Cache):
             paddrs = buffer.paddrs(flat)
             latencies, hits, misses, evictions = self._service_batch_vector(
-                home_gpu, exec_gpu, home, remote, paddrs, stamps
+                home_gpu, exec_gpu, home, remote, paddrs, stamps, process.pid
             )
         else:
             paddrs = [buffer.paddr(int(index)) for index in flat]
@@ -346,6 +348,86 @@ class MultiGPUSystem:
             remote=remote,
         )
 
+    def probe_link(
+        self,
+        process: Process,
+        dst_gpu: int,
+        exec_gpu: int,
+        now: float,
+        num_transfers: int = 4,
+        gap_cycles: float = 0.0,
+        wait: bool = True,
+    ) -> LinkProbeResult:
+        """Service a :class:`~repro.sim.ops.LinkProbe` burst to ``dst_gpu``.
+
+        A pure fabric operation: the transfers reserve lanes on every link
+        of the route (so concurrent traffic queues behind them) but touch
+        no L2 sets on either end -- the channel built on this evades any
+        cache-side detector.  Observed latency per transfer is the NVLink
+        round-trip component of the remote timing model (remote hit minus
+        local hit) plus queueing plus jitter.
+
+        With ``wait=False`` the burst models posted writes: the stream
+        pays only the issue window while the lane reservations stay --
+        this is the flooding half of the covert channel.
+        """
+        if dst_gpu == exec_gpu:
+            raise PeerAccessError("link probes need a remote destination GPU")
+        if not process.has_peer_access(exec_gpu, dst_gpu):
+            raise PeerAccessError(
+                f"process {process.name!r} has no peer access from GPU "
+                f"{exec_gpu} to GPU {dst_gpu}"
+            )
+        count = int(num_transfers)
+        if count <= 0:
+            return LinkProbeResult(hops=self.topology.hops(exec_gpu, dst_gpu))
+        timing = self.spec.timing
+        steps = np.arange(count, dtype=np.float64) * float(gap_cycles)
+        stamps = now + steps
+        extras = self.interconnect.transfer_batch(
+            exec_gpu, dst_gpu, stamps, owner=process.pid
+        )
+        hops = self.topology.hops(exec_gpu, dst_gpu)
+        hop_penalty = (hops - 1) * timing.per_extra_hop
+        waits = extras - hop_penalty
+        link_rtt = timing.remote_l2_hit - timing.local_l2_hit
+        latencies = (
+            link_rtt + extras + timing.jitter_remote_hit * self._jitter.take(count)
+        )
+        np.maximum(latencies, 1.0, out=latencies)
+        if wait:
+            total = float(np.max(steps + latencies))
+        else:
+            total = max(count * float(gap_cycles), 1.0)
+        line = self.spec.gpu.cache.line_size
+        issuer = self.gpus[exec_gpu].counters
+        issuer.nvlink_bytes_in += count * line
+        self.gpus[dst_gpu].counters.nvlink_bytes_out += count * line
+        # Deliberately no remote_requests_* / l2 counters: link probes
+        # bypass the caches, which is what lets the fabric channel slip
+        # past the Section VII contention detector.
+        if self.tracer is not None:
+            self.tracer.emit(
+                "link_probe",
+                "nvlink",
+                now,
+                dur=total,
+                gpu=exec_gpu,
+                args={
+                    "src": exec_gpu,
+                    "dst": dst_gpu,
+                    "transfers": count,
+                    "hops": hops,
+                    "wait": wait,
+                },
+            )
+        return LinkProbeResult(
+            latencies=tuple(float(v) for v in latencies),
+            waits=tuple(max(float(w), 0.0) for w in waits),
+            total_latency=total,
+            hops=hops,
+        )
+
     # ------------------------------------------------------------------
     # Batch service cores (shared by access_batch and access_epoch)
     # ------------------------------------------------------------------
@@ -365,6 +447,7 @@ class MultiGPUSystem:
         remote: bool,
         paddrs: np.ndarray,
         stamps: np.ndarray,
+        owner: Optional[int] = None,
     ):
         """Vectorized service of one batch; returns arrays + counts."""
         timing = self.spec.timing
@@ -389,7 +472,9 @@ class MultiGPUSystem:
                 paddrs[missed], stamps[missed]
             )
         if remote:
-            latencies += self.interconnect.transfer_batch(exec_gpu, home, stamps)
+            latencies += self.interconnect.transfer_batch(
+                exec_gpu, home, stamps, owner=owner
+            )
         np.maximum(latencies, 1.0, out=latencies)
         return latencies, hits, int(missed.sum()), int(evictions.sum())
 
@@ -438,7 +523,7 @@ class MultiGPUSystem:
             if outcome.evicted_tag is not None:
                 evictions += 1
             if remote:
-                latency += transfer(exec_gpu, home, stamp)[0]
+                latency += transfer(exec_gpu, home, stamp, owner)[0]
             if latency < 1.0:
                 latency = 1.0
             latencies.append(latency)

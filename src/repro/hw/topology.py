@@ -4,6 +4,19 @@ The DGX-1 wires its eight GPUs in a *hybrid cube-mesh* (Fig 1): two
 fully-connected quads joined by four cube edges.  Peer access (and hence the
 paper's attacks) works only between GPUs that share a direct NVLink --
 "NVidia runtime API throws error if the GPUs are not connected via NVLink".
+
+The graph may also contain *switch vertices* (``spec.num_switch_nodes``,
+numbered after the GPUs): memoryless forwarding nodes modelling NVSwitch
+chips.  A GPU pair joined only through switches still counts as peers --
+on a DGX-2 every GPU pair is NVLink-reachable through the switch plane --
+but routes crossing a switch take the extra hop, and distinct GPU pairs
+can contend on a shared uplink (the fabric side channel's signal).
+
+Two routing policies (``spec.routing``): ``shortest`` keeps the first
+shortest path BFS discovers (the original model, byte-stable); ``ecmp``
+breaks ties between equal-cost next hops with a deterministic hash of the
+(src, dst) flow, spreading routes across parallel paths the way switched
+fabrics do.  Both are deterministic; neither depends on the run seed.
 """
 
 from __future__ import annotations
@@ -19,42 +32,95 @@ __all__ = ["Topology"]
 Edge = FrozenSet[int]
 
 
+def _ecmp_pick(src: int, dst: int, level: int, count: int) -> int:
+    """Deterministic index into ``count`` equal-cost candidates.
+
+    A small integer mix (multiply-xor, avalanche-style) of the flow and
+    the path level -- NOT Python's ``hash`` -- so route choices are stable
+    across processes and runs.
+    """
+    x = (src * 0x9E3779B1 + dst * 0x85EBCA77 + level * 0xC2B2AE3D) & 0xFFFFFFFF
+    x ^= x >> 15
+    x = (x * 0x2C1B3C6D) & 0xFFFFFFFF
+    x ^= x >> 12
+    return x % count
+
+
 class Topology:
-    """Adjacency + all-pairs shortest paths over the NVLink graph."""
+    """Adjacency + all-pairs routes over the NVLink graph."""
 
     def __init__(self, spec: DGXSpec) -> None:
         self.num_gpus = spec.num_gpus
+        self.num_switches = getattr(spec, "num_switch_nodes", 0)
+        self.num_nodes = self.num_gpus + self.num_switches
+        self.routing = getattr(spec, "routing", "shortest")
         self.edges: Tuple[Edge, ...] = tuple(
             frozenset(edge) for edge in spec.nvlink_edges
         )
-        self._adj: Dict[int, List[int]] = {g: [] for g in range(spec.num_gpus)}
+        self._adj: Dict[int, List[int]] = {g: [] for g in range(self.num_nodes)}
         for a, b in spec.nvlink_edges:
             self._adj[a].append(b)
             self._adj[b].append(a)
-        self._paths = self._all_pairs_paths()
+        if self.routing == "ecmp":
+            self._paths = self._all_pairs_paths_ecmp()
+        else:
+            self._paths = self._all_pairs_paths()
+        self._switch_reach = self._switch_reachable() if self.num_switches else {}
+
+    def is_switch(self, node: int) -> bool:
+        """True for NVSwitch forwarding vertices (no memory, no kernels)."""
+        return node >= self.num_gpus
 
     def neighbors(self, gpu: int) -> Sequence[int]:
         return tuple(self._adj[gpu])
 
     def are_peers(self, a: int, b: int) -> bool:
-        """True when ``a`` and ``b`` share a direct NVLink."""
-        return b in self._adj[a]
+        """True when ``a`` and ``b`` are NVLink-reachable for peer access.
+
+        Directly cabled pairs qualify (DGX-1); so do pairs joined purely
+        through switch vertices (DGX-2's switch plane), where the runtime
+        still reports P2P capability even though the route is two hops.
+        """
+        if b in self._adj[a]:
+            return True
+        return b in self._switch_reach.get(a, ())
 
     def hops(self, a: int, b: int) -> int:
-        """NVLink hop count of the shortest route (0 for a == b)."""
+        """NVLink hop count of the chosen route (0 for a == b)."""
         path = self.path(a, b)
         return len(path)
 
     def path(self, a: int, b: int) -> Tuple[Edge, ...]:
-        """Shortest route from ``a`` to ``b`` as a tuple of link edges."""
+        """Route from ``a`` to ``b`` as a tuple of link edges."""
         route = self._paths.get((a, b))
         if route is None:
             raise ConfigurationError(f"no NVLink route between GPU {a} and GPU {b}")
         return route
 
+    def validate_connected(self) -> None:
+        """Raise :class:`ConfigurationError` unless every GPU pair routes.
+
+        Construction stays lazy (a partially wired box is representable,
+        and unreachable pairs only fail when actually routed to); callers
+        that need a fully-connected fabric ask explicitly.
+        """
+        missing = [
+            (a, b)
+            for a in range(self.num_gpus)
+            for b in range(a + 1, self.num_gpus)
+            if (a, b) not in self._paths
+        ]
+        if missing:
+            raise ConfigurationError(
+                f"NVLink fabric is disconnected; unroutable GPU pairs: {missing}"
+            )
+
+    # ------------------------------------------------------------------
+    # Route construction
+    # ------------------------------------------------------------------
     def _all_pairs_paths(self) -> Dict[Tuple[int, int], Tuple[Edge, ...]]:
         paths: Dict[Tuple[int, int], Tuple[Edge, ...]] = {}
-        for src in range(self.num_gpus):
+        for src in range(self.num_nodes):
             prev: Dict[int, Optional[int]] = {src: None}
             queue = deque([src])
             while queue:
@@ -72,3 +138,59 @@ class Topology:
                     node = parent
                 paths[(src, dst)] = tuple(reversed(hops))
         return paths
+
+    def _all_pairs_paths_ecmp(self) -> Dict[Tuple[int, int], Tuple[Edge, ...]]:
+        """Shortest paths with hashed tie-breaking between equal costs.
+
+        Per source, a BFS records every shortest-path predecessor of each
+        node; the route is then rebuilt from the destination picking among
+        the sorted predecessors with :func:`_ecmp_pick`, so two flows with
+        the same endpoints always take the same route but different flows
+        spread over the parallel paths.
+        """
+        paths: Dict[Tuple[int, int], Tuple[Edge, ...]] = {}
+        for src in range(self.num_nodes):
+            dist: Dict[int, int] = {src: 0}
+            preds: Dict[int, List[int]] = {src: []}
+            queue = deque([src])
+            while queue:
+                node = queue.popleft()
+                for nxt in self._adj[node]:
+                    if nxt not in dist:
+                        dist[nxt] = dist[node] + 1
+                        preds[nxt] = [node]
+                        queue.append(nxt)
+                    elif dist[nxt] == dist[node] + 1 and node not in preds[nxt]:
+                        preds[nxt].append(node)
+            for dst in dist:
+                hops: List[Edge] = []
+                node = dst
+                while node != src:
+                    candidates = sorted(preds[node])
+                    parent = candidates[
+                        _ecmp_pick(src, dst, dist[node], len(candidates))
+                    ]
+                    hops.append(frozenset((parent, node)))
+                    node = parent
+                paths[(src, dst)] = tuple(reversed(hops))
+        return paths
+
+    def _switch_reachable(self) -> Dict[int, FrozenSet[int]]:
+        """GPUs reachable from each GPU crossing only switch vertices."""
+        reach: Dict[int, FrozenSet[int]] = {}
+        for src in range(self.num_gpus):
+            seen = {src}
+            found: List[int] = []
+            queue = deque([src])
+            while queue:
+                node = queue.popleft()
+                for nxt in self._adj[node]:
+                    if nxt in seen:
+                        continue
+                    seen.add(nxt)
+                    if self.is_switch(nxt):
+                        queue.append(nxt)
+                    else:
+                        found.append(nxt)
+            reach[src] = frozenset(found)
+        return reach

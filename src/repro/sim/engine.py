@@ -24,6 +24,7 @@ from .ops import (
     Access,
     Compute,
     Fence,
+    LinkProbe,
     ProbeEpoch,
     ProbeResult,
     ProbeSet,
@@ -263,6 +264,18 @@ class Engine:
         if type(op) is ProbeEpoch:
             stats.count_op("ProbeEpoch", sum(len(s) for s in op.sets))
             return self._execute_epoch(op, handle, now)
+        if type(op) is LinkProbe:
+            stats.count_op("LinkProbe", op.num_transfers)
+            result = system.probe_link(
+                handle.process,
+                op.dst_gpu,
+                handle.gpu_id,
+                now,
+                num_transfers=op.num_transfers,
+                gap_cycles=op.gap_cycles,
+                wait=op.wait,
+            )
+            return result.total_latency, result
         if type(op) is Compute:
             stats.count_op("Compute")
             return float(op.cycles), None

@@ -18,6 +18,7 @@ op                        result sent back into the generator
 :class:`Access`           ``AccessResult`` (value, latency, hit, ...)
 :class:`ProbeSet`         ``ProbeResult`` (per-line latencies, ...)
 :class:`ProbeEpoch`       ``EpochResult`` (per-set latencies, ...)
+:class:`LinkProbe`        ``LinkProbeResult`` (per-transfer latencies, ...)
 :class:`Store`            ``AccessResult`` (like :class:`Access`)
 :class:`SharedStore`      ``None``
 :class:`Compute`          ``None``
@@ -39,6 +40,7 @@ __all__ = [
     "Access",
     "ProbeSet",
     "ProbeEpoch",
+    "LinkProbe",
     "Store",
     "SharedStore",
     "Compute",
@@ -48,6 +50,7 @@ __all__ = [
     "AccessResult",
     "ProbeResult",
     "EpochResult",
+    "LinkProbeResult",
 ]
 
 
@@ -106,6 +109,30 @@ class ProbeEpoch:
     parallel: bool = True
     #: Cycles between consecutive issue slots in parallel mode.
     issue_gap: float = 4.0
+
+
+@dataclass(frozen=True)
+class LinkProbe:
+    """Time a burst of peer-to-peer transfers over the NVLink route to
+    ``dst_gpu``.
+
+    The fabric-channel primitive (:mod:`repro.core.linkchannel`): it
+    touches no cache sets -- each transfer rides the link route and comes
+    back with a latency dominated by link serialization queueing, so the
+    burst measures *link* contention and nothing else.
+
+    ``wait=True`` models dependent round-trip reads: the stream clock
+    advances to the last transfer's completion (a probe).  ``wait=False``
+    models posted writes: the stream only pays the issue window
+    (``num_transfers * gap_cycles``, at least one cycle) while the lane
+    reservations still land on every link of the route (a flood).
+    """
+
+    dst_gpu: int
+    num_transfers: int = 4
+    #: Cycles between consecutive issue slots.
+    gap_cycles: float = 0.0
+    wait: bool = True
 
 
 @dataclass(frozen=True)
@@ -187,6 +214,33 @@ class ProbeResult:
     @property
     def miss_count(self) -> int:
         return sum(1 for h in self.hits if not h)
+
+
+@dataclass(frozen=True)
+class LinkProbeResult:
+    """Outcome of a :class:`LinkProbe` burst."""
+
+    #: Per-transfer observed latency (RTT base + queueing + jitter).
+    latencies: Tuple[float, ...] = ()
+    #: Per-transfer pure queueing delay (no jitter; ground truth).
+    waits: Tuple[float, ...] = ()
+    total_latency: float = 0.0
+    hops: int = 0
+
+    @property
+    def mean_latency(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+    @property
+    def median_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        return ordered[len(ordered) // 2]
+
+    @property
+    def max_wait(self) -> float:
+        return max(self.waits) if self.waits else 0.0
 
 
 @dataclass(frozen=True)

@@ -108,15 +108,26 @@ def chrome_trace_dict(
     if timeseries is not None:
         for sample in timeseries:
             ensure_gpu(sample.gpu_id)
-            args = {
-                key: sample.delta.get(key, 0)
-                for key in COUNTER_TRACKS
-                if key in sample.delta
-            }
+            if sample.gpu_id < 0:
+                # Fabric-wide link sample: one counter track of per-link
+                # busy cycles (the linkgram's raw material) on the host row.
+                name = "link_busy_cycles"
+                args = {
+                    key.split(":", 1)[0]: value
+                    for key, value in sample.delta.items()
+                    if key.endswith(":busy_cycles")
+                }
+            else:
+                name = "gpu_counters"
+                args = {
+                    key: sample.delta.get(key, 0)
+                    for key in COUNTER_TRACKS
+                    if key in sample.delta
+                }
             events.append(
                 {
                     "ph": "C",
-                    "name": "gpu_counters",
+                    "name": name,
                     "pid": sample.gpu_id,
                     "tid": 0,
                     "ts": _cycles_to_us(sample.time, clock_hz),

@@ -97,6 +97,10 @@ class CounterSampler:
     cadence_cycles: float
     timeseries: Optional[CounterTimeseries] = None
     gpus: Optional[Sequence[int]] = None
+    #: Also sample the interconnect's per-link counters.  Link samples are
+    #: fabric-wide, not per-GPU, so they land with ``gpu_id == -1`` and
+    #: keys like ``link0-1:busy_cycles`` (see Interconnect.counters_snapshot).
+    links: bool = False
     start: float = 0.0
     _last: Dict[int, Dict[str, int]] = field(default_factory=dict, repr=False)
     _last_time: Dict[int, float] = field(default_factory=dict, repr=False)
@@ -119,6 +123,10 @@ class CounterSampler:
         for gpu_id in self.gpus:
             self._last[gpu_id] = self.system.gpus[gpu_id].counters.snapshot()
             self._last_time[gpu_id] = float(now)
+        if self.links:
+            # Fabric-wide link counters are keyed under pseudo-GPU -1.
+            self._last[-1] = self.system.interconnect.counters_snapshot()
+            self._last_time[-1] = float(now)
         self._next_due = float(now) + self.cadence_cycles
 
     def maybe_sample(self, now: float) -> None:
@@ -143,6 +151,22 @@ class CounterSampler:
             taken.append(sample)
             self._last[gpu_id] = counters.snapshot()
             self._last_time[gpu_id] = float(now)
+        if self.links:
+            snapshot = self.system.interconnect.counters_snapshot()
+            last = self._last.get(-1, {})
+            delta = {
+                key: value - last.get(key, 0) for key, value in snapshot.items()
+            }
+            sample = CounterSample(
+                time=float(now),
+                gpu_id=-1,
+                window=float(now) - self._last_time.get(-1, 0.0),
+                delta=delta,
+            )
+            self.timeseries.append(sample)
+            taken.append(sample)
+            self._last[-1] = snapshot
+            self._last_time[-1] = float(now)
         # The next boundary is a full cadence after the sample actually
         # taken (not the grid point it was due at): spacing is therefore
         # *at least* the cadence, the contract consumers rely on.

@@ -41,6 +41,7 @@ class Tracer:
         capacity: int = 65536,
         sample_cadence: Optional[float] = None,
         sample_gpus=None,
+        sample_links: bool = False,
     ) -> None:
         self.enabled = True
         self.events = EventRing(capacity)
@@ -49,7 +50,7 @@ class Tracer:
             if system is None:
                 raise ValueError("counter sampling requires a system")
             self.sampler = CounterSampler(
-                system, sample_cadence, gpus=sample_gpus
+                system, sample_cadence, gpus=sample_gpus, links=sample_links
             )
 
     # ------------------------------------------------------------------
@@ -87,6 +88,8 @@ class Tracer:
             args = {"num_sets": len(op.sets)}
         elif name == "ProbeSet":
             args = {"num_lines": len(op.indices)}
+        elif name == "LinkProbe":
+            args = {"dst": op.dst_gpu, "transfers": op.num_transfers}
         self.events.append(
             TraceEvent(name, "op", ts, dur, handle.gpu_id, handle.name, args)
         )
@@ -118,8 +121,13 @@ def attach_tracer(
     capacity: int = 65536,
     sample_cadence: Optional[float] = None,
     sample_gpus=None,
+    sample_links: bool = False,
 ) -> Tracer:
     """Create a tracer and wire it into every instrumented layer.
+
+    ``sample_links=True`` additionally samples the interconnect's per-link
+    counters (transfers / queued / busy cycles) into the same timeseries,
+    recorded as fabric-wide samples with ``gpu_id == -1``.
 
     Returns the tracer; pass the same runtime to :func:`detach_tracer`
     to unhook it (the hooks then cost nothing again).
@@ -129,6 +137,7 @@ def attach_tracer(
         capacity=capacity,
         sample_cadence=sample_cadence,
         sample_gpus=sample_gpus,
+        sample_links=sample_links,
     )
     runtime.engine.tracer = tracer
     runtime.system.tracer = tracer

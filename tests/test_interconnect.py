@@ -1,5 +1,6 @@
 """NVLink occupancy, lanes, multi-hop penalty; HBM channels; counters."""
 
+import numpy as np
 import pytest
 
 from repro.config import DGXSpec, LinkSpec
@@ -61,6 +62,113 @@ class TestInterconnect:
         icx.transfer(0, 1, 0.0)
         utilization = icx.link_utilization()
         assert utilization[frozenset((0, 1))] > 0.0
+
+    def test_link_utilization_alias_matches_busy_until(self):
+        """The deprecated accessor still returns raw busy-until stamps."""
+        _spec, icx = make_icx()
+        for _ in range(3):
+            icx.transfer(0, 1, 0.0)
+        assert icx.link_utilization() == icx.link_busy_until()
+
+    def test_windowed_utilization_fraction(self):
+        spec, icx = make_icx(lanes=2)
+        n, window = 10, 1000.0
+        for i in range(n):
+            icx.transfer(0, 1, now=float(i))
+        expected = n * spec.nvlink.serialization_cycles / (window * 2)
+        assert icx.utilization(window)[frozenset((0, 1))] == pytest.approx(expected)
+        assert icx.utilization(window)[frozenset((2, 3))] == 0.0
+
+    def test_windowed_utilization_since_snapshot(self):
+        spec, icx = make_icx(lanes=2)
+        for i in range(20):
+            icx.transfer(0, 1, now=float(i))
+        snapshot = icx.busy_cycles()
+        icx.transfer(0, 1, now=100.0)
+        window = 500.0
+        windowed = icx.utilization(window, since=snapshot)
+        assert windowed[frozenset((0, 1))] == pytest.approx(
+            spec.nvlink.serialization_cycles / (window * 2)
+        )
+
+    def test_windowed_utilization_clips_to_one(self):
+        _spec, icx = make_icx(lanes=2)
+        for _ in range(100):
+            icx.transfer(0, 1, now=0.0)
+        assert icx.utilization(10.0)[frozenset((0, 1))] == 1.0
+
+    def test_counters_snapshot_keys_and_totals(self):
+        _spec, icx = make_icx()
+        for _ in range(4):
+            icx.transfer(0, 1, 0.0)
+        snapshot = icx.counters_snapshot()
+        assert snapshot["link0-1:transfers"] == 4
+        assert snapshot["link0-1:busy_cycles"] > 0
+        assert snapshot["link0-1:queued_cycles"] > 0
+        icx.reset()
+        assert icx.counters_snapshot()["link0-1:transfers"] == 0
+
+
+class _RecordingTracer:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, name, category, ts, dur=0.0, gpu=None, args=None):
+        self.events.append((name, ts, dur, args))
+
+
+class TestBatchDifferential:
+    """transfer_batch must be cycle-equivalent to sequential transfer."""
+
+    def _pair(self):
+        spec = DGXSpec.dgx1().with_topology("ring")
+        topo = Topology(spec)
+        return topo, Interconnect(spec, topo), Interconnect(spec, topo)
+
+    @pytest.mark.parametrize("dst,hops", [(1, 1), (2, 2), (3, 3)])
+    def test_batch_matches_sequential(self, dst, hops):
+        topo, batched, sequential = self._pair()
+        assert topo.hops(0, dst) == hops
+        stamps = np.array([0.0, 0.0, 3.0, 3.0, 7.0, 40.0, 41.0, 200.0])
+        batch_extras = batched.transfer_batch(0, dst, stamps)
+        seq_extras = [sequential.transfer(0, dst, t)[0] for t in stamps]
+        assert np.allclose(batch_extras, seq_extras)
+        # Final lane reservations agree per link (order-insensitive).
+        for edge in topo.path(0, dst):
+            assert sorted(batched._busy[edge]) == pytest.approx(
+                sorted(sequential._busy[edge])
+            )
+        # And so do the per-link counters.
+        for edge in topo.path(0, dst):
+            assert batched._transfers[edge] == sequential._transfers[edge]
+            assert batched._busy_cycles[edge] == pytest.approx(
+                sequential._busy_cycles[edge]
+            )
+            assert batched._queued_cycles[edge] == pytest.approx(
+                sequential._queued_cycles[edge]
+            )
+
+    def test_batch_emits_per_hop_stall_events(self):
+        topo, batched, _ = self._pair()
+        tracer = _RecordingTracer()
+        batched.tracer = tracer
+        # Pre-busy the 3-hop route's later links so every hop queues.
+        batched.transfer_batch(1, 2, np.zeros(8))
+        batched.transfer_batch(2, 3, np.zeros(16))
+        tracer.events.clear()
+        batched.transfer_batch(0, 3, np.zeros(6))
+        stalls = [e for e in tracer.events if e[0] == "nvlink_stall_batch"]
+        route = topo.path(0, 3)
+        seen_hops = sorted(args["hop"] for _, _, _, args in stalls)
+        assert seen_hops == sorted(set(seen_hops))  # one event per hop
+        assert set(seen_hops) == {0, 1, 2}
+        for _name, ts, dur, args in stalls:
+            assert dur > 0.0
+            assert args["transfers"] == 6
+            assert args["hops"] == 3
+            a, b = args["link"]
+            assert frozenset((a, b)) == route[args["hop"]]
+            assert ts >= 0.0
 
 
 class TestHBM:

@@ -1,8 +1,10 @@
-"""DGX-1 hybrid cube-mesh topology and routing."""
+"""DGX-1 hybrid cube-mesh topology, presets, routing policies."""
+
+import dataclasses
 
 import pytest
 
-from repro.config import DGXSpec
+from repro.config import TOPOLOGY_PRESETS, DGXSpec, topology_preset
 from repro.errors import ConfigurationError
 from repro.hw.topology import Topology
 
@@ -75,3 +77,98 @@ class TestDisconnected:
         topo = Topology(spec)
         with pytest.raises(ConfigurationError):
             topo.path(0, 2)
+
+
+def _walk(topo, a, b):
+    """Follow a path edge by edge, asserting the chain is contiguous."""
+    path = topo.path(a, b)
+    current = a
+    for edge in path:
+        assert current in edge
+        (current,) = set(edge) - {current}
+    assert current == b
+    return path
+
+
+class TestPresets:
+    def test_dgx2_every_pair_is_a_two_hop_peer(self):
+        topo = Topology(DGXSpec.dgx1().with_topology("dgx2"))
+        for a in range(8):
+            for b in range(8):
+                if a != b:
+                    assert topo.are_peers(a, b)
+                    assert topo.hops(a, b) == 2
+
+    def test_dgx2_routes_through_the_switch_vertex(self):
+        spec = DGXSpec.dgx1().with_topology("dgx2")
+        topo = Topology(spec)
+        switch = spec.num_gpus  # first (only) switch vertex
+        assert topo.is_switch(switch)
+        assert not topo.is_switch(0)
+        path = _walk(topo, 0, 5)
+        assert all(switch in edge for edge in path)
+
+    def test_ring_hop_counts(self):
+        topo = Topology(DGXSpec.dgx1().with_topology("ring"))
+        assert topo.hops(0, 1) == 1
+        assert topo.hops(0, 2) == 2
+        assert topo.hops(0, 3) == 3
+        assert topo.hops(0, 4) == 4  # 8-ring diameter
+
+    def test_fully_connected_is_single_hop(self):
+        topo = Topology(DGXSpec.dgx1().with_topology("fully-connected"))
+        for a in range(8):
+            for b in range(8):
+                if a != b:
+                    assert topo.hops(a, b) == 1
+
+    @pytest.mark.parametrize("name", sorted(TOPOLOGY_PRESETS))
+    def test_presets_route_symmetrically(self, name):
+        topo = Topology(DGXSpec.dgx1().with_topology(name))
+        for a in range(8):
+            for b in range(8):
+                assert topo.hops(a, b) == topo.hops(b, a)
+
+    @pytest.mark.parametrize("name", sorted(TOPOLOGY_PRESETS))
+    def test_presets_are_connected(self, name):
+        Topology(DGXSpec.dgx1().with_topology(name)).validate_connected()
+
+    @pytest.mark.parametrize("name", sorted(TOPOLOGY_PRESETS))
+    def test_validate_connected_raises_when_gpu_cut_off(self, name):
+        spec = DGXSpec.dgx1().with_topology(name)
+        broken = dataclasses.replace(
+            spec,
+            nvlink_edges=tuple(e for e in spec.nvlink_edges if 7 not in e),
+        )
+        with pytest.raises(ConfigurationError):
+            Topology(broken).validate_connected()
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ConfigurationError):
+            DGXSpec.dgx1().with_topology("torus")
+
+    def test_dgx1_preset_requires_eight_gpus(self):
+        with pytest.raises(ConfigurationError):
+            topology_preset("dgx1", num_gpus=4)
+
+
+class TestEcmpRouting:
+    def test_paths_are_valid_and_shortest(self):
+        spec = DGXSpec.dgx1().with_routing("ecmp")
+        topo = Topology(spec)
+        reference = Topology(DGXSpec.dgx1())
+        for a in range(8):
+            for b in range(8):
+                path = _walk(topo, a, b)
+                assert len(path) == reference.hops(a, b)
+
+    def test_routes_are_deterministic(self):
+        first = Topology(DGXSpec.dgx1().with_routing("ecmp"))
+        second = Topology(DGXSpec.dgx1().with_routing("ecmp"))
+        for a in range(8):
+            for b in range(8):
+                assert first.path(a, b) == second.path(a, b)
+
+    def test_unknown_routing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DGXSpec.dgx1().with_routing("hot-potato")
