@@ -1,6 +1,7 @@
 # Convenience targets for the GPU-box reproduction.
 
 PY ?= python
+JOBS ?= 4
 
 .PHONY: install test bench perf report examples clean
 
@@ -23,10 +24,11 @@ perf:
 	PYTHONPATH=src $(PY) benchmarks/bench_perf_simulator.py
 
 report:
-	$(PY) -m repro.cli report --output evaluation_report.txt
+	$(PY) -m repro.cli report --jobs $(JOBS) --output evaluation_report.txt
 
 report-small:
-	$(PY) -m repro.cli --small report --output evaluation_report_small.txt
+	$(PY) -m repro.cli --small report --jobs $(JOBS) \
+		--output evaluation_report_small.txt
 
 examples:
 	$(PY) examples/quickstart.py

@@ -28,11 +28,14 @@ or as a benchmark::
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import random
+import statistics
+import tempfile
 import time
 from collections import defaultdict
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import pytest
 
@@ -195,6 +198,54 @@ def run_link_covert(backend: str, num_bits: int = 96, seed: int = 9) -> Dict:
     )
 
 
+# ----------------------------------------------------------------------
+# Scenario: the whole small-box evaluation report (executor + cache)
+# ----------------------------------------------------------------------
+def run_report_small(
+    jobs: int = 1, seed: int = 0, cache_dir: Optional[str] = None
+) -> Dict:
+    """One ``gpu-spy report --small`` run; wall clock of the whole report."""
+    from repro.experiments.report import generate_report
+
+    start = time.perf_counter()
+    text = generate_report(
+        seed=seed,
+        small=True,
+        jobs=jobs,
+        cache_dir=pathlib.Path(cache_dir) if cache_dir else None,
+    )
+    wall = time.perf_counter() - start
+    return {
+        "jobs": jobs,
+        "cache": "warm" if cache_dir and any(os.scandir(cache_dir)) else (
+            "cold" if cache_dir else "off"
+        ),
+        "wall_seconds": round(wall, 3),
+        "sections_ok": text.count(" ok]"),
+        "sections_failed": text.count(": FAILED =="),
+    }
+
+
+def run_report_small_suite(seed: int = 0) -> Dict:
+    """Sequential vs parallel vs warm-cache report runs.
+
+    ``parallel_speedup`` (jobs=1 cold over jobs=4 cold) is only
+    meaningful on a multi-core host; ``cpu_count`` is recorded so
+    trajectory entries from starved runners read as what they are.
+    """
+    results: Dict[str, Dict] = {"jobs1_cold": run_report_small(jobs=1, seed=seed)}
+    with tempfile.TemporaryDirectory(prefix="repro-report-cache-") as cache_dir:
+        # Same dir both times: first run populates, second run hits.
+        results["jobs4_cold"] = run_report_small(jobs=4, seed=seed, cache_dir=cache_dir)
+        results["jobs4_warm"] = run_report_small(jobs=4, seed=seed, cache_dir=cache_dir)
+    parallel = results["jobs4_cold"]["wall_seconds"]
+    results["parallel_speedup"] = (
+        round(results["jobs1_cold"]["wall_seconds"] / parallel, 2) if parallel else None
+    )
+    results["cpu_count"] = os.cpu_count()
+    return results
+
+
 SCENARIOS = {
     "probe_storm": run_probe_storm,
     "memorygram": run_memorygram,
@@ -216,6 +267,7 @@ def run_all() -> Dict:
         slow = results[name]["scalar"]["accesses_per_sec"]
         results[name]["speedup"] = round(fast / slow, 2) if slow else None
     results["tracing"] = run_tracing_overhead()
+    results["report_small"] = run_report_small_suite()
     return results
 
 
@@ -235,6 +287,20 @@ def format_results(results: Dict) -> str:
         f"{'events/s':>10}  {'wall s':>8}"
     ]
     for name, entry in results.items():
+        if name == "report_small":
+            for mode in ("jobs1_cold", "jobs4_cold", "jobs4_warm"):
+                record = entry[mode]
+                lines.append(
+                    f"{name:<14}  {mode:<10}  "
+                    f"{record['sections_ok']:>9} ok  "
+                    f"{record['sections_failed']:>8} bad  "
+                    f"{record['wall_seconds']:>8.3f}"
+                )
+            lines.append(
+                f"{name:<14}  {'speedup':<10}  {entry['parallel_speedup']:>11}x"
+                f"  (on {entry['cpu_count']} cpus)"
+            )
+            continue
         if name == "tracing":
             for mode in ("off", "on"):
                 record = entry[mode]
@@ -286,6 +352,58 @@ def test_perf_probe_storm_speedup(benchmark, print_result):
     print_result(format_results(results))
     append_trajectory(results)
     assert speedup >= 5.0, f"vectorized speedup {speedup:.1f}x below the 5x bar"
+
+
+@pytest.mark.paper
+def test_perf_memorygram_no_regression(benchmark, print_result):
+    """The vectorized backend must not lose to scalar on the memorygram
+    capture.  Before the epoch access plan was precomputed it did (0.9x:
+    the capture re-derived paddrs, rounds, and bank groups every sweep);
+    the plan cache restored the fast path, and this pins it at parity or
+    better.  Median of three seeds to keep scheduler noise out."""
+
+    def measure():
+        return {
+            backend: [
+                run_memorygram(backend, seed=3 + i)["accesses_per_sec"]
+                for i in range(3)
+            ]
+            for backend in BACKENDS
+        }
+
+    rates = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = statistics.median(rates["vectorized"]) / statistics.median(
+        rates["scalar"]
+    )
+    print_result(
+        f"memorygram vectorized/scalar = {ratio:.2f}x "
+        f"(vector {rates['vectorized']}, scalar {rates['scalar']})"
+    )
+    assert ratio >= 1.0, (
+        f"vectorized backend regressed to {ratio:.2f}x scalar on memorygram"
+    )
+
+
+@pytest.mark.paper
+def test_perf_report_parallel_speedup(benchmark, print_result):
+    """`report --small --jobs 4` must be >= 3x the sequential run and keep
+    every section healthy.  The wall-clock bar only applies on hosts with
+    at least 4 CPUs -- on starved runners the suite still runs (pinning
+    correctness of the parallel path) and records the timings."""
+    results = benchmark.pedantic(
+        lambda: {"report_small": run_report_small_suite()}, rounds=1, iterations=1
+    )
+    suite = results["report_small"]
+    print_result(format_results(results))
+    append_trajectory(results)
+    for mode in ("jobs1_cold", "jobs4_cold", "jobs4_warm"):
+        assert suite[mode]["sections_failed"] == 0, f"{mode} had failed sections"
+        assert suite[mode]["sections_ok"] == suite["jobs1_cold"]["sections_ok"]
+    if (os.cpu_count() or 1) >= 4:
+        assert suite["parallel_speedup"] >= 3.0, (
+            f"jobs=4 speedup {suite['parallel_speedup']}x below the 3x bar "
+            f"on a {os.cpu_count()}-cpu host"
+        )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,75 @@
+"""Whole-runtime setup checkpoints on top of :class:`ArtifactCache`.
+
+The attack objects (:class:`~repro.core.sidechannel.prober.MemorygramProber`,
+:class:`~repro.core.covert.channel.CovertChannel`) use this to memoize
+their ``setup()`` prologue: latency calibration and eviction-set
+discovery.  A checkpoint is the pickled tuple ``(runtime, *derived)``;
+on a hit the stored runtime's guts are adopted into the caller's runtime
+object in place, so every reference the caller already holds (engine,
+system, tracer hook point) stays valid while the simulator lands in the
+byte-identical state a cold setup would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from .store import ArtifactCache, get_active_cache, runtime_is_pristine
+
+__all__ = ["SetupMemo", "adopt_runtime"]
+
+
+def adopt_runtime(runtime, snapshot) -> None:
+    """Swap ``runtime``'s state for an unpickled snapshot, in place."""
+    runtime.__dict__.clear()
+    runtime.__dict__.update(snapshot.__dict__)
+
+
+class SetupMemo:
+    """One setup's view of the artifact cache (key context + load/store).
+
+    Built via :meth:`for_runtime`, which returns ``None`` -- disabling
+    memoization -- when no cache is active or the runtime is not pristine
+    (see :func:`~repro.cache.store.runtime_is_pristine`).
+    """
+
+    def __init__(self, cache: ArtifactCache, runtime, config_hash: str) -> None:
+        self.cache = cache
+        self.runtime = runtime
+        self.config_hash = config_hash
+        self.seed = runtime.system.rng.seed
+
+    @classmethod
+    def for_runtime(
+        cls, runtime, cache: Optional[ArtifactCache] = None
+    ) -> Optional["SetupMemo"]:
+        cache = cache if cache is not None else get_active_cache()
+        if cache is None or not runtime_is_pristine(runtime):
+            return None
+        from ..telemetry.manifest import config_hash
+
+        return cls(cache, runtime, config_hash(runtime.system.spec))
+
+    # ------------------------------------------------------------------
+    def load(self, kind: str, **params: Any) -> Optional[Tuple[Any, ...]]:
+        """Restore a checkpoint into this runtime; returns the derived
+        objects stored alongside it, or ``None`` on miss."""
+        digest = self.cache.digest_for(kind, self.config_hash, self.seed, **params)
+        entry = self.cache.load(kind, digest, self.config_hash)
+        if entry is None:
+            return None
+        snapshot, *derived = entry
+        adopt_runtime(self.runtime, snapshot)
+        return tuple(derived)
+
+    def store(self, kind: str, derived: Tuple[Any, ...], **params: Any) -> None:
+        """Checkpoint the runtime plus its ``derived`` setup products."""
+        digest = self.cache.digest_for(kind, self.config_hash, self.seed, **params)
+        self.cache.store(
+            kind,
+            digest,
+            (self.runtime, *derived),
+            config_hash=self.config_hash,
+            seed=self.seed,
+            params=params,
+        )

@@ -237,6 +237,7 @@ def _cmd_extract(args) -> int:
 def _cmd_report(args) -> int:
     from pathlib import Path
 
+    from .cache import resolve_cache_dir
     from .experiments.report import generate_report
 
     json_dir = Path(args.json_dir) if args.json_dir else None
@@ -246,6 +247,10 @@ def _cmd_report(args) -> int:
         only=args.only,
         json_dir=json_dir,
         progress=lambda message: print(message, flush=True),
+        jobs=args.jobs,
+        timeout=args.task_timeout,
+        retries=args.retries,
+        cache_dir=resolve_cache_dir(args.cache_dir),
     )
     print(text)
     if args.output:
@@ -543,6 +548,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=50_000.0,
         help="counter sampling cadence in simulated cycles (with --trace)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="artifact cache for eviction-set discovery / latency "
+        "calibration checkpoints (or set REPRO_CACHE_DIR); repeated runs "
+        "and report reruns skip the setup prologue",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("timing", help="Fig 4: timing clusters").set_defaults(
@@ -606,6 +619,26 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--only", nargs="+", default=None, help="experiment ids")
     report.add_argument("--output", default=None, help="also write to file")
     report.add_argument("--json-dir", default=None, help="persist JSON per result")
+    report.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; the report text is byte-identical to --jobs 1",
+    )
+    report.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-experiment wall-clock budget (with --jobs > 1); an "
+        "expired experiment becomes a failed section",
+    )
+    report.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="resubmissions of a failed/timed-out experiment (default 1)",
+    )
     report.set_defaults(func=_cmd_report)
 
     scan = sub.add_parser("scan", help="§V-A extension: sweep the whole box")
@@ -685,6 +718,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _TRACED.clear()
+    cache_root = None
+    if args.command != "report":
+        # The report command threads the cache through its executor (each
+        # worker process opens its own handle); every other subcommand
+        # just gets the ambient cache installed here.
+        from .cache import ArtifactCache, resolve_cache_dir, set_active_cache
+
+        cache_root = resolve_cache_dir(args.cache_dir)
+        if cache_root is not None:
+            set_active_cache(ArtifactCache(cache_root))
     status = args.func(args)
     if status == 0 and getattr(args, "trace", None) and _TRACED:
         if len(_TRACED) > 1:

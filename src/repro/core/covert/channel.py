@@ -125,20 +125,69 @@ class CovertChannel:
         num_sets: int,
         thresholds: Optional[TimingThresholds] = None,
         buffer_pages_per_color: Optional[int] = None,
+        cache=None,
     ) -> None:
-        """Allocate, discover eviction sets on both sides, and align them."""
+        """Allocate, discover eviction sets on both sides, and align them.
+
+        Like :meth:`MemorygramProber.setup`, the whole prologue (both
+        discoveries plus Algorithm-2 alignment) is checkpointed through
+        the artifact cache when one is active and the runtime is pristine;
+        the calibration stage has its own entry so ``num_sets`` sweeps
+        (Fig 9) share it.
+        """
+        from ...cache import SetupMemo
+
         runtime = self.runtime
         spec = runtime.system.spec.gpu
-        self.trojan = runtime.create_process("trojan")
-        self.spy = runtime.create_process("spy")
-        runtime.enable_peer_access(self.spy, self.spy_gpu, self.trojan_gpu)
-
-        if thresholds is None:
-            calibration = runtime.create_process("calibrate")
-            report = measure_access_classes(
-                runtime, calibration, self.spy_gpu, self.trojan_gpu
-            )
-            thresholds = report.thresholds()
+        memo = SetupMemo.for_runtime(runtime, cache)
+        discovery_key = dict(
+            role="covert",
+            trojan_gpu=self.trojan_gpu,
+            spy_gpu=self.spy_gpu,
+            num_sets=num_sets,
+            thresholds=repr(thresholds),
+            pages=buffer_pages_per_color,
+        )
+        if memo is not None:
+            restored = memo.load("discovery", **discovery_key)
+            if restored is not None:
+                (
+                    self.trojan,
+                    self.spy,
+                    self.thresholds,
+                    self.pairs,
+                    self._trojan_coloring,
+                    self._spy_coloring,
+                ) = restored
+                return
+        calibration_key = dict(
+            role="covert",
+            trojan_gpu=self.trojan_gpu,
+            spy_gpu=self.spy_gpu,
+        )
+        calibrated = (
+            memo.load("calibration", **calibration_key)
+            if memo is not None and thresholds is None
+            else None
+        )
+        if calibrated is not None:
+            self.trojan, self.spy, thresholds = calibrated
+        else:
+            self.trojan = runtime.create_process("trojan")
+            self.spy = runtime.create_process("spy")
+            runtime.enable_peer_access(self.spy, self.spy_gpu, self.trojan_gpu)
+            if thresholds is None:
+                calibration = runtime.create_process("calibrate")
+                report = measure_access_classes(
+                    runtime, calibration, self.spy_gpu, self.trojan_gpu
+                )
+                thresholds = report.thresholds()
+                if memo is not None:
+                    memo.store(
+                        "calibration",
+                        (self.trojan, self.spy, thresholds),
+                        **calibration_key,
+                    )
         self.thresholds = thresholds
 
         colors = max(1, spec.cache.set_stride // spec.page_size)
@@ -170,6 +219,19 @@ class CovertChannel:
             thresholds.remote,
         )
         self.pairs = self._align(num_sets)
+        if memo is not None:
+            memo.store(
+                "discovery",
+                (
+                    self.trojan,
+                    self.spy,
+                    self.thresholds,
+                    self.pairs,
+                    self._trojan_coloring,
+                    self._spy_coloring,
+                ),
+                **discovery_key,
+            )
 
     def _sets_for(
         self, coloring: PageColoring, group: int, offsets: Sequence[int], base_id: int

@@ -148,17 +148,59 @@ class MemorygramProber:
         num_sets: int = 256,
         thresholds: Optional[TimingThresholds] = None,
         buffer_pages_per_color: Optional[int] = None,
+        cache=None,
     ) -> None:
-        """Allocate the probe buffer remotely and derive the eviction sets."""
+        """Allocate the probe buffer remotely and derive the eviction sets.
+
+        With an artifact cache active (``cache`` argument, or the ambient
+        one from :func:`repro.cache.set_active_cache`) the calibration and
+        discovery prologue is checkpointed: a warm run restores the exact
+        post-setup simulator state instead of re-deriving it.  Memoization
+        only engages on a pristine, untraced runtime -- anything else
+        falls through to the plain path below.
+        """
+        from ...cache import SetupMemo
+
         runtime = self.runtime
         spec = runtime.system.spec.gpu
-        self.process = runtime.create_process("memorygram_spy")
-        runtime.enable_peer_access(self.process, self.spy_gpu, self.victim_gpu)
-        if thresholds is None:
-            report = measure_access_classes(
-                runtime, self.process, self.spy_gpu, self.victim_gpu
-            )
-            thresholds = report.thresholds()
+        memo = SetupMemo.for_runtime(runtime, cache)
+        discovery_key = dict(
+            role="memorygram",
+            victim_gpu=self.victim_gpu,
+            spy_gpu=self.spy_gpu,
+            num_sets=num_sets,
+            thresholds=repr(thresholds),
+            pages=buffer_pages_per_color,
+        )
+        if memo is not None:
+            restored = memo.load("discovery", **discovery_key)
+            if restored is not None:
+                self.process, self.thresholds, self.eviction_sets = restored
+                return
+        calibration_key = dict(
+            role="memorygram",
+            victim_gpu=self.victim_gpu,
+            spy_gpu=self.spy_gpu,
+        )
+        calibrated = (
+            memo.load("calibration", **calibration_key)
+            if memo is not None and thresholds is None
+            else None
+        )
+        if calibrated is not None:
+            self.process, thresholds = calibrated
+        else:
+            self.process = runtime.create_process("memorygram_spy")
+            runtime.enable_peer_access(self.process, self.spy_gpu, self.victim_gpu)
+            if thresholds is None:
+                report = measure_access_classes(
+                    runtime, self.process, self.spy_gpu, self.victim_gpu
+                )
+                thresholds = report.thresholds()
+                if memo is not None:
+                    memo.store(
+                        "calibration", (self.process, thresholds), **calibration_key
+                    )
         self.thresholds = thresholds
 
         colors = max(1, spec.cache.set_stride // spec.page_size)
@@ -191,6 +233,12 @@ class MemorygramProber:
             coloring=coloring,
             spread=True,
         )
+        if memo is not None:
+            memo.store(
+                "discovery",
+                (self.process, self.thresholds, self.eviction_sets),
+                **discovery_key,
+            )
 
     # ------------------------------------------------------------------
     def record(

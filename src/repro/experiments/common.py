@@ -101,9 +101,17 @@ def attach_manifest(
     The manifest (config hash, seed, git revision, wall/sim time, final
     counters, engine stats) makes every figure reproduction attributable;
     ``gpu-spy report --json-dir`` persists it next to the result JSON.
+    When an artifact cache is active its hit/miss/store accounting is
+    folded into the manifest extras, so a warm report rerun shows its
+    discovery/calibration cache hits per experiment.
     """
+    from ..cache import get_active_cache
     from ..telemetry.manifest import build_manifest
 
+    cache = get_active_cache()
+    if cache is not None:
+        extras = dict(extras or {})
+        extras["artifact_cache"] = cache.snapshot()
     result.extras["manifest"] = build_manifest(
         runtime, label=result.experiment_id, seed=seed, extras=extras
     )

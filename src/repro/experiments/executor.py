@@ -1,0 +1,419 @@
+"""Parallel experiment executor behind ``gpu-spy report``.
+
+Every registered experiment is an isolated unit of work -- it builds its
+own runtime from ``(seed, small)`` and shares nothing with its siblings
+-- so the full evaluation is embarrassingly parallel.  This module runs
+the units through a :class:`concurrent.futures.ProcessPoolExecutor` and
+reassembles their report sections in registry order, which makes
+``report --jobs N`` output byte-identical to ``--jobs 1``:
+
+* **Determinism** -- a task's seed is the report's seed, exactly as the
+  sequential path passes it (experiments already derive their internal
+  streams through the hashlib-based :class:`~repro.sim.rng.RngFanout`, so
+  per-experiment namespacing needs no extra salting and scheduling order
+  cannot perturb any result).  The success marker appended under each
+  section is fixed text (no wall-clock), so the rendered report depends
+  only on ``(names, seed, small)``.
+* **Crash tolerance** -- an experiment that raises becomes a *failed
+  section* carrying its name, the exception, and the elapsed time; the
+  remaining experiments still run.
+* **Timeout + bounded retry** -- each task gets ``timeout`` seconds from
+  the moment it is handed to a worker (submission is windowed to the pool
+  width, so queue time does not count).  Expiry tears down the pool (the
+  only way to reclaim a stuck worker slot), and expired/failed tasks are
+  resubmitted up to ``retries`` times.
+* **Immediate flushing** -- each task writes its own ``<name>.json`` and
+  ``<name>.manifest.json`` the moment it finishes, inside the worker, so
+  a crash of a later experiment loses nothing already measured.
+* **Artifact cache** -- with ``cache_dir`` set, every task activates its
+  own :class:`~repro.cache.ArtifactCache` view of the shared directory,
+  so per-experiment manifests carry that experiment's hit/miss counts.
+
+Progress is reported through structured :class:`ProgressEvent` callbacks
+(the CLI renders them as lines; tests can introspect them).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = [
+    "ExperimentOutcome",
+    "ProgressEvent",
+    "failed_section",
+    "run_experiments",
+]
+
+#: Rough relative cost of the heavy experiments (small-box wall clock);
+#: used only to submit long poles first, never to change results.
+_COST_HINT = {
+    "fig9": 100,
+    "fig12": 60,
+    "fig14": 55,
+    "table2": 50,
+    "fig15": 45,
+    "fig11": 40,
+    "ext-link-locate": 35,
+    "sec7-defense": 30,
+    "sec6-noise": 25,
+    "fig10": 20,
+    "ext-link-covert": 15,
+}
+
+#: Fault-injection knobs (environment variables, so they reach forked
+#: workers): ``REPRO_FAULT_FAIL=name,...`` raises inside those tasks;
+#: ``REPRO_FAULT_FAIL_ONCE=name:flagfile,...`` raises only while the flag
+#: file does not exist (creating it), which exercises the retry path;
+#: ``REPRO_FAULT_DELAY=name:seconds,...`` sleeps before running, which
+#: exercises the timeout path.
+FAULT_FAIL_VAR = "REPRO_FAULT_FAIL"
+FAULT_FAIL_ONCE_VAR = "REPRO_FAULT_FAIL_ONCE"
+FAULT_DELAY_VAR = "REPRO_FAULT_DELAY"
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One executor progress notification."""
+
+    kind: str  # "start" | "finish" | "retry"
+    name: str
+    status: Optional[str] = None  # finish/retry: "ok" | "failed" | "timeout"
+    elapsed: Optional[float] = None
+    attempt: int = 1
+    completed: int = 0
+    total: int = 0
+    error: Optional[str] = None
+
+    def render(self) -> str:
+        """The human-readable line the CLI prints for this event."""
+        if self.kind == "start":
+            return f"running {self.name} ..."
+        if self.kind == "retry":
+            return (
+                f"{self.name} {self.status} ({self.error}); "
+                f"retrying (attempt {self.attempt + 1})"
+            )
+        state = self.status if self.status != "ok" else "done"
+        note = f" ({self.error})" if self.error else ""
+        return (
+            f"{self.name} {state} in {self.elapsed:.1f}s{note} "
+            f"[{self.completed}/{self.total}]"
+        )
+
+
+@dataclass
+class ExperimentOutcome:
+    """Terminal state of one experiment task."""
+
+    name: str
+    status: str  # "ok" | "failed" | "timeout"
+    section: str = ""
+    error: Optional[str] = None
+    elapsed: float = 0.0
+    attempts: int = 1
+    extras: Dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def failed_section(outcome: ExperimentOutcome) -> str:
+    """Render the report section for a failed/timed-out experiment.
+
+    Unlike success sections this one carries wall-clock (useful for
+    diagnosing, harmless for determinism: a report containing failures is
+    already not the report anyone diffs)."""
+    return "\n".join(
+        [
+            f"== {outcome.name}: FAILED ==",
+            f"error: {outcome.error}",
+            f"[{outcome.name} {outcome.status} in {outcome.elapsed:.1f}s "
+            f"after {outcome.attempts} attempt(s)]",
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _parse_fault_map(var: str) -> Dict[str, str]:
+    mapping: Dict[str, str] = {}
+    for part in os.environ.get(var, "").split(","):
+        if ":" in part:
+            name, value = part.split(":", 1)
+            mapping[name.strip()] = value
+    return mapping
+
+
+def _inject_faults(name: str) -> None:
+    delay = _parse_fault_map(FAULT_DELAY_VAR).get(name)
+    if delay:
+        time.sleep(float(delay))
+    fail = {part.strip() for part in os.environ.get(FAULT_FAIL_VAR, "").split(",")}
+    if name in fail:
+        raise RuntimeError(f"injected fault for {name}")
+    flag = _parse_fault_map(FAULT_FAIL_ONCE_VAR).get(name)
+    if flag and not os.path.exists(flag):
+        Path(flag).write_text("tripped\n")
+        raise RuntimeError(f"injected one-shot fault for {name}")
+
+
+def _run_task(
+    name: str,
+    seed: int,
+    small: bool,
+    json_dir: Optional[str],
+    cache_dir: Optional[str],
+) -> Dict:
+    """Run one experiment to completion (executes inside a worker).
+
+    Returns a slim, picklable summary -- the rendered section text plus
+    bookkeeping -- never the result object itself (results can carry
+    exotic extras).  The JSON + manifest are flushed here, so they hit
+    disk the moment the experiment finishes.
+    """
+    from ..cache import ArtifactCache, activated
+
+    started = time.time()
+    cache = ArtifactCache(cache_dir) if cache_dir else None
+    try:
+        _inject_faults(name)
+        with activated(cache):
+            from .report import run_experiment
+
+            result = run_experiment(name, seed=seed, small=small)
+        section = result.summary()
+        if json_dir is not None:
+            from ..analysis.persistence import save_result
+
+            out = Path(json_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            save_result(out / f"{name}.json", result)
+            manifest = result.extras.get("manifest")
+            if manifest is not None:
+                manifest.write(out / f"{name}.manifest.json")
+        return {
+            "name": name,
+            "status": "ok",
+            "section": section,
+            "error": None,
+            "elapsed": time.time() - started,
+        }
+    except Exception as exc:  # crash tolerance: the section reports it
+        detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+        return {
+            "name": name,
+            "status": "failed",
+            "section": "",
+            "error": detail,
+            "elapsed": time.time() - started,
+        }
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+def _pool(jobs: int) -> ProcessPoolExecutor:
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+        return ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+    return ProcessPoolExecutor(max_workers=jobs)
+
+
+def _emit(progress, event: ProgressEvent) -> None:
+    if progress is not None:
+        progress(event)
+
+
+def run_experiments(
+    names: Sequence[str],
+    seed: int = 0,
+    small: bool = False,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    json_dir: Optional[os.PathLike] = None,
+    cache_dir: Optional[os.PathLike] = None,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
+) -> List[ExperimentOutcome]:
+    """Run ``names`` and return their outcomes in the given order.
+
+    ``jobs == 1`` runs inline (no pool, no timeout enforcement -- there
+    is no second process to kill); ``jobs > 1`` fans out.  Both paths
+    produce identical outcomes for identical inputs.
+    """
+    from .report import EXPERIMENTS
+
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiment {unknown[0]!r}; choose from {EXPERIMENTS}"
+        )
+    json_arg = str(json_dir) if json_dir is not None else None
+    cache_arg = str(cache_dir) if cache_dir is not None else None
+    if jobs <= 1:
+        return _run_inline(
+            names, seed, small, retries, json_arg, cache_arg, progress
+        )
+    return _run_pooled(
+        names, seed, small, jobs, timeout, retries, json_arg, cache_arg, progress
+    )
+
+
+def _outcome_from(payload: Dict, attempts: int) -> ExperimentOutcome:
+    return ExperimentOutcome(
+        name=payload["name"],
+        status=payload["status"],
+        section=payload["section"],
+        error=payload["error"],
+        elapsed=payload["elapsed"],
+        attempts=attempts,
+    )
+
+
+def _run_inline(
+    names: Sequence[str],
+    seed: int,
+    small: bool,
+    retries: int,
+    json_dir: Optional[str],
+    cache_dir: Optional[str],
+    progress,
+) -> List[ExperimentOutcome]:
+    outcomes: List[ExperimentOutcome] = []
+    total = len(names)
+    for name in names:
+        attempts = 0
+        while True:
+            attempts += 1
+            _emit(progress, ProgressEvent("start", name, attempt=attempts,
+                                          completed=len(outcomes), total=total))
+            payload = _run_task(name, seed, small, json_dir, cache_dir)
+            if payload["status"] == "ok" or attempts > retries:
+                break
+            _emit(progress, ProgressEvent(
+                "retry", name, status=payload["status"],
+                elapsed=payload["elapsed"], attempt=attempts,
+                completed=len(outcomes), total=total, error=payload["error"],
+            ))
+        outcome = _outcome_from(payload, attempts)
+        outcomes.append(outcome)
+        _emit(progress, ProgressEvent(
+            "finish", name, status=outcome.status, elapsed=outcome.elapsed,
+            attempt=attempts, completed=len(outcomes), total=total,
+            error=outcome.error,
+        ))
+    return outcomes
+
+
+def _run_pooled(
+    names: Sequence[str],
+    seed: int,
+    small: bool,
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    json_dir: Optional[str],
+    cache_dir: Optional[str],
+    progress,
+) -> List[ExperimentOutcome]:
+    # Long poles first: with 4 workers and one 1.5 s task, submitting it
+    # last would serialize it behind everything else.
+    queue: List[tuple] = [
+        (name, 1)
+        for name in sorted(
+            names, key=lambda item: _COST_HINT.get(item, 10), reverse=True
+        )
+    ]
+    total = len(names)
+    done: Dict[str, ExperimentOutcome] = {}
+    executor = _pool(jobs)
+    in_flight: Dict = {}  # future -> (name, attempt, deadline, started)
+
+    def submit_next() -> None:
+        while queue and len(in_flight) < jobs:
+            name, attempt = queue.pop(0)
+            future = executor.submit(
+                _run_task, name, seed, small, json_dir, cache_dir
+            )
+            started = time.time()
+            deadline = started + timeout if timeout else None
+            in_flight[future] = (name, attempt, deadline, started)
+            _emit(progress, ProgressEvent(
+                "start", name, attempt=attempt, completed=len(done), total=total,
+            ))
+
+    def settle(name: str, attempt: int, payload: Dict) -> None:
+        """Record a terminal attempt or queue a retry."""
+        if payload["status"] != "ok" and attempt <= retries:
+            _emit(progress, ProgressEvent(
+                "retry", name, status=payload["status"],
+                elapsed=payload["elapsed"], attempt=attempt,
+                completed=len(done), total=total, error=payload["error"],
+            ))
+            queue.append((name, attempt + 1))
+            return
+        outcome = _outcome_from(payload, attempt)
+        done[name] = outcome
+        _emit(progress, ProgressEvent(
+            "finish", name, status=outcome.status, elapsed=outcome.elapsed,
+            attempt=attempt, completed=len(done), total=total,
+            error=outcome.error,
+        ))
+
+    try:
+        submit_next()
+        while in_flight:
+            finished, _pending = wait(
+                in_flight, timeout=0.05, return_when=FIRST_COMPLETED
+            )
+            for future in finished:
+                name, attempt, _deadline, _started = in_flight.pop(future)
+                try:
+                    payload = future.result()
+                except Exception as exc:  # worker process died (not raised)
+                    payload = {
+                        "name": name, "status": "failed", "section": "",
+                        "error": f"worker crashed: {exc!r}",
+                        "elapsed": time.time() - _started,
+                    }
+                settle(name, attempt, payload)
+            now = time.time()
+            expired = [
+                (future, entry)
+                for future, entry in in_flight.items()
+                if entry[2] is not None and now > entry[2]
+            ]
+            if expired:
+                # A ProcessPoolExecutor cannot abort one running task, so
+                # reclaim the stuck slots by tearing the pool down.  Other
+                # in-flight tasks lose their (partial) work and are
+                # requeued without burning an attempt.
+                for future, (name, attempt, _deadline, started) in expired:
+                    in_flight.pop(future)
+                    settle(name, attempt, {
+                        "name": name, "status": "timeout", "section": "",
+                        "error": f"timed out after {timeout:.1f}s",
+                        "elapsed": now - started,
+                    })
+                survivors = list(in_flight.values())
+                in_flight.clear()
+                for process in list(getattr(executor, "_processes", {}).values()):
+                    process.terminate()
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = _pool(jobs)
+                for name, attempt, _deadline, _started in survivors:
+                    queue.insert(0, (name, attempt))
+            submit_next()
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
+    return [done[name] for name in names]

@@ -31,7 +31,15 @@ __all__ = ["run"]
 def _fresh_channel(
     seed: int, small: bool, topology: Optional[str], num_links: int
 ):
-    runtime = default_runtime(seed, small=small, topology=topology)
+    if small:
+        # The default small box has 2 GPUs -- one peer pair -- so scale
+        # the ring up just enough to offer ``num_links`` disjoint pairs.
+        from ..config import DGXSpec
+        from ..runtime.api import Runtime
+
+        runtime = Runtime(DGXSpec.small(num_gpus=max(2, 2 * num_links)), seed=seed)
+    else:
+        runtime = default_runtime(seed, small=False, topology=topology)
     channel = LinkCovertChannel.auto(runtime, num_links=num_links)
     return runtime, channel
 

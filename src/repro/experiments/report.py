@@ -2,12 +2,17 @@
 
 ``generate_report`` executes every paper experiment (optionally on the
 scaled-down box) and returns the rendered text; ``gpu-spy report`` prints
-it and can persist each result as JSON next to the report.
+it and can persist each result as JSON next to the report.  Execution is
+delegated to :mod:`repro.experiments.executor`: ``jobs`` fans the
+experiments out over worker processes, ``cache_dir`` memoizes their
+discovery/calibration prologue, and a crashing experiment degrades to a
+failed section instead of losing the report.  The rendered text is a
+pure function of ``(names, seed, small)`` -- parallel and sequential
+runs produce byte-identical reports.
 """
 
 from __future__ import annotations
 
-import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -56,10 +61,13 @@ def _registry() -> Dict[str, Callable[[int, bool], ExperimentResult]]:
             payload_bits=256,
         )
 
-    def _run_with_manifest(module_runner, seed: int, small: bool, **kwargs):
-        runtime = default_runtime(seed, small=small)
+    def _run_with_manifest(module_runner, run_seed: int, small: bool, **kwargs):
+        # The positional seed must not be named ``seed``: several runners
+        # also take a ``seed`` kwarg, and the old collision made every
+        # small-report run of fig11/fig12/table2/fig14/fig15 raise.
+        runtime = default_runtime(run_seed, small=small)
         result = module_runner(runtime=runtime, **kwargs)
-        return attach_manifest(result, runtime, seed=seed)
+        return attach_manifest(result, runtime, seed=run_seed)
 
     def fig12(seed: int, small: bool):
         kwargs = dict(seed=seed, traces_per_app=4)
@@ -148,32 +156,44 @@ def generate_report(
     only: Optional[List[str]] = None,
     json_dir: Optional[Path] = None,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    cache_dir: Optional[Path] = None,
 ) -> str:
-    """Run (a subset of) the evaluation and render one text report."""
-    registry = _registry()
-    names = only if only else list(registry)
+    """Run (a subset of) the evaluation and render one text report.
+
+    ``progress`` receives human-readable lines (the executor's structured
+    events, rendered); sections are assembled in registry order whatever
+    ``jobs`` is, and success markers carry no wall-clock, so the text for
+    a given ``(only, seed, small)`` is byte-identical across job counts.
+    Experiments that raise (or time out under ``timeout``) appear as
+    failed sections while the rest of the report completes.
+    """
+    from .executor import failed_section, run_experiments
+
+    names = list(only) if only else list(EXPERIMENTS)
+    outcomes = run_experiments(
+        names,
+        seed=seed,
+        small=small,
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        json_dir=json_dir,
+        cache_dir=cache_dir,
+        progress=(lambda event: progress(event.render())) if progress else None,
+    )
     sections: List[str] = [
         "SPY IN THE GPU-BOX -- full evaluation report",
         f"(seed {seed}, {'scaled-down box' if small else 'full DGX-1'})",
         "",
     ]
-    for name in names:
-        if name not in registry:
-            raise KeyError(f"unknown experiment {name!r}")
-        started = time.time()
-        if progress:
-            progress(f"running {name} ...")
-        result = registry[name](seed, small)
-        elapsed = time.time() - started
-        sections.append(result.summary())
-        sections.append(f"[{name} completed in {elapsed:.1f}s]")
+    for outcome in outcomes:
+        if outcome.ok:
+            sections.append(outcome.section)
+            sections.append(f"[{outcome.name} ok]")
+        else:
+            sections.append(failed_section(outcome))
         sections.append("")
-        if json_dir is not None:
-            from ..analysis.persistence import save_result
-
-            json_dir.mkdir(parents=True, exist_ok=True)
-            save_result(json_dir / f"{name}.json", result)
-            manifest = result.extras.get("manifest")
-            if manifest is not None:
-                manifest.write(json_dir / f"{name}.manifest.json")
     return "\n".join(sections)

@@ -35,7 +35,26 @@ from .occupancy import single_server_waits
 from .replacement import CacheSet, make_set
 from .tagstore import LruTagStore
 
-__all__ = ["L2Cache", "VectorL2Cache", "CacheAccess", "make_l2"]
+__all__ = [
+    "L2Cache",
+    "VectorL2Cache",
+    "CacheAccess",
+    "EpochAccessPlan",
+    "make_l2",
+]
+
+
+class EpochAccessPlan(NamedTuple):
+    """State-independent layout of one batched access stream.
+
+    Built by :meth:`VectorL2Cache.plan_epoch`; ``rounds`` is the tag-store
+    round decomposition and ``bank_groups`` the per-bank lane grouping,
+    both reusable across sweeps that replay the same addresses.
+    """
+
+    count: int
+    rounds: List[Tuple[np.ndarray, np.ndarray, np.ndarray]]
+    bank_groups: List[Tuple[int, np.ndarray]]
 
 
 class CacheAccess(NamedTuple):
@@ -175,6 +194,51 @@ class VectorL2Cache:
         hits, evictions = self._store.access_lines(sets, tags)
         bank_waits = self._occupy_banks(sets, stamps)
         return hits, evictions, bank_waits, sets
+
+    def plan_epoch(self, paddrs: np.ndarray) -> "EpochAccessPlan":
+        """Precompute the state-independent parts of one access stream.
+
+        Set decoding, tag extraction, the tag-store round split, and the
+        per-bank grouping are all functions of the addresses and the cache
+        geometry alone; a caller that replays the same stream sweep after
+        sweep (:class:`~repro.sim.ops.ProbeEpoch`) builds this once and
+        calls :meth:`access_lines_planned` per sweep.
+        """
+        sets = self.set_indices(paddrs)
+        tags = paddrs >> self.addr.tag_shift
+        rounds = self._store.plan_rounds(sets, tags)
+        banks = sets & self._bank_mask
+        order = np.argsort(banks, kind="stable")
+        grouped = banks[order]
+        bank_groups = []
+        if banks.size:
+            starts = np.nonzero(np.r_[True, grouped[1:] != grouped[:-1]])[0]
+            bounds = np.append(starts, banks.size)
+            for at in range(starts.size):
+                lane = order[bounds[at] : bounds[at + 1]]
+                bank_groups.append((int(grouped[bounds[at]]), lane))
+        return EpochAccessPlan(
+            count=int(paddrs.size), rounds=rounds, bank_groups=bank_groups
+        )
+
+    def access_lines_planned(
+        self, plan: "EpochAccessPlan", stamps: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`access_lines` against a precomputed plan.
+
+        Cache and bank state advance exactly as the unplanned batch walk
+        over the same stream would; returns ``(hits, evictions,
+        bank_waits)``.
+        """
+        hits, evictions = self._store.access_lines_planned(plan.rounds, plan.count)
+        waits = np.zeros(plan.count, dtype=np.float64)
+        service = float(self.spec.bank_service_cycles)
+        bank_busy = self._bank_busy
+        for bank, lane in plan.bank_groups:
+            waits[lane], bank_busy[bank] = single_server_waits(
+                float(bank_busy[bank]), stamps[lane], service
+            )
+        return hits, evictions, waits
 
     def _occupy_banks(self, sets: np.ndarray, stamps: np.ndarray) -> np.ndarray:
         banks = sets & self._bank_mask

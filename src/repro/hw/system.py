@@ -26,6 +26,57 @@ from .topology import Topology
 __all__ = ["MultiGPUSystem"]
 
 
+class _EpochPlan:
+    """Precomputed layout of one ProbeEpoch's flattened access stream.
+
+    A prober block re-yields the *same* ``(buffer, sets)`` pair every
+    sweep, so the flatten/translate work (set counts, offsets, flat word
+    indices, physical line addresses) is loop-invariant.  Plans are cached
+    by object identity; holding strong references to the keys keeps their
+    ``id``s from being recycled while an entry is alive.
+    """
+
+    __slots__ = (
+        "buffer", "sets", "counts", "offsets", "flat", "paddrs",
+        "_cache_plan", "_cache_plan_l2",
+    )
+
+    def __init__(self, buffer: DeviceBuffer, sets: tuple) -> None:
+        self.buffer = buffer
+        self.sets = sets
+        self._cache_plan = None
+        self._cache_plan_l2 = None
+        set_lists = [
+            indices if hasattr(indices, "__len__") else list(indices)
+            for indices in sets
+        ]
+        self.counts = np.asarray([len(s) for s in set_lists], dtype=np.int64)
+        self.offsets = np.zeros(len(set_lists), dtype=np.int64)
+        if len(set_lists):
+            np.cumsum(self.counts[:-1], out=self.offsets[1:])
+        if self.counts.sum():
+            self.flat = np.concatenate(
+                [np.asarray(s, dtype=np.int64) for s in set_lists if len(s)]
+            )
+            self.paddrs = buffer.paddrs(self.flat)
+        else:
+            self.flat = np.empty(0, dtype=np.int64)
+            self.paddrs = np.empty(0, dtype=np.int64)
+
+    def cache_plan(self, l2: VectorL2Cache):
+        """The (lazily built) per-L2 access plan for this epoch's stream.
+
+        The round decomposition and bank grouping depend only on the
+        physical addresses and the cache geometry, so they are as
+        loop-invariant as the flattened indices; one plan per home L2 is
+        enough because an epoch's probe buffer is homed on one GPU.
+        """
+        if self._cache_plan_l2 is not l2:
+            self._cache_plan = l2.plan_epoch(self.paddrs)
+            self._cache_plan_l2 = l2
+        return self._cache_plan
+
+
 class _JitterPool:
     """Batched standard-normal draws (keeps the hot path cheap)."""
 
@@ -79,6 +130,8 @@ class MultiGPUSystem:
         self.tracer = None
         self._jitter = _JitterPool(self.rng.generator("timing/jitter"))
         self._next_pid = 0
+        #: id-keyed bounded cache of :class:`_EpochPlan` (see access_epoch).
+        self._epoch_plans: dict = {}
 
     # ------------------------------------------------------------------
     # Processes
@@ -287,28 +340,20 @@ class MultiGPUSystem:
                 f"{exec_gpu} to GPU {home}"
             )
         home_gpu = self.gpus[home]
-        set_lists = [
-            indices if hasattr(indices, "__len__") else list(indices)
-            for indices in sets
-        ]
-        counts = np.asarray([len(s) for s in set_lists], dtype=np.int64)
+        plan = self._epoch_plan(buffer, sets)
+        counts, offsets = plan.counts, plan.offsets
         count = int(counts.sum())
         if count == 0:
             return EpochResult(remote=remote)
-        offsets = np.zeros(len(set_lists), dtype=np.int64)
-        np.cumsum(counts[:-1], out=offsets[1:])
-        flat = np.concatenate(
-            [np.asarray(s, dtype=np.int64) for s in set_lists if len(s)]
-        )
         stamps = self._issue_stamps(count, now, parallel, issue_gap)
 
         if isinstance(home_gpu.l2, VectorL2Cache):
-            paddrs = buffer.paddrs(flat)
             latencies, hits, misses, evictions = self._service_batch_vector(
-                home_gpu, exec_gpu, home, remote, paddrs, stamps, process.pid
+                home_gpu, exec_gpu, home, remote, plan.paddrs, stamps, process.pid,
+                cache_plan=plan.cache_plan(home_gpu.l2),
             )
         else:
-            paddrs = [buffer.paddr(int(index)) for index in flat]
+            paddrs = [buffer.paddr(int(index)) for index in plan.flat]
             lat_list, hit_list, misses, evictions = self._service_batch_scalar(
                 home_gpu, exec_gpu, home, remote, paddrs, stamps.tolist(), process.pid
             )
@@ -322,14 +367,14 @@ class MultiGPUSystem:
             rel_finish = (
                 positions - np.repeat(offsets[live].astype(np.float64), counts[live])
             ) * issue_gap + latencies
-            set_totals = np.zeros(len(set_lists), dtype=np.float64)
+            set_totals = np.zeros(len(counts), dtype=np.float64)
             set_totals[live] = np.maximum.reduceat(rel_finish, starts_at)
             set_starts = offsets.astype(np.float64) * issue_gap
             total = float(np.max(positions * issue_gap + latencies))
         else:
-            set_totals = np.zeros(len(set_lists), dtype=np.float64)
+            set_totals = np.zeros(len(counts), dtype=np.float64)
             set_totals[live] = np.add.reduceat(latencies, starts_at)
-            set_starts = np.zeros(len(set_lists), dtype=np.float64)
+            set_starts = np.zeros(len(counts), dtype=np.float64)
             np.cumsum(set_totals[:-1], out=set_starts[1:])
             total = float(np.cumsum(latencies)[-1])
 
@@ -347,6 +392,26 @@ class MultiGPUSystem:
             total_latency=total,
             remote=remote,
         )
+
+    def _epoch_plan(self, buffer: DeviceBuffer, sets) -> _EpochPlan:
+        """Fetch (or build) the cached flatten/translate plan for an epoch.
+
+        Only tuple ``sets`` are cacheable (a generator would be consumed by
+        planning); identity of both the buffer and the sets tuple must
+        match, which the held references guarantee for live objects.  The
+        store is a small FIFO so freed probe buffers cannot accumulate.
+        """
+        if not isinstance(sets, tuple):
+            return _EpochPlan(buffer, tuple(sets))
+        key = (id(buffer), id(sets))
+        plan = self._epoch_plans.get(key)
+        if plan is not None and plan.buffer is buffer and plan.sets is sets:
+            return plan
+        plan = _EpochPlan(buffer, sets)
+        if len(self._epoch_plans) >= 8:
+            self._epoch_plans.pop(next(iter(self._epoch_plans)))
+        self._epoch_plans[key] = plan
+        return plan
 
     def probe_link(
         self,
@@ -448,10 +513,23 @@ class MultiGPUSystem:
         paddrs: np.ndarray,
         stamps: np.ndarray,
         owner: Optional[int] = None,
+        cache_plan=None,
     ):
-        """Vectorized service of one batch; returns arrays + counts."""
+        """Vectorized service of one batch; returns arrays + counts.
+
+        ``cache_plan`` (from :meth:`VectorL2Cache.plan_epoch`) skips the
+        per-batch round decomposition when the caller reuses one access
+        stream sweep after sweep.
+        """
         timing = self.spec.timing
-        hits, evictions, bank_waits, _sets = home_gpu.l2.access_lines(paddrs, stamps)
+        if cache_plan is not None:
+            hits, evictions, bank_waits = home_gpu.l2.access_lines_planned(
+                cache_plan, stamps
+            )
+        else:
+            hits, evictions, bank_waits, _sets = home_gpu.l2.access_lines(
+                paddrs, stamps
+            )
         jitter = self._jitter.take(paddrs.size)
         if remote:
             hit_base, miss_base = timing.remote_l2_hit, timing.remote_dram

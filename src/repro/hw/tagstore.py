@@ -114,32 +114,75 @@ class LruTagStore:
         ranks = occurrence_ranks(set_indices)
         for rank in range(int(ranks.max()) + 1):
             sel = np.nonzero(ranks == rank)[0]
-            rows = set_indices[sel]
-            wanted = tags[sel]
-            tag_rows = self._tags[rows]
-            match = tag_rows == wanted[:, None]
-            hit = match.any(axis=1)
-            hits[sel] = hit
-            tick = self._tick
-            self._tick = tick + 1
-            if hit.any():
-                hit_rows = rows[hit]
-                hit_ways = match[hit].argmax(axis=1)
-                self._age[hit_rows, hit_ways] = tick
-            miss = ~hit
-            if miss.any():
-                miss_rows = rows[miss]
-                miss_invalid = tag_rows[miss] == _INVALID
-                has_free = miss_invalid.any(axis=1)
-                free_way = miss_invalid.argmax(axis=1)
-                lru_way = np.where(
-                    miss_invalid, _AGE_MAX, self._age[miss_rows]
-                ).argmin(axis=1)
-                way = np.where(has_free, free_way, lru_way)
-                evictions[sel[miss]] = ~has_free
-                self._tags[miss_rows, way] = wanted[miss]
-                self._age[miss_rows, way] = tick
+            self._access_round(sel, set_indices[sel], tags[sel], hits, evictions)
         return hits, evictions
+
+    def plan_rounds(
+        self, set_indices: np.ndarray, tags: np.ndarray
+    ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Precompute the round decomposition of one access stream.
+
+        The split into rounds of distinct-set accesses depends only on the
+        (set, tag) layout of the batch, not on cache state, so callers
+        that replay the same stream every sweep (a prober epoch) can build
+        the ``(sel, rows, wanted)`` triples once and feed them to
+        :meth:`access_lines_planned`.
+        """
+        rounds: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        if set_indices.size == 0:
+            return rounds
+        ranks = occurrence_ranks(set_indices)
+        for rank in range(int(ranks.max()) + 1):
+            sel = np.nonzero(ranks == rank)[0]
+            rounds.append((sel, set_indices[sel], tags[sel]))
+        return rounds
+
+    def access_lines_planned(
+        self, rounds: List[Tuple[np.ndarray, np.ndarray, np.ndarray]], n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`access_lines` with a precomputed round decomposition.
+
+        State transitions are identical to the unplanned walk over the
+        same stream; only the input bookkeeping is hoisted out.
+        """
+        hits = np.zeros(n, dtype=bool)
+        evictions = np.zeros(n, dtype=bool)
+        for sel, rows, wanted in rounds:
+            self._access_round(sel, rows, wanted, hits, evictions)
+        return hits, evictions
+
+    def _access_round(
+        self,
+        sel: np.ndarray,
+        rows: np.ndarray,
+        wanted: np.ndarray,
+        hits: np.ndarray,
+        evictions: np.ndarray,
+    ) -> None:
+        """One round of distinct-set lookups-and-fills (shared core)."""
+        tag_rows = self._tags[rows]
+        match = tag_rows == wanted[:, None]
+        hit = match.any(axis=1)
+        hits[sel] = hit
+        tick = self._tick
+        self._tick = tick + 1
+        if hit.any():
+            hit_rows = rows[hit]
+            hit_ways = match[hit].argmax(axis=1)
+            self._age[hit_rows, hit_ways] = tick
+        miss = ~hit
+        if miss.any():
+            miss_rows = rows[miss]
+            miss_invalid = tag_rows[miss] == _INVALID
+            has_free = miss_invalid.any(axis=1)
+            free_way = miss_invalid.argmax(axis=1)
+            lru_way = np.where(
+                miss_invalid, _AGE_MAX, self._age[miss_rows]
+            ).argmin(axis=1)
+            way = np.where(has_free, free_way, lru_way)
+            evictions[sel[miss]] = ~has_free
+            self._tags[miss_rows, way] = wanted[miss]
+            self._age[miss_rows, way] = tick
 
     # ------------------------------------------------------------------
     # Scalar access (kept for the single-word path and maintenance ops)

@@ -1,0 +1,95 @@
+"""Parallel experiment executor: determinism, crash tolerance, retries.
+
+The pooled path must be an invisible optimization: same report text and
+same result JSON as the sequential path, whatever the job count.  Fault
+injection goes through the executor's environment knobs so the failure
+paths are exercised end-to-end (including inside forked workers).
+"""
+
+import pytest
+
+from repro.experiments.executor import (
+    FAULT_DELAY_VAR,
+    FAULT_FAIL_ONCE_VAR,
+    FAULT_FAIL_VAR,
+    ProgressEvent,
+    run_experiments,
+)
+from repro.experiments.report import generate_report
+
+#: Cheap small-box subset; deliberately not in registry order so the
+#: reassembly (and the cost-hint submission shuffle) is actually tested.
+SUBSET = ["fig10", "fig4", "table1"]
+
+
+def test_parallel_report_matches_sequential(tmp_path):
+    sequential = generate_report(
+        seed=3, small=True, only=SUBSET, json_dir=tmp_path / "seq", jobs=1
+    )
+    parallel = generate_report(
+        seed=3, small=True, only=SUBSET, json_dir=tmp_path / "par", jobs=4
+    )
+    assert parallel == sequential
+    for name in SUBSET:
+        seq_bytes = (tmp_path / "seq" / f"{name}.json").read_bytes()
+        par_bytes = (tmp_path / "par" / f"{name}.json").read_bytes()
+        assert par_bytes == seq_bytes, f"{name} JSON differs across job counts"
+        assert (tmp_path / "par" / f"{name}.manifest.json").exists()
+
+
+def test_sections_follow_request_order_not_completion_order():
+    outcomes = run_experiments(SUBSET, seed=3, small=True, jobs=2)
+    assert [outcome.name for outcome in outcomes] == SUBSET
+    assert all(outcome.ok for outcome in outcomes)
+
+
+def test_crashing_experiment_degrades_to_failed_section(monkeypatch, tmp_path):
+    monkeypatch.setenv(FAULT_FAIL_VAR, "fig4")
+    text = generate_report(
+        seed=3, small=True, only=["fig4", "table1"],
+        json_dir=tmp_path, jobs=2, retries=0,
+    )
+    assert "== fig4: FAILED ==" in text
+    assert "injected fault for fig4" in text
+    assert "[table1 ok]" in text  # the healthy sibling still ran
+    assert not (tmp_path / "fig4.json").exists()
+    assert (tmp_path / "table1.json").exists()
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_failed_experiment_is_retried_once(monkeypatch, tmp_path, jobs):
+    flag = tmp_path / "tripped.flag"
+    monkeypatch.setenv(FAULT_FAIL_ONCE_VAR, f"fig4:{flag}")
+    outcomes = run_experiments(["fig4"], seed=3, small=True, jobs=jobs, retries=1)
+    assert flag.exists(), "one-shot fault never fired"
+    assert outcomes[0].ok
+    assert outcomes[0].attempts == 2
+
+
+def test_timeout_tears_down_and_reports(monkeypatch):
+    monkeypatch.setenv(FAULT_DELAY_VAR, "fig4:30")
+    outcomes = run_experiments(
+        ["fig4", "table1"], seed=3, small=True, jobs=2, timeout=1.5, retries=0
+    )
+    by_name = {outcome.name: outcome for outcome in outcomes}
+    assert by_name["fig4"].status == "timeout"
+    assert "timed out" in by_name["fig4"].error
+    assert by_name["table1"].ok  # pool rebuild must not lose siblings
+
+
+@pytest.mark.parametrize("jobs", [1, 3])
+def test_progress_events_cover_every_experiment(jobs):
+    events = []
+    run_experiments(SUBSET, seed=3, small=True, jobs=jobs, progress=events.append)
+    assert all(isinstance(event, ProgressEvent) for event in events)
+    starts = {e.name for e in events if e.kind == "start"}
+    finishes = [e for e in events if e.kind == "finish"]
+    assert starts == set(SUBSET)
+    assert {e.name for e in finishes} == set(SUBSET)
+    assert max(e.completed for e in finishes) == len(SUBSET)
+    assert all(e.render() for e in events)  # every event renders to a line
+
+
+def test_unknown_name_raises_before_any_work():
+    with pytest.raises(KeyError):
+        run_experiments(["fig4", "bogus"], jobs=4)
