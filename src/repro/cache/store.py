@@ -51,7 +51,7 @@ __all__ = [
 #: Bump when the checkpoint contents change shape (new pickle layout, new
 #: simulator state that must be part of a checkpoint): old entries then
 #: miss on key instead of resurrecting stale state.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
 
@@ -94,6 +94,10 @@ def runtime_is_pristine(runtime) -> bool:
       whole new object graph, and an outsider built against the old one
       (a ContentionDetector watching counters) would silently keep
       reading the abandoned objects.
+
+    An installed chaos injector (:mod:`repro.chaos`) also disqualifies:
+    it holds runtime references and its fault plan perturbs the very
+    setup a checkpoint would memoise as clean.
     """
     import sys
 
@@ -103,6 +107,7 @@ def runtime_is_pristine(runtime) -> bool:
         and runtime.engine.stats.events == 0
         and getattr(system, "_next_pid", 1) == 0
         and system.tracer is None
+        and getattr(runtime.engine, "chaos", None) is None
     ):
         return False
     from ..hw.cache import L2Cache, VectorL2Cache

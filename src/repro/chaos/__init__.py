@@ -1,0 +1,27 @@
+"""Seeded, deterministic hardware fault injection (the chaos layer).
+
+This package perturbs the *simulated hardware* mid-run -- DVFS drift,
+driver L2-flush storms, silent page migration, NVLink flaps, victim
+preemption, background-noise bursts -- on a schedule that is a pure
+function of ``(ChaosSpec, seed)`` and therefore replayable from the
+fault-plan hash recorded in the run manifest.  It is distinct from the
+*process-level* fault hooks of :mod:`repro.experiments.executor`
+(``REPRO_FAULT_*``), which crash or delay whole experiment workers; see
+``docs/performance.md``.
+"""
+
+from ..config import CHAOS_PRESETS, ChaosSpec, chaos_preset
+from .injector import ChaosInjector, install_chaos, remap_buffer_page
+from .plan import FaultEvent, FaultPlan, generate_plan
+
+__all__ = [
+    "CHAOS_PRESETS",
+    "ChaosSpec",
+    "ChaosInjector",
+    "FaultEvent",
+    "FaultPlan",
+    "chaos_preset",
+    "generate_plan",
+    "install_chaos",
+    "remap_buffer_page",
+]

@@ -1,0 +1,303 @@
+"""Apply a :class:`~repro.chaos.plan.FaultPlan` to a live runtime.
+
+The injector rides the engine's nullable ``chaos`` hook: the event loop
+calls :meth:`ChaosInjector.advance` once per dispatched event, and faults
+whose (relative) time has come are applied *before* the op executes.
+Every applied fault and every expiry (DVFS window closing, link
+retraining) emits a telemetry event when a tracer is attached, and lands
+in :attr:`applied` for manifests and tests.
+
+Determinism: the schedule comes from the plan (itself a pure function of
+``(ChaosSpec, seed)``); apply-time choices that the plan cannot make --
+which live buffer a page-remap hits -- draw from the dedicated
+``"chaos/apply"`` substream.  Neither touches the main simulation's RNG
+streams, so disabling chaos reproduces the unperturbed run bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, List, Optional, Union
+
+from ..config import ChaosSpec, chaos_preset
+from ..errors import AllocationError, LaunchError
+from ..sim.process import DeviceBuffer
+from ..sim.rng import RngFanout, derive_seed
+from .plan import FaultPlan, generate_plan
+
+__all__ = ["ChaosInjector", "install_chaos", "remap_buffer_page"]
+
+_INF = float("inf")
+
+
+def remap_buffer_page(runtime, buffer: DeviceBuffer, page_index: int) -> tuple:
+    """Silently migrate one page of ``buffer`` to a fresh physical frame.
+
+    Performs the full driver-side dance: allocate a new frame, scrub the
+    old frame's lines from the home L2 (migration copies through DRAM),
+    release the old frame, rewrite the buffer's translation, and drop any
+    cached epoch plans holding the stale physical addresses.  Returns
+    ``(old_frame, new_frame)``.  Raises :class:`AllocationError` when the
+    home GPU is out of frames.
+    """
+    system = runtime.system
+    gpu = system.gpus[buffer.device_id]
+    new_frame = gpu.memory.allocate(1)[0]
+    page_size = gpu.spec.page_size
+    line = gpu.spec.cache.line_size
+    old_frame = buffer.frames[page_index]
+    base = old_frame * page_size
+    for offset in range(0, page_size, line):
+        gpu.l2.invalidate_line(base + offset)
+    gpu.memory.free([old_frame])
+    buffer.remap_page(page_index, new_frame)
+    system.invalidate_epoch_plans(buffer)
+    return old_frame, new_frame
+
+
+class ChaosInjector:
+    """Replays a fault plan against a runtime from its arming time."""
+
+    def __init__(self, runtime, plan: FaultPlan) -> None:
+        self.runtime = runtime
+        self.plan = plan
+        self._pending = deque(plan.events)
+        #: (relative_time, tiebreak, callable) restore heap for windowed
+        #: faults (DVFS end, link retrain).
+        self._restores: List = []
+        self._restore_seq = 0
+        self._rng = RngFanout(plan.seed).generator("chaos/apply")
+        self._origin: Optional[float] = None
+        self._noise: Dict[int, object] = {}
+        #: Log of applied faults: dicts with time/kind/target details.
+        self.applied: List[dict] = []
+        #: Faults that could not land (no live buffer to remap, SMs full).
+        self.skipped = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def armed(self) -> bool:
+        return self._origin is not None
+
+    def arm(self, at: Optional[float] = None) -> None:
+        """Start the plan's clock (event times are relative to this).
+
+        Typically called *after* the attack's setup prologue so faults
+        land on the steady-state phase; :func:`install_chaos` arms at the
+        current simulation time by default.
+        """
+        self._origin = self.runtime.engine.now if at is None else float(at)
+
+    def advance(self, now: float) -> None:
+        """Apply every fault and expiry due at or before ``now``.
+
+        Called from the engine's event loop; the empty-queue early return
+        keeps the per-event cost of an exhausted (or unarmed) plan to a
+        couple of attribute checks.
+        """
+        origin = self._origin
+        if origin is None or (not self._pending and not self._restores):
+            return
+        rel_now = now - origin
+        pending, restores = self._pending, self._restores
+        while True:
+            next_fault = pending[0].time if pending else _INF
+            next_restore = restores[0][0] if restores else _INF
+            if next_fault > rel_now and next_restore > rel_now:
+                return
+            if next_restore <= next_fault:
+                _, _, restore = heapq.heappop(restores)
+                restore(now)
+            else:
+                self._apply(pending.popleft(), now)
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary for run manifests."""
+        by_kind: Dict[str, int] = {}
+        for entry in self.applied:
+            by_kind[entry["kind"]] = by_kind.get(entry["kind"], 0) + 1
+        return {
+            "plan_hash": self.plan.plan_hash(),
+            "preset": self.plan.preset,
+            "seed": self.plan.seed,
+            "scheduled": len(self.plan.events),
+            "applied": len(self.applied),
+            "skipped": self.skipped,
+            "by_kind": by_kind,
+        }
+
+    # ------------------------------------------------------------------
+    def _schedule_restore(self, rel_time: float, restore) -> None:
+        heapq.heappush(self._restores, (rel_time, self._restore_seq, restore))
+        self._restore_seq += 1
+
+    def _emit(self, name: str, now: float, duration: float, gpu: int, args: dict):
+        tracer = self.runtime.system.tracer
+        if tracer is not None:
+            tracer.emit(name, "chaos", now, dur=duration, gpu=gpu, args=args)
+
+    def _log(self, event, now: float, **details) -> None:
+        entry = {"time": now, "kind": event.kind, "gpu": event.gpu}
+        entry.update(details)
+        self.applied.append(entry)
+        self._emit(
+            f"fault_{event.kind}", now, event.duration, event.gpu, details or None
+        )
+
+    def _apply(self, event, now: float) -> None:
+        handler = getattr(self, f"_apply_{event.kind}")
+        handler(event, now)
+
+    # -- fault handlers -------------------------------------------------
+    def _apply_dvfs(self, event, now: float) -> None:
+        system = self.runtime.system
+        system.set_latency_scale(event.gpu, event.magnitude)
+        self._log(event, now, scale=event.magnitude)
+
+        def restore(at: float, gpu=event.gpu) -> None:
+            system.set_latency_scale(gpu, 1.0)
+            self._emit("fault_dvfs_end", at, 0.0, gpu, None)
+
+        self._schedule_restore(event.time + event.duration, restore)
+
+    def _apply_l2_flush(self, event, now: float) -> None:
+        self.runtime.system.gpus[event.gpu].l2.invalidate_all()
+        self._log(event, now)
+
+    def _apply_page_remap(self, event, now: float) -> None:
+        system = self.runtime.system
+        candidates = [
+            buf
+            for process in system.processes
+            for buf in process.buffers
+            if buf.device_id == event.gpu
+        ]
+        if not candidates:
+            # Nothing lives on the drawn GPU; migrate on the busiest GPU
+            # instead (a migration event somewhere in the box), keeping
+            # the fault count of the preset honest.
+            candidates = [
+                buf for process in system.processes for buf in process.buffers
+            ]
+        if not candidates:
+            self.skipped += 1
+            return
+        buffer = candidates[int(self._rng.integers(len(candidates)))]
+        pages = min(int(event.magnitude) or 1, len(buffer.frames))
+        picks = self._rng.choice(len(buffer.frames), size=pages, replace=False)
+        moved = []
+        for page_index in sorted(int(p) for p in picks):
+            try:
+                old_frame, new_frame = remap_buffer_page(
+                    self.runtime, buffer, page_index
+                )
+            except AllocationError:
+                self.skipped += 1
+                continue
+            moved.append((page_index, old_frame, new_frame))
+        if moved:
+            self._log(
+                event,
+                now,
+                buffer=buffer.name,
+                home=buffer.device_id,
+                pages=[page for page, _old, _new in moved],
+            )
+        else:
+            self.skipped += 1
+
+    def _apply_link_flap(self, event, now: float) -> None:
+        system = self.runtime.system
+        edge = frozenset(event.link)
+        system.interconnect.degrade_link(edge, event.magnitude)
+        rerouted = system.topology.disable_edge(edge)
+        self._log(
+            event,
+            now,
+            link=sorted(edge),
+            factor=event.magnitude,
+            rerouted=rerouted,
+        )
+
+        def restore(at: float, edge=edge, rerouted=rerouted) -> None:
+            system.interconnect.restore_link(edge)
+            if rerouted:
+                system.topology.enable_edge(edge)
+            self._emit("fault_link_flap_end", at, 0.0, -1, {"link": sorted(edge)})
+
+        self._schedule_restore(event.time + event.duration, restore)
+
+    def _apply_preempt(self, event, now: float) -> None:
+        engine = self.runtime.engine
+        heap = engine._heap
+        delayed = 0
+        for position, (when, seq, handle) in enumerate(heap):
+            if handle.gpu_id == event.gpu and not handle.done:
+                handle.clock = when + event.duration
+                heap[position] = (handle.clock, seq, handle)
+                delayed += 1
+        if delayed:
+            heapq.heapify(heap)
+        self._log(event, now, streams=delayed, window=event.duration)
+
+    def _apply_noise(self, event, now: float) -> None:
+        from ..noise.background import BackgroundNoise
+
+        noise = self._noise.get(event.gpu)
+        if noise is None:
+            page_size = self.runtime.system.spec.gpu.page_size
+            try:
+                noise = BackgroundNoise(
+                    self.runtime,
+                    event.gpu,
+                    footprint_bytes=page_size * 4,
+                    intensity=event.magnitude,
+                    blocks=1,
+                    seed=derive_seed(self.plan.seed, f"chaos/noise/{event.gpu}"),
+                )
+            except AllocationError:
+                self.skipped += 1
+                return
+            self._noise[event.gpu] = noise
+        try:
+            if noise.active:
+                noise.stop_at(now + event.duration)
+            else:
+                noise.start(event.duration)
+        except LaunchError:
+            self.skipped += 1
+            return
+        self._log(event, now, window=event.duration, intensity=event.magnitude)
+
+
+def install_chaos(
+    runtime,
+    chaos: Union[str, ChaosSpec, FaultPlan, None] = None,
+    seed: int = 0,
+    arm: bool = True,
+) -> Optional[ChaosInjector]:
+    """Attach a :class:`ChaosInjector` to ``runtime``'s engine.
+
+    ``chaos`` may be a preset name, a :class:`ChaosSpec`, a ready-made
+    :class:`FaultPlan`, or ``None`` to use the spec the runtime was built
+    with (``DGXSpec.chaos``); when that is also ``None``, nothing is
+    installed and ``None`` is returned.  With ``arm=False`` the injector
+    is installed dormant -- call :meth:`ChaosInjector.arm` after the
+    setup prologue so fault times are relative to steady state.
+    """
+    if chaos is None:
+        chaos = runtime.system.spec.chaos
+        if chaos is None:
+            return None
+    if isinstance(chaos, str):
+        chaos = chaos_preset(chaos)
+    if isinstance(chaos, ChaosSpec):
+        plan = generate_plan(chaos, runtime.system.spec, seed=seed)
+    else:
+        plan = chaos
+    injector = ChaosInjector(runtime, plan)
+    runtime.engine.chaos = injector
+    if arm:
+        injector.arm()
+    return injector

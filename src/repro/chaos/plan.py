@@ -1,0 +1,221 @@
+"""Fault plans: the deterministic schedule side of the chaos layer.
+
+A :class:`FaultPlan` is an immutable, time-sorted tuple of
+:class:`FaultEvent` rows generated from a :class:`~repro.config.ChaosSpec`
+and a seed via the ``"chaos/plan"`` :mod:`repro.sim.rng` substream.  Event
+times are *relative* to the injector's arming time, so the same plan can
+be replayed after any setup prologue.  ``plan_hash`` is a stable digest of
+the canonical serialization; the run manifest records it, making every
+chaotic run reproducible from ``(spec, seed)`` and auditable from the
+hash alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..config import ChaosSpec, DGXSpec
+from ..errors import FaultInjectionError
+from ..sim.rng import RngFanout
+
+__all__ = ["FaultEvent", "FaultPlan", "generate_plan"]
+
+#: Fault kinds the injector knows how to apply, in canonical order (used
+#: both for generation and as a tie-break when sorting simultaneous
+#: events, keeping plan merges order-stable).
+FAULT_KINDS = ("dvfs", "l2_flush", "page_remap", "link_flap", "preempt", "noise")
+
+_KIND_RANK = {kind: rank for rank, kind in enumerate(FAULT_KINDS)}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled perturbation.
+
+    ``time`` is in cycles relative to the injector's arming time.  The
+    meaning of ``magnitude`` depends on ``kind``: DVFS latency scale
+    factor, pages to remap, lane degradation factor, or noise intensity.
+    ``link`` is only set for ``link_flap`` events.
+    """
+
+    time: float
+    kind: str
+    gpu: int = 0
+    duration: float = 0.0
+    magnitude: float = 0.0
+    link: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultInjectionError(
+                f"unknown fault kind {self.kind!r}; valid kinds: {FAULT_KINDS}"
+            )
+        if self.time < 0:
+            raise FaultInjectionError("fault time must be >= 0 (relative)")
+        if self.duration < 0:
+            raise FaultInjectionError("fault duration must be >= 0")
+
+    def sort_key(self) -> Tuple[float, int, int, float, float, Tuple[int, ...]]:
+        # A total order over event *content*: two plans holding the same
+        # events must sort (and therefore hash) identically whatever the
+        # construction order, so every field participates.
+        return (
+            self.time,
+            _KIND_RANK[self.kind],
+            self.gpu,
+            self.magnitude,
+            self.duration,
+            self.link,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "gpu": self.gpu,
+            "duration": self.duration,
+            "magnitude": self.magnitude,
+            "link": list(self.link),
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A time-sorted, immutable fault schedule."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    preset: str = "custom"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=FaultEvent.sort_key))
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def plan_hash(self) -> str:
+        """Stable digest of the schedule (recorded in run manifests).
+
+        Hashes only the canonical event list, so two plans with identical
+        schedules hash identically regardless of how they were built
+        (generated, merged, or hand-written).
+        """
+        payload = json.dumps(
+            [event.to_dict() for event in self.events], sort_keys=True
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def merge(self, other: "FaultPlan") -> "FaultPlan":
+        """Combine two schedules into one time-sorted plan.
+
+        Commutative up to the canonical event order: simultaneous events
+        tie-break on (kind, gpu, magnitude, duration, link), so
+        ``a.merge(b).events == b.merge(a).events``.
+        """
+        return FaultPlan(
+            events=self.events + other.events,
+            preset=f"{self.preset}+{other.preset}",
+            seed=self.seed,
+        )
+
+    def shifted(self, offset: float) -> "FaultPlan":
+        """A copy with every event time moved by ``offset`` cycles."""
+        from dataclasses import replace
+
+        return FaultPlan(
+            events=tuple(
+                replace(event, time=event.time + offset) for event in self.events
+            ),
+            preset=self.preset,
+            seed=self.seed,
+        )
+
+
+def _draw_times(rng, count: int, horizon: float) -> list:
+    return sorted(float(t) for t in rng.uniform(0.0, horizon, size=count))
+
+
+def generate_plan(spec: ChaosSpec, dgx: DGXSpec, seed: int = 0) -> FaultPlan:
+    """Expand a :class:`ChaosSpec` into a concrete :class:`FaultPlan`.
+
+    Pure function of ``(spec, dgx topology, seed)``: event counts come
+    straight from the spec (scaled by intensity, rounded), times and
+    targets from the dedicated ``"chaos/plan"`` RNG substream.  The main
+    simulation's substreams are untouched, so generating a plan never
+    shifts a chaos-free run.
+    """
+    rng = RngFanout(seed).generator("chaos/plan")
+    horizon = spec.horizon_cycles
+    events = []
+
+    def scaled(count: int) -> int:
+        return int(round(count * spec.intensity))
+
+    for time in _draw_times(rng, scaled(spec.dvfs_events), horizon):
+        drift = spec.dvfs_max_drift * float(rng.uniform(0.4, 1.0))
+        events.append(
+            FaultEvent(
+                time=time,
+                kind="dvfs",
+                gpu=int(rng.integers(dgx.num_gpus)),
+                duration=spec.dvfs_window_cycles,
+                magnitude=1.0 + drift,
+            )
+        )
+    for time in _draw_times(rng, scaled(spec.flush_events), horizon):
+        events.append(
+            FaultEvent(
+                time=time,
+                kind="l2_flush",
+                gpu=int(rng.integers(dgx.num_gpus)),
+            )
+        )
+    for time in _draw_times(rng, scaled(spec.remap_events), horizon):
+        events.append(
+            FaultEvent(
+                time=time,
+                kind="page_remap",
+                gpu=int(rng.integers(dgx.num_gpus)),
+                magnitude=float(spec.remap_pages),
+            )
+        )
+    flap_count = scaled(spec.flap_events)
+    if flap_count and not dgx.nvlink_edges:
+        raise FaultInjectionError(
+            "cannot schedule link flaps: the topology has no NVLink edges"
+        )
+    for time in _draw_times(rng, flap_count, horizon):
+        a, b = dgx.nvlink_edges[int(rng.integers(len(dgx.nvlink_edges)))]
+        events.append(
+            FaultEvent(
+                time=time,
+                kind="link_flap",
+                duration=spec.flap_window_cycles,
+                magnitude=spec.flap_degrade_factor,
+                link=(a, b),
+            )
+        )
+    for time in _draw_times(rng, scaled(spec.preempt_events), horizon):
+        events.append(
+            FaultEvent(
+                time=time,
+                kind="preempt",
+                gpu=int(rng.integers(dgx.num_gpus)),
+                duration=spec.preempt_window_cycles,
+            )
+        )
+    for time in _draw_times(rng, scaled(spec.noise_events), horizon):
+        events.append(
+            FaultEvent(
+                time=time,
+                kind="noise",
+                gpu=int(rng.integers(dgx.num_gpus)),
+                duration=spec.noise_window_cycles,
+                magnitude=spec.noise_intensity,
+            )
+        )
+    return FaultPlan(events=tuple(events), preset=spec.preset, seed=seed)

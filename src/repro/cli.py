@@ -35,7 +35,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Tuple
 
-from .config import ROUTING_POLICIES, TOPOLOGY_PRESETS, DGXSpec
+from .config import CHAOS_PRESETS, ROUTING_POLICIES, TOPOLOGY_PRESETS, DGXSpec
 from .runtime.api import Runtime
 
 __all__ = ["main", "build_parser"]
@@ -58,11 +58,18 @@ def _spec(args) -> DGXSpec:
         spec = spec.with_topology(topology, routing=routing)
     elif routing is not None:
         spec = spec.with_routing(routing)
+    chaos = getattr(args, "chaos", None)
+    if chaos is not None and chaos != "off":
+        spec = spec.with_chaos(chaos)
     return spec
 
 
 def _runtime(args) -> Runtime:
     runtime = Runtime(_spec(args), seed=args.seed)
+    if runtime.system.spec.chaos is not None:
+        from .chaos import install_chaos
+
+        install_chaos(runtime, seed=args.seed)
     if getattr(args, "trace", None):
         from .telemetry import attach_tracer
 
@@ -379,6 +386,27 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Fault-injection sweep: plain vs self-healing covert channel."""
+    from .experiments import ext_chaos_covert
+
+    result = ext_chaos_covert.run(
+        seed=args.seed,
+        presets=tuple(args.presets),
+        payload_bits=args.bits,
+        num_sets=args.sets,
+        slot_cycles=args.slot_cycles,
+        small=args.small,
+    )
+    print(result.summary())
+    manifest = result.manifest
+    if manifest is not None:
+        hashes = manifest.extras.get("fault_plan_hashes", {})
+        for preset, plan_hash in hashes.items():
+            print(f"fault plan {preset}: {plan_hash}")
+    return 0
+
+
 def _cmd_multigpu(args) -> int:
     from .experiments import ext_multi_gpu
 
@@ -549,6 +577,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="counter sampling cadence in simulated cycles (with --trace)",
     )
     parser.add_argument(
+        "--chaos",
+        choices=sorted(CHAOS_PRESETS),
+        default=None,
+        metavar="PRESET",
+        help="inject the named deterministic fault plan (dvfs drift, L2 "
+        "flush storms, page remaps, link flaps, ...) into the command's "
+        "runtime; 'off' is a no-op",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
@@ -645,6 +682,23 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--victims", type=int, nargs="+", default=[0, 3])
     scan.add_argument("--monitor-sets", type=int, default=32)
     scan.set_defaults(func=_cmd_scan)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="robustness: covert channel under fault injection, plain vs "
+        "self-healing transport",
+    )
+    chaos.add_argument(
+        "--presets",
+        nargs="+",
+        choices=sorted(CHAOS_PRESETS),
+        default=list(CHAOS_PRESETS),
+        help="fault-intensity presets to sweep",
+    )
+    chaos.add_argument("--bits", type=int, default=96, help="payload bits")
+    chaos.add_argument("--sets", type=int, default=2, help="parallel set pairs")
+    chaos.add_argument("--slot-cycles", type=float, default=3000.0)
+    chaos.set_defaults(func=_cmd_chaos)
 
     multi = sub.add_parser(
         "multigpu", help="extension: stripe the channel over GPU pairs"

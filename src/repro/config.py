@@ -14,7 +14,7 @@ tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Optional, Tuple, Union
 
 from .errors import ConfigurationError
 
@@ -24,10 +24,13 @@ __all__ = [
     "LinkSpec",
     "GPUSpec",
     "DGXSpec",
+    "ChaosSpec",
     "ReplacementPolicyName",
     "TOPOLOGY_PRESETS",
     "ROUTING_POLICIES",
+    "CHAOS_PRESETS",
     "topology_preset",
+    "chaos_preset",
 ]
 
 # Replacement policies implemented in repro.hw.replacement.
@@ -278,6 +281,142 @@ def topology_preset(
     )
 
 
+#: Named fault-intensity presets selectable via DGXSpec.with_chaos() and
+#: the ``--chaos`` CLI flag; see :func:`chaos_preset`.
+CHAOS_PRESETS = ("off", "light", "moderate", "heavy")
+
+#: Fault kinds a :class:`ChaosSpec` can schedule (see repro.chaos.plan).
+CHAOS_FAULT_KINDS = (
+    "dvfs",
+    "l2_flush",
+    "page_remap",
+    "link_flap",
+    "preempt",
+    "noise",
+)
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Deterministic hardware fault-injection schedule parameters.
+
+    Event counts are *exact* (not Poisson draws) so a preset's fault mix
+    is part of the spec, scaled by ``intensity`` and spread uniformly over
+    ``horizon_cycles`` by the seeded plan generator in
+    :mod:`repro.chaos.plan`.  A spec with every count at zero (the
+    ``off`` preset) generates an empty plan and perturbs nothing.
+    """
+
+    preset: str = "off"
+    #: Multiplier applied to every event count (rounded, >= 0).
+    intensity: float = 1.0
+    #: Window (cycles, relative to arming time) fault times are drawn from.
+    horizon_cycles: float = 500_000.0
+    #: DVFS/clock-drift windows scaling one GPU's access latencies.
+    dvfs_events: int = 0
+    dvfs_max_drift: float = 0.25
+    dvfs_window_cycles: float = 200_000.0
+    #: Driver-initiated full L2 flushes (``L2Cache.invalidate_all``).
+    flush_events: int = 0
+    #: Physical page remap/migration events (silently relocate frames).
+    remap_events: int = 0
+    remap_pages: int = 1
+    #: NVLink link flaps: lanes degrade (or the edge reroutes) for a window.
+    flap_events: int = 0
+    flap_window_cycles: float = 120_000.0
+    flap_degrade_factor: float = 8.0
+    #: Victim preemption windows stalling every stream on one GPU.
+    preempt_events: int = 0
+    preempt_window_cycles: float = 40_000.0
+    #: Timed background-noise bursts (reusing noise.background).
+    noise_events: int = 0
+    noise_window_cycles: float = 150_000.0
+    noise_intensity: float = 0.6
+
+    def __post_init__(self) -> None:
+        _require(self.intensity >= 0, "intensity must be >= 0")
+        _require(self.horizon_cycles > 0, "horizon_cycles must be positive")
+        for kind in ("dvfs", "flush", "remap", "flap", "preempt", "noise"):
+            _require(
+                getattr(self, f"{kind}_events") >= 0,
+                f"{kind}_events must be >= 0",
+            )
+        _require(self.dvfs_max_drift > -1.0, "dvfs_max_drift must exceed -1")
+        _require(self.remap_pages >= 1, "remap_pages must be >= 1")
+        _require(
+            self.flap_degrade_factor >= 1.0, "flap_degrade_factor must be >= 1"
+        )
+        _require(
+            0.0 < self.noise_intensity <= 1.0,
+            "noise_intensity must be in (0, 1]",
+        )
+        for window in (
+            self.dvfs_window_cycles,
+            self.flap_window_cycles,
+            self.preempt_window_cycles,
+            self.noise_window_cycles,
+        ):
+            _require(window > 0, "fault windows must be positive")
+
+    @property
+    def total_events(self) -> int:
+        """Number of scheduled faults after intensity scaling."""
+        return sum(
+            int(round(getattr(self, f"{kind}_events") * self.intensity))
+            for kind in ("dvfs", "flush", "remap", "flap", "preempt", "noise")
+        )
+
+    def replace_horizon(self, horizon_cycles: float) -> "ChaosSpec":
+        """Same fault mix compressed (or stretched) into a new window."""
+        return replace(self, horizon_cycles=float(horizon_cycles))
+
+
+def chaos_preset(name: str, intensity: float = 1.0) -> ChaosSpec:
+    """Build the named fault-intensity preset.
+
+    * ``off`` -- empty plan; the injector is a no-op.
+    * ``light`` -- one DVFS drift window, one L2 flush, one noise burst.
+    * ``moderate`` -- the acceptance mix: page remaps + DVFS drift + one
+      link flap.
+    * ``heavy`` -- everything at once, including preemption and storms.
+    """
+    if name == "off":
+        return ChaosSpec(preset="off", intensity=intensity)
+    if name == "light":
+        return ChaosSpec(
+            preset="light",
+            intensity=intensity,
+            dvfs_events=1,
+            flush_events=1,
+            noise_events=1,
+            dvfs_max_drift=0.15,
+        )
+    if name == "moderate":
+        return ChaosSpec(
+            preset="moderate",
+            intensity=intensity,
+            remap_events=2,
+            dvfs_events=2,
+            flap_events=1,
+        )
+    if name == "heavy":
+        return ChaosSpec(
+            preset="heavy",
+            intensity=intensity,
+            remap_events=3,
+            dvfs_events=3,
+            flush_events=4,
+            flap_events=2,
+            preempt_events=2,
+            noise_events=2,
+            dvfs_max_drift=0.35,
+            flap_degrade_factor=12.0,
+        )
+    raise ConfigurationError(
+        f"unknown chaos preset {name!r}; valid presets: {CHAOS_PRESETS}"
+    )
+
+
 @dataclass(frozen=True)
 class DGXSpec:
     """The whole multi-GPU box."""
@@ -301,6 +440,12 @@ class DGXSpec:
     num_switch_nodes: int = 0
     #: Route selection policy; see :data:`ROUTING_POLICIES`.
     routing: str = "shortest"
+    #: Optional fault-injection schedule (see :class:`ChaosSpec`).  Kept
+    #: out of ``repr`` deliberately: the telemetry config hash is
+    #: ``sha256(repr(spec))``, and a chaos-off spec must hash identically
+    #: to one built before chaos existed.  The *fault plan* hash is
+    #: recorded separately in the run manifest.
+    chaos: Optional[ChaosSpec] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         _require(self.num_gpus >= 1, "num_gpus must be >= 1")
@@ -420,3 +565,17 @@ class DGXSpec:
     def with_routing(self, routing: str) -> "DGXSpec":
         """Return a copy of this spec using a different routing policy."""
         return replace(self, routing=routing)
+
+    def with_chaos(
+        self, chaos: Union[str, ChaosSpec, None], intensity: float = 1.0
+    ) -> "DGXSpec":
+        """Return a copy carrying a fault-injection schedule.
+
+        ``chaos`` is a preset name (see :data:`CHAOS_PRESETS`), an explicit
+        :class:`ChaosSpec`, or ``None`` to clear it.  The schedule is
+        declarative: nothing is perturbed until
+        :func:`repro.chaos.install_chaos` arms an injector on a runtime.
+        """
+        if isinstance(chaos, str):
+            chaos = chaos_preset(chaos, intensity=intensity)
+        return replace(self, chaos=chaos)

@@ -377,9 +377,18 @@ class CovertChannel:
         )
 
     def decode_transmission(
-        self, pending: "PendingTransmission", strict: bool = True
+        self,
+        pending: "PendingTransmission",
+        strict: bool = True,
+        rolling: bool = False,
     ) -> TransmissionResult:
-        """Decode a completed :meth:`launch_transmission` window."""
+        """Decode a completed :meth:`launch_transmission` window.
+
+        ``rolling`` selects the drift-tracking threshold (see
+        :class:`repro.core.timing.RollingThreshold`) instead of the
+        per-trace percentile anchor -- needed when a DVFS excursion can
+        rescale latencies mid-trace.
+        """
         assert self.thresholds is not None
         runtime = self.runtime
         bits = pending.bits
@@ -398,7 +407,11 @@ class CovertChannel:
             payload_len = len(frames[pair_index]) - len(PREAMBLE)
             try:
                 share, _lock = decode_trace(
-                    trace, self.thresholds, slot_cycles, payload_bits=payload_len
+                    trace,
+                    self.thresholds,
+                    slot_cycles,
+                    payload_bits=payload_len,
+                    rolling=rolling,
                 )
             except ChannelError:
                 if strict:
@@ -428,6 +441,7 @@ class CovertChannel:
         bits: Sequence[int],
         slot_cycles: float = 3000.0,
         strict: bool = True,
+        rolling: bool = False,
     ) -> TransmissionResult:
         """Send ``bits`` across the aligned pairs and decode on the spy side.
 
@@ -438,16 +452,30 @@ class CovertChannel:
         """
         pending = self.launch_transmission(bits, slot_cycles=slot_cycles)
         self.runtime.synchronize()
-        return self.decode_transmission(pending, strict=strict)
+        return self.decode_transmission(pending, strict=strict, rolling=rolling)
 
     def send_text(self, text: str, slot_cycles: float = 3000.0) -> TransmissionResult:
         """Convenience: UTF-8 text over the channel (the Fig 10 demo)."""
         return self.transmit(text_to_bits(text), slot_cycles=slot_cycles)
 
+    def idle(self, cycles: float) -> None:
+        """Advance simulated time with both processes quiet (backoff gap)."""
+        from ...sim.ops import Sleep
+
+        def _idle_kernel(duration: float):
+            yield Sleep(duration)
+
+        self.runtime.run_kernel(
+            _idle_kernel(cycles), self.trojan_gpu, self.trojan, name="idle_backoff"
+        )
+
     def transmit_reliable(
         self,
         bits: Sequence[int],
         slot_cycles: float = 3000.0,
+        max_attempts: int = 3,
+        backoff_slots: float = 16.0,
+        rolling: bool = False,
     ) -> Tuple[List[int], TransmissionResult, int]:
         """Send ``bits`` under Hamming(7,4) + length framing.
 
@@ -455,10 +483,31 @@ class CovertChannel:
         Left of the Fig 9 knee the channel's raw errors are sparse and
         isolated, so single-error correction per codeword typically yields
         an error-free payload at a 4/7 rate cost.
+
+        The length header doubles as a sync check: when the decoded frame
+        does not describe a payload of the expected size (preamble lock
+        lost, header corrupted beyond correction), the transfer is retried
+        after an exponentially growing idle gap -- at most ``max_attempts``
+        times, after which :class:`repro.errors.SyncLostError` is raised
+        rather than looping forever on a dead channel.
         """
+        from ...errors import SyncLostError
         from .ecc import decode_with_length, encode_with_length
 
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
         framed = encode_with_length(bits)
-        raw = self.transmit(framed, slot_cycles=slot_cycles, strict=False)
-        payload, corrections = decode_with_length(list(raw.received_bits))
-        return payload, raw, corrections
+        for attempt in range(max_attempts):
+            raw = self.transmit(
+                framed, slot_cycles=slot_cycles, strict=False, rolling=rolling
+            )
+            payload, corrections = decode_with_length(list(raw.received_bits))
+            if len(payload) == len(bits):
+                return payload, raw, corrections
+            if attempt + 1 < max_attempts:
+                self.idle(backoff_slots * (2.0**attempt) * slot_cycles)
+        raise SyncLostError(
+            f"covert frame never re-synchronized after {max_attempts} attempts "
+            f"(expected {len(bits)} payload bits, last decode "
+            f"yielded {len(payload)})"
+        )

@@ -1,0 +1,237 @@
+"""Self-healing covert transport over the raw Prime+Probe bit-pipe.
+
+The plain :class:`~repro.core.covert.channel.CovertChannel` assumes a
+stationary box: one preamble lock per message, thresholds calibrated
+once, eviction sets that never rot.  Under the fault model of
+:mod:`repro.chaos` (DVFS excursions, L2 flush storms, silent page
+migration, link flaps) any of those assumptions can break mid-message.
+This module layers a small ARQ protocol on top:
+
+- the payload is cut into short *chunks*, each sent as its own framed
+  transmission -- so every chunk re-locks the preamble (pilot re-sync)
+  and a fault only costs the chunks it overlaps;
+- each chunk carries a 4-bit sequence number and a CRC-8 over header +
+  payload, Hamming(7,4)-coded like the ECC bench; the host-side receiver
+  NACKs any chunk whose CRC or sequence check fails, triggering a
+  retransmit after an exponentially growing idle gap;
+- decode uses the drift-tracking :class:`repro.core.timing.RollingThreshold`
+  so a DVFS window inside a chunk does not shear the binarization;
+- repeated failures feed an :class:`repro.core.eviction.EvictionSetHealth`
+  monitor; pairs it flags as rotted are rebuilt *in place* (only the
+  affected (trojan, spy) sets) before the next retransmit;
+- when a chunk's retry budget runs out the transfer fails loudly with
+  :class:`repro.errors.SyncLostError` -- never a hang, never silently
+  corrupt data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ...errors import EvictionSetStaleError, SyncLostError
+from ..eviction import EvictionSetHealth, repair_eviction_set
+from .channel import CovertChannel, TransmissionResult
+from .ecc import hamming74_decode, hamming74_encode
+
+__all__ = ["ResilientCovertChannel", "ResilienceReport", "crc8"]
+
+_SEQ_BITS = 4
+_CRC_BITS = 8
+_CRC_POLY = 0x107  # x^8 + x^2 + x + 1 (CRC-8/ATM), bitwise
+
+
+def crc8(bits: Sequence[int]) -> int:
+    """CRC-8 (poly 0x07) over a bit sequence, MSB first."""
+    crc = 0
+    for bit in bits:
+        crc = ((crc << 1) | (1 if bit else 0)) & 0x1FF
+        if crc & 0x100:
+            crc ^= _CRC_POLY
+    return crc & 0xFF
+
+
+def _int_bits(value: int, width: int) -> List[int]:
+    return [(value >> shift) & 1 for shift in range(width - 1, -1, -1)]
+
+
+def _bits_int(bits: Sequence[int]) -> int:
+    value = 0
+    for bit in bits:
+        value = (value << 1) | (1 if bit else 0)
+    return value
+
+
+@dataclass
+class ResilienceReport:
+    """What the transfer cost: the graceful-degradation bookkeeping."""
+
+    chunks: int = 0
+    frames_sent: int = 0
+    retransmits: int = 0
+    #: Frames whose spy share came back empty (preamble never locked) --
+    #: each retry of one of these is a pilot re-synchronization.
+    resyncs: int = 0
+    #: (trojan, spy) pairs rebuilt in place, by pair row.
+    repairs: List[int] = field(default_factory=list)
+    #: Per-chunk attempts actually needed (diagnostics).
+    attempts: List[int] = field(default_factory=list)
+
+    @property
+    def goodput_ratio(self) -> float:
+        """Useful frames / frames sent (1.0 = no retransmissions)."""
+        if self.frames_sent == 0:
+            return 0.0
+        return self.chunks / self.frames_sent
+
+
+class ResilientCovertChannel:
+    """ARQ + self-healing wrapper around a set-up :class:`CovertChannel`."""
+
+    def __init__(
+        self,
+        channel: CovertChannel,
+        chunk_bits: int = 32,
+        max_retries: int = 4,
+        backoff_slots: float = 8.0,
+        rolling: bool = True,
+        health: EvictionSetHealth = None,
+    ) -> None:
+        if not channel.pairs:
+            raise SyncLostError("channel not set up: call setup() first")
+        if chunk_bits % 4:
+            raise ValueError("chunk_bits must be a multiple of 4 (Hamming nibbles)")
+        self.channel = channel
+        self.chunk_bits = int(chunk_bits)
+        self.max_retries = int(max_retries)
+        self.backoff_slots = float(backoff_slots)
+        self.rolling = bool(rolling)
+        self.health = health or EvictionSetHealth(len(channel.pairs))
+
+    # ------------------------------------------------------------------
+    def _frame(self, seq: int, chunk: Sequence[int]) -> List[int]:
+        body = _int_bits(seq % (1 << _SEQ_BITS), _SEQ_BITS) + list(chunk)
+        return hamming74_encode(body + _int_bits(crc8(body), _CRC_BITS))
+
+    def _unframe(self, raw_bits: Sequence[int], seq: int) -> List[int]:
+        """Decode + verify one frame; returns the chunk or raises ValueError."""
+        decoded, _corrections = hamming74_decode(raw_bits)
+        body_len = _SEQ_BITS + self.chunk_bits
+        if len(decoded) < body_len + _CRC_BITS:
+            raise ValueError("frame truncated")
+        body = decoded[:body_len]
+        got_crc = _bits_int(decoded[body_len : body_len + _CRC_BITS])
+        if crc8(body) != got_crc:
+            raise ValueError("CRC mismatch")
+        got_seq = _bits_int(body[:_SEQ_BITS])
+        if got_seq != seq % (1 << _SEQ_BITS):
+            raise ValueError(f"sequence mismatch: got {got_seq}")
+        return body[_SEQ_BITS:]
+
+    def _observe(self, raw: TransmissionResult) -> List[int]:
+        """Feed the frame's traces to the rot monitor; returns rotted rows."""
+        threshold = self.channel.thresholds.remote
+        rotted = []
+        for row, trace in enumerate(raw.traces):
+            if self.health.observe_trace(row, trace, threshold):
+                rotted.append(row)
+        return rotted
+
+    def _repair(self, rows: Sequence[int]) -> List[int]:
+        """Rebuild only the flagged pairs, both sides, preserving alignment.
+
+        Repair is per (color group, line offset) origin, so a repaired
+        trojan set and spy set still index the same physical cache set.
+        A side that stays unrecoverable keeps its old set (the chunk
+        retry budget, not the repair, decides when to give up).
+        """
+        channel = self.channel
+        spec = channel.runtime.system.spec.gpu
+        repaired = []
+        for row in rows:
+            trojan_set, spy_set = channel.pairs[row]
+            try:
+                new_trojan = repair_eviction_set(
+                    channel.runtime,
+                    channel.trojan,
+                    channel.trojan_gpu,
+                    trojan_set,
+                    channel._trojan_coloring,
+                    spec.cache.associativity,
+                    channel.thresholds.local,
+                )
+                new_spy = repair_eviction_set(
+                    channel.runtime,
+                    channel.spy,
+                    channel.spy_gpu,
+                    spy_set,
+                    channel._spy_coloring,
+                    spec.cache.associativity,
+                    channel.thresholds.remote,
+                )
+            except EvictionSetStaleError:
+                continue
+            channel.pairs[row] = (new_trojan, new_spy)
+            self.health.mark_repaired(row)
+            repaired.append(row)
+        return repaired
+
+    # ------------------------------------------------------------------
+    def transmit(
+        self,
+        bits: Sequence[int],
+        slot_cycles: float = 3000.0,
+    ) -> Tuple[List[int], ResilienceReport]:
+        """Move ``bits`` across the faulty box; returns (payload, report).
+
+        Raises :class:`SyncLostError` when any chunk exhausts its retry
+        budget -- after CRC NACKs, exponential backoff, threshold
+        re-tracking, and in-place set repair have all failed.
+        """
+        payload = [1 if bit else 0 for bit in bits]
+        report = ResilienceReport()
+        received: List[int] = []
+        chunks = [
+            payload[at : at + self.chunk_bits]
+            for at in range(0, len(payload), self.chunk_bits)
+        ]
+        report.chunks = len(chunks)
+        for seq, chunk in enumerate(chunks):
+            padded = chunk + [0] * (self.chunk_bits - len(chunk))
+            framed = self._frame(seq, padded)
+            last_failure = None
+            for attempt in range(self.max_retries + 1):
+                raw = self.channel.transmit(
+                    framed,
+                    slot_cycles=slot_cycles,
+                    strict=False,
+                    rolling=self.rolling,
+                )
+                report.frames_sent += 1
+                if attempt:
+                    report.retransmits += 1
+                rotted = self._observe(raw)
+                try:
+                    got = self._unframe(raw.received_bits, seq)
+                except ValueError as failure:
+                    last_failure = failure
+                    if not any(raw.received_bits):
+                        report.resyncs += 1
+                    if rotted:
+                        report.repairs.extend(self._repair(rotted))
+                    if attempt < self.max_retries:
+                        self.channel.idle(
+                            self.backoff_slots * (2.0**attempt) * slot_cycles
+                        )
+                    continue
+                received.extend(got[: len(chunk)])
+                report.attempts.append(attempt + 1)
+                break
+            else:
+                raise SyncLostError(
+                    f"chunk {seq}/{len(chunks)} lost sync after "
+                    f"{self.max_retries + 1} attempts ({last_failure}); "
+                    f"{len(report.repairs)} pair repairs did not recover "
+                    "the channel"
+                )
+        return received, report

@@ -185,6 +185,7 @@ def decode_trace(
     slot_cycles: float,
     payload_bits: int,
     probe_period_hint: Optional[float] = None,
+    rolling: bool = False,
 ) -> Tuple[List[int], float]:
     """Recover the payload share from one spy trace.
 
@@ -194,10 +195,20 @@ def decode_trace(
     ``(payload_bits_list, start_time_used)``.
 
     ``thresholds`` is the quiet-box calibration; the decoder self-calibrates
-    to this trace's load level with :func:`adaptive_threshold`.
+    to this trace's load level with :func:`adaptive_threshold`, or -- with
+    ``rolling=True`` -- with a :class:`repro.core.timing.RollingThreshold`
+    that tracks *mid-trace* drift (DVFS excursions rescale the clusters
+    partway through a trace, where any single per-trace threshold splits
+    the difference).
     """
-    threshold = adaptive_threshold(trace.latencies, thresholds.remote_half_gap)
-    raw = trace.binarized(threshold)
+    if rolling:
+        from ..timing import RollingThreshold
+
+        tracker = RollingThreshold(thresholds.remote_half_gap)
+        raw = tracker.classify(trace.latencies)
+    else:
+        threshold = adaptive_threshold(trace.latencies, thresholds.remote_half_gap)
+        raw = trace.binarized(threshold)
     # The spy's very first probes are cold misses (its lines are not yet
     # cached), which binarize to spurious '1's.  Anchor on the first '1'
     # that follows a run of quiet samples instead.

@@ -27,13 +27,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from ..errors import EvictionSetError
+from ..errors import EvictionSetError, EvictionSetStaleError
 from ..runtime.api import Runtime
-from ..sim.ops import Access, Fence, ProbeSet, SharedStore
+from ..sim.ops import Access, Fence, ProbeSet, SharedStore, Sleep
 from ..sim.process import DeviceBuffer, Process
 
 __all__ = [
     "EvictionSet",
+    "EvictionSetHealth",
     "Algorithm1Outcome",
     "run_algorithm1",
     "find_eviction_set",
@@ -46,6 +47,9 @@ __all__ = [
     "build_eviction_sets",
     "PageColoring",
     "discover_page_coloring",
+    "verify_set_health",
+    "repair_eviction_set",
+    "repair_eviction_sets",
 ]
 
 
@@ -549,6 +553,243 @@ def discover_page_coloring(
             "allocate a larger buffer"
         )
     return coloring
+
+
+# ----------------------------------------------------------------------
+# Self-healing: rot detection and in-place repair (see repro.chaos)
+# ----------------------------------------------------------------------
+class EvictionSetHealth:
+    """Sustained unexpected-hit detector over a family of eviction sets.
+
+    A set *rots* when the driver silently migrates one of its pages to a
+    frame of a different cache color (:mod:`repro.chaos` page-remap
+    faults): the set then holds fewer than ``associativity`` same-set
+    lines, primes stop evicting, and the observer sees hits where misses
+    were expected.  One noisy frame must not trigger a (costly)
+    rediscovery, so the monitor tracks an EWMA of each set's observed
+    miss fraction and flags a set only after ``patience`` consecutive
+    observations below ``min_miss_fraction``.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        min_miss_fraction: float = 0.08,
+        alpha: float = 0.5,
+        patience: int = 2,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.min_miss_fraction = float(min_miss_fraction)
+        self.alpha = float(alpha)
+        self.patience = int(patience)
+        self._ewma: List[Optional[float]] = [None] * num_sets
+        self._strikes: List[int] = [0] * num_sets
+        #: Completed repair count per set (the repair-scope tests pin this).
+        self.repairs: List[int] = [0] * num_sets
+
+    def observe(self, set_index: int, miss_fraction: float) -> bool:
+        """Fold in one observation; returns True when the set is rotted."""
+        previous = self._ewma[set_index]
+        if previous is None:
+            current = float(miss_fraction)
+        else:
+            current = previous + self.alpha * (miss_fraction - previous)
+        self._ewma[set_index] = current
+        if current < self.min_miss_fraction:
+            self._strikes[set_index] += 1
+        else:
+            self._strikes[set_index] = 0
+        return self._strikes[set_index] >= self.patience
+
+    def observe_trace(self, set_index: int, trace, threshold: float) -> bool:
+        """Observe a spy trace: miss fraction of its binarized samples."""
+        if not trace.latencies:
+            return self.observe(set_index, 0.0)
+        misses = sum(1 for lat in trace.latencies if lat > threshold)
+        return self.observe(set_index, misses / len(trace.latencies))
+
+    def rotted(self) -> List[int]:
+        """Indices currently past the patience budget, in set order."""
+        return [
+            index
+            for index, strikes in enumerate(self._strikes)
+            if strikes >= self.patience
+        ]
+
+    def mark_repaired(self, set_index: int) -> None:
+        """Reset a set's state after a successful repair."""
+        self._ewma[set_index] = None
+        self._strikes[set_index] = 0
+        self.repairs[set_index] += 1
+
+
+def _spare_targets(coloring: PageColoring, ev_set: EvictionSet) -> List[int]:
+    """Same-color-group word indices outside the set (its origin offset)."""
+    if ev_set.origin is None:
+        raise EvictionSetError(
+            "cannot derive spare targets: eviction set has no origin "
+            "(page-coloring provenance required for health checks)"
+        )
+    group, offset = ev_set.origin
+    member_pages = {index // coloring.words_per_page for index in ev_set.indices}
+    word = offset * coloring.words_per_line
+    return [
+        page * coloring.words_per_page + word
+        for page in coloring.groups[group]
+        if page not in member_pages
+    ]
+
+
+def verify_set_health(
+    runtime: Runtime,
+    process: Process,
+    exec_gpu: int,
+    ev_set: EvictionSet,
+    coloring: PageColoring,
+    miss_threshold: float,
+) -> bool:
+    """Active probe: does the set still evict a same-color spare line?
+
+    A healthy set's chase displaces any line of its physical set; a set
+    that lost a member to page migration leaves the spare resident.  The
+    spares come from the set's page-coloring provenance -- but a spare
+    page can *itself* have been migrated away, so a single resident spare
+    is not proof of rot: the verdict is healthy as soon as any spare gets
+    evicted (usually the first, costing one conflict-test kernel), rotted
+    only when every spare stays resident.
+    """
+    spares = _spare_targets(coloring, ev_set)
+    if not spares:
+        raise EvictionSetError(
+            f"no spare page left in color group {ev_set.origin[0]} to "
+            f"verify set {ev_set.set_id} against"
+        )
+    return any(
+        _chase_evicts_target(
+            runtime,
+            process,
+            exec_gpu,
+            ev_set.buffer,
+            spare,
+            ev_set.indices,
+            miss_threshold,
+        )
+        for spare in spares
+    )
+
+
+def repair_eviction_set(
+    runtime: Runtime,
+    process: Process,
+    exec_gpu: int,
+    ev_set: EvictionSet,
+    coloring: PageColoring,
+    associativity: int,
+    miss_threshold: float,
+    max_retries: int = 3,
+    backoff_cycles: float = 4000.0,
+) -> EvictionSet:
+    """Rebuild a rotted set in place, touching nothing else.
+
+    The repair pool is the set's own color group at its origin line
+    offset -- every page that *was* the right color plus the spares the
+    group kept in reserve -- reduced back to ``associativity`` members
+    with the group-testing pass.  A page migrated to a different color
+    simply fails the reduction's conflict tests and drops out.  Each
+    failed attempt (noise, a fault landing mid-repair) backs off
+    exponentially before retrying a different spare target; after
+    ``max_retries`` failures the set is declared unrecoverable with
+    :class:`repro.errors.EvictionSetStaleError`.
+    """
+    if ev_set.origin is None:
+        raise EvictionSetError(
+            f"set {ev_set.set_id} has no page-coloring origin; "
+            "only page-built sets are repairable in place"
+        )
+    group, offset = ev_set.origin
+    word = offset * coloring.words_per_line
+    pool = [
+        page * coloring.words_per_page + word for page in coloring.groups[group]
+    ]
+    spares = _spare_targets(coloring, ev_set) or pool[:1]
+    last_error: Optional[EvictionSetError] = None
+    for attempt in range(max_retries):
+        target = spares[attempt % len(spares)]
+        try:
+            members = reduce_to_minimal(
+                runtime,
+                process,
+                exec_gpu,
+                ev_set.buffer,
+                target,
+                [index for index in pool if index != target],
+                associativity,
+                miss_threshold,
+            )
+        except EvictionSetError as error:
+            last_error = error
+            runtime.run_kernel(
+                _backoff_kernel(backoff_cycles * (2.0**attempt)),
+                exec_gpu,
+                process,
+                name=f"repair_backoff_{ev_set.set_id}",
+            )
+            continue
+        return EvictionSet(
+            buffer=ev_set.buffer,
+            indices=tuple(members),
+            set_id=ev_set.set_id,
+            origin=ev_set.origin,
+        )
+    raise EvictionSetStaleError(
+        f"eviction set {ev_set.set_id} unrecoverable after {max_retries} "
+        f"repair attempts (color group {group}, offset {offset}): {last_error}"
+    )
+
+
+def _backoff_kernel(cycles: float):
+    yield Sleep(cycles)
+
+
+def repair_eviction_sets(
+    runtime: Runtime,
+    process: Process,
+    exec_gpu: int,
+    sets: Sequence[EvictionSet],
+    coloring: PageColoring,
+    associativity: int,
+    miss_threshold: float,
+    health: Optional[EvictionSetHealth] = None,
+    max_retries: int = 3,
+) -> List[EvictionSet]:
+    """Verify every set and rebuild only the rotted ones.
+
+    Healthy sets are returned untouched (same object), so callers can
+    assert repair scope by identity; ``health`` (when given) gets its
+    per-set repair counters bumped.
+    """
+    repaired: List[EvictionSet] = []
+    for index, ev_set in enumerate(sets):
+        if verify_set_health(
+            runtime, process, exec_gpu, ev_set, coloring, miss_threshold
+        ):
+            repaired.append(ev_set)
+            continue
+        fresh = repair_eviction_set(
+            runtime,
+            process,
+            exec_gpu,
+            ev_set,
+            coloring,
+            associativity,
+            miss_threshold,
+            max_retries=max_retries,
+        )
+        if health is not None:
+            health.mark_repaired(index)
+        repaired.append(fresh)
+    return repaired
 
 
 def build_eviction_sets(

@@ -21,7 +21,14 @@ from ...errors import AttackError
 from ...runtime.api import Runtime
 from ...sim.ops import Compute, ProbeEpoch, ProbeSet, ReadClock
 from ...sim.process import Process
-from ..eviction import EvictionSet, build_eviction_sets, discover_page_coloring
+from ..eviction import (
+    EvictionSet,
+    EvictionSetHealth,
+    PageColoring,
+    build_eviction_sets,
+    discover_page_coloring,
+    repair_eviction_sets,
+)
 from ..timing import TimingThresholds, measure_access_classes
 from ...workloads.base import Workload
 from .memorygram import Memorygram
@@ -141,6 +148,10 @@ class MemorygramProber:
         self.process: Optional[Process] = None
         self.thresholds: Optional[TimingThresholds] = None
         self.eviction_sets: List[EvictionSet] = []
+        #: Page-coloring provenance, retained for in-place set repair.
+        self._coloring: Optional[PageColoring] = None
+        #: Rot monitor over the monitored sets (populated by setup()).
+        self.health: Optional[EvictionSetHealth] = None
 
     # ------------------------------------------------------------------
     def setup(
@@ -175,7 +186,13 @@ class MemorygramProber:
         if memo is not None:
             restored = memo.load("discovery", **discovery_key)
             if restored is not None:
-                self.process, self.thresholds, self.eviction_sets = restored
+                (
+                    self.process,
+                    self.thresholds,
+                    self.eviction_sets,
+                    self._coloring,
+                ) = restored
+                self.health = EvictionSetHealth(len(self.eviction_sets))
                 return
         calibration_key = dict(
             role="memorygram",
@@ -233,12 +250,48 @@ class MemorygramProber:
             coloring=coloring,
             spread=True,
         )
+        self._coloring = coloring
+        self.health = EvictionSetHealth(len(self.eviction_sets))
         if memo is not None:
             memo.store(
                 "discovery",
-                (self.process, self.thresholds, self.eviction_sets),
+                (self.process, self.thresholds, self.eviction_sets, coloring),
                 **discovery_key,
             )
+
+    # ------------------------------------------------------------------
+    def heal(self, max_retries: int = 3) -> List[int]:
+        """Verify every monitored set and rebuild the rotted ones in place.
+
+        Returns the rows that were repaired.  Healthy sets keep their
+        exact index tuples (same objects), so a page-migration fault only
+        costs the rediscovery of the sets it actually invalidated -- never
+        a full re-setup.  Raises
+        :class:`repro.errors.EvictionSetStaleError` when a set stays
+        unrecoverable past its retry budget.
+        """
+        if not self.eviction_sets:
+            raise AttackError("prober not set up: call setup() first")
+        assert self.process is not None and self.thresholds is not None
+        assert self._coloring is not None and self.health is not None
+        spec = self.runtime.system.spec.gpu
+        before = list(self.eviction_sets)
+        self.eviction_sets = repair_eviction_sets(
+            self.runtime,
+            self.process,
+            self.spy_gpu,
+            before,
+            self._coloring,
+            spec.cache.associativity,
+            self.thresholds.remote,
+            health=self.health,
+            max_retries=max_retries,
+        )
+        return [
+            row
+            for row, (old, new) in enumerate(zip(before, self.eviction_sets))
+            if old is not new
+        ]
 
     # ------------------------------------------------------------------
     def record(

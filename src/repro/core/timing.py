@@ -13,7 +13,7 @@ hit/miss *thresholds* every later attack step uses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from ..sim.ops import Access, Fence, SharedStore
 from ..sim.process import Process
 
 __all__ = [
+    "RollingThreshold",
     "TimingThresholds",
     "TimingReport",
     "characterize_timing",
@@ -68,6 +69,99 @@ class TimingThresholds:
 
     def is_local_miss(self, cycles: float) -> bool:
         return cycles > self.local
+
+
+class RollingThreshold:
+    """EWMA-tracked hit/miss threshold that survives mid-trace drift.
+
+    :func:`repro.core.covert.spy.adaptive_threshold` re-anchors once per
+    trace, which is enough when load is stationary across the trace.  A
+    DVFS excursion (see :mod:`repro.chaos`) rescales latencies *mid*
+    trace: a single per-trace percentile then splits the difference and
+    misclassifies both halves.  This tracker instead follows the hit
+    level with an exponentially weighted moving average -- seeded from
+    the 25th percentile of the warm-up window, updated only on samples it
+    classifies as hits (misses say nothing about the hit level) -- and
+    keeps the decision threshold ``half_gap`` above the *current* hit
+    level.  ``drift`` exposes how far the hit level has wandered from its
+    seed, which the resilient channel uses to flag clock excursions.
+    """
+
+    def __init__(
+        self,
+        half_gap: float,
+        alpha: float = 0.08,
+        warmup: int = 12,
+    ) -> None:
+        if half_gap <= 0:
+            raise ValueError("half_gap must be positive")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.half_gap = float(half_gap)
+        self.alpha = float(alpha)
+        self.warmup = int(warmup)
+        self._hit_level: float = 0.0
+        self._baseline: float = 0.0
+        self._window: List[float] = []
+        self._seeded = False
+
+    @property
+    def seeded(self) -> bool:
+        return self._seeded
+
+    @property
+    def hit_level(self) -> float:
+        """Current hit-cluster estimate (0.0 until seeded)."""
+        return self._hit_level
+
+    @property
+    def threshold(self) -> float:
+        """Current decision boundary: hit level + half the physical gap."""
+        return self._hit_level + self.half_gap
+
+    @property
+    def drift(self) -> float:
+        """Relative hit-level drift since seeding (0.0 until seeded)."""
+        if not self._seeded or self._baseline == 0.0:
+            return 0.0
+        return (self._hit_level - self._baseline) / self._baseline
+
+    def _seed(self) -> None:
+        ordered = sorted(self._window)
+        self._hit_level = ordered[len(ordered) // 4]
+        self._baseline = self._hit_level
+        self._seeded = True
+
+    def update(self, latency: float) -> int:
+        """Fold in one sample; returns its classification (1 = miss).
+
+        Warm-up samples are classified retroactively against the seeded
+        level once the window fills, and conservatively as hits before
+        that (cold-start probes are anchored away by the decoder anyway).
+        """
+        if not self._seeded:
+            self._window.append(float(latency))
+            if len(self._window) >= self.warmup:
+                self._seed()
+            return 0
+        if latency > self.threshold:
+            return 1
+        self._hit_level += self.alpha * (latency - self._hit_level)
+        return 0
+
+    def classify(self, latencies: Sequence[float]) -> List[int]:
+        """Binarize a whole trace with the rolling threshold.
+
+        The warm-up prefix is re-classified against the seeded level so
+        the output has the same length and semantics as
+        :meth:`repro.core.covert.spy.SpyTrace.binarized`.
+        """
+        bits = [self.update(lat) for lat in latencies]
+        if self._seeded:
+            prefix = min(self.warmup, len(latencies))
+            for index in range(prefix):
+                bits[index] = 1 if latencies[index] > self._baseline + self.half_gap else 0
+        return bits
 
 
 @dataclass

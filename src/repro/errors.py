@@ -8,22 +8,47 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "RetryableError",
     "SimulationError",
     "ConfigurationError",
     "AllocationError",
     "TranslationError",
     "PeerAccessError",
     "LaunchError",
+    "FaultInjectionError",
     "AttackError",
     "EvictionSetError",
+    "EvictionSetStaleError",
     "AlignmentError",
     "ChannelError",
+    "SyncLostError",
     "AnalysisError",
+    "is_retryable",
 ]
+
+
+def is_retryable(error: BaseException) -> bool:
+    """True if a bounded retry (or a higher-level re-setup) may succeed.
+
+    The recovery loops in :mod:`repro.core` use this to separate transient
+    faults -- a rotted eviction set, a frame lost to a flush storm -- from
+    programming or configuration errors that no amount of retrying fixes.
+    """
+    return isinstance(error, RetryableError)
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
+
+
+class RetryableError(ReproError):
+    """Mixin marking failures a bounded retry may clear.
+
+    Raised only *after* a local retry budget is exhausted: the raising
+    layer gave up, but a caller holding more context (full channel
+    re-setup, a fresh calibration pass) can still reasonably try again.
+    Errors without this mixin are fatal for the current configuration.
+    """
 
 
 class SimulationError(ReproError):
@@ -54,6 +79,10 @@ class LaunchError(ReproError):
     """A kernel launch violated the execution model (occupancy, device, ...)."""
 
 
+class FaultInjectionError(SimulationError):
+    """A chaos fault plan could not be constructed or applied."""
+
+
 class AttackError(ReproError):
     """Base class for failures inside the attack pipeline."""
 
@@ -62,12 +91,24 @@ class EvictionSetError(AttackError):
     """Eviction-set discovery or validation failed."""
 
 
+class EvictionSetStaleError(RetryableError, EvictionSetError):
+    """An eviction set rotted (e.g. page migration) and in-place repair
+    exhausted its retry budget.  Retryable: rebuilding the set from a
+    fresh coloring pass may succeed."""
+
+
 class AlignmentError(AttackError):
     """Cross-process eviction-set alignment failed to find a mapping."""
 
 
 class ChannelError(AttackError):
     """The covert channel failed (no preamble found, framing error, ...)."""
+
+
+class SyncLostError(RetryableError, ChannelError):
+    """The covert channel lost synchronization and the resync protocol's
+    retransmit budget ran out.  Retryable: a full re-setup (realign,
+    recalibrate) may restore the channel."""
 
 
 class AnalysisError(ReproError):

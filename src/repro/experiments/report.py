@@ -34,6 +34,7 @@ def _registry() -> Dict[str, Callable[[int, bool], ExperimentResult]]:
     from . import (
         ablation_defense,
         ablation_noise,
+        ext_chaos_covert,
         ext_link_covert,
         ext_link_locate,
         fig04_timing,
@@ -135,6 +136,12 @@ def _registry() -> Dict[str, Callable[[int, bool], ExperimentResult]]:
             small=small,
             topologies=("dgx2",) if small else ("dgx1", "dgx2"),
             duration_cycles=60_000.0 if small else 120_000.0,
+        ),
+        "ext-chaos-covert": lambda seed, small: ext_chaos_covert.run(
+            seed=seed,
+            small=small,
+            payload_bits=64 if small else 96,
+            num_sets=1 if small else 2,
         ),
     }
 

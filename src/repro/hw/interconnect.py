@@ -22,6 +22,7 @@ from typing import Dict, FrozenSet, Optional, Tuple
 import numpy as np
 
 from ..config import DGXSpec
+from ..errors import FaultInjectionError
 from .occupancy import multi_server_waits
 from .topology import Topology
 
@@ -52,6 +53,35 @@ class Interconnect:
         self._transfers: Dict[Edge, int] = {edge: 0 for edge in self._busy}
         self._queued_cycles: Dict[Edge, float] = {edge: 0.0 for edge in self._busy}
         self._busy_cycles: Dict[Edge, float] = {edge: 0.0 for edge in self._busy}
+        #: Serialization multipliers for degraded links (chaos link flaps);
+        #: empty in normal operation, so the hot paths pay one truthiness
+        #: check per hop.
+        self._degraded: Dict[Edge, float] = {}
+
+    # ------------------------------------------------------------------
+    # Fault hooks (see repro.chaos): degraded-lane serialization
+    # ------------------------------------------------------------------
+    def degrade_link(self, edge, factor: float) -> None:
+        """Multiply ``edge``'s serialization delay by ``factor``.
+
+        Models a link flap retraining with fewer lanes / a lower rate:
+        every cache-line transfer crossing the edge occupies its lane
+        ``factor`` times longer, so concurrent traffic queues accordingly.
+        """
+        edge = frozenset(edge)
+        if edge not in self._busy:
+            raise FaultInjectionError(f"cannot degrade unknown link {sorted(edge)}")
+        if factor < 1.0:
+            raise FaultInjectionError("degradation factor must be >= 1")
+        self._degraded[edge] = float(factor)
+
+    def restore_link(self, edge) -> None:
+        """Clear the degradation of ``edge`` (link retrained at full rate)."""
+        self._degraded.pop(frozenset(edge), None)
+
+    def link_degradation(self, edge) -> float:
+        """Current serialization multiplier of ``edge`` (1.0 = healthy)."""
+        return self._degraded.get(frozenset(edge), 1.0)
 
     # ------------------------------------------------------------------
     # Lane-state hook
@@ -83,10 +113,14 @@ class Interconnect:
         if src_gpu == dst_gpu:
             return 0.0, 0
         route = self.topology.path(src_gpu, dst_gpu)
-        serialization = self.spec.nvlink.serialization_cycles
+        base_serialization = self.spec.nvlink.serialization_cycles
+        degraded = self._degraded
         extra = 0.0
         clock = now
         for edge in route:
+            serialization = base_serialization
+            if degraded:
+                serialization *= degraded.get(edge, 1.0)
             lanes = self._lane_state(edge, owner)
             lane = min(range(len(lanes)), key=lanes.__getitem__)
             busy = lanes[lane]
@@ -132,9 +166,13 @@ class Interconnect:
         if src_gpu == dst_gpu or n == 0:
             return extras
         route = self.topology.path(src_gpu, dst_gpu)
-        serialization = float(self.spec.nvlink.serialization_cycles)
+        base_serialization = float(self.spec.nvlink.serialization_cycles)
+        degraded = self._degraded
         clock = np.asarray(stamps, dtype=np.float64).copy()
         for hop, edge in enumerate(route):
+            serialization = base_serialization
+            if degraded:
+                serialization *= degraded.get(edge, 1.0)
             lanes = self._lane_state(edge, owner)
             arrival = float(clock[0])
             waits, new_busy = multi_server_waits(

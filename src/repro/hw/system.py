@@ -130,6 +130,12 @@ class MultiGPUSystem:
         self.tracer = None
         self._jitter = _JitterPool(self.rng.generator("timing/jitter"))
         self._next_pid = 0
+        #: Every process created on this box (the chaos injector scans it
+        #: for live buffers when picking page-migration victims).
+        self.processes: List[Process] = []
+        #: Nullable per-GPU latency multipliers (DVFS/clock-drift faults);
+        #: the access paths pay one ``is None`` branch when unset.
+        self._latency_scale: Optional[np.ndarray] = None
         #: id-keyed bounded cache of :class:`_EpochPlan` (see access_epoch).
         self._epoch_plans: dict = {}
 
@@ -139,7 +145,44 @@ class MultiGPUSystem:
     def new_process(self, name: str = "proc") -> Process:
         proc = Process(pid=self._next_pid, name=name)
         self._next_pid += 1
+        self.processes.append(proc)
         return proc
+
+    # ------------------------------------------------------------------
+    # Chaos hooks (see repro.chaos)
+    # ------------------------------------------------------------------
+    def set_latency_scale(self, gpu_id: int, factor: float) -> None:
+        """Scale every latency measured from ``gpu_id`` (DVFS drift).
+
+        Models the executing GPU's clock drifting relative to nominal: a
+        cycle counter on a down-clocked GPU reads *more* cycles for the
+        same physical access, shifting every timing cluster by the same
+        factor.  The multiplier array is only materialized on first use,
+        so chaos-free runs never touch it.
+        """
+        if self._latency_scale is None:
+            if factor == 1.0:
+                return
+            self._latency_scale = np.ones(len(self.gpus), dtype=np.float64)
+        self._latency_scale[gpu_id] = float(factor)
+
+    def invalidate_epoch_plans(self, buffer: Optional[DeviceBuffer] = None) -> None:
+        """Drop cached epoch plans (all, or those over ``buffer``).
+
+        Epoch plans hold precomputed *physical* line addresses; a page
+        remap silently invalidates them, so the chaos injector calls this
+        after migrating frames.
+        """
+        if buffer is None:
+            self._epoch_plans.clear()
+            return
+        stale = [
+            key
+            for key, plan in self._epoch_plans.items()
+            if plan.buffer is buffer
+        ]
+        for key in stale:
+            self._epoch_plans.pop(key)
 
     @property
     def timing(self) -> TimingSpec:
@@ -210,6 +253,8 @@ class MultiGPUSystem:
                 exec_gpu, home, now, owner=process.pid
             )
             latency += extra
+        if self._latency_scale is not None:
+            latency *= self._latency_scale[exec_gpu]
         if latency < 1.0:
             latency = 1.0
 
@@ -459,6 +504,8 @@ class MultiGPUSystem:
         latencies = (
             link_rtt + extras + timing.jitter_remote_hit * self._jitter.take(count)
         )
+        if self._latency_scale is not None:
+            latencies *= self._latency_scale[exec_gpu]
         np.maximum(latencies, 1.0, out=latencies)
         if wait:
             total = float(np.max(steps + latencies))
@@ -553,6 +600,8 @@ class MultiGPUSystem:
             latencies += self.interconnect.transfer_batch(
                 exec_gpu, home, stamps, owner=owner
             )
+        if self._latency_scale is not None:
+            latencies *= self._latency_scale[exec_gpu]
         np.maximum(latencies, 1.0, out=latencies)
         return latencies, hits, int(missed.sum()), int(evictions.sum())
 
@@ -582,6 +631,11 @@ class MultiGPUSystem:
             hit_base, miss_base = timing.local_l2_hit, timing.local_dram
             hit_sigma, miss_sigma = timing.jitter_local_hit, timing.jitter_local_miss
 
+        scale = (
+            1.0
+            if self._latency_scale is None
+            else float(self._latency_scale[exec_gpu])
+        )
         latencies = []
         hits = []
         evictions = 0
@@ -602,6 +656,8 @@ class MultiGPUSystem:
                 evictions += 1
             if remote:
                 latency += transfer(exec_gpu, home, stamp, owner)[0]
+            if scale != 1.0:
+                latency *= scale
             if latency < 1.0:
                 latency = 1.0
             latencies.append(latency)

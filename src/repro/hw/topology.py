@@ -66,6 +66,10 @@ class Topology:
         else:
             self._paths = self._all_pairs_paths()
         self._switch_reach = self._switch_reachable() if self.num_switches else {}
+        #: Edges taken down by link-flap faults (see repro.chaos); routes
+        #: are rebuilt around them, physical adjacency is untouched.
+        self._disabled: FrozenSet[Edge] = frozenset()
+        self._routable_pairs = frozenset(self._paths)
 
     def is_switch(self, node: int) -> bool:
         """True for NVSwitch forwarding vertices (no memory, no kernels)."""
@@ -116,16 +120,75 @@ class Topology:
             )
 
     # ------------------------------------------------------------------
+    # Fault hooks (see repro.chaos): take an edge out of routing
+    # ------------------------------------------------------------------
+    def disable_edge(self, edge) -> bool:
+        """Reroute around ``edge`` (a link flap), if the fabric allows it.
+
+        Returns True when routes were rebuilt without the edge.  Returns
+        False -- leaving routing untouched -- when the edge is unknown,
+        already down, or when removing it would disconnect a GPU pair that
+        was routable at construction (a flapping sole link degrades, via
+        :meth:`Interconnect.degrade_link`, rather than vanishing: real
+        fabrics retrain the link instead of dropping peer DMA mid-flight).
+        Physical adjacency (``are_peers``) is deliberately untouched.
+        """
+        edge = frozenset(edge)
+        if edge not in self.edges or edge in self._disabled:
+            return False
+        trial = self._disabled | {edge}
+        paths = self._rebuild_paths(trial)
+        if any(pair not in paths for pair in self._routable_pairs):
+            return False
+        self._disabled = trial
+        self._paths = paths
+        return True
+
+    def enable_edge(self, edge) -> None:
+        """Restore a previously disabled edge and rebuild routes."""
+        edge = frozenset(edge)
+        if edge not in self._disabled:
+            return
+        self._disabled = self._disabled - {edge}
+        self._paths = self._rebuild_paths(self._disabled)
+
+    @property
+    def disabled_edges(self) -> FrozenSet[Edge]:
+        return self._disabled
+
+    def _rebuild_paths(
+        self, disabled: FrozenSet[Edge]
+    ) -> Dict[Tuple[int, int], Tuple[Edge, ...]]:
+        if disabled:
+            adj = {
+                node: [
+                    nxt
+                    for nxt in neighbors
+                    if frozenset((node, nxt)) not in disabled
+                ]
+                for node, neighbors in self._adj.items()
+            }
+        else:
+            adj = self._adj
+        if self.routing == "ecmp":
+            return self._all_pairs_paths_ecmp(adj)
+        return self._all_pairs_paths(adj)
+
+    # ------------------------------------------------------------------
     # Route construction
     # ------------------------------------------------------------------
-    def _all_pairs_paths(self) -> Dict[Tuple[int, int], Tuple[Edge, ...]]:
+    def _all_pairs_paths(
+        self, adj: Optional[Dict[int, List[int]]] = None
+    ) -> Dict[Tuple[int, int], Tuple[Edge, ...]]:
+        if adj is None:
+            adj = self._adj
         paths: Dict[Tuple[int, int], Tuple[Edge, ...]] = {}
         for src in range(self.num_nodes):
             prev: Dict[int, Optional[int]] = {src: None}
             queue = deque([src])
             while queue:
                 node = queue.popleft()
-                for nxt in self._adj[node]:
+                for nxt in adj[node]:
                     if nxt not in prev:
                         prev[nxt] = node
                         queue.append(nxt)
@@ -139,7 +202,9 @@ class Topology:
                 paths[(src, dst)] = tuple(reversed(hops))
         return paths
 
-    def _all_pairs_paths_ecmp(self) -> Dict[Tuple[int, int], Tuple[Edge, ...]]:
+    def _all_pairs_paths_ecmp(
+        self, adj: Optional[Dict[int, List[int]]] = None
+    ) -> Dict[Tuple[int, int], Tuple[Edge, ...]]:
         """Shortest paths with hashed tie-breaking between equal costs.
 
         Per source, a BFS records every shortest-path predecessor of each
@@ -148,6 +213,8 @@ class Topology:
         the same endpoints always take the same route but different flows
         spread over the parallel paths.
         """
+        if adj is None:
+            adj = self._adj
         paths: Dict[Tuple[int, int], Tuple[Edge, ...]] = {}
         for src in range(self.num_nodes):
             dist: Dict[int, int] = {src: 0}
@@ -155,7 +222,7 @@ class Topology:
             queue = deque([src])
             while queue:
                 node = queue.popleft()
-                for nxt in self._adj[node]:
+                for nxt in adj[node]:
                     if nxt not in dist:
                         dist[nxt] = dist[node] + 1
                         preds[nxt] = [node]

@@ -13,6 +13,7 @@ from typing import Generator, List, Optional
 
 import numpy as np
 
+from ..errors import SimulationError
 from ..runtime.api import Runtime
 from ..sim.engine import StreamHandle
 from ..sim.ops import Compute, ProbeSet
@@ -76,13 +77,38 @@ class BackgroundNoise:
             self.process, gpu_id, footprint_bytes, name="noise_buf"
         )
         self._end_time = float("inf")
+        self._started = False
         self.handles: List[StreamHandle] = []
 
+    @property
+    def active(self) -> bool:
+        """True while any launched noise block is still running."""
+        return any(not handle.done for handle in self.handles)
+
     def start(self, duration_cycles: Optional[float] = None) -> None:
-        """Launch the noise blocks (they stop at start + duration)."""
+        """Launch the noise blocks (they stop at start + duration).
+
+        Starting again while blocks from a previous :meth:`start` are
+        still running raises :class:`SimulationError`: the relaunch would
+        silently double the block count and reset the shared end time,
+        corrupting the first window's schedule.  Restarting after the
+        previous window drained is fine.  To extend a live window, use
+        :meth:`stop_at`.
+        """
+        if duration_cycles is not None and duration_cycles <= 0:
+            raise SimulationError(
+                f"noise duration must be positive, got {duration_cycles}"
+            )
+        if self.active:
+            raise SimulationError(
+                "noise already running: start() while blocks are live would "
+                "corrupt the schedule; use stop_at() to extend the window"
+            )
         runtime = self.runtime
         now = runtime.engine.now
         self._end_time = now + duration_cycles if duration_cycles else float("inf")
+        self._started = True
+        self.handles = []
         words_per_line = runtime.system.spec.gpu.cache.line_size // 8
         for block in range(self.blocks):
             rng = np.random.default_rng(self.seed * 101 + block)
@@ -104,5 +130,15 @@ class BackgroundNoise:
             )
 
     def stop_at(self, time: float) -> None:
-        """Ask the noise blocks to wind down at ``time``."""
+        """Ask the noise blocks to wind down at ``time``.
+
+        Only meaningful after :meth:`start`: before it there is no
+        schedule to adjust, and the silent assignment used to be lost
+        entirely when a later ``start()`` overwrote the end time.
+        """
+        if not self._started:
+            raise SimulationError(
+                "stop_at() before start(): the noise window has no schedule "
+                "yet; call start() first"
+            )
         self._end_time = time

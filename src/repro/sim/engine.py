@@ -158,6 +158,9 @@ class Engine:
         #: Nullable telemetry hook (see :mod:`repro.telemetry`): when None
         #: the event loop pays a single branch per dispatch.
         self.tracer: Optional["Tracer"] = None
+        #: Nullable fault-injection hook (see :mod:`repro.chaos`): same
+        #: contract as the tracer -- one branch per dispatch when absent.
+        self.chaos = None
         self._heap: List = []
         self._seq = 0
         self._events = 0
@@ -201,6 +204,7 @@ class Engine:
         heap = self._heap
         stats = self.stats
         tracer = self.tracer
+        chaos = self.chaos
         started_at = self.now
         wall_start = time.perf_counter()
         try:
@@ -210,6 +214,11 @@ class Engine:
                     break
                 heapq.heappop(heap)
                 self.now = when
+                # Faults scheduled at or before ``when`` land before the op
+                # dispatched at ``when`` -- the injector may reshuffle the
+                # heap (preemption) or mutate the hardware under the op.
+                if chaos is not None:
+                    chaos.advance(when)
                 self._events += 1
                 if self._events > max_events:
                     raise SimulationError(

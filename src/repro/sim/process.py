@@ -112,6 +112,28 @@ class DeviceBuffer:
         pages, offsets = np.divmod(indices, self._words_per_page)
         return self._frame_array[pages] * self.page_size + offsets * WORD_BYTES
 
+    def remap_page(self, page_index: int, new_frame: int) -> int:
+        """Silently migrate one page to a different physical frame.
+
+        Models driver-side page migration: the virtual mapping (and the
+        buffer contents) are untouched, but every line of the page now
+        lives at a new physical address -- so cached copies of the old
+        frame and any eviction set built on it are stale.  Returns the
+        old frame.  Callers own the frame-allocator bookkeeping and cache
+        scrubbing (see :func:`repro.chaos.remap_buffer_page`).
+        """
+        if not 0 <= page_index < len(self.frames):
+            raise TranslationError(
+                f"page {page_index} outside buffer {self.name!r} "
+                f"({len(self.frames)} pages)"
+            )
+        old_frame = self.frames[page_index]
+        frames = list(self.frames)
+        frames[page_index] = new_frame
+        self.frames = tuple(frames)
+        self._frame_array = np.asarray(frames, dtype=np.int64)
+        return old_frame
+
     def load(self, index: int) -> int:
         return int(self.data[index])
 

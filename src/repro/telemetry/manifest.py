@@ -119,9 +119,19 @@ def build_manifest(
     seed: Optional[int] = None,
     extras: Optional[Dict[str, Any]] = None,
 ) -> RunManifest:
-    """Snapshot a runtime's provenance after (part of) a run."""
+    """Snapshot a runtime's provenance after (part of) a run.
+
+    When a chaos injector (:mod:`repro.chaos`) is installed, its summary
+    -- fault-plan hash, preset, applied/skipped counts -- is folded into
+    ``extras["chaos"]`` automatically, so any faulted run is replayable
+    from its manifest alone.
+    """
     spec = runtime.system.spec
     stats = runtime.engine.stats
+    chaos = getattr(runtime.engine, "chaos", None)
+    merged = dict(extras) if extras else {}
+    if chaos is not None and "chaos" not in merged:
+        merged["chaos"] = chaos.snapshot()
     return RunManifest(
         label=label,
         config_hash=config_hash(spec),
@@ -133,5 +143,5 @@ def build_manifest(
         wall_seconds=stats.wall_seconds,
         engine=stats.snapshot(),
         counters=[gpu.counters.snapshot() for gpu in runtime.system.gpus],
-        extras=dict(extras) if extras else {},
+        extras=merged,
     )

@@ -1,0 +1,538 @@
+"""Deterministic fault injection (repro.chaos) and the self-healing runtime."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.chaos import ChaosInjector, install_chaos, remap_buffer_page
+from repro.chaos.plan import FaultEvent, FaultPlan, generate_plan
+from repro.config import CHAOS_PRESETS, ChaosSpec, DGXSpec, chaos_preset
+from repro.core.covert.channel import CovertChannel
+from repro.core.covert.resilient import ResilientCovertChannel, crc8
+from repro.core.eviction import EvictionSetHealth
+from repro.core.sidechannel.prober import MemorygramProber
+from repro.core.timing import RollingThreshold
+from repro.errors import (
+    EvictionSetStaleError,
+    FaultInjectionError,
+    RetryableError,
+    SyncLostError,
+)
+from repro.runtime.api import Runtime
+from repro.sim.ops import Compute, Sleep
+from repro.telemetry.manifest import build_manifest
+
+
+def _payload(seed: int, count: int):
+    rng = np.random.default_rng(seed)
+    return [int(b) for b in rng.integers(0, 2, count)]
+
+
+def _prepared_channel(seed: int = 3, num_sets: int = 2):
+    runtime = Runtime(DGXSpec.small(), seed=seed)
+    channel = CovertChannel(runtime)
+    channel.setup(num_sets)
+    return runtime, channel
+
+
+def _flush_storm(period: float = 1500.0, horizon: float = 3_000_000.0) -> FaultPlan:
+    """Worst case: the contended L2 is wiped faster than a slot lasts."""
+    events = tuple(
+        FaultEvent(time=float(t), kind="l2_flush", gpu=0)
+        for t in range(0, int(horizon), int(period))
+    )
+    return FaultPlan(events=events, preset="flush-storm", seed=0)
+
+
+class TestFaultPlan:
+    def test_generation_is_deterministic(self):
+        spec = chaos_preset("heavy")
+        dgx = DGXSpec.small()
+        first = generate_plan(spec, dgx, seed=5)
+        second = generate_plan(spec, dgx, seed=5)
+        assert first.events == second.events
+        assert first.plan_hash() == second.plan_hash()
+        assert first.plan_hash() != generate_plan(spec, dgx, seed=6).plan_hash()
+
+    def test_preset_event_mix(self):
+        dgx = DGXSpec.small()
+        assert len(generate_plan(chaos_preset("off"), dgx)) == 0
+        moderate = generate_plan(chaos_preset("moderate"), dgx)
+        kinds = sorted(e.kind for e in moderate.events)
+        assert kinds == ["dvfs", "dvfs", "link_flap", "page_remap", "page_remap"]
+
+    def test_intensity_scales_counts(self):
+        dgx = DGXSpec.small()
+        single = generate_plan(chaos_preset("moderate"), dgx)
+        double = generate_plan(chaos_preset("moderate", intensity=2.0), dgx)
+        assert len(double) == 2 * len(single)
+        assert len(generate_plan(chaos_preset("moderate", intensity=0.0), dgx)) == 0
+
+    def test_events_sorted_and_hash_canonical(self):
+        early = FaultEvent(time=10.0, kind="l2_flush")
+        late = FaultEvent(time=20.0, kind="dvfs", duration=5.0, magnitude=1.2)
+        forward = FaultPlan(events=(early, late))
+        backward = FaultPlan(events=(late, early))
+        assert forward.events == backward.events
+        assert forward.plan_hash() == backward.plan_hash()
+
+    def test_merge_is_commutative(self):
+        dgx = DGXSpec.small()
+        a = generate_plan(chaos_preset("light"), dgx, seed=1)
+        b = generate_plan(chaos_preset("moderate"), dgx, seed=2)
+        assert a.merge(b).events == b.merge(a).events
+        assert a.merge(b).plan_hash() == b.merge(a).plan_hash()
+        assert len(a.merge(b)) == len(a) + len(b)
+
+    def test_shifted_moves_every_event(self):
+        plan = generate_plan(chaos_preset("light"), DGXSpec.small(), seed=1)
+        moved = plan.shifted(500.0)
+        assert [e.time - 500.0 for e in moved.events] == pytest.approx(
+            [e.time for e in plan.events]
+        )
+
+    def test_event_validation(self):
+        with pytest.raises(FaultInjectionError):
+            FaultEvent(time=0.0, kind="meteor_strike")
+        with pytest.raises(FaultInjectionError):
+            FaultEvent(time=-1.0, kind="dvfs")
+        with pytest.raises(FaultInjectionError):
+            FaultEvent(time=0.0, kind="dvfs", duration=-5.0)
+
+    def test_flaps_need_a_fabric(self):
+        lonely = replace(DGXSpec.small(), nvlink_edges=())
+        with pytest.raises(FaultInjectionError):
+            generate_plan(ChaosSpec(preset="custom", flap_events=1), lonely)
+
+    def test_spec_plumbing(self):
+        spec = DGXSpec.small().with_chaos("moderate")
+        assert spec.chaos is not None and spec.chaos.preset == "moderate"
+        assert spec.with_chaos(None).chaos is None
+        tightened = spec.chaos.replace_horizon(1000.0)
+        assert tightened.horizon_cycles == 1000.0
+        assert "off" in CHAOS_PRESETS and "moderate" in CHAOS_PRESETS
+
+    def test_chaos_spec_does_not_change_config_hash(self):
+        from repro.telemetry.manifest import config_hash
+
+        base = DGXSpec.small()
+        assert config_hash(base.with_chaos("heavy")) == config_hash(base)
+
+
+class TestZeroOverheadWhenOff:
+    def test_off_preset_is_byte_identical(self):
+        bits = _payload(0, 64)
+        baseline_runtime, baseline = _prepared_channel(seed=3, num_sets=1)
+        quiet = baseline.transmit(bits, strict=False)
+
+        chaotic_runtime, channel = _prepared_channel(seed=3, num_sets=1)
+        injector = install_chaos(chaotic_runtime, "off", seed=9)
+        result = channel.transmit(bits, strict=False)
+
+        assert result.received_bits == quiet.received_bits
+        assert chaotic_runtime.engine.now == baseline_runtime.engine.now
+        assert injector.applied == [] and injector.skipped == 0
+
+    def test_no_spec_installs_nothing(self):
+        runtime = Runtime(DGXSpec.small(), seed=0)
+        assert install_chaos(runtime) is None
+        assert runtime.engine.chaos is None
+
+
+class TestInjectorFaults:
+    def _run_sleeper(self, runtime, cycles=200_000.0):
+        process = runtime.create_process("sleeper")
+
+        def kernel():
+            yield Sleep(cycles)
+
+        runtime.run_kernel(kernel(), 0, process, name="sleeper")
+
+    def test_dvfs_scales_then_restores(self, runtime):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    time=0.0, kind="dvfs", gpu=0, duration=20_000.0, magnitude=2.0
+                ),
+            )
+        )
+        injector = install_chaos(runtime, plan)
+        self._run_sleeper(runtime)
+        assert [entry["kind"] for entry in injector.applied] == ["dvfs"]
+        assert runtime.system._latency_scale[0] == 1.0  # window expired
+
+    def test_l2_flush_drops_resident_lines(self, runtime):
+        process = runtime.create_process("victim")
+        buf = runtime.malloc_lines(process, 0, 1)
+        runtime.system.access_word(process, buf, 0, exec_gpu=0, now=0.0)
+        l2 = runtime.system.gpus[0].l2
+        assert l2.probe_line(buf.paddr(0))
+        install_chaos(runtime, FaultPlan(events=(FaultEvent(time=0.0, kind="l2_flush"),)))
+        self._run_sleeper(runtime)
+        assert not l2.probe_line(buf.paddr(0))
+
+    def test_page_remap_moves_a_live_buffer(self, runtime):
+        process = runtime.create_process("victim")
+        buf = runtime.malloc(process, 0, 4 * runtime.system.spec.gpu.page_size)
+        frames_before = tuple(buf.frames)
+        plan = FaultPlan(
+            events=(FaultEvent(time=0.0, kind="page_remap", gpu=0, magnitude=2.0),)
+        )
+        injector = install_chaos(runtime, plan)
+        self._run_sleeper(runtime)
+        assert injector.applied and injector.applied[0]["kind"] == "page_remap"
+        assert tuple(buf.frames) != frames_before
+
+    def test_page_remap_without_buffers_is_skipped(self, runtime):
+        plan = FaultPlan(events=(FaultEvent(time=0.0, kind="page_remap"),))
+        injector = install_chaos(runtime, plan)
+        self._run_sleeper(runtime)
+        assert injector.applied == [] and injector.skipped == 1
+
+    def test_preempt_stalls_only_the_target_gpu(self, runtime):
+        process = runtime.create_process("workers")
+        finish = {}
+
+        def worker(label, cycles):
+            yield Compute(cycles)
+            finish[label] = runtime.engine.now
+
+        # ``trigger``'s completion event at t=10k dispatches the fault,
+        # which then retargets the *queued* events: ``delayed`` (gpu 0)
+        # slips by the preemption window, ``bystander`` (gpu 1) does not.
+        runtime.launch(worker("trigger", 10_000.0), 0, process, name="w0")
+        runtime.launch(worker("delayed", 50_000.0), 0, process, name="w1")
+        runtime.launch(worker("bystander", 50_000.0), 1, process, name="w2")
+        plan = FaultPlan(
+            events=(
+                FaultEvent(time=1.0, kind="preempt", gpu=0, duration=80_000.0),
+            )
+        )
+        injector = install_chaos(runtime, plan)
+        runtime.synchronize()
+        assert injector.applied[0]["streams"] == 1
+        assert finish["bystander"] == pytest.approx(50_000.0)
+        assert finish["delayed"] >= 90_000.0
+
+    def test_link_flap_degrades_and_restores(self, eight_gpu_runtime):
+        runtime = eight_gpu_runtime
+        edge = runtime.system.spec.nvlink_edges[0]
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    time=0.0,
+                    kind="link_flap",
+                    duration=30_000.0,
+                    magnitude=8.0,
+                    link=tuple(edge),
+                ),
+            )
+        )
+        injector = install_chaos(runtime, plan)
+        process = runtime.create_process("sleeper")
+
+        def kernel():
+            yield Sleep(100_000.0)
+
+        runtime.run_kernel(kernel(), 0, process, name="sleeper")
+        entry = injector.applied[0]
+        assert entry["kind"] == "link_flap"
+        assert sorted(entry["link"]) == sorted(edge)
+        # Restored: the degradation map is empty again after the window.
+        assert not runtime.system.interconnect._degraded
+
+    def test_noise_burst_generates_l2_traffic(self, runtime):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    time=0.0, kind="noise", gpu=0, duration=60_000.0, magnitude=0.8
+                ),
+            )
+        )
+        injector = install_chaos(runtime, plan)
+        before = runtime.system.gpus[0].counters.l2_accesses
+        self._run_sleeper(runtime)
+        runtime.synchronize()
+        assert injector.applied[0]["kind"] == "noise"
+        assert runtime.system.gpus[0].counters.l2_accesses > before
+
+    def test_unarmed_injector_holds_fire(self, runtime):
+        plan = FaultPlan(events=(FaultEvent(time=0.0, kind="l2_flush"),))
+        injector = install_chaos(runtime, plan, arm=False)
+        assert not injector.armed
+        self._run_sleeper(runtime)
+        assert injector.applied == []
+        injector.arm()
+        self._run_sleeper(runtime)
+        assert [entry["kind"] for entry in injector.applied] == ["l2_flush"]
+
+    def test_snapshot_and_manifest_record_plan_hash(self, runtime):
+        plan = generate_plan(chaos_preset("light"), runtime.system.spec, seed=4)
+        injector = install_chaos(runtime, plan)
+        snapshot = injector.snapshot()
+        assert snapshot["plan_hash"] == plan.plan_hash()
+        assert snapshot["scheduled"] == len(plan)
+        manifest = build_manifest(runtime, "chaos-test", seed=4)
+        assert manifest.extras["chaos"]["plan_hash"] == plan.plan_hash()
+
+    def test_install_accepts_preset_spec_and_plan(self, runtime):
+        by_name = install_chaos(runtime, "moderate", seed=2)
+        by_spec = ChaosInjector(
+            runtime, generate_plan(chaos_preset("moderate"), runtime.system.spec, seed=2)
+        )
+        assert by_name.plan.plan_hash() == by_spec.plan.plan_hash()
+
+
+class TestModerateRecovery:
+    def test_resilient_channel_is_10x_better_under_moderate_mix(self):
+        """The acceptance scenario: page remaps + DVFS drift + a link flap,
+        same seeded plan for both transports."""
+        spec = chaos_preset("moderate", intensity=3.0).replace_horizon(200_000.0)
+        bits = _payload(3, 96)
+
+        runtime, channel = _prepared_channel(seed=3)
+        injector = install_chaos(runtime, spec, seed=11)
+        plain = channel.transmit(bits, strict=False)
+        assert len(injector.applied) >= 5
+        assert plain.error_rate >= 0.10  # the faults really break the channel
+
+        runtime, channel = _prepared_channel(seed=3)
+        repeat = install_chaos(runtime, spec, seed=11)
+        assert repeat.plan.plan_hash() == injector.plan.plan_hash()
+        resilient = ResilientCovertChannel(channel)
+        received, report = resilient.transmit(bits)
+        errors = sum(a != b for a, b in zip(bits, received))
+        resilient_ber = errors / len(bits)
+        assert resilient_ber <= plain.error_rate / 10.0
+        assert report.frames_sent >= report.chunks
+
+    def test_retry_budget_is_spent_before_failing(self):
+        runtime, channel = _prepared_channel(seed=3, num_sets=1)
+        install_chaos(runtime, _flush_storm())
+        resilient = ResilientCovertChannel(channel, chunk_bits=8, max_retries=2)
+        with pytest.raises(SyncLostError) as caught:
+            resilient.transmit(_payload(3, 16))
+        assert "3 attempts" in str(caught.value)
+        assert isinstance(caught.value, RetryableError)
+
+
+class TestUnrecoverableSchedules:
+    def test_flush_storm_raises_typed_error_not_garbage(self):
+        runtime, channel = _prepared_channel(seed=3, num_sets=1)
+        injector = install_chaos(runtime, _flush_storm())
+        with pytest.raises(SyncLostError):
+            ResilientCovertChannel(channel, chunk_bits=8, max_retries=2).transmit(
+                _payload(3, 16)
+            )
+        # The failed run is still attributable: the manifest carries the
+        # exact storm that killed it.
+        manifest = build_manifest(runtime, "storm", seed=3)
+        assert manifest.extras["chaos"]["plan_hash"] == injector.plan.plan_hash()
+
+    def test_transmit_reliable_gives_up_loudly(self):
+        runtime, channel = _prepared_channel(seed=3, num_sets=1)
+        install_chaos(runtime, _flush_storm())
+        with pytest.raises(SyncLostError):
+            channel.transmit_reliable(_payload(3, 16), max_attempts=2)
+
+    def test_transmit_reliable_rejects_zero_attempts(self):
+        _runtime, channel = _prepared_channel(seed=3, num_sets=1)
+        with pytest.raises(ValueError):
+            channel.transmit_reliable([1, 0], max_attempts=0)
+
+
+class TestRepairScope:
+    def test_heal_repairs_only_invalidated_sets(self):
+        runtime = Runtime(DGXSpec.small(), seed=7)
+        prober = MemorygramProber(runtime)
+        prober.setup(num_sets=4)
+        sets_before = list(prober.eviction_sets)
+        words_per_page = prober._coloring.words_per_page
+
+        # Silently migrate one member page until its cache color changes
+        # (a same-color remap is an invisible no-op to the attacker).
+        victim_word = sets_before[0].indices[0]
+        victim_page = victim_word // words_per_page
+        buffer = sets_before[0].buffer
+        color_before = runtime.system.set_index_of(buffer, victim_word)
+        for _attempt in range(16):
+            remap_buffer_page(runtime, buffer, victim_page)
+            if runtime.system.set_index_of(buffer, victim_word) != color_before:
+                break
+        else:
+            pytest.fail("page never changed color")
+
+        affected = [
+            row
+            for row, ev_set in enumerate(sets_before)
+            if any(index // words_per_page == victim_page for index in ev_set.indices)
+        ]
+        repaired = prober.heal()
+        assert repaired == affected
+        for row, old in enumerate(sets_before):
+            if row in affected:
+                assert prober.eviction_sets[row] is not old
+                assert prober.eviction_sets[row].origin == old.origin
+                assert prober.health.repairs[row] == 1
+            else:
+                assert prober.eviction_sets[row] is old
+                assert prober.health.repairs[row] == 0
+
+        # Second pass: nothing rotted, nothing touched.
+        assert prober.heal() == []
+
+    def test_repair_raises_stale_after_budget(self):
+        from repro.core.eviction import PageColoring
+
+        runtime = Runtime(DGXSpec.small(), seed=7)
+        prober = MemorygramProber(runtime)
+        prober.setup(num_sets=2)
+        ev_set = prober.eviction_sets[0]
+        coloring = prober._coloring
+        words_per_page = coloring.words_per_page
+
+        # A color group with zero spare pages: every pool page is a set
+        # member.  Migrating one member away then leaves only assoc-1
+        # same-color lines -- no reduction can ever succeed.
+        member_pages = sorted(index // words_per_page for index in ev_set.indices)
+        starved = PageColoring(
+            buffer=ev_set.buffer,
+            groups=[member_pages],
+            words_per_page=words_per_page,
+            words_per_line=coloring.words_per_line,
+        )
+        victim_page = member_pages[-1]
+        color_of = lambda: runtime.system.set_index_of(
+            ev_set.buffer, victim_page * words_per_page
+        )
+        before = color_of()
+        for _attempt in range(16):
+            remap_buffer_page(runtime, ev_set.buffer, victim_page)
+            if color_of() != before:
+                break
+        else:
+            pytest.fail("page never changed color")
+
+        from repro.core.eviction import repair_eviction_set
+
+        rotted = replace(ev_set, origin=(0, ev_set.origin[1]))
+        with pytest.raises(EvictionSetStaleError) as caught:
+            repair_eviction_set(
+                runtime,
+                prober.process,
+                prober.spy_gpu,
+                rotted,
+                starved,
+                runtime.system.spec.gpu.cache.associativity,
+                prober.thresholds.remote,
+                max_retries=2,
+                backoff_cycles=500.0,
+            )
+        assert isinstance(caught.value, RetryableError)
+        assert "unrecoverable after 2" in str(caught.value)
+
+
+class TestEvictionSetHealth:
+    def test_patience_filters_single_glitches(self):
+        health = EvictionSetHealth(2, min_miss_fraction=0.1, alpha=1.0, patience=2)
+        assert not health.observe(0, 0.0)  # one quiet frame: not rot yet
+        assert health.observe(0, 0.0)  # sustained: flagged
+        assert health.rotted() == [0]
+        assert not health.observe(1, 0.5)  # healthy set never flagged
+        health.mark_repaired(0)
+        assert health.rotted() == []
+        assert health.repairs == [1, 0]
+
+    def test_observe_trace_uses_threshold(self):
+        from repro.core.covert.spy import SpyTrace
+
+        health = EvictionSetHealth(1, min_miss_fraction=0.1, alpha=1.0, patience=1)
+        miss_trace = SpyTrace(times=(0.0, 1.0), latencies=(900.0, 905.0))
+        assert not health.observe_trace(0, miss_trace, threshold=700.0)
+        hit_trace = SpyTrace(times=(0.0, 1.0), latencies=(500.0, 505.0))
+        assert health.observe_trace(0, hit_trace, threshold=700.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            EvictionSetHealth(1, alpha=0.0)
+
+
+class TestRollingThreshold:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RollingThreshold(half_gap=0.0)
+        with pytest.raises(ValueError):
+            RollingThreshold(half_gap=100.0, alpha=1.5)
+
+    def test_tracks_dvfs_drift_where_static_fails(self):
+        """Hit cluster drifts above the static threshold mid-trace: the
+        rolling tracker keeps classifying hits as hits."""
+        half_gap = 150.0
+        hits = [500.0 + 2.0 * i for i in range(120)]  # drifts 500 -> 738
+        static_threshold = 500.0 + half_gap
+        assert hits[-1] > static_threshold  # static would call these misses
+        tracker = RollingThreshold(half_gap, alpha=0.2)
+        assert tracker.classify(hits) == [0] * len(hits)
+        assert tracker.drift > 0.3
+
+    def test_misses_still_detected_after_drift(self):
+        half_gap = 150.0
+        trace = [500.0 + 2.0 * i for i in range(100)] + [1000.0, 702.0, 1005.0]
+        tracker = RollingThreshold(half_gap, alpha=0.2)
+        bits = tracker.classify(trace)
+        assert bits[-3] == 1 and bits[-1] == 1  # misses above drifted level
+        assert bits[-2] == 0  # a hit near the drifted level stays a hit
+
+    def test_warmup_prefix_reclassified(self):
+        tracker = RollingThreshold(half_gap=100.0, warmup=4)
+        bits = tracker.classify([500.0, 900.0, 502.0, 501.0, 503.0])
+        assert bits == [0, 1, 0, 0, 0]
+
+    def test_short_trace_never_seeds(self):
+        tracker = RollingThreshold(half_gap=100.0, warmup=12)
+        assert tracker.classify([500.0, 900.0]) == [0, 0]
+        assert not tracker.seeded
+        assert tracker.drift == 0.0
+
+
+class TestResilientFraming:
+    def test_crc8_detects_corruption(self):
+        body = _payload(1, 36)
+        checksum = crc8(body)
+        flipped = list(body)
+        flipped[7] ^= 1
+        assert crc8(flipped) != checksum
+        assert 0 <= checksum <= 255
+
+    def test_frame_roundtrip_and_checks(self):
+        _runtime, channel = _prepared_channel(seed=3, num_sets=1)
+        resilient = ResilientCovertChannel(channel, chunk_bits=16)
+        chunk = _payload(2, 16)
+        framed = resilient._frame(3, chunk)
+        assert resilient._unframe(framed, 3) == chunk
+        with pytest.raises(ValueError, match="sequence"):
+            resilient._unframe(framed, 4)
+        corrupted = list(framed)
+        for at in (0, 1):  # two flips in one codeword beat Hamming
+            corrupted[at] ^= 1
+        with pytest.raises(ValueError):
+            resilient._unframe(corrupted, 3)
+        with pytest.raises(ValueError, match="truncated"):
+            resilient._unframe(framed[:10], 3)
+
+    def test_constructor_validation(self):
+        _runtime, channel = _prepared_channel(seed=3, num_sets=1)
+        with pytest.raises(ValueError):
+            ResilientCovertChannel(channel, chunk_bits=10)
+        bare = CovertChannel(Runtime(DGXSpec.small(), seed=0))
+        with pytest.raises(SyncLostError):
+            ResilientCovertChannel(bare)
+
+    def test_clean_channel_needs_no_retransmits(self):
+        _runtime, channel = _prepared_channel(seed=3, num_sets=1)
+        bits = _payload(5, 40)
+        received, report = ResilientCovertChannel(channel).transmit(bits)
+        assert received == bits
+        assert report.retransmits == 0 and report.goodput_ratio == 1.0
+        assert report.chunks == 2 and report.attempts == [1, 1]

@@ -139,3 +139,22 @@ class TestDecoder:
 
     def test_adaptive_threshold_empty(self):
         assert adaptive_threshold([], 160.0) == pytest.approx(160.0)
+
+    def test_adaptive_threshold_hits_drift_above_static(self):
+        """Queueing can push the *hit* cluster above the quiet-box static
+        threshold; the re-anchored threshold must still sit above it."""
+        half_gap = 160.0
+        static = 630.0 + half_gap  # quiet-box calibration
+        drifted_hits = [static + 50.0 + i for i in range(40)]
+        threshold = adaptive_threshold(drifted_hits, half_gap)
+        assert all(v < threshold for v in drifted_hits)
+        assert all(v > static for v in drifted_hits)  # static misreads all
+
+    def test_adaptive_threshold_all_miss_trace_reads_as_hits(self):
+        """Known limitation: the 25th percentile assumes hits are never the
+        minority, so an all-miss trace anchors ON the miss cluster and
+        classifies everything as a hit.  The resilient transport's CRC/seq
+        check is what catches the resulting garbage frame."""
+        misses = [950.0 + (i % 7) for i in range(40)]
+        threshold = adaptive_threshold(misses, 160.0)
+        assert all(v < threshold for v in misses)

@@ -25,6 +25,42 @@ class TestBackgroundNoise:
         end = runtime.synchronize()
         assert end <= 120_000  # bounded overshoot past the deadline
 
+    def test_stop_at_before_start_rejected(self, runtime):
+        from repro.errors import SimulationError
+
+        noise = BackgroundNoise(runtime, gpu_id=0, footprint_bytes=64 * 1024, seed=1)
+        with pytest.raises(SimulationError, match="before start"):
+            noise.stop_at(10_000.0)
+
+    def test_double_start_while_active_rejected(self, runtime):
+        from repro.errors import SimulationError
+
+        noise = BackgroundNoise(runtime, gpu_id=0, footprint_bytes=64 * 1024, seed=1)
+        noise.start(duration_cycles=50_000)
+        assert noise.active
+        with pytest.raises(SimulationError, match="already running"):
+            noise.start(duration_cycles=50_000)
+        # The first window's schedule survived the rejected relaunch.
+        runtime.synchronize()
+        assert not noise.active
+
+    def test_restart_after_drain_is_fine(self, runtime):
+        noise = BackgroundNoise(runtime, gpu_id=0, footprint_bytes=64 * 1024, seed=1)
+        noise.start(duration_cycles=20_000)
+        runtime.synchronize()
+        assert not noise.active
+        noise.start(duration_cycles=20_000)  # no raise
+        runtime.synchronize()
+
+    def test_nonpositive_duration_rejected(self, runtime):
+        from repro.errors import SimulationError
+
+        noise = BackgroundNoise(runtime, gpu_id=0, footprint_bytes=64 * 1024, seed=1)
+        with pytest.raises(SimulationError, match="positive"):
+            noise.start(duration_cycles=0)
+        with pytest.raises(SimulationError, match="positive"):
+            noise.start(duration_cycles=-5.0)
+
 
 class TestOccupancyBlocking:
     def test_blocker_saturates_gpu(self, runtime):

@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.chaos.plan import FaultEvent, FaultPlan
 from repro.config import CacheSpec, DGXSpec
 from repro.hw.cache import L2Cache
 from repro.runtime.api import Runtime
@@ -121,6 +122,104 @@ class TestEngineInvariants:
         parallel = runtime.run_kernel(probe(True), 0, proc)
         assert parallel.total_latency <= sum(parallel.latencies) + 1e-9
         assert parallel.total_latency >= max(parallel.latencies) - 1e-9
+
+
+class TestEccInvariants:
+    @given(
+        bits=st.lists(st.integers(0, 1), min_size=1, max_size=64),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_under_one_flip_per_codeword(self, bits, seed):
+        """Hamming(7,4) corrects ANY pattern of at most one flip per
+        7-bit codeword -- the property the resilient transport leans on."""
+        from repro.core.covert.ecc import hamming74_decode, hamming74_encode
+
+        encoded = hamming74_encode(bits)
+        rng = np.random.default_rng(seed)
+        corrupted = list(encoded)
+        flips = 0
+        for start in range(0, len(corrupted), 7):
+            if rng.integers(2):
+                corrupted[start + int(rng.integers(7))] ^= 1
+                flips += 1
+        decoded, corrections = hamming74_decode(corrupted)
+        assert decoded[: len(bits)] == list(bits)
+        assert corrections == flips
+
+    @given(bits=st.lists(st.integers(0, 1), min_size=0, max_size=48))
+    @settings(max_examples=40, deadline=None)
+    def test_length_framing_roundtrip(self, bits):
+        from repro.core.covert.ecc import decode_with_length, encode_with_length
+
+        payload, corrections = decode_with_length(encode_with_length(bits))
+        assert payload == list(bits)
+        assert corrections == 0
+
+
+_EVENT_STRATEGY = st.builds(
+    FaultEvent,
+    time=st.floats(0.0, 1e6, allow_nan=False),
+    kind=st.sampled_from(["dvfs", "l2_flush", "page_remap", "preempt", "noise"]),
+    gpu=st.integers(0, 7),
+    duration=st.floats(0.0, 1e5, allow_nan=False),
+    magnitude=st.floats(0.0, 16.0, allow_nan=False),
+)
+
+
+class TestFaultPlanInvariants:
+    @given(events=st.lists(_EVENT_STRATEGY, max_size=24))
+    @settings(max_examples=40, deadline=None)
+    def test_events_always_time_sorted(self, events):
+        plan = FaultPlan(events=tuple(events))
+        times = [event.time for event in plan.events]
+        assert times == sorted(times)
+
+    @given(
+        events=st.lists(_EVENT_STRATEGY, max_size=16),
+        seed=st.integers(0, 1_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hash_ignores_construction_order(self, events, seed):
+        rng = np.random.default_rng(seed)
+        shuffled = list(events)
+        rng.shuffle(shuffled)
+        assert (
+            FaultPlan(events=tuple(shuffled)).plan_hash()
+            == FaultPlan(events=tuple(events)).plan_hash()
+        )
+
+    @given(
+        left=st.lists(_EVENT_STRATEGY, max_size=12),
+        right=st.lists(_EVENT_STRATEGY, max_size=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_commutative_and_size_preserving(self, left, right):
+        a = FaultPlan(events=tuple(left), preset="a")
+        b = FaultPlan(events=tuple(right), preset="b")
+        merged = a.merge(b)
+        assert merged.events == b.merge(a).events
+        assert merged.plan_hash() == b.merge(a).plan_hash()
+        assert len(merged) == len(a) + len(b)
+
+    @given(
+        events=st.lists(_EVENT_STRATEGY, max_size=12),
+        offset=st.floats(0.0, 1e5, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_shift_preserves_order_and_count(self, events, offset):
+        plan = FaultPlan(events=tuple(events))
+        moved = plan.shifted(offset)
+        assert len(moved) == len(plan)
+        # Adding the offset can collapse nearly-equal times into exact
+        # ties, which the canonical sort then reorders by kind -- so the
+        # invariant is the kind *multiset* plus time-sortedness, not the
+        # exact kind sequence.
+        assert sorted(e.kind for e in moved.events) == sorted(
+            e.kind for e in plan.events
+        )
+        times = [e.time for e in moved.events]
+        assert times == sorted(times)
 
 
 class TestFrameAccounting:

@@ -10,7 +10,7 @@ def test_registry_covers_all_paper_artifacts():
         "fig4", "table1", "fig5", "fig6", "fig7", "fig9", "fig10",
         "fig11", "fig12", "table2", "fig14", "fig15",
         "sec6-noise", "sec7-defense",
-        "ext-link-covert", "ext-link-locate",
+        "ext-link-covert", "ext-link-locate", "ext-chaos-covert",
     }
     assert expected == set(EXPERIMENTS)
 
