@@ -1,17 +1,31 @@
-"""Simulator performance harness: vectorized vs scalar L2 backend.
+"""Simulator performance harness: epoch engine vs scalar reference.
 
 Measures end-to-end simulator throughput (simulated memory accesses
-serviced per wall-clock second, from ``Engine.stats``) on three
-attack-shaped scenarios:
+serviced per wall-clock second, from ``Engine.stats``) on attack-shaped
+scenarios.  The two arms compare the whole dispatch stack, not just the
+cache backend:
+
+* ``vectorized`` -- the columnar epoch engine: vectorized L2 backend
+  *and* epoch dispatch (attack kernels yield ``AccessEpoch`` plans that
+  the engine advances in bulk).
+* ``scalar``     -- the pre-epoch reference: scalar L2 backend and
+  per-op coroutine dispatch (``epoch_dispatch=False``), the
+  differential-test oracle.
+
+Scenarios:
 
 * ``probe_storm``   -- a 256-set x 16-way memorygram probe storm on the
-  full DGX-1, the shape the vectorized fast path was built for.  The
-  acceptance bar is a >= 5x accesses/sec speedup over the scalar
-  reference backend.
+  full DGX-1, the memorygram probing hot path.  The acceptance bar is a
+  >= 5x accesses/sec speedup; the epoch engine records ~10x.
 * ``memorygram``    -- a full remote memorygram capture of a victim
-  workload on the small box (setup excluded, capture phase timed).
-* ``covert_frames`` -- covert-channel frames (trojan+spy transmission)
-  on the small box.
+  workload on the paper-scale small box (setup excluded, capture phase
+  timed), probing 64 monitored sets per epoch block.
+* ``covert_frames`` -- quick covert-channel frames on the tiny box.
+* ``covert_stream`` -- a paper-scale covert transmission (16-way sets,
+  8 pairs, long 12k-cycle slots).  Covert bursts are one eviction set
+  wide by construction, so this scenario bounds the *fused scalar loop*
+  advantage rather than the wide vector path; expect ~1.5-2x, not 10x.
+* ``link_covert``   -- NVLink fabric channel (no L2 traffic).
 
 Each run appends one record to ``benchmarks/perf_trajectory.json`` so
 throughput can be tracked across revisions.
@@ -19,6 +33,10 @@ throughput can be tracked across revisions.
 Run standalone (``make perf``)::
 
     PYTHONPATH=src python benchmarks/bench_perf_simulator.py
+
+the CI perf-smoke gate (memorygram + covert scenarios, median of 3)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_simulator.py --smoke
 
 or as a benchmark::
 
@@ -51,10 +69,21 @@ TRAJECTORY_PATH = pathlib.Path(__file__).parent / "perf_trajectory.json"
 
 BACKENDS = ("vectorized", "scalar")
 
-#: Per-backend sweep counts for the probe storm: the scalar reference is
+#: Arm name -> (L2 backend, epoch dispatch).  The fast arm exercises the
+#: whole columnar stack; the slow arm is the scalar differential oracle.
+ARM_CONFIG = {"vectorized": ("vectorized", True), "scalar": ("scalar", False)}
+
+#: Per-arm sweep counts for the probe storm: the scalar reference is
 #: given fewer sweeps so the comparison stays quick; throughput is
 #: normalized per second, so the counts do not bias the ratio.
-STORM_SWEEPS = {"vectorized": 24, "scalar": 4}
+STORM_SWEEPS = {"vectorized": 24, "scalar": 3}
+
+
+def _runtime(spec: DGXSpec, arm: str, seed: int) -> Runtime:
+    backend, epochs = ARM_CONFIG[arm]
+    return Runtime(
+        spec.with_l2_backend(backend), seed=seed, epoch_dispatch=epochs
+    )
 
 
 def _stats_record(stats, **extra) -> Dict:
@@ -88,7 +117,12 @@ def _ground_truth_sets(
     for line in range(buf.num_words // words_per_line):
         word = line * words_per_line
         groups[rt.system.set_index_of(buf, word)].append(word)
-    sets = [words[:ways] for words in groups.values() if len(words) >= ways]
+    # One tuple, built once and re-yielded verbatim: the system caches
+    # the epoch's flatten/translate plan by (buffer token, sets identity),
+    # the same idiom the prober uses for its sweep blocks.
+    sets = tuple(
+        tuple(words[:ways]) for words in groups.values() if len(words) >= ways
+    )
     if len(sets) < num_sets:
         raise RuntimeError(
             f"ground truth covered only {len(sets)}/{num_sets} sets; "
@@ -100,8 +134,8 @@ def _ground_truth_sets(
 def run_probe_storm(
     backend: str, num_sets: int = 256, seed: int = 7, traced: bool = False
 ) -> Dict:
-    spec = DGXSpec.dgx1().with_l2_backend(backend)
-    rt = Runtime(spec, seed=seed)
+    spec = DGXSpec.dgx1()
+    rt = _runtime(spec, backend, seed)
     proc = rt.create_process("storm_spy")
     rt.enable_peer_access(proc, 1, 0)
     buf, sets = _ground_truth_sets(
@@ -146,13 +180,23 @@ def run_tracing_overhead(num_sets: int = 256, seed: int = 7) -> Dict:
 # Scenario: memorygram capture on the small box
 # ----------------------------------------------------------------------
 def run_memorygram(backend: str, seed: int = 3) -> Dict:
-    spec = DGXSpec.small(num_sets=64, associativity=4).with_l2_backend(backend)
-    rt = Runtime(spec, seed=seed)
+    """Paper-scale capture: 16-way small box, 64 monitored sets.
+
+    ``sets_per_block=64`` probes the whole monitored range in one epoch
+    per sweep, so the vector core services 64-wide rounds; the scalar
+    arm walks the identical stream per access.  Block width is the
+    amortization lever -- at the old 16-set blocks the epoch arm leaves
+    most of its batching on the table (see docs/performance.md).
+    """
+    spec = DGXSpec.small(num_sets=256, associativity=16)
+    rt = _runtime(spec, backend, seed)
     prober = MemorygramProber(rt, victim_gpu=0, spy_gpu=1)
-    prober.setup(num_sets=32)
+    prober.setup(num_sets=64)
     rt.engine.stats.reset()
     gram = prober.record(
-        VectorAdd(scale=0.05, seed=seed, passes=2), bin_cycles=10_000.0
+        VectorAdd(scale=0.05, seed=seed, passes=2),
+        bin_cycles=10_000.0,
+        sets_per_block=64,
     )
     return _stats_record(rt.engine.stats, total_misses=int(gram.total_misses()))
 
@@ -161,8 +205,8 @@ def run_memorygram(backend: str, seed: int = 3) -> Dict:
 # Scenario: covert-channel frames on the small box
 # ----------------------------------------------------------------------
 def run_covert_frames(backend: str, num_bits: int = 64, seed: int = 5) -> Dict:
-    spec = DGXSpec.small(num_sets=64, associativity=4).with_l2_backend(backend)
-    rt = Runtime(spec, seed=seed)
+    spec = DGXSpec.small(num_sets=64, associativity=4)
+    rt = _runtime(spec, backend, seed)
     channel = CovertChannel(rt, trojan_gpu=0, spy_gpu=1)
     channel.setup(num_sets=4)
     bits = [random.Random(seed).randrange(2) for _ in range(num_bits)]
@@ -170,6 +214,35 @@ def run_covert_frames(backend: str, num_bits: int = 64, seed: int = 5) -> Dict:
     outcome = channel.transmit(bits, strict=False)
     return _stats_record(
         rt.engine.stats, error_rate=round(outcome.error_rate, 4)
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario: paper-scale covert stream (16-way sets, long slots)
+# ----------------------------------------------------------------------
+def run_covert_stream(
+    backend: str, num_bits: int = 32, seed: int = 5, slot_cycles: float = 12_000.0
+) -> Dict:
+    """Covert transmission at paper scale: 8 pairs of 16-way eviction sets.
+
+    Every prime/probe burst is one eviction set (16 accesses) by
+    construction, far below the vector core's width cutoff, so the epoch
+    arm's win comes from the fused small-burst loop plus epoch-granular
+    event dispatch -- a bounded ~1.5-2x, not the wide-path 10x.  The
+    scenario exists to pin that floor: a regression here means the fused
+    loop (not the vector path) broke.
+    """
+    spec = DGXSpec.small(num_sets=256, associativity=16)
+    rt = _runtime(spec, backend, seed)
+    channel = CovertChannel(rt, trojan_gpu=0, spy_gpu=1)
+    channel.setup(num_sets=8)
+    bits = [random.Random(seed).randrange(2) for _ in range(num_bits)]
+    rt.engine.stats.reset()
+    outcome = channel.transmit(bits, strict=False, slot_cycles=slot_cycles)
+    return _stats_record(
+        rt.engine.stats,
+        error_rate=round(outcome.error_rate, 4),
+        slot_cycles=slot_cycles,
     )
 
 
@@ -186,8 +259,8 @@ def run_link_covert(backend: str, num_bits: int = 96, seed: int = 9) -> Dict:
     """
     from repro.core.linkchannel.covert import LinkCovertChannel
 
-    spec = DGXSpec.small(num_gpus=4).with_l2_backend(backend)
-    rt = Runtime(spec, seed=seed)
+    spec = DGXSpec.small(num_gpus=4)
+    rt = _runtime(spec, backend, seed)
     channel = LinkCovertChannel.auto(rt, num_links=1)
     channel.setup()
     bits = [random.Random(seed).randrange(2) for _ in range(num_bits)]
@@ -250,8 +323,49 @@ SCENARIOS = {
     "probe_storm": run_probe_storm,
     "memorygram": run_memorygram,
     "covert_frames": run_covert_frames,
+    "covert_stream": run_covert_stream,
     "link_covert": run_link_covert,
 }
+
+#: CI perf-smoke gates: scenario -> minimum epoch/scalar speedup (median
+#: of three runs).  The probing scenarios carry the 3x bar; the covert
+#: stream's bursts are one 16-way eviction set wide by construction, so
+#: its dispatch-level win is structurally bounded (see the scenario
+#: docstring) and its gate is a regression tripwire for the fused loop,
+#: not a vector-path bar.
+SMOKE_GATES = {
+    "probe_storm": 3.0,
+    "memorygram": 3.0,
+    "covert_stream": 1.3,
+}
+
+
+def run_smoke(rounds: int = 3) -> Dict:
+    """Median-of-N speedups for the gated scenarios (CI perf-smoke job).
+
+    Interleaves the arms (fast, slow, fast, slow, ...) so host-load drift
+    hits both arms alike, then gates the median ratio per scenario.
+    """
+    results: Dict[str, Dict] = {}
+    failures = []
+    for name, floor in SMOKE_GATES.items():
+        scenario = SCENARIOS[name]
+        fast, slow = [], []
+        for _ in range(rounds):
+            fast.append(scenario("vectorized")["accesses_per_sec"])
+            slow.append(scenario("scalar")["accesses_per_sec"])
+        speedup = statistics.median(fast) / statistics.median(slow)
+        results[name] = {
+            "vectorized": statistics.median(fast),
+            "scalar": statistics.median(slow),
+            "speedup": round(speedup, 2),
+            "floor": floor,
+            "ok": speedup >= floor,
+        }
+        if speedup < floor:
+            failures.append(f"{name}: {speedup:.2f}x < {floor}x floor")
+    results["failures"] = failures
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -325,6 +439,34 @@ def format_results(results: Dict) -> str:
 
 
 def main() -> None:
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run only the gated memorygram/covert scenarios (median of 3) "
+        "and exit nonzero if any speedup drops below its floor",
+    )
+    options = parser.parse_args()
+    if options.smoke:
+        results = run_smoke()
+        for name, entry in results.items():
+            if name == "failures":
+                continue
+            print(
+                f"{name:<14}  epoch {entry['vectorized']:>12,.0f}/s  "
+                f"scalar {entry['scalar']:>12,.0f}/s  "
+                f"{entry['speedup']:>6}x  (floor {entry['floor']}x)  "
+                f"{'ok' if entry['ok'] else 'FAIL'}"
+            )
+        append_trajectory({"perf_smoke": results})
+        if results["failures"]:
+            print("\nperf-smoke FAILED: " + "; ".join(results["failures"]))
+            sys.exit(1)
+        print("\nperf-smoke ok")
+        return
     results = run_all()
     print(format_results(results))
     append_trajectory(results)
@@ -355,12 +497,14 @@ def test_perf_probe_storm_speedup(benchmark, print_result):
 
 
 @pytest.mark.paper
-def test_perf_memorygram_no_regression(benchmark, print_result):
-    """The vectorized backend must not lose to scalar on the memorygram
-    capture.  Before the epoch access plan was precomputed it did (0.9x:
-    the capture re-derived paddrs, rounds, and bank groups every sweep);
-    the plan cache restored the fast path, and this pins it at parity or
-    better.  Median of three seeds to keep scheduler noise out."""
+def test_perf_memorygram_speedup(benchmark, print_result):
+    """The epoch arm must clear 3x on the end-to-end memorygram capture.
+
+    The capture includes the victim's own (epoch-less) execution on both
+    arms, so this sits well below the probing-only storm ratio; with
+    64-set epoch blocks the measured median is ~7-8x, and 3x is the
+    regression floor (the same bar the CI perf-smoke job enforces).
+    Median of three seeds to keep scheduler noise out."""
 
     def measure():
         return {
@@ -376,11 +520,40 @@ def test_perf_memorygram_no_regression(benchmark, print_result):
         rates["scalar"]
     )
     print_result(
-        f"memorygram vectorized/scalar = {ratio:.2f}x "
-        f"(vector {rates['vectorized']}, scalar {rates['scalar']})"
+        f"memorygram epoch/scalar = {ratio:.2f}x "
+        f"(epoch {rates['vectorized']}, scalar {rates['scalar']})"
+    )
+    assert ratio >= 3.0, (
+        f"epoch engine dropped to {ratio:.2f}x scalar on memorygram"
+    )
+
+
+@pytest.mark.paper
+def test_perf_covert_stream_no_regression(benchmark, print_result):
+    """The epoch arm must not lose to scalar on the paper-scale covert
+    stream.  Covert bursts are one 16-way eviction set wide, so the win
+    is the fused small-burst loop's (~1.5-2x measured); parity is the
+    hard floor -- below it the fused loop is a pessimization."""
+
+    def measure():
+        return {
+            backend: [
+                run_covert_stream(backend, seed=5 + i)["accesses_per_sec"]
+                for i in range(3)
+            ]
+            for backend in BACKENDS
+        }
+
+    rates = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = statistics.median(rates["vectorized"]) / statistics.median(
+        rates["scalar"]
+    )
+    print_result(
+        f"covert_stream epoch/scalar = {ratio:.2f}x "
+        f"(epoch {rates['vectorized']}, scalar {rates['scalar']})"
     )
     assert ratio >= 1.0, (
-        f"vectorized backend regressed to {ratio:.2f}x scalar on memorygram"
+        f"epoch engine regressed to {ratio:.2f}x scalar on the covert stream"
     )
 
 

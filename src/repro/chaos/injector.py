@@ -89,6 +89,23 @@ class ChaosInjector:
         """
         self._origin = self.runtime.engine.now if at is None else float(at)
 
+    def next_due(self) -> float:
+        """Absolute time of the next scheduled fault or expiry (inf if none).
+
+        The engine's epoch cursor treats this as a fence: bursts starting
+        at or after it are not serviced until the fault has landed, which
+        keeps fault ordering identical to per-event dispatch.
+        """
+        origin = self._origin
+        if origin is None:
+            return _INF
+        next_fault = self._pending[0].time if self._pending else _INF
+        next_restore = self._restores[0][0] if self._restores else _INF
+        soonest = next_fault if next_fault < next_restore else next_restore
+        if soonest == _INF:
+            return _INF
+        return origin + soonest
+
     def advance(self, now: float) -> None:
         """Apply every fault and expiry due at or before ``now``.
 
@@ -232,10 +249,10 @@ class ChaosInjector:
         engine = self.runtime.engine
         heap = engine._heap
         delayed = 0
-        for position, (when, seq, handle) in enumerate(heap):
+        for position, (when, lead, since, seq, handle) in enumerate(heap):
             if handle.gpu_id == event.gpu and not handle.done:
                 handle.clock = when + event.duration
-                heap[position] = (handle.clock, seq, handle)
+                heap[position] = (handle.clock, lead, since, seq, handle)
                 delayed += 1
         if delayed:
             heapq.heapify(heap)

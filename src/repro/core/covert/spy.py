@@ -9,16 +9,29 @@ hit/miss threshold, lock onto the preamble, then majority-vote each slot.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ...errors import ChannelError
-from ...sim.ops import ProbeSet, ReadClock, SharedStore
+from ...sim.ops import (
+    AccessEpoch,
+    EpochBurst,
+    EpochIdle,
+    ProbeSet,
+    ReadClock,
+    SharedStore,
+)
 from ..eviction import EvictionSet
 from ..timing import TimingThresholds
 from .encoding import PREAMBLE
 
-__all__ = ["spy_probe_kernel", "SpyTrace", "decode_trace"]
+__all__ = [
+    "spy_probe_kernel",
+    "spy_probe_epoch_kernel",
+    "SpyTrace",
+    "decode_trace",
+]
 
 
 @dataclass
@@ -69,6 +82,43 @@ def spy_probe_kernel(
     return SpyTrace(times=times, latencies=latencies)
 
 
+def spy_probe_epoch_kernel(
+    eviction_set: EvictionSet,
+    num_probes: int,
+    shared_times,
+    stage_base: int = 0,
+):
+    """Epoch-native :func:`spy_probe_kernel`: the whole probe train is one
+    :class:`AccessEpoch` advanced in bulk by the engine's cursor.
+
+    Each round is one parallel traversal plus two idle windows standing in
+    for the staging stores' cost (two separate segments, not one doubled
+    one: float addition is not associative and the clocks of both kernels
+    must agree bit-for-bit).  The staging ring itself is replayed from the
+    recorded outcome after the epoch completes -- shared memory is private
+    to the block, so only its final contents are observable, and they are
+    identical to what the scalar kernel leaves behind.
+    """
+    stage_slots = len(shared_times.data) - stage_base
+    stage_slots = max(2, stage_slots - stage_slots % 2)
+    burst = EpochBurst(
+        eviction_set.buffer,
+        (tuple(eviction_set.indices),),
+        parallel=True,
+    )
+    store = EpochIdle(cycles=SharedStore.cost_cycles)
+    outcome = yield AccessEpoch((burst, store, store), rounds=num_probes)
+    times = outcome.starts.tolist()
+    latencies = outcome.medians().tolist()
+    data = shared_times.data
+    cursor = 0
+    for now, median in zip(times, latencies):
+        data[stage_base + cursor % stage_slots] = now
+        data[stage_base + (cursor + 1) % stage_slots] = median
+        cursor = (cursor + 2) % stage_slots
+    return SpyTrace(times=times, latencies=latencies)
+
+
 def adaptive_threshold(latencies: Sequence[float], half_gap: float) -> float:
     """Per-trace hit/miss threshold re-anchored on the observed hit level.
 
@@ -103,6 +153,10 @@ def _vote_slot(
     either direction.
     """
     votes = [raw[i] for i, t in enumerate(times) if lo < t <= hi]
+    return _vote_votes(votes)
+
+
+def _vote_votes(votes: Sequence[int]) -> Tuple[int, float]:
     if not votes:
         return 0, 0.0
     misses = sum(votes)
@@ -131,9 +185,16 @@ def _decode_with_start(
     """
     bits: List[int] = []
     score = 0.0
+    times = trace.times
+    # Probe stamps are monotone within one spy trace, so each slot's
+    # ``lo < t <= hi`` window is a contiguous slice found by bisection --
+    # same votes as the linear scan in :func:`_vote_slot`, without the
+    # O(samples x slots) rescans.
     for slot in range(num_slots):
         lo = start + slot * slot_cycles
-        bit, confidence = _vote_slot(trace.times, raw, lo, lo + slot_cycles)
+        hi = lo + slot_cycles
+        votes = raw[bisect_right(times, lo) : bisect_right(times, hi)]
+        bit, confidence = _vote_votes(votes)
         bits.append(bit)
         if slot < len(PREAMBLE):
             score += confidence if bit == PREAMBLE[slot] else -confidence

@@ -11,10 +11,18 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ...sim.ops import Compute, ProbeSet, ReadClock
+from ...sim.ops import (
+    AccessEpoch,
+    Compute,
+    EpochBurst,
+    EpochIdle,
+    EpochRepeat,
+    ProbeSet,
+    ReadClock,
+)
 from ..eviction import EvictionSet
 
-__all__ = ["trojan_send_kernel"]
+__all__ = ["trojan_send_kernel", "trojan_send_epoch_kernel"]
 
 #: Safety margin before the slot edge after which no new prime is issued.
 #: A prime *started* before the edge evicts the spy's lines within the
@@ -59,3 +67,35 @@ def trojan_send_kernel(
             yield Compute(min(remaining, _WAIT_CHUNK_CYCLES))
         sent += 1
     return sent
+
+
+def trojan_send_epoch_kernel(
+    eviction_set: EvictionSet,
+    bits: Sequence[int],
+    slot_cycles: float,
+):
+    """Epoch-native :func:`trojan_send_kernel`: the whole frame is one
+    declarative :class:`AccessEpoch` plan.
+
+    A '1' slot is an :class:`EpochRepeat` (prime until the margin would
+    overrun the slot edge, the scalar loop's exact guard); every slot ends
+    with an :class:`EpochIdle` whose ``chunk`` reproduces the scalar wait
+    loop's 200-cycle accumulation bit-for-bit.  Slot edges are offsets from
+    the epoch's start, which is the same clock value the scalar kernel's
+    opening ``ReadClock`` observes.
+    """
+    burst = EpochBurst(
+        eviction_set.buffer,
+        (tuple(eviction_set.indices),),
+        parallel=True,
+    )
+    segments = []
+    for position, bit in enumerate(bits):
+        slot_edge = (position + 1) * slot_cycles
+        if bit:
+            segments.append(
+                EpochRepeat(burst, until=slot_edge, margin=_PRIME_MARGIN_CYCLES)
+            )
+        segments.append(EpochIdle(until=slot_edge, chunk=_WAIT_CHUNK_CYCLES))
+    yield AccessEpoch(tuple(segments), rounds=1, record=False)
+    return len(bits)

@@ -19,7 +19,16 @@ import numpy as np
 
 from ...errors import AttackError
 from ...runtime.api import Runtime
-from ...sim.ops import Compute, ProbeEpoch, ProbeSet, ReadClock
+from ...sim.epoch import epochify
+from ...sim.ops import (
+    AccessEpoch,
+    Compute,
+    EpochBurst,
+    EpochOutcome,
+    ProbeEpoch,
+    ProbeSet,
+    ReadClock,
+)
 from ...sim.process import Process
 from ..eviction import (
     EvictionSet,
@@ -125,6 +134,49 @@ def _prober_block_kernel(
         remaining = sweep_period - (now - sweep_start)
         if remaining > 0:
             yield Compute(remaining)
+
+
+def _prober_block_epoch_kernel(
+    sets_chunk: Sequence[Tuple[int, EvictionSet]],
+    end_time: float,
+    records: List[Tuple[List[int], EpochOutcome]],
+    victim_done: List[object],
+    grace_cycles: float,
+    sweep_period: float,
+    phase_offset: float,
+) -> Generator:
+    """Epoch-native :func:`_prober_block_kernel`: the whole sweep loop is
+    one unbounded :class:`AccessEpoch` advanced in bulk by the engine's
+    cursor.
+
+    One round = one multi-set burst; ``period`` reproduces the scalar
+    loop's pacing arithmetic, ``end_time``/``stop_flag``/``grace_cycles``
+    its termination checks, in the same order and at the same clock values
+    (the cursor re-checks the stop flag only once foreign events up to the
+    round's start have landed, so it observes the victim's completion
+    exactly when the scalar loop's ``ReadClock`` would).  The recorded
+    outcome lands in ``records`` for columnar assembly.
+    """
+    burst = EpochBurst(
+        sets_chunk[0][1].buffer,
+        tuple(tuple(eviction_set.indices) for _row, eviction_set in sets_chunk),
+        parallel=True,
+    )
+    # Warm-up prime: fill every monitored set with spy lines.  The scalar
+    # twin's warm-up probe is its first op -- no clock read precedes it.
+    yield AccessEpoch((burst,), rounds=1, record=False, round_reads=0)
+    if phase_offset > 0:
+        yield Compute(phase_offset)
+    outcome = yield AccessEpoch(
+        (burst,),
+        rounds=None,
+        period=sweep_period,
+        end_time=end_time,
+        stop_flag=victim_done,
+        grace_cycles=grace_cycles,
+        record=True,
+    )
+    records.append(([row for row, _eviction_set in sets_chunk], outcome))
 
 
 def _victim_wrapper(kernel: Generator, done_flag: List[object]) -> Generator:
@@ -321,6 +373,7 @@ class MemorygramProber:
         start = runtime.engine.now
         end_time = start + max_duration_cycles
         samples: List[ProbeSample] = []
+        records: List[Tuple[List[int], EpochOutcome]] = []
         victim_done: List[object] = []
 
         chunks = [
@@ -328,17 +381,38 @@ class MemorygramProber:
             for at in range(0, len(self.eviction_sets), sets_per_block)
         ]
         sweep_period = sweep_period_bins * bin_cycles
+        # Epoch dispatch (the default) runs each block as one cursor-driven
+        # AccessEpoch; the scalar kernel remains as the per-op differential
+        # oracle.  Epoch probing needs all of a chunk's sets inside one
+        # probe buffer (the prober allocates exactly one).
+        use_epochs = getattr(runtime, "epoch_dispatch", True) and all(
+            len({id(eviction_set.buffer) for _row, eviction_set in chunk}) == 1
+            for chunk in chunks
+        )
         for block_index, chunk in enumerate(chunks):
-            runtime.launch(
-                _prober_block_kernel(
+            phase_offset = block_index * sweep_period / max(1, len(chunks))
+            if use_epochs:
+                kernel = _prober_block_epoch_kernel(
+                    chunk,
+                    end_time,
+                    records,
+                    victim_done,
+                    grace_cycles,
+                    sweep_period,
+                    phase_offset=phase_offset,
+                )
+            else:
+                kernel = _prober_block_kernel(
                     chunk,
                     end_time,
                     samples,
                     victim_done,
                     grace_cycles,
                     sweep_period,
-                    phase_offset=block_index * sweep_period / max(1, len(chunks)),
-                ),
+                    phase_offset=phase_offset,
+                )
+            runtime.launch(
+                kernel,
                 self.spy_gpu,
                 self.process,
                 name=f"memorygram_block_{block_index}",
@@ -348,8 +422,13 @@ class MemorygramProber:
         if victim is not None:
             victim_process = runtime.create_process(victim_process_name)
             victim.allocate(runtime, victim_process, self.victim_gpu)
+            victim_kernel = victim.kernel()
+            if use_epochs:
+                # Result-blind trace victims collapse into one unrecorded
+                # epoch; kernels yielding richer ops replay verbatim.
+                victim_kernel = epochify(victim_kernel)
             runtime.launch(
-                _victim_wrapper(victim.kernel(), victim_done),
+                _victim_wrapper(victim_kernel, victim_done),
                 self.victim_gpu,
                 victim_process,
                 name=f"victim_{victim.name}",
@@ -359,11 +438,84 @@ class MemorygramProber:
             victim_done.append(True)  # idle recording: stop after grace
 
         runtime.synchronize()
+        if use_epochs:
+            return self._assemble_epochs(
+                records, start, bin_cycles, trim_quiet_tail=trim_quiet_tail
+            )
         return self._assemble(
             samples, start, bin_cycles, trim_quiet_tail=trim_quiet_tail
         )
 
     # ------------------------------------------------------------------
+    def _adaptive_threshold(self, pooled: np.ndarray) -> float:
+        """Trace-adaptive hit/miss boundary from the pooled latencies.
+
+        The spy's own load inflates all latencies, so the hit level is
+        re-estimated from this trace's low percentile and the physical DRAM
+        gap from the quiet-box calibration sits on top.  The estimate is
+        clamped to a band above the calibrated hit mean: below it the trace
+        is quiet (use the calibration), far above it the low percentile is
+        itself made of misses (a victim saturating every monitored set) and
+        must not drag the threshold past the miss cluster.
+        """
+        assert self.thresholds is not None
+        low = float(np.percentile(pooled, 5.0))
+        hit_mean = self.thresholds.remote_hit_mean
+        half_gap = self.thresholds.remote_half_gap
+        hit_level = min(max(low, hit_mean), hit_mean + 1.2 * half_gap)
+        return hit_level + half_gap
+
+    def _assemble_epochs(
+        self,
+        records: Sequence[Tuple[List[int], EpochOutcome]],
+        start: float,
+        bin_cycles: float,
+        trim_quiet_tail: bool,
+    ) -> Memorygram:
+        """Columnar counterpart of :meth:`_assemble` over epoch outcomes.
+
+        Bit-identical to the scalar path: per-set sample times are the
+        same two-float sums (``burst start + set start offset``), the
+        pooled percentile sees the same latency multiset, and the bin
+        index truncation matches ``int()`` (times never precede
+        ``start``).
+        """
+        live = [
+            (rows, outcome)
+            for rows, outcome in records
+            if outcome.num_recorded
+        ]
+        if not live:
+            raise AttackError("no probe samples recorded")
+        pooled = np.concatenate(
+            [outcome.latencies.ravel() for _rows, outcome in live]
+        )
+        threshold = self._adaptive_threshold(pooled)
+        block_times = [
+            outcome.starts[:, None] + outcome.set_starts[None, :]
+            for _rows, outcome in live
+        ]
+        last = max(float(times.max()) for times in block_times)
+        num_bins = int((last - start) / bin_cycles) + 1
+        grid = np.zeros((len(self.eviction_sets), num_bins), dtype=np.int64)
+        for (rows, outcome), times in zip(live, block_times):
+            miss_counts = np.add.reduceat(
+                (outcome.latencies > threshold).astype(np.int64),
+                outcome.set_offsets,
+                axis=1,
+            )
+            bins = ((times - start) / bin_cycles).astype(np.int64)
+            row_grid = np.broadcast_to(
+                np.asarray(rows, dtype=np.int64)[None, :], bins.shape
+            )
+            np.add.at(grid, (row_grid, bins), miss_counts)
+        if trim_quiet_tail:
+            activity = grid.sum(axis=0)
+            alive = np.nonzero(activity > 0)[0]
+            if alive.size:
+                grid = grid[:, : int(alive[-1]) + 1]
+        return Memorygram(data=grid, bin_cycles=bin_cycles, start_time=start)
+
     def _assemble(
         self,
         samples: Sequence[ProbeSample],
@@ -374,20 +526,8 @@ class MemorygramProber:
         if not samples:
             raise AttackError("no probe samples recorded")
         assert self.thresholds is not None
-        # Trace-adaptive hit/miss boundary: the spy's own load inflates all
-        # latencies, so the hit level is re-estimated from this trace's low
-        # percentile and the physical DRAM gap from the quiet-box
-        # calibration sits on top.  The estimate is clamped to a band above
-        # the calibrated hit mean: below it the trace is quiet (use the
-        # calibration), far above it the low percentile is itself made of
-        # misses (a victim saturating every monitored set) and must not
-        # drag the threshold past the miss cluster.
         pooled = np.concatenate([np.asarray(s.latencies) for s in samples])
-        low = float(np.percentile(pooled, 5.0))
-        hit_mean = self.thresholds.remote_hit_mean
-        half_gap = self.thresholds.remote_half_gap
-        hit_level = min(max(low, hit_mean), hit_mean + 1.2 * half_gap)
-        threshold = hit_level + half_gap
+        threshold = self._adaptive_threshold(pooled)
         last = max(sample.time for sample in samples)
         num_bins = int((last - start) / bin_cycles) + 1
         grid = np.zeros((len(self.eviction_sets), num_bins), dtype=np.int64)

@@ -21,6 +21,7 @@ from ..sim.rng import RngFanout
 from .cache import VectorL2Cache
 from .gpu import GPU
 from .interconnect import Interconnect
+from .tagstore import _INVALID as _INVALID_TAG
 from .topology import Topology
 
 __all__ = ["MultiGPUSystem"]
@@ -32,20 +33,25 @@ class _EpochPlan:
     A prober block re-yields the *same* ``(buffer, sets)`` pair every
     sweep, so the flatten/translate work (set counts, offsets, flat word
     indices, physical line addresses) is loop-invariant.  Plans are cached
-    by object identity; holding strong references to the keys keeps their
-    ``id``s from being recycled while an entry is alive.
+    by the buffer's generation token plus the sets tuple's identity: the
+    token is never recycled (unlike ``id()``), so a freed-and-reallocated
+    buffer can never be served another allocation's physical addresses.
     """
 
     __slots__ = (
         "buffer", "sets", "counts", "offsets", "flat", "paddrs",
-        "_cache_plan", "_cache_plan_l2",
+        "positions", "_paddr_list", "_cache_plan", "_cache_plan_l2",
+        "_small_plan", "_small_plan_l2",
     )
 
     def __init__(self, buffer: DeviceBuffer, sets: tuple) -> None:
         self.buffer = buffer
         self.sets = sets
+        self._paddr_list = None
         self._cache_plan = None
         self._cache_plan_l2 = None
+        self._small_plan = None
+        self._small_plan_l2 = None
         set_lists = [
             indices if hasattr(indices, "__len__") else list(indices)
             for indices in sets
@@ -62,6 +68,13 @@ class _EpochPlan:
         else:
             self.flat = np.empty(0, dtype=np.int64)
             self.paddrs = np.empty(0, dtype=np.int64)
+        self.positions = np.arange(self.paddrs.size, dtype=np.float64)
+
+    def paddr_list(self):
+        """Flat physical addresses as a Python list (scalar-core fuel)."""
+        if self._paddr_list is None:
+            self._paddr_list = self.paddrs.tolist()
+        return self._paddr_list
 
     def cache_plan(self, l2: VectorL2Cache):
         """The (lazily built) per-L2 access plan for this epoch's stream.
@@ -75,6 +88,35 @@ class _EpochPlan:
             self._cache_plan = l2.plan_epoch(self.paddrs)
             self._cache_plan_l2 = l2
         return self._cache_plan
+
+    def small_plan(self, l2: VectorL2Cache):
+        """Decoded ``(runs, tags, paddrs)`` layout for the fused core.
+
+        ``runs`` is the stream's maximal same-set run decomposition --
+        ``(set_index, bank, start, stop)`` per run -- so a prime/probe
+        burst (``ways`` consecutive accesses to one set) is serviced
+        against Python-local row state with one writeback per run.  All
+        of it is geometry-pure, so it is hoisted out of the per-access
+        loop and cached per home L2 like :meth:`cache_plan`.
+        """
+        if self._small_plan_l2 is not l2:
+            sets = l2.set_indices(self.paddrs)
+            tags = self.paddrs >> l2.addr.tag_shift
+            sets_list = sets.tolist()
+            bank_mask = l2._bank_mask
+            runs = []
+            start = 0
+            n = len(sets_list)
+            while start < n:
+                set_index = sets_list[start]
+                stop = start + 1
+                while stop < n and sets_list[stop] == set_index:
+                    stop += 1
+                runs.append((set_index, set_index & bank_mask, start, stop))
+                start = stop
+            self._small_plan = (runs, tags.tolist(), self.paddr_list())
+            self._small_plan_l2 = l2
+        return self._small_plan
 
 
 class _JitterPool:
@@ -113,6 +155,18 @@ class _JitterPool:
             filled += grab
         return out
 
+    def take_list(self, count: int) -> list:
+        """:meth:`take` as a plain list (skips the intermediate array).
+
+        Same draws in the same order; the no-refill common case is one
+        buffer slice, which is what sub-width epoch bursts want.
+        """
+        pos = self._pos
+        if pos + count <= self._block:
+            self._pos = pos + count
+            return self._buf[pos : pos + count].tolist()
+        return self.take(count).tolist()
+
 
 class MultiGPUSystem:
     """Eight (by default) GPUs, NVLink cube-mesh, shared nothing but links."""
@@ -136,7 +190,8 @@ class MultiGPUSystem:
         #: Nullable per-GPU latency multipliers (DVFS/clock-drift faults);
         #: the access paths pay one ``is None`` branch when unset.
         self._latency_scale: Optional[np.ndarray] = None
-        #: id-keyed bounded cache of :class:`_EpochPlan` (see access_epoch).
+        #: Bounded FIFO cache of :class:`_EpochPlan`, keyed by (buffer
+        #: generation token, sets-tuple identity) -- see _epoch_plan.
         self._epoch_plans: dict = {}
 
     # ------------------------------------------------------------------
@@ -442,21 +497,125 @@ class MultiGPUSystem:
         """Fetch (or build) the cached flatten/translate plan for an epoch.
 
         Only tuple ``sets`` are cacheable (a generator would be consumed by
-        planning); identity of both the buffer and the sets tuple must
-        match, which the held references guarantee for live objects.  The
-        store is a small FIFO so freed probe buffers cannot accumulate.
+        planning).  The key pairs the buffer's generation *token* -- bumped
+        on every allocation and translation change, never recycled -- with
+        the sets tuple's identity; the ``plan.sets is sets`` guard covers
+        the (recyclable) half of the key.  The store is a bounded FIFO so
+        one-shot victim bursts cannot accumulate plans without bound.
         """
         if not isinstance(sets, tuple):
             return _EpochPlan(buffer, tuple(sets))
-        key = (id(buffer), id(sets))
+        key = (buffer.token, id(sets))
         plan = self._epoch_plans.get(key)
-        if plan is not None and plan.buffer is buffer and plan.sets is sets:
+        if plan is not None and plan.sets is sets:
             return plan
         plan = _EpochPlan(buffer, sets)
-        if len(self._epoch_plans) >= 8:
+        if len(self._epoch_plans) >= 64:
             self._epoch_plans.pop(next(iter(self._epoch_plans)))
         self._epoch_plans[key] = plan
         return plan
+
+    def epoch_layout(self, buffer: DeviceBuffer, sets, parallel: bool, issue_gap: float):
+        """Static per-burst layout for :class:`~repro.sim.ops.EpochOutcome`.
+
+        Returns ``(set_counts, set_offsets, set_starts)`` where the starts
+        are issue-slot offsets in cycles from the burst start (zeros in
+        sequential mode: the atomic-probe convention stamps every access
+        at the burst start).
+        """
+        plan = self._epoch_plan(buffer, sets)
+        if parallel:
+            set_starts = plan.offsets.astype(np.float64) * issue_gap
+        else:
+            set_starts = np.zeros(len(plan.counts), dtype=np.float64)
+        return plan.counts, plan.offsets, set_starts
+
+    def service_burst(
+        self,
+        process: Process,
+        buffer: DeviceBuffer,
+        sets,
+        exec_gpu: int,
+        now: float,
+        parallel: bool = True,
+        issue_gap: float = 4.0,
+    ):
+        """Service one epoch burst (the :class:`~repro.sim.ops.EpochBurst`
+        core behind the engine's epoch cursor).
+
+        Identical access semantics to :meth:`access_epoch` -- same flat
+        issue order, same stamps, same latency assembly -- but returns raw
+        arrays instead of building an :class:`EpochResult`, so a cursor
+        can record thousands of bursts columnar-style.  Returns
+        ``(latencies, hits, total, remote, scalar_fallback)``.
+        """
+        home = buffer.device_id
+        remote = exec_gpu != home
+        if remote and not process.has_peer_access(exec_gpu, home):
+            raise PeerAccessError(
+                f"process {process.name!r} has no peer access from GPU "
+                f"{exec_gpu} to GPU {home}"
+            )
+        home_gpu = self.gpus[home]
+        plan = self._epoch_plan(buffer, sets)
+        count = plan.paddrs.size
+        if count == 0:
+            empty = np.empty(0, dtype=np.float64)
+            return empty, np.empty(0, dtype=bool), 0.0, remote, False
+        vector_l2 = isinstance(home_gpu.l2, VectorL2Cache)
+        if (
+            vector_l2
+            and count >= 32
+            and count >= 12 * len(plan.cache_plan(home_gpu.l2).rounds)
+        ):
+            # Wide rounds only: a same-set-heavy burst (a covert prime is
+            # ``ways`` accesses to each of a handful of sets) decomposes
+            # into rounds too narrow to amortize the array ops, so it is
+            # better off in the fused per-access loop below.
+            stamps = now + plan.positions * issue_gap if parallel else np.full(
+                count, float(now)
+            )
+            latencies, hits, misses, evictions = self._service_batch_vector(
+                home_gpu, exec_gpu, home, remote, plan.paddrs, stamps,
+                process.pid, cache_plan=plan.cache_plan(home_gpu.l2),
+            )
+            if parallel:
+                total = float(np.max(plan.positions * issue_gap + latencies))
+            else:
+                total = float(np.cumsum(latencies)[-1])
+            scalar_fallback = False
+        elif vector_l2:
+            # Small burst (a covert prime/probe is 4-16 lines): the same
+            # `< 32` routing cutoff as access_batch, but through a fused
+            # per-access loop with the set/tag/bank decode hoisted into
+            # the plan.  Drives identical tag-store, bank, HBM and link
+            # state as the reference loop -- same jitter draw order, same
+            # float expression order -- minus the per-access plumbing.
+            latencies, hits, misses, evictions, total = self._service_burst_small(
+                home_gpu, exec_gpu, home, remote, plan, now, parallel,
+                issue_gap, process.pid,
+            )
+            scalar_fallback = False
+        else:
+            # Non-LRU home L2: the reference per-access loop is the only
+            # core that speaks every replacement policy.
+            if parallel:
+                stamps_list = [now + at * issue_gap for at in range(count)]
+            else:
+                stamps_list = [float(now)] * count
+            latencies, hits, misses, evictions = self._service_batch_scalar(
+                home_gpu, exec_gpu, home, remote, plan.paddr_list(),
+                stamps_list, process.pid,
+            )
+            if parallel:
+                total = max(
+                    at * issue_gap + lat for at, lat in enumerate(latencies)
+                )
+            else:
+                total = float(sum(latencies))
+            scalar_fallback = True
+        self._count_batch(home_gpu, exec_gpu, remote, count, misses, evictions, now)
+        return latencies, hits, total, remote, scalar_fallback
 
     def probe_link(
         self,
@@ -663,6 +822,187 @@ class MultiGPUSystem:
             latencies.append(latency)
             hits.append(outcome.hit)
         return latencies, hits, misses, evictions
+
+    def _service_burst_small(
+        self,
+        home_gpu: GPU,
+        exec_gpu: int,
+        home: int,
+        remote: bool,
+        plan: _EpochPlan,
+        now: float,
+        parallel: bool,
+        issue_gap: float,
+        owner: int,
+    ):
+        """Fused per-access loop for sub-threshold epoch bursts.
+
+        Step-for-step equivalent to :meth:`_service_batch_scalar` over
+        the same stream against a :class:`VectorL2Cache` home -- the
+        tag-store walk, bank occupancy chain, jitter draws, HBM channel
+        occupancy and link transfers all mutate in the reference order,
+        and every latency is assembled with the reference expression --
+        but the per-access set/tag/bank decode comes precomputed from
+        the plan and the ``CacheAccess`` plumbing is inlined away.  The
+        set row's tag list is memoized across the consecutive same-set
+        accesses a prime/probe burst is made of (and kept in sync with
+        fills), where the reference loop re-materializes it per access.
+        """
+        timing = self.spec.timing
+        l2 = home_gpu.l2
+        store = l2._store
+        tags_matrix = store._tags
+        age_matrix = store._age
+        ways = store.ways
+        bank_busy = l2._bank_busy
+        bank_service = l2.spec.bank_service_cycles
+        hbm_occupy = home_gpu.hbm.occupy
+        transfer = self.interconnect.transfer
+        jitter_next = self._jitter.next
+        if remote:
+            hit_base, miss_base = timing.remote_l2_hit, timing.remote_dram
+            hit_sigma, miss_sigma = (
+                timing.jitter_remote_hit,
+                timing.jitter_remote_miss,
+            )
+        else:
+            hit_base, miss_base = timing.local_l2_hit, timing.local_dram
+            hit_sigma, miss_sigma = timing.jitter_local_hit, timing.jitter_local_miss
+        scale = (
+            1.0
+            if self._latency_scale is None
+            else float(self._latency_scale[exec_gpu])
+        )
+        runs, tags_l, paddrs_l = plan.small_plan(l2)
+        count = len(paddrs_l)
+        # Mid-sized bursts batch the jitter draws: the pool serves the
+        # same values :meth:`_JitterPool.next` would, in the same order.
+        # Below ~16 accesses the array round-trip costs more than it saves.
+        batched = count >= 16
+        if batched:
+            jitter = self._jitter.take_list(count)
+        # Remote bursts walk the link route inline: the route, per-edge
+        # serialization and lane lists are loop-invariant, and the lane
+        # lists hold plain Python floats, so the per-access reservation
+        # below replays :meth:`Interconnect.transfer`'s exact arithmetic
+        # without its per-call route/counter work.  Counters flush once
+        # per burst (the batch path's accounting); with a tracer attached
+        # the per-access calls are kept so stall events stay faithful.
+        inter = self.interconnect
+        inline_link = remote and inter.tracer is None
+        if inline_link:
+            route = inter.topology.path(exec_gpu, home)
+            degraded = inter._degraded
+            base_serialization = inter.spec.nvlink.serialization_cycles
+            link_edges = []
+            for edge in route:
+                serialization = base_serialization
+                if degraded:
+                    serialization *= degraded.get(edge, 1.0)
+                link_edges.append(
+                    (edge, inter._lane_state(edge, owner), serialization, [0.0])
+                )
+            hop_pad = (len(route) - 1) * self.spec.timing.per_extra_hop
+        latencies = []
+        hits = []
+        misses = 0
+        evictions = 0
+        total = 0.0
+        tick = store._tick
+        now_f = float(now)
+        stamp = now_f
+        # Each run works on Python-local copies of its set row, age row
+        # and bank busy time -- per-access reads and writes land on plain
+        # lists/floats, and the (bitwise round-trip-exact) state writeback
+        # happens once per run, before any later run can observe it.
+        for set_index, bank, start, stop in runs:
+            row_list = tags_matrix[set_index].tolist()
+            ages = age_matrix[set_index].tolist()
+            busy = float(bank_busy[bank])
+            filled = False
+            for at in range(start, stop):
+                if parallel:
+                    stamp = now + at * issue_gap
+                tag = tags_l[at]
+                try:
+                    way = row_list.index(tag)
+                    ages[way] = tick
+                    hit = True
+                except ValueError:
+                    hit = False
+                    try:
+                        way = row_list.index(_INVALID_TAG)
+                    except ValueError:
+                        # All ways valid: evict the first-minimum age,
+                        # exactly the reference loop's LRU scan.
+                        way = min(range(ways), key=ages.__getitem__)
+                        evictions += 1
+                    row_list[way] = tag
+                    ages[way] = tick
+                    filled = True
+                tick += 1
+                wait = busy - stamp if busy > stamp else 0.0
+                busy = stamp + wait + bank_service
+                draw = jitter[at] if batched else jitter_next()
+                if hit:
+                    latency = hit_base + hit_sigma * draw + wait
+                else:
+                    misses += 1
+                    latency = (
+                        miss_base
+                        + miss_sigma * draw
+                        + wait
+                        + hbm_occupy(paddrs_l[at], stamp)
+                    )
+                if inline_link:
+                    extra = 0.0
+                    clk = stamp
+                    for _edge, lanes, serialization, wait_acc in link_edges:
+                        # First-minimum lane, like the reference's
+                        # ``min(range(len(lanes)), key=...)`` (<= keeps the
+                        # tie on lane 0); the two-lane case is the common
+                        # NVLink shape and skips the ``min`` machinery.
+                        if len(lanes) == 2:
+                            lane = 0 if lanes[0] <= lanes[1] else 1
+                        else:
+                            lane = min(range(len(lanes)), key=lanes.__getitem__)
+                        lane_busy = lanes[lane]
+                        lane_wait = lane_busy - clk if lane_busy > clk else 0.0
+                        lanes[lane] = clk + lane_wait + serialization
+                        wait_acc[0] += lane_wait
+                        extra += lane_wait
+                        clk += lane_wait + serialization
+                    latency += extra + hop_pad
+                elif remote:
+                    latency += transfer(exec_gpu, home, stamp, owner)[0]
+                if scale != 1.0:
+                    latency *= scale
+                if latency < 1.0:
+                    latency = 1.0
+                latencies.append(latency)
+                hits.append(hit)
+                # Burst total, folded into the loop: same expressions as
+                # ``max(at * issue_gap + lat ...)`` / left-to-right ``sum``.
+                if parallel:
+                    finish = at * issue_gap + latency
+                    if finish > total:
+                        total = finish
+                else:
+                    total += latency
+            if filled:
+                tags_matrix[set_index] = row_list
+            age_matrix[set_index] = ages
+            bank_busy[bank] = busy
+        store._tick = tick
+        if inline_link:
+            transfers_c = inter._transfers
+            queued_c = inter._queued_cycles
+            busy_c = inter._busy_cycles
+            for edge, _lanes, serialization, wait_acc in link_edges:
+                transfers_c[edge] += count
+                queued_c[edge] += wait_acc[0]
+                busy_c[edge] += serialization * count
+        return latencies, hits, misses, evictions, total
 
     def _count_batch(
         self,

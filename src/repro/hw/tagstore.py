@@ -42,6 +42,16 @@ __all__ = ["LruTagStore", "occurrence_ranks"]
 _INVALID = -1
 _AGE_MAX = np.iinfo(np.int64).max
 
+_IOTA = np.arange(4096, dtype=np.int64)
+
+
+def _iota(n: int) -> np.ndarray:
+    """``arange(n)`` from a shared read-only pool (round-core row picker)."""
+    global _IOTA
+    if n > _IOTA.size:
+        _IOTA = np.arange(max(n, 2 * _IOTA.size), dtype=np.int64)
+    return _IOTA[:n]
+
 
 def occurrence_ranks(values: np.ndarray) -> np.ndarray:
     """Rank of each element among equal elements, in array order.
@@ -159,30 +169,37 @@ class LruTagStore:
         hits: np.ndarray,
         evictions: np.ndarray,
     ) -> None:
-        """One round of distinct-set lookups-and-fills (shared core)."""
+        """One round of distinct-set lookups-and-fills (shared core).
+
+        The hit way doubles as the hit test (``argmax`` of the match row
+        picks the matching way when there is one, and ``match`` at that
+        way says whether there was), so the all-hit steady state -- a
+        warm probe sweep -- settles in seven array ops.
+        """
         tag_rows = self._tags[rows]
         match = tag_rows == wanted[:, None]
-        hit = match.any(axis=1)
+        way = match.argmax(axis=1)
+        hit = match[_iota(rows.size), way]
         hits[sel] = hit
         tick = self._tick
         self._tick = tick + 1
+        if hit.all():
+            self._age[rows, way] = tick
+            return
         if hit.any():
-            hit_rows = rows[hit]
-            hit_ways = match[hit].argmax(axis=1)
-            self._age[hit_rows, hit_ways] = tick
+            self._age[rows[hit], way[hit]] = tick
         miss = ~hit
-        if miss.any():
-            miss_rows = rows[miss]
-            miss_invalid = tag_rows[miss] == _INVALID
-            has_free = miss_invalid.any(axis=1)
-            free_way = miss_invalid.argmax(axis=1)
-            lru_way = np.where(
-                miss_invalid, _AGE_MAX, self._age[miss_rows]
-            ).argmin(axis=1)
-            way = np.where(has_free, free_way, lru_way)
-            evictions[sel[miss]] = ~has_free
-            self._tags[miss_rows, way] = wanted[miss]
-            self._age[miss_rows, way] = tick
+        miss_rows = rows[miss]
+        miss_invalid = tag_rows[miss] == _INVALID
+        has_free = miss_invalid.any(axis=1)
+        free_way = miss_invalid.argmax(axis=1)
+        lru_way = np.where(
+            miss_invalid, _AGE_MAX, self._age[miss_rows]
+        ).argmin(axis=1)
+        fill_way = np.where(has_free, free_way, lru_way)
+        evictions[sel[miss]] = ~has_free
+        self._tags[miss_rows, fill_way] = wanted[miss]
+        self._age[miss_rows, fill_way] = tick
 
     # ------------------------------------------------------------------
     # Scalar access (kept for the single-word path and maintenance ops)

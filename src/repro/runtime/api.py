@@ -29,9 +29,15 @@ class Runtime:
         spec: Optional[DGXSpec] = None,
         seed: int = 0,
         system: Optional[MultiGPUSystem] = None,
+        epoch_dispatch: bool = True,
     ) -> None:
         self.system = system if system is not None else MultiGPUSystem(spec, seed=seed)
         self.engine = Engine(self.system)
+        #: When set (the default), attack kernels built on this runtime
+        #: declare :class:`~repro.sim.ops.AccessEpoch` plans and the engine
+        #: advances them in bulk; ``False`` keeps every kernel on the
+        #: per-op coroutine path -- the differential-test oracle.
+        self.epoch_dispatch = epoch_dispatch
 
     # ------------------------------------------------------------------
     # Process and memory management
@@ -91,6 +97,10 @@ class Runtime:
             for offset in range(0, gpu.spec.page_size, line):
                 gpu.l2.invalidate_line(base + offset)
         gpu.memory.free(buffer.frames)
+        # Cached epoch plans hold this buffer's *physical* addresses;
+        # once the frames are back in the allocator a stale plan would
+        # let a probe land on whatever buffer gets the frames next.
+        self.system.invalidate_epoch_plans(buffer)
         buffer.process.buffers.remove(buffer)
 
     def enable_peer_access(self, process: Process, from_gpu: int, to_gpu: int) -> None:

@@ -20,8 +20,10 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
 from ..errors import SimulationError
+from .epoch import EpochCursor
 from .ops import (
     Access,
+    AccessEpoch,
     Compute,
     Fence,
     LinkProbe,
@@ -59,12 +61,26 @@ class EngineStats:
     accesses: int = 0
     wall_seconds: float = 0.0
     sim_cycles: float = 0.0
+    #: Epoch-level counters: ``epochs`` dispatched, bursts/accesses they
+    #: serviced, and how many bursts fell back to the scalar L2 core --
+    #: a regression to per-event dispatch shows up here before it shows
+    #: up in wall time.
+    epochs: int = 0
+    epoch_bursts: int = 0
+    epoch_accesses: int = 0
+    scalar_fallbacks: int = 0
     op_counts: Dict[str, int] = field(default_factory=dict)
 
     def count_op(self, op_name: str, accesses: int = 0) -> None:
         self.events += 1
         self.accesses += accesses
         self.op_counts[op_name] = self.op_counts.get(op_name, 0) + 1
+
+    def count_epoch(self, bursts: int, accesses: int, scalar_bursts: int) -> None:
+        self.epochs += 1
+        self.epoch_bursts += bursts
+        self.epoch_accesses += accesses
+        self.scalar_fallbacks += scalar_bursts
 
     def _per_sec(self, count: int) -> float:
         # Zero/negative wall time (a run too short for the perf counter to
@@ -91,6 +107,13 @@ class EngineStats:
             "sim_cycles": self.sim_cycles,
             "events_per_sec": self.events_per_sec,
             "accesses_per_sec": self.accesses_per_sec,
+            "epochs": self.epochs,
+            "epoch_bursts": self.epoch_bursts,
+            "epoch_accesses": self.epoch_accesses,
+            "accesses_per_epoch": (
+                self.epoch_accesses / self.epochs if self.epochs else 0.0
+            ),
+            "scalar_fallbacks": self.scalar_fallbacks,
             "op_counts": dict(self.op_counts),
         }
 
@@ -99,6 +122,10 @@ class EngineStats:
         self.accesses = 0
         self.wall_seconds = 0.0
         self.sim_cycles = 0.0
+        self.epochs = 0
+        self.epoch_bursts = 0
+        self.epoch_accesses = 0
+        self.scalar_fallbacks = 0
         self.op_counts.clear()
 
     def summary(self) -> str:
@@ -123,6 +150,7 @@ class StreamHandle:
         "result",
         "pending",
         "placement",
+        "cursor",
     )
 
     def __init__(
@@ -142,6 +170,9 @@ class StreamHandle:
         self.result: Any = None
         self.pending: Any = None
         self.placement = None
+        #: In-flight :class:`~repro.sim.epoch.EpochCursor`, when the
+        #: stream's current op is an AccessEpoch being advanced in bulk.
+        self.cursor: Optional[EpochCursor] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.done else f"t={self.clock:.0f}"
@@ -192,8 +223,25 @@ class Engine:
             self.tracer.kernel_event("launch", handle, begin)
         return handle
 
-    def _push(self, handle: StreamHandle) -> None:
-        heapq.heappush(self._heap, (handle.clock, self._seq, handle))
+    def _push(
+        self, handle: StreamHandle, lead: int = 0, since: Optional[float] = None
+    ) -> None:
+        """Queue ``handle`` at its clock.
+
+        Entries sort by ``(when, lead, since, seq)``.  ``since`` is the
+        simulation time of the push and ``lead`` the number of
+        zero-latency ops the stream will run before its next
+        resource-touching op.  For scalar dispatch both default
+        (``lead=0``, ``since=now``) and the ordering collapses to the
+        plain FIFO ``(when, seq)`` tie-break, because push times are
+        non-decreasing in ``seq``.  Epoch cursors supply the values their
+        scalar twin would have had, so streams suspended at the *same*
+        instant (trojans padded to one slot grid) pop in the oracle's
+        round-robin order: earliest last activity first, one zero-op per
+        turn.
+        """
+        since_key = self.now if since is None else since
+        heapq.heappush(self._heap, (handle.clock, lead, since_key, self._seq, handle))
         self._seq += 1
 
     def run(self, until: Optional[float] = None, max_events: int = 200_000_000) -> float:
@@ -207,9 +255,10 @@ class Engine:
         chaos = self.chaos
         started_at = self.now
         wall_start = time.perf_counter()
+        inf = float("inf")
         try:
             while heap:
-                when, _seq, handle = heap[0]
+                when, _lead, _since, _seq, handle = heap[0]
                 if until is not None and when > until:
                     break
                 heapq.heappop(heap)
@@ -225,21 +274,55 @@ class Engine:
                         f"exceeded {max_events} events; runaway kernel "
                         f"{handle.name!r}?"
                     )
-                try:
-                    op = handle.generator.send(handle.pending)
-                except StopIteration as stop:
-                    handle.done = True
-                    handle.result = stop.value
-                    self._release(handle)
-                    if tracer is not None:
-                        tracer.kernel_event("end", handle, when)
-                    continue
-                latency, result = self._execute(op, handle, when)
+                cursor = handle.cursor
+                if cursor is None:
+                    try:
+                        op = handle.generator.send(handle.pending)
+                    except StopIteration as stop:
+                        handle.done = True
+                        handle.result = stop.value
+                        self._release(handle)
+                        if tracer is not None:
+                            tracer.kernel_event("end", handle, when)
+                        continue
+                    if type(op) is AccessEpoch:
+                        cursor = EpochCursor(op, handle, self.system, when)
+                        handle.cursor = cursor
+                        handle.pending = None
+                    else:
+                        latency, result = self._execute(op, handle, when)
+                        if tracer is not None:
+                            tracer.op_event(op, handle, when, latency)
+                        handle.clock = when + latency
+                        handle.pending = result
+                        self._push(handle)
+                        continue
+                # Epoch path: advance the cursor until the next foreign
+                # event (or scheduled fault, or the run horizon) would
+                # interleave, then re-queue the stream at its new clock.
+                deadline = heap[0][0] if heap else inf
+                if until is not None and until < deadline:
+                    deadline = until
+                if chaos is not None:
+                    due = chaos.next_due()
+                    if due < deadline:
+                        deadline = due
+                finished = cursor.resume(when, deadline)
+                stats.count_op("AccessEpoch", cursor.resumed_accesses)
                 if tracer is not None:
-                    tracer.op_event(op, handle, when, latency)
-                handle.clock = when + latency
-                handle.pending = result
-                self._push(handle)
+                    tracer.op_event(cursor.op, handle, when, cursor.clock - when)
+                handle.clock = cursor.clock
+                if finished:
+                    stats.count_epoch(
+                        cursor.bursts, cursor.accesses, cursor.scalar_bursts
+                    )
+                    handle.pending = cursor.take_outcome()
+                    handle.cursor = None
+                    self._push(handle)
+                else:
+                    # Suspended mid-epoch: queue with the FIFO tie key the
+                    # scalar twin's last push would have carried.
+                    self._push(handle, cursor.key_lead, cursor.key_since)
         finally:
             stats.wall_seconds += time.perf_counter() - wall_start
             stats.sim_cycles += self.now - started_at
@@ -354,7 +437,7 @@ class Engine:
     def drain(self) -> None:
         """Drop all queued streams (abandoning their kernels)."""
         while self._heap:
-            _when, _seq, handle = heapq.heappop(self._heap)
+            _when, _lead, _since, _seq, handle = heapq.heappop(self._heap)
             self._release(handle)
 
     @property

@@ -1,0 +1,425 @@
+"""Epoch cursor: bulk advancement of :class:`~repro.sim.ops.AccessEpoch`.
+
+The engine's batch-native execution core.  A kernel that yields an
+``AccessEpoch`` hands the engine its whole access plan -- bursts, idle
+windows, repeat-until-deadline prime loops, round pacing -- and the
+engine parks a cursor on the stream instead of bouncing one heap event
+per probe.  Each time the stream reaches the head of the event heap the
+cursor *resumes*: it services consecutive bursts through the vectorized
+hardware cores until the next foreign event (another stream's op, the
+``run(until=...)`` horizon, or a scheduled fault) would interleave, then
+suspends with the stream re-queued at its advanced clock.
+
+Ordering stays identical to scalar dispatch because bursts execute
+atomically at their start time (the atomic-probe convention): the cursor
+services a burst only while its start precedes every other pending
+event, so the global op-start order -- the only order the convention
+defines -- is unchanged.  Chaos faults are fences: the resume deadline
+is capped at the injector's next due time, so a burst starting after a
+scheduled fault is serviced only after the fault lands.  Telemetry fires
+once per resume (epoch boundaries), not per access.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import SimulationError
+from .ops import (
+    AccessEpoch,
+    Compute,
+    EpochBurst,
+    EpochIdle,
+    EpochOutcome,
+    EpochRepeat,
+    ProbeEpoch,
+    ProbeSet,
+    Sleep,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.system import MultiGPUSystem
+    from .engine import StreamHandle
+
+__all__ = ["EpochCursor", "epochify"]
+
+_INF = float("inf")
+
+
+class EpochCursor:
+    """Resumable execution state of one in-flight :class:`AccessEpoch`."""
+
+    __slots__ = (
+        "op", "handle", "system", "begin", "clock",
+        "round_index", "round_start", "in_round", "seg_index", "stop_at",
+        "idle_pause", "lead", "last_advance", "key_lead", "key_since",
+        "bursts", "accesses", "scalar_bursts", "remote",
+        "resumed_accesses", "resumed_bursts",
+        "_layout", "_starts", "_lats", "_hits", "_totals",
+    )
+
+    def __init__(
+        self,
+        op: AccessEpoch,
+        handle: "StreamHandle",
+        system: "MultiGPUSystem",
+        begin: float,
+    ) -> None:
+        self.op = op
+        self.handle = handle
+        self.system = system
+        self.begin = begin
+        self.clock = begin
+        self.round_index = 0
+        self.round_start = begin
+        self.in_round = False
+        self.seg_index = 0
+        self.stop_at: Optional[float] = None
+        #: Marks the (round, segment) of a chunked idle whose final chunk
+        #: already suspended once, so the resume completes it (progress
+        #: guarantee) instead of pausing again.
+        self.idle_pause = None
+        #: Zero-latency clock reads the scalar twin has pending before its
+        #: next resource op, and the start time of its last clock-advancing
+        #: op -- together the FIFO tie key the scalar engine would have
+        #: assigned this stream's queued event (see Engine._push).
+        self.lead = 0
+        self.last_advance = begin
+        self.key_lead = 0
+        self.key_since = begin
+        self.bursts = 0
+        self.accesses = 0
+        self.scalar_bursts = 0
+        self.remote = False
+        #: Work serviced by the latest resume (per-resume stats/telemetry).
+        self.resumed_accesses = 0
+        self.resumed_bursts = 0
+        self._layout = None
+        self._starts: List[float] = []
+        self._lats: List[np.ndarray] = []
+        self._hits: List[np.ndarray] = []
+        self._totals: List[float] = []
+
+    # ------------------------------------------------------------------
+    def resume(self, now: float, deadline: float) -> bool:
+        """Advance until the epoch finishes or ``deadline`` interleaves.
+
+        ``now`` is the heap time the stream was popped at (adopted if the
+        cursor's clock lags it -- e.g. after a preemption fault rewrote
+        the queued clock).  Returns ``True`` when the epoch is complete;
+        otherwise the cursor's clock is where the stream must re-queue.
+
+        A burst may start exactly at ``deadline`` only if nothing was
+        serviced yet this resume: the stream was popped first at that
+        time, so it owns the tie -- exactly the scalar engine's FIFO
+        tie-break, where the re-pushed op would get a later sequence
+        number than the already-queued foreign event.
+        """
+        op = self.op
+        clock = self.clock
+        if now > clock:
+            clock = now
+        entry = clock
+        serviced = False
+        self.resumed_accesses = 0
+        self.resumed_bursts = 0
+        segments = op.segments
+        num_segments = len(segments)
+        service = self._service
+        # ``lead``/``last_advance`` mirror the scalar twin's event-queue
+        # footprint: how many zero-latency clock reads it has pending, and
+        # when its last clock-advancing op started (= when its queued heap
+        # entry was pushed).  They become the suspension tie key so that
+        # streams parked at the same instant pop in the oracle's order.
+        lead = self.lead
+        last_advance = self.last_advance
+        while True:
+            if not self.in_round:
+                # Round-start checks observe externally mutated state (the
+                # stop flag), so they run only while this stream still owns
+                # the simulation clock -- past the deadline the cursor
+                # suspends and re-checks after the foreign event has landed,
+                # exactly when the scalar loop would re-check.
+                if clock >= deadline and (serviced or clock > entry):
+                    return self._suspend(
+                        clock, lead, lead + op.round_reads, last_advance
+                    )
+                if op.rounds is not None and self.round_index >= op.rounds:
+                    break
+                if op.end_time is not None and clock >= op.end_time:
+                    break
+                if (
+                    op.stop_flag is not None
+                    and self.stop_at is None
+                    and len(op.stop_flag)
+                ):
+                    self.stop_at = clock + op.grace_cycles
+                if self.stop_at is not None and clock >= self.stop_at:
+                    break
+                self.in_round = True
+                self.seg_index = 0
+                self.round_start = clock
+                lead += op.round_reads
+            while self.seg_index < num_segments:
+                seg = segments[self.seg_index]
+                kind = type(seg)
+                if kind is EpochBurst:
+                    if clock >= deadline and (serviced or clock > entry):
+                        return self._suspend(clock, lead, lead, last_advance)
+                    start = clock
+                    clock = start + service(seg, start)
+                    if seg.post_cycles:
+                        last_advance = clock
+                        clock += seg.post_cycles
+                    else:
+                        last_advance = start
+                    lead = 0
+                    serviced = True
+                elif kind is EpochIdle:
+                    if seg.cycles:
+                        last_advance = clock
+                        clock += seg.cycles
+                        lead = 0
+                    if seg.until is not None:
+                        target = self.round_start + seg.until
+                        chunk = seg.chunk
+                        if chunk is None:
+                            if target > clock:
+                                last_advance = clock
+                                clock = target
+                                lead = 0
+                        else:
+                            # Step like the scalar wait loop so the two
+                            # backends' clocks agree bit-for-bit; each
+                            # evaluation is one clock read in the twin.
+                            here = (self.round_index, self.seg_index)
+                            while True:
+                                lead += 1
+                                remaining = target - clock
+                                if remaining <= 0:
+                                    break
+                                if remaining <= chunk and self.idle_pause != here:
+                                    # Final chunk: the twin pushes its last
+                                    # wait Compute here, and that push's FIFO
+                                    # slot is what decides pop order when
+                                    # several streams re-converge on a common
+                                    # grid (trojans padded to one slot edge).
+                                    # Suspend once so this cursor's re-push
+                                    # lands in the same relative order.
+                                    self.idle_pause = here
+                                    return self._suspend(
+                                        clock, lead - 1, lead, last_advance
+                                    )
+                                last_advance = clock
+                                clock += remaining if remaining < chunk else chunk
+                                lead = 0
+                            if self.idle_pause == here:
+                                self.idle_pause = None
+                elif kind is EpochRepeat:
+                    burst = seg.burst
+                    target = self.round_start + seg.until
+                    post = burst.post_cycles
+                    while True:
+                        lead += 1  # the twin's margin-check clock read
+                        if clock + seg.margin > target:
+                            break
+                        if clock >= deadline and (serviced or clock > entry):
+                            # ``lead - 1``: the margin check re-runs on
+                            # resume; the key still counts it.
+                            return self._suspend(clock, lead - 1, lead, last_advance)
+                        start = clock
+                        clock = start + service(burst, start)
+                        if post:
+                            last_advance = clock
+                            clock += post
+                        else:
+                            last_advance = start
+                        lead = 0
+                        serviced = True
+                else:
+                    raise SimulationError(
+                        f"AccessEpoch segment {seg!r} is not a burst/idle/repeat"
+                    )
+                self.seg_index += 1
+            if op.period is not None:
+                # ``period - elapsed`` then add: the scalar path's pacing
+                # arithmetic, kept verbatim for bitwise clock equality.  A
+                # round-read kernel reads the clock to compute the pad.
+                if op.round_reads:
+                    lead += 1
+                remaining = op.period - (clock - self.round_start)
+                if remaining > 0:
+                    last_advance = clock
+                    clock += remaining
+                    lead = 0
+            self.round_index += 1
+            self.in_round = False
+        self.clock = clock
+        self.lead = lead
+        self.last_advance = last_advance
+        return True
+
+    def _suspend(
+        self, clock: float, lead: int, key_lead: int, last_advance: float
+    ) -> bool:
+        self.clock = clock
+        self.lead = lead
+        self.key_lead = key_lead
+        self.key_since = last_advance
+        self.last_advance = last_advance
+        return False
+
+    def _service(self, burst: EpochBurst, clock: float) -> float:
+        latencies, hits, total, remote, scalar = self.system.service_burst(
+            self.handle.process,
+            burst.buffer,
+            burst.sets,
+            self.handle.gpu_id,
+            clock,
+            parallel=burst.parallel,
+            issue_gap=burst.issue_gap,
+        )
+        self.bursts += 1
+        self.resumed_bursts += 1
+        # ``latencies`` is a numpy row from the vector core or a plain
+        # list from the fused small-burst core; rows are kept as-is and
+        # stacked once in :meth:`take_outcome`.
+        count = len(latencies)
+        self.accesses += count
+        self.resumed_accesses += count
+        if scalar:
+            self.scalar_bursts += 1
+        if remote:
+            self.remote = True
+        if self.op.record:
+            if self._layout is None:
+                self._layout = self.system.epoch_layout(
+                    burst.buffer, burst.sets, burst.parallel, burst.issue_gap
+                )
+            elif count != (len(self._lats[0]) if self._lats else count):
+                raise SimulationError(
+                    "recorded epoch bursts must share one set layout; "
+                    "use record=False for heterogeneous plans"
+                )
+            self._starts.append(clock)
+            self._lats.append(latencies)
+            self._hits.append(hits)
+            self._totals.append(total)
+        return total
+
+    def take_outcome(self) -> EpochOutcome:
+        """Assemble the columnar result (call once, after completion)."""
+        if self._layout is not None:
+            counts, offsets, set_starts = self._layout
+        else:
+            counts = np.empty(0, dtype=np.int64)
+            offsets = np.empty(0, dtype=np.int64)
+            set_starts = np.empty(0, dtype=np.float64)
+        if self._starts:
+            starts = np.asarray(self._starts, dtype=np.float64)
+            latencies = np.vstack(self._lats)
+            hits = np.vstack(self._hits)
+            totals = np.asarray(self._totals, dtype=np.float64)
+        else:
+            width = int(counts.sum())
+            starts = np.empty(0, dtype=np.float64)
+            latencies = np.empty((0, width), dtype=np.float64)
+            hits = np.empty((0, width), dtype=bool)
+            totals = np.empty(0, dtype=np.float64)
+        return EpochOutcome(
+            starts=starts,
+            latencies=latencies,
+            hits=hits,
+            totals=totals,
+            set_counts=counts,
+            set_offsets=offsets,
+            set_starts=set_starts,
+            remote=self.remote,
+            bursts=self.bursts,
+            accesses=self.accesses,
+            begin=self.begin,
+            end=self.clock,
+        )
+
+
+# ----------------------------------------------------------------------
+# Scalar-kernel adapter
+# ----------------------------------------------------------------------
+def _as_segment(op: Any):
+    kind = type(op)
+    if kind is ProbeSet:
+        return EpochBurst(
+            op.buffer,
+            (tuple(op.indices),),
+            parallel=op.parallel,
+            issue_gap=op.issue_gap,
+        )
+    if kind is ProbeEpoch:
+        return EpochBurst(
+            op.buffer,
+            tuple(tuple(s) for s in op.sets),
+            parallel=op.parallel,
+            issue_gap=op.issue_gap,
+        )
+    if kind is Compute or kind is Sleep:
+        return EpochIdle(cycles=float(op.cycles))
+    return None
+
+
+def epochify(kernel: Generator[Any, Any, Any]) -> Generator[Any, Any, Any]:
+    """Wrap a result-blind trace kernel into a single unrecorded epoch.
+
+    Drains ``kernel`` (sending ``None``, which trace workloads ignore)
+    and re-expresses its probe/compute stream as one
+    ``AccessEpoch(record=False)`` -- the victim's whole run becomes a
+    handful of cursor resumes instead of one heap event per 16-line
+    batch.  Idle segments are kept one-per-op (not coalesced): float
+    addition is not associative, and summing them would nudge the clock
+    off the scalar path's bit pattern.
+
+    The moment the kernel yields an op with no epoch equivalent (a
+    store, fence or clock read), the collected prefix replays verbatim
+    on the scalar path and the wrapper turns into a transparent
+    passthrough: every later op is forwarded as yielded and its real
+    engine result sent back in.  Eagerly draining past that point would
+    be wrong, not just slow -- a result-*dependent* kernel (e.g. the
+    composite victim's join loop, which polls a flag that only flips
+    once its sibling streams run) may never terminate when fed ``None``.
+    """
+    segments: List[Any] = []
+    while True:
+        try:
+            op = next(kernel)
+        except StopIteration as stop:
+            if segments:
+                # round_reads=0: trace kernels never read the clock, so
+                # the twin has no zero-latency lead-in ops.
+                yield AccessEpoch(
+                    tuple(segments), rounds=1, record=False, round_reads=0
+                )
+            return stop.value
+        seg = _as_segment(op)
+        if seg is not None:
+            segments.append(seg)
+            continue
+        # Replay the epochable prefix (those ops already received None,
+        # so their engine results are discarded), then go transparent.
+        for prefix in segments:
+            if type(prefix) is EpochIdle:
+                yield Compute(prefix.cycles)
+            else:
+                yield ProbeSet(
+                    prefix.buffer,
+                    [index for group in prefix.sets for index in group],
+                    parallel=prefix.parallel,
+                    issue_gap=prefix.issue_gap,
+                )
+        result = yield op
+        while True:
+            try:
+                op = kernel.send(result)
+            except StopIteration as stop:
+                return stop.value
+            result = yield op

@@ -18,6 +18,7 @@ op                        result sent back into the generator
 :class:`Access`           ``AccessResult`` (value, latency, hit, ...)
 :class:`ProbeSet`         ``ProbeResult`` (per-line latencies, ...)
 :class:`ProbeEpoch`       ``EpochResult`` (per-set latencies, ...)
+:class:`AccessEpoch`      ``EpochOutcome`` (columnar per-burst arrays, ...)
 :class:`LinkProbe`        ``LinkProbeResult`` (per-transfer latencies, ...)
 :class:`Store`            ``AccessResult`` (like :class:`Access`)
 :class:`SharedStore`      ``None``
@@ -26,12 +27,20 @@ op                        result sent back into the generator
 :class:`Sleep`            ``None``
 :class:`ReadClock`        current stream clock in cycles (float)
 ========================  =============================================
+
+The :class:`AccessEpoch` family is the batch-native path: instead of one
+yield per probe, a kernel declares its whole access *plan* (bursts, idle
+windows, repeat-until-deadline segments, round pacing) and the engine's
+epoch cursor advances it in bulk, suspending only when another stream's
+event (or a scheduled fault) interleaves.  See ``sim/epoch.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple, TYPE_CHECKING
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING, Union
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .process import DeviceBuffer
@@ -40,6 +49,10 @@ __all__ = [
     "Access",
     "ProbeSet",
     "ProbeEpoch",
+    "AccessEpoch",
+    "EpochBurst",
+    "EpochIdle",
+    "EpochRepeat",
     "LinkProbe",
     "Store",
     "SharedStore",
@@ -50,6 +63,7 @@ __all__ = [
     "AccessResult",
     "ProbeResult",
     "EpochResult",
+    "EpochOutcome",
     "LinkProbeResult",
 ]
 
@@ -109,6 +123,104 @@ class ProbeEpoch:
     parallel: bool = True
     #: Cycles between consecutive issue slots in parallel mode.
     issue_gap: float = 4.0
+
+
+@dataclass(frozen=True)
+class EpochBurst:
+    """One batched multi-set traversal inside an :class:`AccessEpoch`.
+
+    The epoch-native generalization of :class:`ProbeEpoch`: ``sets`` is a
+    tuple of per-set word-index tuples over one buffer, traversed
+    back-to-back with the same issue semantics (parallel: flat access
+    ``p`` issues at ``start + p * issue_gap``; sequential: all accesses
+    stamped at the burst start, latencies accumulate).  ``post_cycles``
+    charges a fixed stream cost after the burst completes -- e.g. the
+    covert spy's two shared-memory staging stores -- without a separate
+    engine event.  Reuse ONE burst object across rounds: the flattened
+    physical-address plan is cached by identity.
+    """
+
+    buffer: "DeviceBuffer"
+    sets: Tuple[Tuple[int, ...], ...]
+    parallel: bool = True
+    #: Cycles between consecutive issue slots in parallel mode.
+    issue_gap: float = 4.0
+    #: Fixed cycles charged to the stream after the burst completes.
+    post_cycles: float = 0.0
+
+    @property
+    def count(self) -> int:
+        return sum(len(s) for s in self.sets)
+
+
+@dataclass(frozen=True)
+class EpochIdle:
+    """Advance the epoch clock without touching any resource.
+
+    ``cycles`` adds a relative delay; ``until`` (relative to the current
+    *round* start) fast-forwards to an absolute point on the round's time
+    axis -- ``clock = max(clock, round_start + until)`` -- which is how a
+    trojan pads out the remainder of a bit slot in one step instead of a
+    train of 200-cycle Compute chunks.  ``chunk`` makes the fast-forward
+    accumulate in ``min(remaining, chunk)`` steps, reproducing a scalar
+    wait loop's float arithmetic bit-for-bit (the clocks of both backends
+    then agree exactly, not just to rounding error).
+    """
+
+    cycles: float = 0.0
+    until: Optional[float] = None
+    chunk: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class EpochRepeat:
+    """Repeat ``burst`` while ``clock + margin <= round_start + until``.
+
+    The trojan's prime loop as a declarative segment: keep re-traversing
+    the eviction sets until the next traversal could overrun the slot
+    boundary (the ``margin`` models the kernel's own overrun guard).
+    """
+
+    burst: EpochBurst
+    until: float
+    margin: float = 0.0
+
+
+@dataclass(frozen=True)
+class AccessEpoch:
+    """A whole access *plan*, advanced in bulk by the engine's epoch cursor.
+
+    ``segments`` run in order once per round; ``rounds=None`` repeats until
+    a termination condition fires.  Round-start checks reproduce the
+    scalar prober loop exactly, in order:
+
+    1. ``end_time`` (absolute): round starting at or past it ends the epoch.
+    2. ``stop_flag`` (any sized container): first round that starts with it
+       non-empty arms a grace deadline ``round_start + grace_cycles``.
+    3. An armed grace deadline: round starting at or past it ends the epoch.
+
+    ``period`` paces rounds on a fixed grid: after the segments finish,
+    the clock pads forward to ``round_start + period`` (never backwards).
+    ``record=False`` skips per-access result assembly (victim workloads:
+    cache side effects and counters only).
+
+    ``round_reads`` declares how many zero-latency clock reads the scalar
+    kernel being mirrored performs at each round start (the prober's and
+    spy's ``yield ReadClock()``).  The engine uses it to reconstruct the
+    scalar event loop's FIFO order when several streams are queued at the
+    *same* instant (e.g. trojans padded to one slot grid), so tied bursts
+    land in the oracle's exact order.  Use 0 for plans with no scalar
+    clock reads (victim traces, warm-up primes).
+    """
+
+    segments: Tuple[Union[EpochBurst, EpochIdle, EpochRepeat], ...]
+    rounds: Optional[int] = 1
+    period: Optional[float] = None
+    end_time: Optional[float] = None
+    stop_flag: Optional[Sequence] = None
+    grace_cycles: float = 0.0
+    record: bool = True
+    round_reads: int = 1
 
 
 @dataclass(frozen=True)
@@ -265,3 +377,77 @@ class EpochResult:
         """Per-set miss counts (ground truth; attack code thresholds
         latencies instead)."""
         return [sum(1 for h in hs if not h) for hs in self.set_hits]
+
+
+class EpochOutcome:
+    """Columnar outcome of an :class:`AccessEpoch`.
+
+    One row per *recorded burst* (every burst of a ``record=True`` epoch,
+    in execution order): ``starts[b]`` is the burst's absolute start time,
+    ``latencies[b]`` / ``hits[b]`` its per-access results in flat issue
+    order, ``totals[b]`` its traversal latency.  All recorded bursts of
+    one epoch share a layout, described once by ``set_counts`` /
+    ``set_offsets`` (flat slots per set) and ``set_starts`` (issue-slot
+    offset of each set's first access, in cycles from the burst start).
+    """
+
+    __slots__ = (
+        "starts", "latencies", "hits", "totals",
+        "set_counts", "set_offsets", "set_starts",
+        "remote", "bursts", "accesses", "begin", "end",
+    )
+
+    def __init__(
+        self,
+        starts: np.ndarray,
+        latencies: np.ndarray,
+        hits: np.ndarray,
+        totals: np.ndarray,
+        set_counts: np.ndarray,
+        set_offsets: np.ndarray,
+        set_starts: np.ndarray,
+        remote: bool,
+        bursts: int,
+        accesses: int,
+        begin: float,
+        end: float,
+    ) -> None:
+        self.starts = starts
+        self.latencies = latencies
+        self.hits = hits
+        self.totals = totals
+        self.set_counts = set_counts
+        self.set_offsets = set_offsets
+        self.set_starts = set_starts
+        self.remote = remote
+        #: Bursts serviced (including unrecorded ones).
+        self.bursts = bursts
+        #: Accesses serviced (including unrecorded bursts).
+        self.accesses = accesses
+        self.begin = begin
+        self.end = end
+
+    @property
+    def num_recorded(self) -> int:
+        return int(self.starts.shape[0])
+
+    @property
+    def num_sets(self) -> int:
+        return int(self.set_counts.shape[0])
+
+    def medians(self) -> np.ndarray:
+        """Per-burst median access latency (matches ``sorted(x)[len//2]``)."""
+        if self.latencies.size == 0:
+            return np.zeros(self.num_recorded, dtype=np.float64)
+        width = self.latencies.shape[1]
+        return np.sort(self.latencies, axis=1)[:, width // 2]
+
+    def miss_grid(self) -> np.ndarray:
+        """Ground-truth ``(bursts, sets)`` miss counts from the hit flags."""
+        rows = self.hits.shape[0]
+        misses = ~self.hits
+        if self.num_sets == 0 or misses.size == 0:
+            return np.zeros((rows, self.num_sets), dtype=np.int64)
+        return np.add.reduceat(
+            misses.astype(np.int64), self.set_offsets, axis=1
+        )

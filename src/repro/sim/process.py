@@ -58,9 +58,15 @@ class DeviceBuffer:
         "data",
         "frames",
         "page_size",
+        "token",
         "_words_per_page",
         "_frame_array",
     )
+
+    #: Monotonic generation counter: every buffer (and every translation
+    #: change of a buffer) gets a fresh token, so token-keyed caches can
+    #: never confuse two allocations the way recycled ``id()``s can.
+    _next_token = 0
 
     def __init__(
         self,
@@ -80,6 +86,8 @@ class DeviceBuffer:
         self.data = np.zeros(num_words, dtype=np.int64)
         self.frames = frames
         self.page_size = page_size
+        self.token = DeviceBuffer._next_token
+        DeviceBuffer._next_token += 1
         self._words_per_page = page_size // WORD_BYTES
         self._frame_array = np.asarray(frames, dtype=np.int64)
 
@@ -132,6 +140,11 @@ class DeviceBuffer:
         frames[page_index] = new_frame
         self.frames = tuple(frames)
         self._frame_array = np.asarray(frames, dtype=np.int64)
+        # The translation changed: retire the generation token so any
+        # address plan cached against the old layout misses on lookup
+        # even if an explicit invalidation was skipped.
+        self.token = DeviceBuffer._next_token
+        DeviceBuffer._next_token += 1
         return old_frame
 
     def load(self, index: int) -> int:

@@ -90,6 +90,10 @@ class Tracer:
             args = {"num_lines": len(op.indices)}
         elif name == "LinkProbe":
             args = {"dst": op.dst_gpu, "transfers": op.num_transfers}
+        elif name == "AccessEpoch":
+            # Emitted once per cursor *resume* (an epoch boundary), with
+            # ``dur`` spanning every burst serviced by that resume.
+            args = {"segments": len(op.segments), "record": op.record}
         self.events.append(
             TraceEvent(name, "op", ts, dur, handle.gpu_id, handle.name, args)
         )
