@@ -62,7 +62,7 @@ from repro.core.covert.channel import CovertChannel
 from repro.core.sidechannel.prober import MemorygramProber
 from repro.runtime.api import Runtime
 from repro.sim.ops import ProbeEpoch
-from repro.telemetry import attach_tracer
+from repro.telemetry import attach_metrics, attach_tracer
 from repro.workloads.vectoradd import VectorAdd
 
 TRAJECTORY_PATH = pathlib.Path(__file__).parent / "perf_trajectory.json"
@@ -132,7 +132,11 @@ def _ground_truth_sets(
 
 
 def run_probe_storm(
-    backend: str, num_sets: int = 256, seed: int = 7, traced: bool = False
+    backend: str,
+    num_sets: int = 256,
+    seed: int = 7,
+    traced: bool = False,
+    metered: bool = False,
 ) -> Dict:
     spec = DGXSpec.dgx1()
     rt = _runtime(spec, backend, seed)
@@ -149,6 +153,8 @@ def run_probe_storm(
 
     if traced:
         attach_tracer(rt, sample_cadence=50_000.0)
+    if metered:
+        attach_metrics(rt)
     rt.engine.stats.reset()
     rt.run_kernel(storm(), 1, proc)
     return _stats_record(rt.engine.stats, sweeps=sweeps, num_sets=num_sets)
@@ -164,6 +170,29 @@ def run_tracing_overhead(num_sets: int = 256, seed: int = 7) -> Dict:
     """
     off = run_probe_storm("vectorized", num_sets=num_sets, seed=seed)
     on = run_probe_storm("vectorized", num_sets=num_sets, seed=seed, traced=True)
+    overhead = (
+        1.0 - on["accesses_per_sec"] / off["accesses_per_sec"]
+        if off["accesses_per_sec"]
+        else None
+    )
+    return {
+        "off": off,
+        "on": on,
+        "overhead_pct": round(overhead * 100.0, 2) if overhead is not None else None,
+    }
+
+
+def run_metrics_overhead(num_sets: int = 256, seed: int = 7) -> Dict:
+    """Metrics-off vs metrics-on throughput on the vectorized probe storm.
+
+    Same shape as :func:`run_tracing_overhead`, but 'on' attaches the
+    :class:`~repro.telemetry.metrics.AttackMetrics` registry instead of
+    the tracer.  Metrics updates land at epoch granularity (never per
+    access), so the overhead should sit far below the tracing figure --
+    the CI gate holds it under :data:`METRICS_OVERHEAD_GATE`.
+    """
+    off = run_probe_storm("vectorized", num_sets=num_sets, seed=seed)
+    on = run_probe_storm("vectorized", num_sets=num_sets, seed=seed, metered=True)
     overhead = (
         1.0 - on["accesses_per_sec"] / off["accesses_per_sec"]
         if off["accesses_per_sec"]
@@ -339,6 +368,33 @@ SMOKE_GATES = {
     "covert_stream": 1.3,
 }
 
+#: CI observability gate: metrics-on probe storm may run at most this
+#: factor slower than metrics-off (median of three interleaved rounds).
+METRICS_OVERHEAD_GATE = 1.10
+
+
+def run_metrics_gate(rounds: int = 3) -> Dict:
+    """Median-of-N metrics-on slowdown on the probe storm (CI gate).
+
+    Interleaves off/on rounds so host-load drift hits both arms alike;
+    ``ok`` iff the median slowdown stays under
+    :data:`METRICS_OVERHEAD_GATE`.
+    """
+    off, on = [], []
+    for _ in range(rounds):
+        off.append(run_probe_storm("vectorized")["accesses_per_sec"])
+        on.append(
+            run_probe_storm("vectorized", metered=True)["accesses_per_sec"]
+        )
+    slowdown = statistics.median(off) / statistics.median(on)
+    return {
+        "off": statistics.median(off),
+        "on": statistics.median(on),
+        "slowdown": round(slowdown, 3),
+        "ceiling": METRICS_OVERHEAD_GATE,
+        "ok": slowdown <= METRICS_OVERHEAD_GATE,
+    }
+
 
 def run_smoke(rounds: int = 3) -> Dict:
     """Median-of-N speedups for the gated scenarios (CI perf-smoke job).
@@ -364,6 +420,13 @@ def run_smoke(rounds: int = 3) -> Dict:
         }
         if speedup < floor:
             failures.append(f"{name}: {speedup:.2f}x < {floor}x floor")
+    gate = run_metrics_gate(rounds)
+    results["metrics_overhead"] = gate
+    if not gate["ok"]:
+        failures.append(
+            f"metrics_overhead: {gate['slowdown']:.3f}x > "
+            f"{gate['ceiling']}x ceiling"
+        )
     results["failures"] = failures
     return results
 
@@ -381,6 +444,7 @@ def run_all() -> Dict:
         slow = results[name]["scalar"]["accesses_per_sec"]
         results[name]["speedup"] = round(fast / slow, 2) if slow else None
     results["tracing"] = run_tracing_overhead()
+    results["metrics"] = run_metrics_overhead()
     results["report_small"] = run_report_small_suite()
     return results
 
@@ -415,7 +479,7 @@ def format_results(results: Dict) -> str:
                 f"  (on {entry['cpu_count']} cpus)"
             )
             continue
-        if name == "tracing":
+        if name in ("tracing", "metrics"):
             for mode in ("off", "on"):
                 record = entry[mode]
                 lines.append(
@@ -454,6 +518,14 @@ def main() -> None:
         results = run_smoke()
         for name, entry in results.items():
             if name == "failures":
+                continue
+            if name == "metrics_overhead":
+                print(
+                    f"{name:<14}  off {entry['off']:>14,.0f}/s  "
+                    f"on {entry['on']:>16,.0f}/s  "
+                    f"{entry['slowdown']:>6}x  (ceiling {entry['ceiling']}x)  "
+                    f"{'ok' if entry['ok'] else 'FAIL'}"
+                )
                 continue
             print(
                 f"{name:<14}  epoch {entry['vectorized']:>12,.0f}/s  "

@@ -161,6 +161,9 @@ class ChaosInjector:
         self._emit(
             f"fault_{event.kind}", now, event.duration, event.gpu, details or None
         )
+        metrics = getattr(self.runtime, "metrics", None)
+        if metrics is not None:
+            metrics.count_fault(event.kind)
 
     def _apply(self, event, now: float) -> None:
         handler = getattr(self, f"_apply_{event.kind}")

@@ -13,6 +13,7 @@ DGX-1 and prints the corresponding table/figure data::
     gpu-spy epochs --epochs 2              # Fig 15
     gpu-spy defense / gpu-spy noise / gpu-spy replacement   # ablations
     gpu-spy trace --scenario covert --out trace.json        # telemetry
+    gpu-spy profile covert --small   # epoch profiler + metrics + health
     gpu-spy link-covert --message "over the fabric"   # NVLink covert channel
     gpu-spy linkgram --victim-src 2 --victim-dst 6    # fabric side channel
 
@@ -383,6 +384,162 @@ def _cmd_trace(args) -> int:
     if flagged:
         first = next(report for report in reports if report.flagged)
         print(first.summary())
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Run a scenario under the full observability stack.
+
+    Attaches the tracer, the metrics registry and the epoch profiler to
+    one runtime, replays the scenario, prints the ranked epoch/fallback
+    table, and writes four artifacts next to ``--out``: the Chrome trace
+    (profiler span + flow rows merged in), a Prometheus text dump of the
+    metrics registry, the ``<name>.health.json`` channel-health sidecar,
+    and the run manifest.
+    """
+    from .telemetry import (
+        attach_metrics,
+        attach_profiler,
+        attach_tracer,
+        build_health_report,
+        detach_profiler,
+    )
+    from .telemetry.exporters import write_chrome_trace
+    from .telemetry.health import ChannelHealth, ChaosCorrelator, write_health_json
+    from .telemetry.manifest import build_manifest
+
+    runtime = Runtime(_spec(args), seed=args.seed)
+    injector = None
+
+    def arm_chaos():
+        # Armed only after eviction-set discovery (like the chaos sweep):
+        # the plan perturbs the steady-state attack, not the prologue.
+        nonlocal injector
+        if runtime.system.spec.chaos is not None:
+            from .chaos import install_chaos
+
+            injector = install_chaos(runtime, seed=args.seed)
+
+    tracer = attach_tracer(
+        runtime,
+        capacity=args.capacity,
+        sample_cadence=args.cadence,
+        sample_links=True,
+    )
+    metrics = attach_metrics(runtime)
+    profiler = attach_profiler(runtime)
+    monitor = None
+    eviction_health = None
+    resilience_report = None
+    health_extras = {}
+
+    if args.scenario == "covert":
+        from .core.covert.channel import CovertChannel
+        from .core.covert.encoding import bits_to_text, text_to_bits
+        from .core.covert.resilient import ResilientCovertChannel
+        from .errors import SyncLostError
+
+        channel = CovertChannel(runtime)
+        channel.setup(args.sets)
+        arm_chaos()
+        monitor = ChannelHealth()
+        resilient = ResilientCovertChannel(channel, monitor=monitor)
+        eviction_health = resilient.health
+        bits = text_to_bits(args.message)
+        try:
+            received, resilience_report = resilient.transmit(
+                bits, slot_cycles=args.slot_cycles
+            )
+            errors = sum(a != b for a, b in zip(bits, received))
+            print(
+                f"covert scenario: sent {args.message!r}, received "
+                f"{bits_to_text(received)!r} "
+                f"(bit error rate {errors / len(bits) * 100:.2f}%)"
+            )
+        except SyncLostError as exc:
+            print(f"covert scenario: sync lost ({exc})")
+        health_extras["payload_bits"] = len(bits)
+    else:
+        from .core.sidechannel.prober import MemorygramProber
+        from .workloads.registry import make_workload
+
+        prober = MemorygramProber(runtime)
+        prober.setup(num_sets=args.monitor_sets)
+        arm_chaos()
+        eviction_health = prober.health
+        workload = make_workload(args.app, scale=args.scale, seed=args.seed)
+        gram = prober.record(workload)
+        print(
+            f"memorygram scenario: {gram.num_sets} sets x {gram.num_bins} "
+            f"bins, {gram.total_misses()} misses"
+        )
+        health_extras["memorygram"] = {
+            "app": args.app,
+            "num_sets": gram.num_sets,
+            "num_bins": gram.num_bins,
+            "total_misses": int(gram.total_misses()),
+        }
+
+    detach_profiler(runtime)  # flush epochs still in flight
+    tracer.finish(runtime.engine.now)
+    clock_hz = runtime.system.spec.timing.clock_hz
+    label = f"profile:{args.scenario}"
+
+    print()
+    print(f"epoch profile (top {args.top} by scalar fallbacks, active cycles):")
+    print(profiler.render_table(limit=args.top))
+    roll = profiler.snapshot()
+    print(
+        f"profiled {roll['epochs']} epochs: {roll['bursts']} bursts, "
+        f"{roll['scalar_fallbacks']} scalar fallbacks, "
+        f"{roll['service_cycles']:,.0f} service cycles of "
+        f"{roll['active_cycles']:,.0f} active"
+    )
+    if monitor is not None and monitor.frames:
+        snap = monitor.snapshot()
+        snr = snap["windowed_snr"]
+        print(
+            f"channel health: {snap['frames']} frames, "
+            f"mean BER {snap['mean_ber'] * 100:.2f}%, "
+            f"windowed SNR {f'{snr:.1f}' if snr is not None else 'n/a'}, "
+            f"retransmit rate {snap['retransmit_rate'] * 100:.0f}%, "
+            f"threshold drift {snap['threshold_drift']:+.1f}"
+        )
+
+    out = Path(args.out)
+    trace_path = write_chrome_trace(
+        out,
+        tracer,
+        clock_hz,
+        metadata={"label": label, "seed": args.seed},
+        extra_events=profiler.chrome_events(clock_hz),
+    )
+    metrics.sync(runtime)
+    prom_path = metrics.registry.write_prometheus(
+        out.with_name(out.stem + ".prom")
+    )
+    health = build_health_report(
+        label,
+        channel=monitor,
+        eviction=eviction_health,
+        resilience=resilience_report,
+        correlator=(
+            ChaosCorrelator(monitor, injector) if monitor is not None else None
+        ),
+        extras=health_extras,
+    )
+    health_path = write_health_json(
+        out.with_name(out.stem + ".health.json"), health
+    )
+    manifest_path = build_manifest(
+        runtime,
+        label=label,
+        seed=args.seed,
+        extras={"trace_file": out.name, "profile": roll},
+    ).write(out.with_name(out.stem + ".manifest.json"))
+    print("observability artifacts written:")
+    for path in (trace_path, prom_path, health_path, manifest_path):
+        print(f"  {path}")
     return 0
 
 
@@ -765,6 +922,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=0.05, help="memorygram: workload scale"
     )
     trace.set_defaults(func=_cmd_trace)
+
+    profile = sub.add_parser(
+        "profile",
+        help="observability: replay a scenario under the epoch profiler + "
+        "metrics registry and write trace/.prom/.health.json/manifest",
+    )
+    profile.add_argument(
+        "scenario",
+        choices=("covert", "memorygram"),
+        nargs="?",
+        default="covert",
+    )
+    profile.add_argument("--out", default="gpu-spy-profile.json")
+    profile.add_argument(
+        "--top", type=int, default=10, help="rows in the ranked epoch table"
+    )
+    profile.add_argument(
+        "--cadence",
+        type=float,
+        default=25_000.0,
+        help="counter sampling cadence in simulated cycles",
+    )
+    profile.add_argument(
+        "--capacity", type=int, default=1 << 16, help="event ring capacity"
+    )
+    profile.add_argument("--sets", type=int, default=2, help="covert: set pairs")
+    profile.add_argument(
+        "--message", default="profile me", help="covert: payload text"
+    )
+    profile.add_argument("--slot-cycles", type=float, default=3000.0)
+    profile.add_argument("--app", default="matmul", help="memorygram: workload")
+    profile.add_argument(
+        "--monitor-sets", type=int, default=32, help="memorygram: monitored sets"
+    )
+    profile.add_argument(
+        "--scale", type=float, default=0.05, help="memorygram: workload scale"
+    )
+    # Duplicates of the pre-subcommand globals so the natural spelling
+    # ``gpu-spy profile covert --small`` also parses; SUPPRESS keeps an
+    # omitted flag from clobbering a value the global parser already set.
+    profile.add_argument(
+        "--small",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="same as the global --small",
+    )
+    profile.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="same as the global --seed"
+    )
+    profile.add_argument(
+        "--chaos",
+        choices=sorted(CHAOS_PRESETS),
+        default=argparse.SUPPRESS,
+        metavar="PRESET",
+        help="same as the global --chaos",
+    )
+    profile.set_defaults(func=_cmd_profile)
     return parser
 
 

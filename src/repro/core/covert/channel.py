@@ -430,6 +430,14 @@ class CovertChannel:
         duration_cycles = payload_slots * slot_cycles
         seconds = runtime.system.timing.seconds(duration_cycles)
         bandwidth = (len(bits) / 8.0) / seconds if seconds > 0 else 0.0
+        metrics = getattr(runtime, "metrics", None)
+        if metrics is not None:
+            errors = sum(
+                1
+                for sent, got in zip(bits, received)
+                if (1 if sent else 0) != got
+            )
+            metrics.count_transmission(len(bits), errors)
         return TransmissionResult(
             sent_bits=tuple(bits),
             received_bits=tuple(received),

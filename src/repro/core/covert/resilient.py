@@ -27,12 +27,15 @@ This module layers a small ARQ protocol on top:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ...errors import EvictionSetStaleError, SyncLostError
 from ..eviction import EvictionSetHealth, repair_eviction_set
 from .channel import CovertChannel, TransmissionResult
 from .ecc import hamming74_decode, hamming74_encode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...telemetry.health import ChannelHealth
 
 __all__ = ["ResilientCovertChannel", "ResilienceReport", "crc8"]
 
@@ -96,6 +99,7 @@ class ResilientCovertChannel:
         backoff_slots: float = 8.0,
         rolling: bool = True,
         health: EvictionSetHealth = None,
+        monitor: Optional["ChannelHealth"] = None,
     ) -> None:
         if not channel.pairs:
             raise SyncLostError("channel not set up: call setup() first")
@@ -107,6 +111,10 @@ class ResilientCovertChannel:
         self.backoff_slots = float(backoff_slots)
         self.rolling = bool(rolling)
         self.health = health or EvictionSetHealth(len(channel.pairs))
+        #: Optional streaming :class:`~repro.telemetry.health.ChannelHealth`
+        #: monitor, fed once per frame attempt (exact frame BER, SNR,
+        #: drift, ARQ costs).  Pure observer: never touches the channel.
+        self.monitor = monitor
 
     # ------------------------------------------------------------------
     def _frame(self, seq: int, chunk: Sequence[int]) -> List[int]:
@@ -176,6 +184,40 @@ class ResilientCovertChannel:
             repaired.append(row)
         return repaired
 
+    def _diagnose(
+        self,
+        seq: int,
+        attempt: int,
+        ok: bool,
+        resync: bool,
+        framed: Sequence[int],
+        raw: TransmissionResult,
+        backoff: float,
+    ) -> None:
+        """Feed the streaming monitor and metrics for one frame attempt."""
+        channel = self.channel
+        if self.monitor is not None:
+            self.monitor.observe_frame(
+                now=channel.runtime.engine.now,
+                seq=seq,
+                attempt=attempt,
+                ok=ok,
+                sent_bits=framed,
+                received_bits=raw.received_bits,
+                traces=raw.traces,
+                threshold=channel.thresholds.remote,
+                half_gap=channel.thresholds.remote_half_gap,
+                backoff_cycles=backoff,
+                resync=resync,
+            )
+        metrics = getattr(channel.runtime, "metrics", None)
+        if metrics is not None:
+            metrics.count_frame(ok, bool(attempt), resync)
+            if backoff:
+                metrics.count_backoff(backoff)
+            if self.monitor is not None:
+                metrics.observe_drift(self.monitor.drift)
+
     # ------------------------------------------------------------------
     def transmit(
         self,
@@ -211,18 +253,30 @@ class ResilientCovertChannel:
                 if attempt:
                     report.retransmits += 1
                 rotted = self._observe(raw)
+                got = None
+                failure = None
                 try:
                     got = self._unframe(raw.received_bits, seq)
-                except ValueError as failure:
+                except ValueError as exc:
+                    failure = exc
+                ok = failure is None
+                resync = not ok and not any(raw.received_bits)
+                backoff = 0.0
+                if not ok and attempt < self.max_retries:
+                    backoff = self.backoff_slots * (2.0**attempt) * slot_cycles
+                self._diagnose(seq, attempt, ok, resync, framed, raw, backoff)
+                if not ok:
                     last_failure = failure
-                    if not any(raw.received_bits):
+                    if resync:
                         report.resyncs += 1
                     if rotted:
-                        report.repairs.extend(self._repair(rotted))
-                    if attempt < self.max_retries:
-                        self.channel.idle(
-                            self.backoff_slots * (2.0**attempt) * slot_cycles
-                        )
+                        repaired = self._repair(rotted)
+                        report.repairs.extend(repaired)
+                        metrics = getattr(self.channel.runtime, "metrics", None)
+                        if metrics is not None:
+                            metrics.count_repairs(len(repaired))
+                    if backoff:
+                        self.channel.idle(backoff)
                     continue
                 received.extend(got[: len(chunk)])
                 report.attempts.append(attempt + 1)

@@ -339,11 +339,15 @@ class MemorygramProber:
             health=self.health,
             max_retries=max_retries,
         )
-        return [
+        repaired = [
             row
             for row, (old, new) in enumerate(zip(before, self.eviction_sets))
             if old is not new
         ]
+        metrics = getattr(self.runtime, "metrics", None)
+        if metrics is not None:
+            metrics.count_prober_heals(len(repaired))
+        return repaired
 
     # ------------------------------------------------------------------
     def record(
@@ -369,6 +373,9 @@ class MemorygramProber:
             raise AttackError("prober not set up: call setup() first")
         assert self.process is not None and self.thresholds is not None
         runtime = self.runtime
+        metrics = getattr(runtime, "metrics", None)
+        if metrics is not None:
+            metrics.count_prober_record(len(self.eviction_sets))
 
         start = runtime.engine.now
         end_time = start + max_duration_cycles

@@ -89,6 +89,11 @@ class ProgressEvent:
     completed: int = 0
     total: int = 0
     error: Optional[str] = None
+    #: Artifact-cache traffic of this task's run (``None`` when no cache
+    #: was active), so the progress stream is self-describing about why a
+    #: task was fast (warm) or slow (cold).
+    cache_hits: Optional[int] = None
+    cache_misses: Optional[int] = None
 
     def render(self) -> str:
         """The human-readable line the CLI prints for this event."""
@@ -101,8 +106,11 @@ class ProgressEvent:
             )
         state = self.status if self.status != "ok" else "done"
         note = f" ({self.error})" if self.error else ""
+        cache = ""
+        if self.cache_hits is not None:
+            cache = f" cache {self.cache_hits}h/{self.cache_misses}m"
         return (
-            f"{self.name} {state} in {self.elapsed:.1f}s{note} "
+            f"{self.name} {state} in {self.elapsed:.1f}s{note}{cache} "
             f"[{self.completed}/{self.total}]"
         )
 
@@ -199,12 +207,19 @@ def _run_task(
             manifest = result.extras.get("manifest")
             if manifest is not None:
                 manifest.write(out / f"{name}.manifest.json")
+            health = result.extras.get("health")
+            if health is not None:
+                from ..telemetry.health import write_health_json
+
+                write_health_json(out / f"{name}.health.json", health)
         return {
             "name": name,
             "status": "ok",
             "section": section,
             "error": None,
             "elapsed": time.time() - started,
+            "cache_hits": cache.hits if cache is not None else None,
+            "cache_misses": cache.misses if cache is not None else None,
         }
     except Exception as exc:  # crash tolerance: the section reports it
         detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
@@ -214,6 +229,8 @@ def _run_task(
             "section": "",
             "error": detail,
             "elapsed": time.time() - started,
+            "cache_hits": cache.hits if cache is not None else None,
+            "cache_misses": cache.misses if cache is not None else None,
         }
 
 
@@ -311,6 +328,8 @@ def _run_inline(
             "finish", name, status=outcome.status, elapsed=outcome.elapsed,
             attempt=attempts, completed=len(outcomes), total=total,
             error=outcome.error,
+            cache_hits=payload.get("cache_hits"),
+            cache_misses=payload.get("cache_misses"),
         ))
     return outcomes
 
@@ -368,6 +387,8 @@ def _run_pooled(
             "finish", name, status=outcome.status, elapsed=outcome.elapsed,
             attempt=attempt, completed=len(done), total=total,
             error=outcome.error,
+            cache_hits=payload.get("cache_hits"),
+            cache_misses=payload.get("cache_misses"),
         ))
 
     try:

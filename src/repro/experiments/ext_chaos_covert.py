@@ -27,6 +27,12 @@ from ..config import CHAOS_PRESETS, chaos_preset
 from ..core.covert.channel import CovertChannel
 from ..core.covert.resilient import ResilientCovertChannel
 from ..errors import SyncLostError
+from ..telemetry.health import (
+    ChannelHealth,
+    ChaosCorrelator,
+    HEALTH_SCHEMA_VERSION,
+    build_health_report,
+)
 from .common import ExperimentResult, attach_manifest, default_runtime
 
 __all__ = ["run"]
@@ -75,6 +81,7 @@ def run(
 
     runtime = None
     plan_hashes = {}
+    health_reports = {}
     for preset in presets:
         spec = chaos_preset(preset).replace_horizon(_HORIZON_CYCLES)
 
@@ -85,10 +92,13 @@ def run(
         faults_applied = len(injector.applied)
 
         runtime, channel = _prepared_channel(seed, num_sets, small)
-        install_chaos(runtime, spec, seed=seed + 1)
-        resilient = ResilientCovertChannel(channel)
+        resilient_injector = install_chaos(runtime, spec, seed=seed + 1)
+        monitor = ChannelHealth()
+        resilient = ResilientCovertChannel(channel, monitor=monitor)
+        resilience_report = None
         try:
             received, report = resilient.transmit(bits, slot_cycles=slot_cycles)
+            resilience_report = report
             errors = sum(a != b for a, b in zip(bits, received))
             resilient_ber = errors / len(bits)
             goodput = f"{report.goodput_ratio:.2f}"
@@ -97,6 +107,13 @@ def run(
         except SyncLostError:
             resilient_ber = 0.5
             goodput, retransmits, repairs = "lost", "-", "-"
+        health_reports[preset] = build_health_report(
+            f"ext-chaos-covert/{preset}",
+            channel=monitor,
+            eviction=resilient.health,
+            resilience=resilience_report,
+            correlator=ChaosCorrelator(monitor, resilient_injector),
+        )
         result.add_row(
             preset,
             faults_applied,
@@ -118,6 +135,15 @@ def run(
             else ""
         )
     )
+    health_summary = {
+        preset: {
+            "frames": rep["channel"]["frames"],
+            "mean_ber": rep["channel"]["mean_ber"],
+            "retransmit_rate": rep["channel"]["retransmit_rate"],
+            "total_repairs": (rep["eviction_sets"] or {}).get("total_repairs", 0),
+        }
+        for preset, rep in health_reports.items()
+    }
     attach_manifest(
         result,
         runtime,
@@ -128,6 +154,14 @@ def run(
             "slot_cycles": slot_cycles,
             "horizon_cycles": _HORIZON_CYCLES,
             "fault_plan_hashes": plan_hashes,
+            "health": health_summary,
         },
     )
+    #: Full per-preset diagnostics; the executor writes this to the
+    #: ``ext-chaos-covert.health.json`` sidecar next to the manifest.
+    result.extras["health"] = {
+        "schema_version": HEALTH_SCHEMA_VERSION,
+        "label": "ext-chaos-covert",
+        "presets": health_reports,
+    }
     return result

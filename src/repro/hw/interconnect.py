@@ -45,6 +45,12 @@ class Interconnect:
         #: Nullable telemetry hook (see :mod:`repro.telemetry`): stall
         #: events are emitted only when transfers actually queue.
         self.tracer = None
+        #: Nullable aggregated-metrics hook
+        #: (:class:`repro.telemetry.metrics.AttackMetrics`): stall counts
+        #: pushed when transfers queue; lifetime totals are *pulled* from
+        #: :meth:`counters_snapshot` at export (the fused small-burst core
+        #: bypasses these calls by design).
+        self.metrics = None
         lanes = spec.nvlink.lanes
         self._busy: Dict[Edge, list] = {
             edge: [0.0] * lanes for edge in topology.edges
@@ -135,6 +141,8 @@ class Interconnect:
         # additional hops each add a fixed penalty.
         queue_wait = extra
         extra += (len(route) - 1) * self.spec.timing.per_extra_hop
+        if self.metrics is not None and queue_wait > 0.0:
+            self.metrics.count_stall(_edge_key(route[0]), queue_wait)
         if self.tracer is not None and queue_wait > 0.0:
             self.tracer.emit(
                 "nvlink_stall",
@@ -185,6 +193,10 @@ class Interconnect:
             self._busy_cycles[edge] += serialization * n
             extras += waits
             clock += waits + serialization
+            if self.metrics is not None and hop_wait > 0.0:
+                self.metrics.count_stall(
+                    _edge_key(edge), hop_wait, events=int((waits > 0.0).sum())
+                )
             if self.tracer is not None and hop_wait > 0.0:
                 # One event per *hop*, stamped when the batch reaches that
                 # link, so Perfetto lines stalls up with the probe epochs

@@ -182,6 +182,9 @@ class MultiGPUSystem:
         #: Nullable telemetry hook (see :mod:`repro.telemetry`): the access
         #: path pays one branch per serviced access/batch when unset.
         self.tracer = None
+        #: Nullable aggregated-metrics hook
+        #: (:class:`repro.telemetry.metrics.AttackMetrics`): same contract.
+        self.metrics = None
         self._jitter = _JitterPool(self.rng.generator("timing/jitter"))
         self._next_pid = 0
         #: Every process created on this box (the chaos injector scans it
@@ -320,6 +323,8 @@ class MultiGPUSystem:
                 self.tracer.emit(
                     "l2_eviction", "cache", now, gpu=home, args={"count": 1}
                 )
+            if self.metrics is not None:
+                self.metrics.count_evictions(home, 1)
 
         if is_write:
             value = 0
@@ -1043,6 +1048,8 @@ class MultiGPUSystem:
                     "l2_eviction", "cache", now, gpu=home,
                     args={"count": evictions},
                 )
+        if evictions and self.metrics is not None:
+            self.metrics.count_evictions(home_gpu.gpu_id, evictions)
 
     def _count(
         self,

@@ -38,6 +38,13 @@ class Runtime:
         #: advances them in bulk; ``False`` keeps every kernel on the
         #: per-op coroutine path -- the differential-test oracle.
         self.epoch_dispatch = epoch_dispatch
+        #: Nullable observability hooks, set by
+        #: :func:`repro.telemetry.metrics.attach_metrics` /
+        #: :func:`repro.telemetry.profiler.attach_profiler`; the attack
+        #: layers look them up here via ``getattr`` so the hot paths stay
+        #: hook-free when observability is off.
+        self.metrics = None
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Process and memory management

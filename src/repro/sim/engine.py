@@ -69,6 +69,10 @@ class EngineStats:
     epoch_bursts: int = 0
     epoch_accesses: int = 0
     scalar_fallbacks: int = 0
+    #: Trace events lost to ring overwrite while a tracer was attached
+    #: (instrumentation overhead the trace itself cannot show) -- updated
+    #: at the end of every :meth:`Engine.run` window.
+    trace_dropped: int = 0
     op_counts: Dict[str, int] = field(default_factory=dict)
 
     def count_op(self, op_name: str, accesses: int = 0) -> None:
@@ -114,6 +118,7 @@ class EngineStats:
                 self.epoch_accesses / self.epochs if self.epochs else 0.0
             ),
             "scalar_fallbacks": self.scalar_fallbacks,
+            "trace_dropped": self.trace_dropped,
             "op_counts": dict(self.op_counts),
         }
 
@@ -126,6 +131,7 @@ class EngineStats:
         self.epoch_bursts = 0
         self.epoch_accesses = 0
         self.scalar_fallbacks = 0
+        self.trace_dropped = 0
         self.op_counts.clear()
 
     def summary(self) -> str:
@@ -192,6 +198,13 @@ class Engine:
         #: Nullable fault-injection hook (see :mod:`repro.chaos`): same
         #: contract as the tracer -- one branch per dispatch when absent.
         self.chaos = None
+        #: Nullable aggregated-metrics hook
+        #: (:class:`repro.telemetry.metrics.AttackMetrics`): same contract.
+        self.metrics = None
+        #: Nullable epoch-profiler hook
+        #: (:class:`repro.telemetry.profiler.EpochProfiler`): called once
+        #: per cursor resume, never per access.
+        self.profiler = None
         self._heap: List = []
         self._seq = 0
         self._events = 0
@@ -221,6 +234,8 @@ class Engine:
         self._push(handle)
         if self.tracer is not None:
             self.tracer.kernel_event("launch", handle, begin)
+        if self.metrics is not None:
+            self.metrics.count_kernel("launch", gpu_id)
         return handle
 
     def _push(
@@ -253,6 +268,8 @@ class Engine:
         stats = self.stats
         tracer = self.tracer
         chaos = self.chaos
+        metrics = self.metrics
+        profiler = self.profiler
         started_at = self.now
         wall_start = time.perf_counter()
         inf = float("inf")
@@ -284,13 +301,22 @@ class Engine:
                         self._release(handle)
                         if tracer is not None:
                             tracer.kernel_event("end", handle, when)
+                        if metrics is not None:
+                            metrics.count_kernel("end", handle.gpu_id)
                         continue
                     if type(op) is AccessEpoch:
                         cursor = EpochCursor(op, handle, self.system, when)
                         handle.cursor = cursor
                         handle.pending = None
                     else:
-                        latency, result = self._execute(op, handle, when)
+                        if metrics is None:
+                            latency, result = self._execute(op, handle, when)
+                        else:
+                            before = stats.accesses
+                            latency, result = self._execute(op, handle, when)
+                            metrics.count_op(
+                                type(op).__name__, stats.accesses - before
+                            )
                         if tracer is not None:
                             tracer.op_event(op, handle, when, latency)
                         handle.clock = when + latency
@@ -307,8 +333,24 @@ class Engine:
                     due = chaos.next_due()
                     if due < deadline:
                         deadline = due
-                finished = cursor.resume(when, deadline)
+                if profiler is None:
+                    finished = cursor.resume(when, deadline)
+                else:
+                    resume_wall = time.perf_counter()
+                    finished = cursor.resume(when, deadline)
+                    profiler.record_resume(
+                        handle,
+                        cursor,
+                        when,
+                        time.perf_counter() - resume_wall,
+                        finished,
+                    )
                 stats.count_op("AccessEpoch", cursor.resumed_accesses)
+                if metrics is not None:
+                    metrics.count_op("AccessEpoch", cursor.resumed_accesses)
+                    metrics.count_epoch_resume(
+                        cursor.resumed_bursts, cursor.resumed_accesses
+                    )
                 if tracer is not None:
                     tracer.op_event(cursor.op, handle, when, cursor.clock - when)
                 handle.clock = cursor.clock
@@ -316,6 +358,8 @@ class Engine:
                     stats.count_epoch(
                         cursor.bursts, cursor.accesses, cursor.scalar_bursts
                     )
+                    if metrics is not None:
+                        metrics.count_epoch_done(cursor)
                     handle.pending = cursor.take_outcome()
                     handle.cursor = None
                     self._push(handle)
@@ -326,6 +370,10 @@ class Engine:
         finally:
             stats.wall_seconds += time.perf_counter() - wall_start
             stats.sim_cycles += self.now - started_at
+            if tracer is not None:
+                stats.trace_dropped = tracer.events.overwritten
+            if metrics is not None:
+                metrics.on_run_end(self.now, stats)
         return self.now
 
     def _release(self, handle: StreamHandle) -> None:

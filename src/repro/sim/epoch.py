@@ -57,6 +57,7 @@ class EpochCursor:
         "idle_pause", "lead", "last_advance", "key_lead", "key_since",
         "bursts", "accesses", "scalar_bursts", "remote",
         "resumed_accesses", "resumed_bursts",
+        "service_cycles", "suspends",
         "_layout", "_starts", "_lats", "_hits", "_totals",
     )
 
@@ -96,6 +97,11 @@ class EpochCursor:
         #: Work serviced by the latest resume (per-resume stats/telemetry).
         self.resumed_accesses = 0
         self.resumed_bursts = 0
+        #: Pure observers for the epoch profiler: sim-cycles spent inside
+        #: burst service, and how many times the cursor suspended.  Never
+        #: read by the clock arithmetic.
+        self.service_cycles = 0.0
+        self.suspends = 0
         self._layout = None
         self._starts: List[float] = []
         self._lats: List[np.ndarray] = []
@@ -269,6 +275,7 @@ class EpochCursor:
         self.key_lead = key_lead
         self.key_since = last_advance
         self.last_advance = last_advance
+        self.suspends += 1
         return False
 
     def _service(self, burst: EpochBurst, clock: float) -> float:
@@ -289,6 +296,7 @@ class EpochCursor:
         count = len(latencies)
         self.accesses += count
         self.resumed_accesses += count
+        self.service_cycles += total
         if scalar:
             self.scalar_bursts += 1
         if remote:

@@ -19,6 +19,17 @@ layer for the whole simulator:
 * :class:`~repro.telemetry.manifest.RunManifest` -- per-run provenance
   (config hash, seed, git revision, wall/sim time, final counters) so
   every figure reproduction is attributable.
+* :class:`~repro.telemetry.metrics.MetricsRegistry` /
+  :class:`~repro.telemetry.metrics.AttackMetrics` -- typed
+  Counter/Gauge/Histogram aggregates updated from every layer behind the
+  same nullable hook, exported as Prometheus text or metrics-JSONL.
+* :class:`~repro.telemetry.profiler.EpochProfiler` -- span attribution
+  over the columnar epoch engine (service/idle/suspension split, scalar
+  fallback hot spots, Chrome-trace flow events).
+* :class:`~repro.telemetry.health.ChannelHealth` /
+  :class:`~repro.telemetry.health.ChaosCorrelator` -- streaming covert
+  channel diagnostics and fault-vs-health correlation, written to
+  ``<name>.health.json`` sidecars.
 
 See ``docs/observability.md`` for the file formats and workflow.
 """
@@ -29,7 +40,24 @@ from .exporters import (
     write_chrome_trace,
     write_metrics_jsonl,
 )
+from .health import (
+    ChannelHealth,
+    ChaosCorrelator,
+    build_health_report,
+    write_health_json,
+)
 from .manifest import RunManifest, build_manifest, config_hash, git_revision
+from .metrics import (
+    AttackMetrics,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    attach_metrics,
+    detach_metrics,
+    parse_prometheus_text,
+)
+from .profiler import EpochProfiler, EpochRecord, attach_profiler, detach_profiler
 from .timeseries import CounterSample, CounterSampler, CounterTimeseries
 from .tracer import Tracer, attach_tracer, detach_tracer
 
@@ -49,4 +77,20 @@ __all__ = [
     "build_manifest",
     "config_hash",
     "git_revision",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "AttackMetrics",
+    "attach_metrics",
+    "detach_metrics",
+    "parse_prometheus_text",
+    "EpochProfiler",
+    "EpochRecord",
+    "attach_profiler",
+    "detach_profiler",
+    "ChannelHealth",
+    "ChaosCorrelator",
+    "build_health_report",
+    "write_health_json",
 ]

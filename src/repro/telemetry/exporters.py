@@ -19,6 +19,7 @@ spec's core clock so Perfetto's time axis reads as real device time.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
@@ -48,8 +49,14 @@ def chrome_trace_dict(
     tracer: "Tracer",
     clock_hz: float,
     metadata: Optional[Dict] = None,
+    extra_events: Optional[List[Dict]] = None,
 ) -> Dict:
-    """Render a tracer's events (and timeseries) as a Chrome trace object."""
+    """Render a tracer's events (and timeseries) as a Chrome trace object.
+
+    ``extra_events`` are appended verbatim to ``traceEvents`` -- already
+    trace-format dicts, e.g. the epoch profiler's spans and flow events
+    (:meth:`repro.telemetry.profiler.EpochProfiler.chrome_events`).
+    """
     events: List[Dict] = []
     thread_ids: Dict[tuple, int] = {}
     seen_gpus = set()
@@ -135,6 +142,13 @@ def chrome_trace_dict(
                 }
             )
 
+    if extra_events:
+        for extra in extra_events:
+            gpu = extra.get("pid")
+            if isinstance(gpu, int):
+                ensure_gpu(gpu)
+        events.extend(extra_events)
+
     other: Dict = {
         "clock_hz": clock_hz,
         "time_unit": "simulated cycles converted to us",
@@ -155,11 +169,28 @@ def write_chrome_trace(
     tracer: "Tracer",
     clock_hz: float,
     metadata: Optional[Dict] = None,
+    extra_events: Optional[List[Dict]] = None,
 ) -> Path:
-    """Write the Chrome trace JSON; returns the path written."""
+    """Write the Chrome trace JSON; returns the path written.
+
+    Warns (``RuntimeWarning``) when the tracer's ring overwrote events:
+    the written trace is silently missing its oldest spans, which would
+    otherwise only be discoverable by reading ``otherData``.
+    """
+    if tracer.events.overwritten > 0:
+        warnings.warn(
+            f"trace ring overwrote {tracer.events.overwritten} event(s); "
+            f"the exported trace is truncated to the most recent "
+            f"{tracer.events.capacity} (raise Tracer(capacity=...) to keep "
+            "the full run)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(chrome_trace_dict(tracer, clock_hz, metadata)))
+    path.write_text(
+        json.dumps(chrome_trace_dict(tracer, clock_hz, metadata, extra_events))
+    )
     return path
 
 

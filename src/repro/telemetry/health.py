@@ -1,0 +1,331 @@
+"""Live channel diagnostics: streaming health + fault correlation.
+
+PR 5 gave the attack stack its coping machinery -- ARQ retransmits,
+rolling thresholds, eviction-set rot repair -- but all of it reports
+*after* the run: you learn the channel degraded from the final BER.
+This module watches the same signals *while* the transfer runs:
+
+* :class:`ChannelHealth` is a streaming monitor the resilient transport
+  feeds once per ARQ frame.  Each observation carries the exact frame
+  BER (the sender knows the framed bits), a windowed SNR estimate from
+  the spy's latency populations on either side of the decision
+  threshold, the hit-level drift of a shadow
+  :class:`~repro.core.timing.RollingThreshold`, and the ARQ costs
+  (attempt number, backoff cycles).  Windowed views answer "is the
+  channel degrading *now*?" rather than "did it degrade?".
+
+* :class:`ChaosCorrelator` aligns the injected
+  :class:`~repro.chaos.plan.FaultEvent` log against the health samples
+  on one timeline: for every applied fault, the mean frame BER in a
+  window before versus after.  A fault with a large positive delta is
+  the one that hurt; the merged timeline is the debugging view.
+
+* :func:`build_health_report` / :func:`write_health_json` assemble the
+  ``<name>.health.json`` sidecar (channel samples, eviction-set health,
+  resilience report, fault correlation) that experiments and the CLI
+  write next to traces and manifests.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
+
+from ..core.timing import RollingThreshold
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..chaos.injector import ChaosInjector
+    from ..core.covert.resilient import ResilienceReport
+    from ..core.eviction import EvictionSetHealth
+
+__all__ = [
+    "ChannelHealth",
+    "ChaosCorrelator",
+    "build_health_report",
+    "write_health_json",
+    "HEALTH_SCHEMA_VERSION",
+]
+
+HEALTH_SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def _mean(values: Sequence[float]) -> Optional[float]:
+    return sum(values) / len(values) if values else None
+
+
+class ChannelHealth:
+    """Streaming per-frame health monitor for a covert channel.
+
+    One :meth:`observe_frame` call per ARQ frame attempt.  The monitor
+    never touches the simulation (pure observer): the resilient
+    transport hands it what it already has -- the framed bits it sent,
+    the bits the spy decoded, the raw spy traces, and the thresholds.
+    """
+
+    def __init__(self, window: int = 8) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = int(window)
+        #: One dict per observed frame attempt, in time order.
+        self.samples: List[Dict[str, Any]] = []
+        self._rolling: Optional[RollingThreshold] = None
+
+    # ------------------------------------------------------------------
+    def observe_frame(
+        self,
+        now: float,
+        seq: int,
+        attempt: int,
+        ok: bool,
+        sent_bits: Sequence[int],
+        received_bits: Sequence[int],
+        traces: Sequence[Any] = (),
+        threshold: Optional[float] = None,
+        half_gap: Optional[float] = None,
+        backoff_cycles: float = 0.0,
+        resync: bool = False,
+    ) -> Dict[str, Any]:
+        """Fold in one frame attempt; returns the recorded sample."""
+        width = min(len(sent_bits), len(received_bits))
+        errors = sum(
+            1 for a, b in zip(sent_bits, received_bits) if (1 if a else 0) != b
+        )
+        errors += abs(len(sent_bits) - len(received_bits))
+        ber = errors / len(sent_bits) if sent_bits else 0.0
+        snr = self._estimate_snr(traces, threshold)
+        drift = self._track_drift(traces, half_gap)
+        sample = {
+            "now": float(now),
+            "seq": int(seq),
+            "attempt": int(attempt),
+            "ok": bool(ok),
+            "resync": bool(resync),
+            "ber": ber,
+            "bits": width,
+            "snr": snr,
+            "drift": drift,
+            "backoff_cycles": float(backoff_cycles),
+        }
+        self.samples.append(sample)
+        return sample
+
+    def _estimate_snr(
+        self, traces: Sequence[Any], threshold: Optional[float]
+    ) -> Optional[float]:
+        """Separation of the hit/miss latency clusters, in pooled sigmas.
+
+        The covert channel is a binary detector over probe latencies; the
+        distance between the two populations (relative to their spread)
+        is the closest thing the channel has to an SNR.  ``None`` when a
+        frame produced only one population (channel flat-lined).
+        """
+        if threshold is None:
+            return None
+        hits: List[float] = []
+        misses: List[float] = []
+        for trace in traces:
+            for latency in getattr(trace, "latencies", ()):
+                (misses if latency > threshold else hits).append(float(latency))
+        if not hits or not misses:
+            return None
+        hit_mean = sum(hits) / len(hits)
+        miss_mean = sum(misses) / len(misses)
+        variance = 0.0
+        for value in hits:
+            variance += (value - hit_mean) ** 2
+        for value in misses:
+            variance += (value - miss_mean) ** 2
+        pooled = math.sqrt(variance / (len(hits) + len(misses)))
+        if pooled == 0.0:
+            return None
+        return (miss_mean - hit_mean) / pooled
+
+    def _track_drift(
+        self, traces: Sequence[Any], half_gap: Optional[float]
+    ) -> float:
+        """Shadow rolling-threshold drift over the raw spy latencies."""
+        if half_gap is not None and self._rolling is None:
+            self._rolling = RollingThreshold(half_gap)
+        rolling = self._rolling
+        if rolling is None:
+            return 0.0
+        for trace in traces:
+            for latency in getattr(trace, "latencies", ()):
+                rolling.update(latency)
+        return rolling.drift
+
+    # ------------------------------------------------------------------
+    # Windowed / aggregate views
+    # ------------------------------------------------------------------
+    def _tail(self) -> List[Dict[str, Any]]:
+        return self.samples[-self.window :]
+
+    def windowed_ber(self) -> Optional[float]:
+        return _mean([s["ber"] for s in self._tail()])
+
+    def windowed_snr(self) -> Optional[float]:
+        values = [s["snr"] for s in self._tail() if s["snr"] is not None]
+        return _mean(values)
+
+    @property
+    def frames(self) -> int:
+        return len(self.samples)
+
+    @property
+    def retransmit_rate(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(1 for s in self.samples if s["attempt"]) / len(self.samples)
+
+    @property
+    def backoff_cycles_total(self) -> float:
+        return sum(s["backoff_cycles"] for s in self.samples)
+
+    @property
+    def drift(self) -> float:
+        return self.samples[-1]["drift"] if self.samples else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready summary plus the full sample timeline."""
+        return {
+            "frames": self.frames,
+            "frames_ok": sum(1 for s in self.samples if s["ok"]),
+            "resyncs": sum(1 for s in self.samples if s["resync"]),
+            "mean_ber": _mean([s["ber"] for s in self.samples]),
+            "windowed_ber": self.windowed_ber(),
+            "windowed_snr": self.windowed_snr(),
+            "retransmit_rate": self.retransmit_rate,
+            "backoff_cycles_total": self.backoff_cycles_total,
+            "threshold_drift": self.drift,
+            "window": self.window,
+            "samples": list(self.samples),
+        }
+
+
+class ChaosCorrelator:
+    """Align applied faults against health inflections on one timeline."""
+
+    def __init__(
+        self,
+        health: ChannelHealth,
+        injector: Optional["ChaosInjector"],
+        window_cycles: float = 50_000.0,
+    ) -> None:
+        self.health = health
+        self.injector = injector
+        self.window_cycles = float(window_cycles)
+
+    def correlate(self) -> List[Dict[str, Any]]:
+        """Per applied fault: mean frame BER before vs after its landing.
+
+        ``ber_delta > 0`` means the frames following the fault were worse
+        than those preceding it -- the correlator's whole verdict.  Faults
+        with no samples on one side report ``None`` there (e.g. a fault
+        during the setup prologue, before the first frame).
+        """
+        if self.injector is None:
+            return []
+        samples = self.health.samples
+        window = self.window_cycles
+        rows: List[Dict[str, Any]] = []
+        for entry in self.injector.applied:
+            at = entry["time"]
+            before = [
+                s["ber"] for s in samples if at - window <= s["now"] < at
+            ]
+            after = [s["ber"] for s in samples if at <= s["now"] <= at + window]
+            ber_before = _mean(before)
+            ber_after = _mean(after)
+            delta = (
+                ber_after - ber_before
+                if ber_before is not None and ber_after is not None
+                else None
+            )
+            rows.append(
+                {
+                    "time": at,
+                    "kind": entry["kind"],
+                    "gpu": entry.get("gpu"),
+                    "ber_before": ber_before,
+                    "ber_after": ber_after,
+                    "ber_delta": delta,
+                    "samples_before": len(before),
+                    "samples_after": len(after),
+                }
+            )
+        return rows
+
+    def timeline(self) -> List[Dict[str, Any]]:
+        """Faults and health samples merged into one time-ordered list."""
+        events: List[Dict[str, Any]] = [
+            {"time": s["now"], "event": "frame", **{k: s[k] for k in ("seq", "attempt", "ok", "ber")}}
+            for s in self.health.samples
+        ]
+        if self.injector is not None:
+            events.extend(
+                {"time": e["time"], "event": "fault", "kind": e["kind"], "gpu": e.get("gpu")}
+                for e in self.injector.applied
+            )
+        events.sort(key=lambda e: e["time"])
+        return events
+
+
+def _eviction_summary(health: Optional["EvictionSetHealth"]) -> Optional[Dict[str, Any]]:
+    if health is None:
+        return None
+    return {
+        "num_sets": len(health.repairs),
+        "rotted": health.rotted(),
+        "repairs": list(health.repairs),
+        "total_repairs": sum(health.repairs),
+    }
+
+
+def _resilience_summary(report: Optional["ResilienceReport"]) -> Optional[Dict[str, Any]]:
+    if report is None:
+        return None
+    return {
+        "chunks": report.chunks,
+        "frames_sent": report.frames_sent,
+        "retransmits": report.retransmits,
+        "resyncs": report.resyncs,
+        "repairs": list(report.repairs),
+        "attempts": list(report.attempts),
+        "goodput_ratio": report.goodput_ratio,
+    }
+
+
+def build_health_report(
+    label: str,
+    channel: Optional[ChannelHealth] = None,
+    eviction: Optional["EvictionSetHealth"] = None,
+    resilience: Optional["ResilienceReport"] = None,
+    correlator: Optional[ChaosCorrelator] = None,
+    extras: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the ``<name>.health.json`` sidecar document."""
+    report: Dict[str, Any] = {
+        "schema_version": HEALTH_SCHEMA_VERSION,
+        "label": label,
+        "channel": channel.snapshot() if channel is not None else None,
+        "eviction_sets": _eviction_summary(eviction),
+        "resilience": _resilience_summary(resilience),
+        "fault_correlation": (
+            correlator.correlate() if correlator is not None else None
+        ),
+        "timeline": correlator.timeline() if correlator is not None else None,
+    }
+    if extras:
+        report["extras"] = dict(extras)
+    return report
+
+
+def write_health_json(path: PathLike, report: Dict[str, Any]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

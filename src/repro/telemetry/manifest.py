@@ -124,7 +124,10 @@ def build_manifest(
     When a chaos injector (:mod:`repro.chaos`) is installed, its summary
     -- fault-plan hash, preset, applied/skipped counts -- is folded into
     ``extras["chaos"]`` automatically, so any faulted run is replayable
-    from its manifest alone.
+    from its manifest alone.  Likewise an attached tracer folds its ring
+    accounting into ``extras["telemetry"]`` (``events_overwritten > 0``
+    marks a silently clipped trace) and an attached metrics facade its
+    registry snapshot into ``extras["metrics"]``.
     """
     spec = runtime.system.spec
     stats = runtime.engine.stats
@@ -132,6 +135,18 @@ def build_manifest(
     merged = dict(extras) if extras else {}
     if chaos is not None and "chaos" not in merged:
         merged["chaos"] = chaos.snapshot()
+    tracer = getattr(runtime.engine, "tracer", None)
+    if tracer is not None and "telemetry" not in merged:
+        ring = tracer.events
+        merged["telemetry"] = {
+            "events_recorded": len(ring),
+            "events_overwritten": ring.overwritten,
+            "trace_truncated": ring.overwritten > 0,
+        }
+    metrics = getattr(runtime, "metrics", None)
+    if metrics is not None and "metrics" not in merged:
+        metrics.sync(runtime)
+        merged["metrics"] = metrics.registry.snapshot()
     return RunManifest(
         label=label,
         config_hash=config_hash(spec),

@@ -1,0 +1,701 @@
+"""Typed metrics registry: the aggregated face of attack observability.
+
+The tracer (:mod:`repro.telemetry.tracer`) answers "what happened and
+when"; this module answers "how much, so far".  A
+:class:`MetricsRegistry` owns typed instruments -- :class:`Counter`,
+:class:`Gauge` and :class:`Histogram`, each with an optional label set
+(``gpu``, ``link``, ``op``, ``kind``, ...) -- registered once and
+updated from the hot paths behind the same nullable-hook pattern as the
+tracer: every instrumented site pays exactly one ``is not None`` branch
+when metrics are off.
+
+:class:`AttackMetrics` is the facade the simulator components talk to.
+It pre-registers every instrument the stack updates (engine dispatch,
+epoch cursor completion, interconnect stalls, chaos faults, covert
+frames/ARQ, prober sweeps) and caches label children so a hot-path
+update is a dict hit plus a float add.  Slow-moving totals that the
+hardware layer already accumulates (per-GPU counters, per-link transfer
+totals) are *pulled* into gauges by :meth:`AttackMetrics.sync` at export
+time instead of being pushed per access -- the fused burst cores bypass
+per-transfer calls by design, so pull is both cheaper and more faithful.
+
+Exporters: :meth:`MetricsRegistry.to_prometheus_text` (the Prometheus
+text exposition format, parseable back via
+:func:`parse_prometheus_text`) and :meth:`MetricsRegistry.write_jsonl`
+(one JSON object per sample, the registry-side sibling of the counter
+timeseries JSONL).
+
+Wire-up: :func:`attach_metrics` / :func:`detach_metrics` hook one
+:class:`AttackMetrics` into the engine, the system, the interconnect and
+the runtime (where the covert/prober layers find it via
+``getattr(runtime, "metrics", None)``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.api import Runtime
+    from ..sim.engine import EngineStats
+    from ..sim.epoch import EpochCursor
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "AttackMetrics",
+    "attach_metrics",
+    "detach_metrics",
+    "parse_prometheus_text",
+]
+
+PathLike = Union[str, Path]
+
+#: Default histogram buckets for per-epoch burst-service cycles.
+EPOCH_SERVICE_BUCKETS = (
+    1_000.0,
+    10_000.0,
+    100_000.0,
+    1_000_000.0,
+    10_000_000.0,
+)
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labelnames: Sequence[str], labelvalues: Sequence[str]) -> str:
+    if not labelnames:
+        return ""
+    parts = ", ".join(
+        f'{name}="{value}"' for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + parts + "}"
+
+
+class _Instrument:
+    """Shared child bookkeeping for the three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        if not self.labelnames:
+            # The unlabeled instrument is its own single child.
+            self._children[()] = self._new_child()
+
+    def _new_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, *values) -> Any:
+        """The child for one label-value tuple (created on first use)."""
+        key = tuple(str(v) for v in values)
+        if len(key) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, got {key}"
+            )
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    def children(self) -> Iterator[Tuple[Tuple[str, ...], Any]]:
+        return iter(sorted(self._children.items()))
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Counter(_Instrument):
+    """Monotonic total; name should end in ``_total`` by convention."""
+
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._children[()].inc(amount)
+
+    @property
+    def value(self) -> float:
+        return sum(child.value for child in self._children.values())
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge(_Instrument):
+    """Point-in-time value (clocks, drifts, utilizations)."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._children[()].set(value)
+
+    @property
+    def value(self) -> float:
+        child = self._children.get(())
+        return child.value if child is not None else 0.0
+
+
+class _HistogramChild:
+    __slots__ = ("counts", "sum", "count", "_buckets")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self._buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # + the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for index, edge in enumerate(self._buckets):
+            if value <= edge:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = EPOCH_SERVICE_BUCKETS,
+    ) -> None:
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        super().__init__(name, help, labelnames)
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._children[()].observe(value)
+
+
+class MetricsRegistry:
+    """A namespace of instruments, registered once, exported many ways."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def _register(self, instrument: _Instrument) -> _Instrument:
+        existing = self._instruments.get(instrument.name)
+        if existing is not None:
+            if type(existing) is not type(instrument):
+                raise ValueError(
+                    f"instrument {instrument.name!r} already registered as "
+                    f"{existing.kind}"
+                )
+            return existing
+        self._instruments[instrument.name] = instrument
+        return instrument
+
+    def counter(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._register(Counter(name, help, labelnames))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str, labelnames: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge(name, help, labelnames))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = EPOCH_SERVICE_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram(name, help, labelnames, buckets))  # type: ignore[return-value]
+
+    def __iter__(self) -> Iterator[_Instrument]:
+        return iter(self._instruments[name] for name in sorted(self._instruments))
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._instruments.get(name)
+
+    # ------------------------------------------------------------------
+    # Samples (the flat view every exporter renders)
+    # ------------------------------------------------------------------
+    def samples(self) -> List[Tuple[str, Dict[str, str], float, str]]:
+        """Flat ``(name, labels, value, kind)`` rows, histograms expanded."""
+        rows: List[Tuple[str, Dict[str, str], float, str]] = []
+        for instrument in self:
+            for labelvalues, child in instrument.children():
+                labels = dict(zip(instrument.labelnames, labelvalues))
+                if instrument.kind == "histogram":
+                    edges = list(instrument.buckets) + [float("inf")]
+                    cumulative = 0
+                    for edge, count in zip(edges, child.counts):
+                        cumulative += count
+                        rows.append(
+                            (
+                                f"{instrument.name}_bucket",
+                                {**labels, "le": _format_value(edge)},
+                                float(cumulative),
+                                "histogram",
+                            )
+                        )
+                    rows.append(
+                        (f"{instrument.name}_sum", labels, child.sum, "histogram")
+                    )
+                    rows.append(
+                        (
+                            f"{instrument.name}_count",
+                            labels,
+                            float(child.count),
+                            "histogram",
+                        )
+                    )
+                else:
+                    rows.append(
+                        (instrument.name, labels, child.value, instrument.kind)
+                    )
+        return rows
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready nested view (manifest extras, tests)."""
+        out: Dict[str, Any] = {}
+        for name, labels, value, _kind in self.samples():
+            if labels:
+                key = name + _render_labels(
+                    sorted(labels), [labels[k] for k in sorted(labels)]
+                )
+            else:
+                key = name
+            out[key] = value
+        return out
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition format (round-trips through
+        :func:`parse_prometheus_text`)."""
+        lines: List[str] = []
+        for instrument in self:
+            lines.append(f"# HELP {instrument.name} {instrument.help}")
+            lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+            for labelvalues, child in instrument.children():
+                labels = _render_labels(instrument.labelnames, labelvalues)
+                if instrument.kind == "histogram":
+                    edges = list(instrument.buckets) + [float("inf")]
+                    cumulative = 0
+                    for edge, count in zip(edges, child.counts):
+                        cumulative += count
+                        le = _render_labels(
+                            instrument.labelnames + ("le",),
+                            labelvalues + (_format_value(edge),),
+                        )
+                        lines.append(
+                            f"{instrument.name}_bucket{le} {cumulative}"
+                        )
+                    lines.append(
+                        f"{instrument.name}_sum{labels} "
+                        f"{_format_value(child.sum)}"
+                    )
+                    lines.append(f"{instrument.name}_count{labels} {child.count}")
+                else:
+                    lines.append(
+                        f"{instrument.name}{labels} {_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    def write_prometheus(self, path: PathLike) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_prometheus_text())
+        return path
+
+    def write_jsonl(self, path: PathLike) -> Path:
+        """One ``{"name", "kind", "labels", "value"}`` object per sample."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            for name, labels, value, kind in self.samples():
+                handle.write(
+                    json.dumps(
+                        {
+                            "name": name,
+                            "kind": kind,
+                            "labels": labels,
+                            "value": value,
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+        return path
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+    """Parse the text exposition format back into sample values.
+
+    Returns ``{metric_name: {((label, value), ...): sample_value}}`` with
+    label tuples sorted by label name; comment/``# TYPE`` lines are
+    skipped.  This is the test oracle for the exporter, not a general
+    Prometheus client.
+    """
+    parsed: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            label_blob, value_text = rest.rsplit("}", 1)
+            labels = []
+            for part in label_blob.split(","):
+                key, quoted = part.split("=", 1)
+                labels.append((key.strip(), quoted.strip().strip('"')))
+            key_tuple = tuple(sorted(labels))
+        else:
+            name, value_text = line.rsplit(" ", 1)
+            key_tuple = ()
+        value_text = value_text.strip()
+        value = float("inf") if value_text == "+Inf" else float(value_text)
+        parsed.setdefault(name.strip(), {})[key_tuple] = value
+    return parsed
+
+
+# ----------------------------------------------------------------------
+# The simulator-facing facade
+# ----------------------------------------------------------------------
+class AttackMetrics:
+    """Pre-registered instruments plus the cheap update entry points.
+
+    One instance is shared by every hooked component.  Methods called
+    from the engine's event loop avoid per-call registry lookups: label
+    children are cached in plain dicts keyed by the hot value (op name,
+    link key, fault kind).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        # -- engine ----------------------------------------------------
+        self.ops = r.counter(
+            "sim_ops_total", "engine dispatches by op type", ("op",)
+        )
+        self.accesses = r.counter(
+            "sim_accesses_total", "simulated memory accesses serviced"
+        )
+        self.kernels = r.counter(
+            "sim_kernels_total", "kernel lifecycle events", ("phase", "gpu")
+        )
+        self.epochs = r.counter("sim_epochs_total", "AccessEpoch plans completed")
+        self.epoch_bursts = r.counter(
+            "sim_epoch_bursts_total", "bursts serviced by epoch cursors"
+        )
+        self.epoch_accesses = r.counter(
+            "sim_epoch_accesses_total", "accesses serviced by epoch cursors"
+        )
+        self.scalar_fallbacks = r.counter(
+            "sim_scalar_fallbacks_total",
+            "epoch bursts that fell back to the scalar L2 core",
+        )
+        self.epoch_service = r.histogram(
+            "epoch_service_cycles",
+            "per-epoch burst-service cycles at completion",
+        )
+        self.sim_clock = r.gauge("sim_clock_cycles", "engine simulation clock")
+        self.wall_seconds = r.gauge(
+            "engine_wall_seconds", "wall time accumulated inside Engine.run"
+        )
+        # -- memory / fabric -------------------------------------------
+        self.evictions = r.counter(
+            "l2_evictions_total", "L2 lines evicted on the access path", ("gpu",)
+        )
+        self.stall_events = r.counter(
+            "nvlink_stall_events_total",
+            "transfers (or batched hops) that queued behind a busy lane",
+            ("link",),
+        )
+        self.stall_cycles = r.counter(
+            "nvlink_stall_cycles_total",
+            "cycles lost queueing on NVLink lanes",
+            ("link",),
+        )
+        self.link_transfers = r.gauge(
+            "nvlink_transfers", "lifetime cache-line transfers per link", ("link",)
+        )
+        self.link_busy = r.gauge(
+            "nvlink_busy_cycles", "lifetime lane-occupancy cycles per link", ("link",)
+        )
+        self.link_queued = r.gauge(
+            "nvlink_queued_cycles", "lifetime queueing cycles per link", ("link",)
+        )
+        self.gpu_counters = r.gauge(
+            "gpu_counter", "per-GPU hardware counter snapshot", ("gpu", "counter")
+        )
+        # -- chaos -----------------------------------------------------
+        self.faults = r.counter(
+            "chaos_faults_total", "injected faults applied", ("kind",)
+        )
+        self.chaos_skipped = r.gauge(
+            "chaos_skipped", "scheduled faults that could not land"
+        )
+        # -- covert channel / ARQ --------------------------------------
+        self.transmissions = r.counter(
+            "covert_transmissions_total", "raw covert transmissions decoded"
+        )
+        self.payload_bits = r.counter(
+            "covert_payload_bits_total", "payload bits moved by raw transmissions"
+        )
+        self.bit_errors = r.counter(
+            "covert_bit_errors_total", "payload bit errors across transmissions"
+        )
+        self.frames = r.counter(
+            "covert_frames_total", "ARQ frames by outcome", ("result",)
+        )
+        self.retransmits = r.counter(
+            "covert_retransmits_total", "ARQ frames re-sent after a NACK"
+        )
+        self.resyncs = r.counter(
+            "covert_resyncs_total", "frames whose preamble never locked"
+        )
+        self.repairs = r.counter(
+            "covert_repairs_total", "eviction-set pairs rebuilt in place"
+        )
+        self.backoff_cycles = r.counter(
+            "covert_backoff_cycles_total", "simulated cycles idled in ARQ backoff"
+        )
+        self.threshold_drift = r.gauge(
+            "covert_threshold_drift",
+            "latest rolling-threshold hit-level drift (fraction)",
+        )
+        # -- prober ----------------------------------------------------
+        self.prober_records = r.counter(
+            "prober_records_total", "memorygram capture runs"
+        )
+        self.prober_sets = r.counter(
+            "prober_monitored_sets_total", "sets monitored across captures"
+        )
+        self.prober_heals = r.counter(
+            "prober_heals_total", "prober heal() repairs applied"
+        )
+        # -- telemetry self-observation --------------------------------
+        self.trace_overwritten = r.gauge(
+            "trace_events_overwritten",
+            "trace ring events lost to overwrite (truncated trace)",
+        )
+        # Hot-path label-child caches.
+        self._op_children: Dict[str, _CounterChild] = {}
+        self._kernel_children: Dict[Tuple[str, int], _CounterChild] = {}
+        self._eviction_children: Dict[int, _CounterChild] = {}
+        self._stall_children: Dict[str, Tuple[_CounterChild, _CounterChild]] = {}
+        self._fault_children: Dict[str, _CounterChild] = {}
+        self._runtime: Optional["Runtime"] = None
+
+    # ------------------------------------------------------------------
+    # Engine hot path
+    # ------------------------------------------------------------------
+    def count_op(self, op_name: str, accesses: int = 0) -> None:
+        child = self._op_children.get(op_name)
+        if child is None:
+            child = self.ops.labels(op_name)
+            self._op_children[op_name] = child
+        child.inc()
+        if accesses:
+            self.accesses.inc(accesses)
+
+    def count_epoch_resume(self, bursts: int, accesses: int) -> None:
+        if bursts:
+            self.epoch_bursts.inc(bursts)
+        if accesses:
+            self.epoch_accesses.inc(accesses)
+
+    def count_epoch_done(self, cursor: "EpochCursor") -> None:
+        self.epochs.inc()
+        if cursor.scalar_bursts:
+            self.scalar_fallbacks.inc(cursor.scalar_bursts)
+        self.epoch_service.observe(cursor.service_cycles)
+
+    def count_kernel(self, phase: str, gpu: int) -> None:
+        key = (phase, gpu)
+        child = self._kernel_children.get(key)
+        if child is None:
+            child = self.kernels.labels(phase, gpu)
+            self._kernel_children[key] = child
+        child.inc()
+
+    def on_run_end(self, now: float, stats: "EngineStats") -> None:
+        self.sim_clock.set(now)
+        self.wall_seconds.set(stats.wall_seconds)
+
+    # ------------------------------------------------------------------
+    # Memory / fabric
+    # ------------------------------------------------------------------
+    def count_evictions(self, gpu: int, count: int) -> None:
+        child = self._eviction_children.get(gpu)
+        if child is None:
+            child = self.evictions.labels(gpu)
+            self._eviction_children[gpu] = child
+        child.inc(count)
+
+    def count_stall(self, link_key: str, wait_cycles: float, events: int = 1) -> None:
+        pair = self._stall_children.get(link_key)
+        if pair is None:
+            pair = (
+                self.stall_events.labels(link_key),
+                self.stall_cycles.labels(link_key),
+            )
+            self._stall_children[link_key] = pair
+        pair[0].inc(events)
+        pair[1].inc(wait_cycles)
+
+    # ------------------------------------------------------------------
+    # Chaos
+    # ------------------------------------------------------------------
+    def count_fault(self, kind: str) -> None:
+        child = self._fault_children.get(kind)
+        if child is None:
+            child = self.faults.labels(kind)
+            self._fault_children[kind] = child
+        child.inc()
+
+    # ------------------------------------------------------------------
+    # Covert channel / ARQ
+    # ------------------------------------------------------------------
+    def count_transmission(self, payload_bits: int, bit_errors: int) -> None:
+        self.transmissions.inc()
+        self.payload_bits.inc(payload_bits)
+        if bit_errors:
+            self.bit_errors.inc(bit_errors)
+
+    def count_frame(self, ok: bool, retransmit: bool, resync: bool) -> None:
+        self.frames.labels("ok" if ok else "nack").inc()
+        if retransmit:
+            self.retransmits.inc()
+        if resync:
+            self.resyncs.inc()
+
+    def count_repairs(self, count: int) -> None:
+        if count:
+            self.repairs.inc(count)
+
+    def count_backoff(self, cycles: float) -> None:
+        self.backoff_cycles.inc(cycles)
+
+    def observe_drift(self, drift: float) -> None:
+        self.threshold_drift.set(drift)
+
+    # ------------------------------------------------------------------
+    # Prober
+    # ------------------------------------------------------------------
+    def count_prober_record(self, monitored_sets: int) -> None:
+        self.prober_records.inc()
+        self.prober_sets.inc(monitored_sets)
+
+    def count_prober_heals(self, repaired: int) -> None:
+        if repaired:
+            self.prober_heals.inc(repaired)
+
+    # ------------------------------------------------------------------
+    # Pull-side sync (export time, never the hot path)
+    # ------------------------------------------------------------------
+    def sync(self, runtime: Optional["Runtime"] = None) -> None:
+        """Pull slow-moving hardware totals into gauges before an export.
+
+        Per-GPU counters and per-link lifetime totals are maintained by
+        the hardware layer regardless of metrics; mirroring them here at
+        export time keeps the fused burst cores (which bypass per-call
+        accounting by design) fully represented.
+        """
+        runtime = runtime if runtime is not None else self._runtime
+        if runtime is None:
+            return
+        system = runtime.system
+        for gpu in system.gpus:
+            for counter, value in gpu.counters.snapshot().items():
+                self.gpu_counters.labels(gpu.gpu_id, counter).set(value)
+        for key, value in system.interconnect.counters_snapshot().items():
+            link_key, counter = key.split(":", 1)
+            if counter == "transfers":
+                self.link_transfers.labels(link_key).set(value)
+            elif counter == "busy_cycles":
+                self.link_busy.labels(link_key).set(value)
+            elif counter == "queued_cycles":
+                self.link_queued.labels(link_key).set(value)
+        chaos = getattr(runtime.engine, "chaos", None)
+        if chaos is not None:
+            self.chaos_skipped.set(chaos.skipped)
+        tracer = getattr(runtime.engine, "tracer", None)
+        if tracer is not None:
+            self.trace_overwritten.set(tracer.events.overwritten)
+        self.sim_clock.set(runtime.engine.now)
+        self.wall_seconds.set(runtime.engine.stats.wall_seconds)
+
+
+def attach_metrics(
+    runtime: "Runtime", registry: Optional[MetricsRegistry] = None
+) -> AttackMetrics:
+    """Create an :class:`AttackMetrics` and hook it into every layer.
+
+    Mirrors :func:`~repro.telemetry.tracer.attach_tracer`: the engine,
+    the system and the interconnect each get a nullable ``metrics``
+    attribute, and the runtime itself carries the facade so the attack
+    layers (covert channel, resilient transport, prober, chaos injector)
+    can find it without plumbing.
+    """
+    metrics = AttackMetrics(registry)
+    metrics._runtime = runtime
+    runtime.metrics = metrics
+    runtime.engine.metrics = metrics
+    runtime.system.metrics = metrics
+    runtime.system.interconnect.metrics = metrics
+    return metrics
+
+
+def detach_metrics(runtime: "Runtime") -> Optional[AttackMetrics]:
+    """Unhook whatever metrics facade is attached; returns it (or None)."""
+    metrics = getattr(runtime, "metrics", None)
+    runtime.metrics = None
+    runtime.engine.metrics = None
+    runtime.system.metrics = None
+    runtime.system.interconnect.metrics = None
+    return metrics

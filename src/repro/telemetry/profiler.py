@@ -1,0 +1,328 @@
+"""Epoch profiler: span attribution over the columnar engine.
+
+The columnar engine (PR 6) advances whole ``AccessEpoch`` plans through
+an :class:`~repro.sim.epoch.EpochCursor`, suspending whenever a foreign
+event would interleave.  That makes classic per-op tracing blind to the
+question the perf work actually asks: *where does an epoch's time go* --
+burst service in the vectorized cores, planned idle (slot pacing,
+pointer-chase gaps), cursor suspension (parked in the heap behind other
+streams), or scalar fallback (bursts the fused cores refused)?
+
+:class:`EpochProfiler` is a nullable ``Engine.profiler`` hook with the
+same contract as the tracer: one ``is not None`` branch per dispatch
+when off, and when on one callback per cursor *resume* (epoch
+granularity, never per access).  Each in-flight epoch accumulates an
+:class:`EpochRecord`: its resume spans, sim-cycle split
+(service/idle/suspension), wall-time inside ``cursor.resume``, and the
+burst/access/scalar-fallback counters the cursor already tracks.
+
+Outputs:
+
+* :meth:`EpochProfiler.table` -- epochs ranked by scalar fallbacks then
+  active cycles: the hot-spot list (a fallback-heavy epoch is the one
+  de-vectorizing the run).  :meth:`render_table` renders it for the CLI.
+* :meth:`EpochProfiler.chrome_events` -- Chrome-trace slices for every
+  resume span on a dedicated profiler thread row, plus flow events
+  (``s``/``t``/``f``) stitching an epoch's suspensions together so
+  Perfetto draws an arrow across the gaps where other streams ran.
+* Totals properties that reconcile against :class:`EngineStats` -- the
+  invariant ``profiler.total_bursts == stats.epoch_bursts`` is a tier-1
+  test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.api import Runtime
+    from ..sim.engine import StreamHandle
+    from ..sim.epoch import EpochCursor
+
+__all__ = [
+    "EpochRecord",
+    "EpochProfiler",
+    "attach_profiler",
+    "detach_profiler",
+]
+
+#: Synthetic Chrome-trace thread id for profiler rows (one per GPU pid);
+#: far above real stream tids so the rows group at the bottom of the view.
+PROFILER_TID = 9_000
+
+
+@dataclass
+class EpochRecord:
+    """Accumulated profile of one ``AccessEpoch`` plan."""
+
+    index: int
+    stream: str
+    gpu: int
+    begin: float
+    end: float
+    resumes: int = 0
+    suspends: int = 0
+    wall_seconds: float = 0.0
+    #: ``(start, end)`` sim-cycle intervals the cursor was actually
+    #: advancing (one per resume).
+    spans: List[Tuple[float, float]] = field(default_factory=list)
+    active_cycles: float = 0.0
+    #: Cycles parked in the heap between resumes (foreign events ran).
+    suspended_cycles: float = 0.0
+    service_cycles: float = 0.0
+    bursts: int = 0
+    accesses: int = 0
+    scalar_bursts: int = 0
+    finished: bool = False
+
+    @property
+    def idle_cycles(self) -> float:
+        """Planned in-epoch idle: active time not spent in burst service."""
+        return max(0.0, self.active_cycles - self.service_cycles)
+
+    def row(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.index,
+            "stream": self.stream,
+            "gpu": self.gpu,
+            "begin": self.begin,
+            "end": self.end,
+            "resumes": self.resumes,
+            "suspends": self.suspends,
+            "bursts": self.bursts,
+            "accesses": self.accesses,
+            "scalar_fallbacks": self.scalar_bursts,
+            "service_cycles": self.service_cycles,
+            "idle_cycles": self.idle_cycles,
+            "suspended_cycles": self.suspended_cycles,
+            "active_cycles": self.active_cycles,
+            "wall_seconds": self.wall_seconds,
+            "finished": self.finished,
+        }
+
+
+class EpochProfiler:
+    """Nullable ``Engine.profiler`` hook recording per-epoch spans."""
+
+    def __init__(self) -> None:
+        self.records: List[EpochRecord] = []
+        self._active: Dict[int, Tuple[EpochRecord, "EpochCursor"]] = {}
+        self._next_index = 0
+
+    # ------------------------------------------------------------------
+    # Engine callback (once per cursor resume)
+    # ------------------------------------------------------------------
+    def record_resume(
+        self,
+        handle: "StreamHandle",
+        cursor: "EpochCursor",
+        when: float,
+        wall_delta: float,
+        finished: bool,
+    ) -> None:
+        key = id(cursor)
+        entry = self._active.get(key)
+        if entry is None:
+            record = EpochRecord(
+                index=self._next_index,
+                stream=handle.name,
+                gpu=handle.gpu_id,
+                begin=cursor.begin,
+                end=cursor.begin,
+            )
+            self._next_index += 1
+            self._active[key] = (record, cursor)
+        else:
+            record = entry[0]
+        # The cursor adopts max(when, clock) on entry; its previous clock
+        # is the end of the last span we recorded.
+        span_start = when if when > record.end else record.end
+        span_end = cursor.clock
+        record.suspended_cycles += span_start - record.end
+        record.active_cycles += span_end - span_start
+        record.spans.append((span_start, span_end))
+        record.end = span_end
+        record.resumes += 1
+        record.wall_seconds += wall_delta
+        if finished:
+            record.finished = True
+            record.suspends = cursor.suspends
+            record.service_cycles = cursor.service_cycles
+            record.bursts = cursor.bursts
+            record.accesses = cursor.accesses
+            record.scalar_bursts = cursor.scalar_bursts
+            self.records.append(record)
+            del self._active[key]
+
+    def finalize(self) -> None:
+        """Flush epochs still in flight (run horizon hit mid-epoch)."""
+        for record, cursor in self._active.values():
+            record.suspends = cursor.suspends
+            record.service_cycles = cursor.service_cycles
+            record.bursts = cursor.bursts
+            record.accesses = cursor.accesses
+            record.scalar_bursts = cursor.scalar_bursts
+            self.records.append(record)
+        self._active.clear()
+
+    # ------------------------------------------------------------------
+    # Reconciliation totals (== EngineStats epoch counters)
+    # ------------------------------------------------------------------
+    def _all_records(self) -> List[EpochRecord]:
+        return self.records + [record for record, _ in self._active.values()]
+
+    @property
+    def total_bursts(self) -> int:
+        return sum(r.bursts for r in self.records)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(r.accesses for r in self.records)
+
+    @property
+    def total_scalar_bursts(self) -> int:
+        return sum(r.scalar_bursts for r in self.records)
+
+    @property
+    def total_active_cycles(self) -> float:
+        return sum(r.active_cycles for r in self._all_records())
+
+    @property
+    def total_service_cycles(self) -> float:
+        return sum(r.service_cycles for r in self.records)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(r.wall_seconds for r in self._all_records())
+
+    # ------------------------------------------------------------------
+    # Ranked hot-spot table
+    # ------------------------------------------------------------------
+    def table(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Epoch rows ranked by scalar fallbacks, then active cycles.
+
+        The top rows are the epochs de-vectorizing the run: every scalar
+        fallback is a burst the fused cores refused (remote traffic with
+        tracing on, heterogeneous layouts, ...).
+        """
+        rows = sorted(
+            (r.row() for r in self._all_records()),
+            key=lambda row: (-row["scalar_fallbacks"], -row["active_cycles"]),
+        )
+        return rows[:limit] if limit is not None else rows
+
+    def render_table(self, limit: int = 10) -> str:
+        header = (
+            f"{'epoch':>5} {'stream':<24} {'gpu':>3} {'resumes':>7} "
+            f"{'bursts':>7} {'accesses':>9} {'fallbacks':>9} "
+            f"{'service':>12} {'idle':>12} {'suspended':>12} {'wall_ms':>8}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.table(limit):
+            lines.append(
+                f"{row['epoch']:>5} {row['stream'][:24]:<24} {row['gpu']:>3} "
+                f"{row['resumes']:>7} {row['bursts']:>7} {row['accesses']:>9} "
+                f"{row['scalar_fallbacks']:>9} {row['service_cycles']:>12,.0f} "
+                f"{row['idle_cycles']:>12,.0f} {row['suspended_cycles']:>12,.0f} "
+                f"{row['wall_seconds'] * 1e3:>8.2f}"
+            )
+        if not self._all_records():
+            lines.append("(no epochs profiled)")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Chrome trace export
+    # ------------------------------------------------------------------
+    def chrome_events(self, clock_hz: float = 1.5e9) -> List[Dict[str, Any]]:
+        """Trace events for the profiler rows: resume-span slices plus
+        flow arrows linking an epoch's suspensions across the run."""
+        scale = 1e6 / clock_hz  # cycles -> microseconds
+
+        def us(cycles: float) -> float:
+            return cycles * scale
+
+        events: List[Dict[str, Any]] = []
+        gpus = sorted({r.gpu for r in self._all_records()})
+        for gpu in gpus:
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": gpu,
+                    "tid": PROFILER_TID,
+                    "args": {"name": "epoch profiler"},
+                }
+            )
+        for record in self._all_records():
+            flow_id = record.index + 1  # flow id 0 renders as "no id"
+            spans = record.spans
+            last = len(spans) - 1
+            for position, (start, end) in enumerate(spans):
+                events.append(
+                    {
+                        "name": f"epoch:{record.stream}",
+                        "cat": "epoch",
+                        "ph": "X",
+                        "pid": record.gpu,
+                        "tid": PROFILER_TID,
+                        "ts": us(start),
+                        "dur": us(end - start),
+                        "args": {
+                            "epoch": record.index,
+                            "resume": position,
+                            "bursts": record.bursts,
+                            "scalar_fallbacks": record.scalar_bursts,
+                        },
+                    }
+                )
+                if last == 0:
+                    continue  # single resume: nothing to stitch
+                flow_common = {
+                    "name": "epoch_suspension",
+                    "cat": "epoch",
+                    "pid": record.gpu,
+                    "tid": PROFILER_TID,
+                    "id": flow_id,
+                }
+                if position == 0:
+                    events.append({**flow_common, "ph": "s", "ts": us(end)})
+                elif position == last:
+                    events.append(
+                        {**flow_common, "ph": "f", "bp": "e", "ts": us(start)}
+                    )
+                else:
+                    # A middle resume both receives and re-emits the flow.
+                    events.append({**flow_common, "ph": "t", "ts": us(start)})
+        return events
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready roll-up (manifest extras, profile report)."""
+        return {
+            "epochs": len(self._all_records()),
+            "in_flight": len(self._active),
+            "bursts": self.total_bursts,
+            "accesses": self.total_accesses,
+            "scalar_fallbacks": self.total_scalar_bursts,
+            "service_cycles": self.total_service_cycles,
+            "active_cycles": self.total_active_cycles,
+            "wall_seconds": self.total_wall_seconds,
+        }
+
+
+def attach_profiler(runtime: "Runtime") -> EpochProfiler:
+    """Hook a fresh :class:`EpochProfiler` into the runtime's engine."""
+    profiler = EpochProfiler()
+    runtime.engine.profiler = profiler
+    runtime.profiler = profiler
+    return profiler
+
+
+def detach_profiler(runtime: "Runtime") -> Optional[EpochProfiler]:
+    """Unhook the profiler (flushing in-flight epochs); returns it."""
+    profiler = getattr(runtime.engine, "profiler", None)
+    if profiler is not None:
+        profiler.finalize()
+    runtime.engine.profiler = None
+    runtime.profiler = None
+    return profiler
