@@ -1,0 +1,252 @@
+"""Load-generation harness for the attack-range service.
+
+Drives a live in-process service (`repro.service.start_service`) with
+sustained concurrent submits from many tenant threads -- one cold pass
+against an empty artifact cache and one warm pass over the same seeds --
+and records sustained request rate, p50/p99 submit-to-finish job
+latency, and the admission rejection rate into
+``benchmarks/perf_trajectory.json`` (the same trajectory file the
+simulator perf harness appends to).
+
+The driver behaves like a polite tenant: a 429 (rate limit, concurrency
+cap, queue depth) backs off for the server's ``retry_after`` hint and
+resubmits, so the recorded rejection rate is the *admission pressure*
+the quota knobs produced, not a failure count.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --tenants 12 --jobs 4
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import tempfile
+import threading
+import time
+from typing import Dict, List, Sequence
+
+from repro.service import ServiceConfig, ServiceError, start_service
+
+TRAJECTORY_PATH = pathlib.Path(__file__).parent / "perf_trajectory.json"
+
+#: Defaults sized for a 4-core CI host: 8 tenants keep the acceptance
+#: bar's fleet width busy without the GIL starving any single job.
+DEFAULT_TENANTS = 8
+DEFAULT_JOBS_PER_TENANT = 3
+DEFAULT_WORKERS = 8
+DEFAULT_EXPERIMENTS = ("fig10",)
+
+
+def _percentile(samples: Sequence[float], quantile: float) -> float:
+    """Nearest-rank percentile; robust for the small sample counts here."""
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, math.ceil(quantile * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class _TenantDriver(threading.Thread):
+    """One tenant's submit loop: back off on 429, then await every job."""
+
+    def __init__(self, client, tenant: str, seeds: Sequence[int],
+                 experiments: Sequence[str]) -> None:
+        super().__init__(name=f"tenant-{tenant}", daemon=True)
+        self.client = client
+        self.tenant = tenant
+        self.seeds = list(seeds)
+        self.experiments = list(experiments)
+        self.attempts = 0
+        self.rejections = 0
+        self.finals: List[Dict] = []
+        self.error: Exception | None = None
+
+    def run(self) -> None:
+        try:
+            job_ids = []
+            for seed in self.seeds:
+                job_ids.append(self._submit_with_backoff(seed))
+            for job_id in job_ids:
+                self.finals.append(self.client.wait(job_id, timeout=300.0))
+        except Exception as exc:  # surfaced by the harness
+            self.error = exc
+
+    def _submit_with_backoff(self, seed: int) -> str:
+        while True:
+            self.attempts += 1
+            try:
+                return self.client.submit(
+                    self.tenant, self.experiments, seed=seed
+                )["job_id"]
+            except ServiceError as exc:
+                if exc.status != 429:
+                    raise
+                self.rejections += 1
+                time.sleep(exc.retry_after or 0.05)
+
+
+def run_pass(client, tenants: int, jobs_per_tenant: int,
+             experiments: Sequence[str], seed_base: int) -> Dict:
+    """One full load pass; every (tenant, job) pair gets its own seed so
+    a pass is uniformly cold (fresh cache) or uniformly warm (rerun)."""
+    drivers = [
+        _TenantDriver(
+            client,
+            f"tenant-{index}",
+            seeds=[
+                seed_base + index * jobs_per_tenant + job
+                for job in range(jobs_per_tenant)
+            ],
+            experiments=experiments,
+        )
+        for index in range(tenants)
+    ]
+    start = time.perf_counter()
+    for driver in drivers:
+        driver.start()
+    for driver in drivers:
+        driver.join()
+    wall = time.perf_counter() - start
+    for driver in drivers:
+        if driver.error is not None:
+            raise driver.error
+
+    finals = [final for driver in drivers for final in driver.finals]
+    failed = [final for final in finals if final["state"] != "done"]
+    if failed:
+        raise RuntimeError(f"{len(failed)} jobs failed: {failed[0]}")
+    attempts = sum(driver.attempts for driver in drivers)
+    rejections = sum(driver.rejections for driver in drivers)
+    latencies = [final["latency"] for final in finals]
+    return {
+        "jobs": len(finals),
+        "submit_attempts": attempts,
+        "rejections": rejections,
+        "rejection_rate": round(rejections / attempts, 4),
+        "requests_per_sec": round(attempts / wall, 2),
+        "jobs_per_sec": round(len(finals) / wall, 2),
+        "latency_p50_s": round(_percentile(latencies, 0.50), 4),
+        "latency_p99_s": round(_percentile(latencies, 0.99), 4),
+        "cache_hits": sum(final["cache_hits"] for final in finals),
+        "cache_misses": sum(final["cache_misses"] for final in finals),
+        "wall_seconds": round(wall, 3),
+    }
+
+
+def run_load(
+    tenants: int = DEFAULT_TENANTS,
+    jobs_per_tenant: int = DEFAULT_JOBS_PER_TENANT,
+    workers: int = DEFAULT_WORKERS,
+    experiments: Sequence[str] = DEFAULT_EXPERIMENTS,
+) -> Dict:
+    """Cold + warm pass against one service over a shared fresh cache."""
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as cache_dir:
+        config = ServiceConfig(
+            workers=workers,
+            # Tight enough that the driver provably exercises admission
+            # control (nonzero rejection rate), loose enough to converge.
+            max_tenant_jobs=2,
+            rate=10.0,
+            burst=4.0,
+            queue_depth=tenants * jobs_per_tenant,
+            slices_per_box=2,
+            max_boxes=(tenants + 1) // 2,
+            cache_dir=cache_dir,
+        )
+        with start_service(config) as handle:
+            cold = run_pass(
+                handle.client, tenants, jobs_per_tenant, experiments,
+                seed_base=0,
+            )
+            warm = run_pass(
+                handle.client, tenants, jobs_per_tenant, experiments,
+                seed_base=0,
+            )
+    assert cold["cache_hits"] == 0, cold
+    assert warm["cache_hits"] >= warm["jobs"], warm
+    return {
+        "service_load": {
+            "tenants": tenants,
+            "jobs_per_tenant": jobs_per_tenant,
+            "workers": workers,
+            "experiments": list(experiments),
+            "cold": cold,
+            "warm": warm,
+            "warm_speedup": round(
+                cold["latency_p50_s"] / max(warm["latency_p50_s"], 1e-9), 2
+            ),
+        }
+    }
+
+
+def append_trajectory(results: Dict) -> None:
+    trajectory = []
+    if TRAJECTORY_PATH.exists():
+        trajectory = json.loads(TRAJECTORY_PATH.read_text())
+    trajectory.append(
+        {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"), "scenarios": results}
+    )
+    TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def format_results(results: Dict) -> str:
+    load = results["service_load"]
+    lines = [
+        f"service load: {load['tenants']} tenants x "
+        f"{load['jobs_per_tenant']} jobs ({load['workers']} workers, "
+        f"{','.join(load['experiments'])})",
+        f"{'pass':<6} {'req/s':>8} {'jobs/s':>8} {'p50 s':>8} {'p99 s':>8} "
+        f"{'reject%':>8} {'hits':>6} {'wall s':>8}",
+    ]
+    for name in ("cold", "warm"):
+        entry = load[name]
+        lines.append(
+            f"{name:<6} {entry['requests_per_sec']:>8} "
+            f"{entry['jobs_per_sec']:>8} {entry['latency_p50_s']:>8} "
+            f"{entry['latency_p99_s']:>8} "
+            f"{entry['rejection_rate'] * 100:>7.1f}% "
+            f"{entry['cache_hits']:>6} {entry['wall_seconds']:>8}"
+        )
+    lines.append(f"warm p50 speedup: {load['warm_speedup']}x")
+    return "\n".join(lines)
+
+
+def test_service_load_smoke():
+    """A reduced pass keeps the harness itself under test: every job
+    completes, quotas are exercised, and the warm pass hits the cache."""
+    results = run_load(tenants=3, jobs_per_tenant=2, workers=3)
+    load = results["service_load"]
+    for name in ("cold", "warm"):
+        assert load[name]["jobs"] == 6
+        assert load[name]["latency_p99_s"] >= load[name]["latency_p50_s"] > 0
+        assert load[name]["submit_attempts"] >= 6
+    assert load["cold"]["cache_hits"] == 0
+    assert load["warm"]["cache_hits"] >= 6
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tenants", type=int, default=DEFAULT_TENANTS)
+    parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS_PER_TENANT)
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
+    parser.add_argument(
+        "--experiments", nargs="+", default=list(DEFAULT_EXPERIMENTS)
+    )
+    options = parser.parse_args()
+    results = run_load(
+        tenants=options.tenants,
+        jobs_per_tenant=options.jobs,
+        workers=options.workers,
+        experiments=options.experiments,
+    )
+    print(format_results(results))
+    append_trajectory(results)
+    print(f"\ntrajectory appended to {TRAJECTORY_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -564,6 +564,58 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the attack-range service until SIGINT/SIGTERM, then drain.
+
+    See ``docs/service.md``: experiment-run requests over HTTP/JSON,
+    NDJSON progress streams, per-tenant quotas, MIG-style partition
+    isolation on shared boxes, and Prometheus metrics at ``/metrics``.
+    """
+    import asyncio
+    import signal
+
+    from .cache import resolve_cache_dir
+    from .service import AttackRangeService, ServiceConfig
+
+    cache_root = resolve_cache_dir(args.cache_dir)
+    config = ServiceConfig(
+        workers=args.workers,
+        max_tenant_jobs=args.max_tenant_jobs,
+        rate=args.rate,
+        burst=args.burst,
+        queue_depth=args.queue_depth,
+        slices_per_box=args.slices,
+        max_boxes=args.boxes,
+        cache_dir=str(cache_root) if cache_root is not None else None,
+        state_dir=args.state_dir,
+        task_timeout=args.task_timeout,
+        drain_grace=args.drain_grace,
+    )
+    service = AttackRangeService(config)
+
+    async def _serve() -> None:
+        port = await service.start(args.host, args.port)
+        loop = asyncio.get_running_loop()
+        for signame in ("SIGINT", "SIGTERM"):
+            try:
+                loop.add_signal_handler(
+                    getattr(signal, signame),
+                    lambda: asyncio.ensure_future(service.drain_and_stop()),
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # platforms without loop signal handlers
+        print(
+            f"attack-range service listening on http://{args.host}:{port} "
+            f"({config.workers} workers, {config.slices_per_box} slices/box)",
+            flush=True,
+        )
+        await service.serve_forever()
+        print("attack-range service drained and stopped", flush=True)
+
+    asyncio.run(_serve())
+    return 0
+
+
 def _cmd_multigpu(args) -> int:
     from .experiments import ext_multi_gpu
 
@@ -856,6 +908,59 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--sets", type=int, default=2, help="parallel set pairs")
     chaos.add_argument("--slot-cycles", type=float, default=3000.0)
     chaos.set_defaults(func=_cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help="attack-range service: multi-tenant async experiment server "
+        "(HTTP/JSON + NDJSON progress streams; see docs/service.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765, help="0 = ephemeral")
+    serve.add_argument(
+        "--workers", type=int, default=8, help="concurrent jobs across tenants"
+    )
+    serve.add_argument(
+        "--max-tenant-jobs",
+        type=int,
+        default=2,
+        help="per-tenant queued-or-running job cap",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=20.0, help="per-tenant submits/second"
+    )
+    serve.add_argument(
+        "--burst", type=float, default=40.0, help="per-tenant token-bucket burst"
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=64, help="global queued-job cap"
+    )
+    serve.add_argument(
+        "--slices", type=int, default=2, help="tenant slices per shared box"
+    )
+    serve.add_argument(
+        "--boxes", type=int, default=4, help="max shared boxes before rejection"
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="job artifacts + audit.jsonl root (omit to keep in memory)",
+    )
+    serve.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-experiment wall-clock budget for jobs",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="how long drain waits for in-flight jobs",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     multi = sub.add_parser(
         "multigpu", help="extension: stripe the channel over GPU pairs"

@@ -264,9 +264,17 @@ def run_experiments(
 ) -> List[ExperimentOutcome]:
     """Run ``names`` and return their outcomes in the given order.
 
-    ``jobs == 1`` runs inline (no pool, no timeout enforcement -- there
-    is no second process to kill); ``jobs > 1`` fans out.  Both paths
+    ``jobs == 1`` runs inline; ``jobs > 1`` fans out.  Both paths
     produce identical outcomes for identical inputs.
+
+    ``timeout`` is enforced differently per path: the pool kills an
+    expired worker mid-task, while the inline path has no second process
+    to kill, so enforcement is *best-effort* -- the wall clock is checked
+    when each experiment returns, an over-budget task is demoted to
+    ``status == "timeout"`` (its section is dropped exactly as a pooled
+    expiry would drop it), and the same retry accounting applies.  An
+    inline task that hangs forever still hangs; see
+    ``docs/performance.md``.
     """
     from .report import EXPERIMENTS
 
@@ -279,7 +287,7 @@ def run_experiments(
     cache_arg = str(cache_dir) if cache_dir is not None else None
     if jobs <= 1:
         return _run_inline(
-            names, seed, small, retries, json_arg, cache_arg, progress
+            names, seed, small, timeout, retries, json_arg, cache_arg, progress
         )
     return _run_pooled(
         names, seed, small, jobs, timeout, retries, json_arg, cache_arg, progress
@@ -297,10 +305,31 @@ def _outcome_from(payload: Dict, attempts: int) -> ExperimentOutcome:
     )
 
 
+def _apply_inline_timeout(payload: Dict, timeout: Optional[float]) -> Dict:
+    """Best-effort inline budget check (see :func:`run_experiments`).
+
+    The inline path cannot interrupt a running experiment, so the budget
+    is applied post-hoc: a task whose wall clock exceeded ``timeout`` is
+    demoted to a ``timeout`` outcome and its section is discarded, which
+    matches what the pooled path would have kept of it (nothing).
+    """
+    if timeout is not None and payload["elapsed"] > timeout:
+        payload = dict(payload)
+        payload["status"] = "timeout"
+        payload["section"] = ""
+        payload["error"] = (
+            f"exceeded {timeout:.1f}s budget "
+            f"(ran {payload['elapsed']:.1f}s; inline mode detects expiry "
+            "only once the experiment returns)"
+        )
+    return payload
+
+
 def _run_inline(
     names: Sequence[str],
     seed: int,
     small: bool,
+    timeout: Optional[float],
     retries: int,
     json_dir: Optional[str],
     cache_dir: Optional[str],
@@ -314,7 +343,9 @@ def _run_inline(
             attempts += 1
             _emit(progress, ProgressEvent("start", name, attempt=attempts,
                                           completed=len(outcomes), total=total))
-            payload = _run_task(name, seed, small, json_dir, cache_dir)
+            payload = _apply_inline_timeout(
+                _run_task(name, seed, small, json_dir, cache_dir), timeout
+            )
             if payload["status"] == "ok" or attempts > retries:
                 break
             _emit(progress, ProgressEvent(

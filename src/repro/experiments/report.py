@@ -18,7 +18,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from .common import ExperimentResult, attach_manifest, default_runtime
 
-__all__ = ["generate_report", "EXPERIMENTS", "run_experiment"]
+__all__ = ["generate_report", "render_report", "EXPERIMENTS", "run_experiment"]
 
 
 def _with_runtime(module_runner, **fixed):
@@ -177,7 +177,7 @@ def generate_report(
     Experiments that raise (or time out under ``timeout``) appear as
     failed sections while the rest of the report completes.
     """
-    from .executor import failed_section, run_experiments
+    from .executor import run_experiments
 
     names = list(only) if only else list(EXPERIMENTS)
     outcomes = run_experiments(
@@ -191,6 +191,19 @@ def generate_report(
         cache_dir=cache_dir,
         progress=(lambda event: progress(event.render())) if progress else None,
     )
+    return render_report(outcomes, seed=seed, small=small)
+
+
+def render_report(outcomes, seed: int, small: bool) -> str:
+    """Assemble executor outcomes into the canonical report text.
+
+    Shared by :func:`generate_report` and the attack-range service
+    (:mod:`repro.service`), so a job submitted over HTTP renders the
+    byte-identical text a ``gpu-spy report`` of the same ``(names, seed,
+    small)`` would print.
+    """
+    from .executor import failed_section
+
     sections: List[str] = [
         "SPY IN THE GPU-BOX -- full evaluation report",
         f"(seed {seed}, {'scaled-down box' if small else 'full DGX-1'})",

@@ -1,0 +1,142 @@
+"""Attack-range service: a multi-tenant async experiment server.
+
+The ROADMAP's "millions of users" framing made concrete: a long-running
+asyncio HTTP/JSON service that accepts experiment-run requests from many
+tenants, multiplexes them onto a worker fleet backed by the parallel
+executor and the shared artifact cache (the warm tier), streams progress
+as newline-delimited JSON, and isolates tenants that share a simulated
+box with MIG-style cache/lane partitions.  See ``docs/service.md``.
+
+Entry points:
+
+* ``gpu-spy serve`` -- the CLI daemon (:func:`repro.cli.main`).
+* :class:`AttackRangeService` -- the embeddable app object.
+* :func:`start_service` -- run a service on a background thread with its
+  own event loop; returns a handle with a ready :class:`ServiceClient`
+  (this is what the tests and the load-gen bench use).
+* :class:`ServiceClient` -- the blocking stdlib client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from .client import ServiceClient, ServiceError
+from .http import AttackRangeService
+from .metrics import ServiceMetrics
+from .models import Job, JobRequest, Rejection, RejectedError, ServiceConfig
+from .partition import PartitionLease, PartitionManager, SharedBox
+from .quota import AdmissionController, TokenBucket
+from .scheduler import JobScheduler
+
+__all__ = [
+    "AttackRangeService",
+    "AdmissionController",
+    "Job",
+    "JobRequest",
+    "JobScheduler",
+    "PartitionLease",
+    "PartitionManager",
+    "RejectedError",
+    "Rejection",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceHandle",
+    "ServiceMetrics",
+    "SharedBox",
+    "TokenBucket",
+    "start_service",
+]
+
+
+class ServiceHandle:
+    """A service running on a background thread, plus its client.
+
+    Context-manager friendly::
+
+        with start_service(ServiceConfig(workers=4)) as handle:
+            record = handle.client.run("tenant-a", ["fig10"])
+
+    ``stop()`` drains gracefully (in-flight jobs finish) and joins the
+    thread; it is idempotent, and also called by ``__exit__``.
+    """
+
+    def __init__(self, service: AttackRangeService, host: str, port: int) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.client = ServiceClient(host, port)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopped = False
+
+    def stop(self, grace: Optional[float] = None) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        if (
+            self._loop is not None
+            and self._loop.is_running()
+            # A drain that already completed (POST /drain, SIGTERM) is
+            # about to stop the loop; scheduling onto it would race.
+            and not self.service._drained.is_set()
+        ):
+            future = asyncio.run_coroutine_threadsafe(
+                self.service.drain_and_stop(grace), self._loop
+            )
+            future.result(timeout=(grace or 60.0) + 30.0)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_service(
+    config: Optional[ServiceConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ServiceHandle:
+    """Start an :class:`AttackRangeService` on a daemon thread.
+
+    The thread runs its own event loop; ``port=0`` binds an ephemeral
+    port, available as ``handle.port`` once this function returns (it
+    blocks until the listener is up, so the returned handle's client can
+    be used immediately).
+    """
+    service = AttackRangeService(config)
+    started = threading.Event()
+    bound: dict = {}
+
+    def _main() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        handle._loop = loop
+
+        async def _run() -> None:
+            bound["port"] = await service.start(host, port)
+            started.set()
+            await service.serve_forever()
+
+        try:
+            loop.run_until_complete(_run())
+        finally:
+            loop.close()
+
+    handle = ServiceHandle(service, host, 0)
+    thread = threading.Thread(
+        target=_main, name="attack-range-service", daemon=True
+    )
+    handle._thread = thread
+    thread.start()
+    if not started.wait(timeout=15.0):
+        raise RuntimeError("attack-range service failed to start in 15s")
+    handle.port = bound["port"]
+    handle.client = ServiceClient(host, handle.port)
+    return handle

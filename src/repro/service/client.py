@@ -1,0 +1,212 @@
+"""Blocking stdlib client for the attack-range service.
+
+Used by the test suite, the CI smoke job and the load generator; one
+:class:`http.client.HTTPConnection` per call (the server is
+one-request-per-connection), JSON in/out, and typed failures: any
+``{"error": {...}}`` body raises :class:`ServiceError` carrying the
+machine-readable ``type``/``status``/``retry_after`` so callers branch
+on ``exc.type == "rate_limited"`` instead of string-matching prose.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A typed error response from the service."""
+
+    def __init__(
+        self,
+        type: str,
+        status: int,
+        detail: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(f"[{status}] {type}: {detail}")
+        self.type = type
+        self.status = status
+        self.detail = detail
+        self.retry_after = retry_after
+
+    @staticmethod
+    def from_body(status: int, body: bytes) -> "ServiceError":
+        try:
+            error = json.loads(body.decode() or "{}").get("error", {})
+        except ValueError:
+            error = {}
+        return ServiceError(
+            type=error.get("type", "unknown"),
+            status=status,
+            detail=error.get("detail", body.decode(errors="replace")[:200]),
+            retry_after=error.get("retry_after"),
+        )
+
+
+class ServiceClient:
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                raise ServiceError.from_body(response.status, raw)
+            if response.getheader("Content-Type", "").startswith(
+                "application/json"
+            ):
+                return json.loads(raw.decode())
+            return raw.decode()
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        tenant: str,
+        experiments: Sequence[str],
+        seed: int = 0,
+        small: bool = True,
+        retries: int = 1,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit a job; returns the accepted job record (202) or raises
+        :class:`ServiceError` with the typed rejection."""
+        body: Dict[str, Any] = {
+            "tenant": tenant,
+            "experiments": list(experiments),
+            "seed": seed,
+            "small": small,
+            "retries": retries,
+        }
+        if timeout is not None:
+            body["timeout"] = timeout
+        return self._request("POST", "/jobs", body)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def report_text(self, job_id: str) -> str:
+        return self._request("GET", f"/jobs/{job_id}/report")
+
+    def manifests(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/manifest")
+
+    def health_sidecars(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/health")
+
+    def stream_events(
+        self, job_id: str, from_seq: int = 0
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield the job's NDJSON progress events, live until terminal.
+
+        ``http.client`` decodes the chunked framing, so each ``readline``
+        is one event; the stream ends when the job reaches a terminal
+        state (the server closes after the ``job_done`` event)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events?from={from_seq}")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ServiceError.from_body(response.status, response.read())
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())
+        finally:
+            conn.close()
+
+    def wait(
+        self, job_id: str, timeout: float = 120.0, poll: float = 0.05
+    ) -> Dict[str, Any]:
+        """Block until the job is terminal; returns the final record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed"):
+                return record
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def run(
+        self,
+        tenant: str,
+        experiments: Sequence[str],
+        timeout: float = 120.0,
+        **submit_kwargs: Any,
+    ) -> Dict[str, Any]:
+        """Submit + wait, the common test/bench path."""
+        job = self.submit(tenant, experiments, **submit_kwargs)
+        return self.wait(job["job_id"], timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Service surface
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def boxes(self) -> Dict[str, Any]:
+        return self._request("GET", "/boxes")
+
+    def config(self) -> Dict[str, Any]:
+        return self._request("GET", "/config")
+
+    def metrics_text(self) -> str:
+        return self._request("GET", "/metrics")
+
+    def metrics(self) -> Dict[str, Dict[Any, float]]:
+        """Parsed metrics via the registry's own text-format oracle."""
+        from ..telemetry.metrics import parse_prometheus_text
+
+        return parse_prometheus_text(self.metrics_text())
+
+    def drain(self) -> Dict[str, Any]:
+        return self._request("POST", "/drain")
+
+    def wait_ready(self, timeout: float = 10.0) -> Dict[str, Any]:
+        """Poll /healthz until the server answers (startup helper)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except (OSError, http.client.HTTPException):
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)

@@ -1,0 +1,370 @@
+"""The attack-range HTTP front end (stdlib asyncio, no frameworks).
+
+A deliberately small HTTP/1.1 server on :func:`asyncio.start_server`:
+one request per connection (``Connection: close``), JSON bodies in and
+out, and chunked transfer encoding for the two streaming routes.  The
+surface:
+
+==========  =================================  =====================================
+method      path                               returns
+==========  =================================  =====================================
+``POST``    ``/jobs``                          202 + job record (or typed 4xx/5xx)
+``GET``     ``/jobs``                          job summaries, newest last
+``GET``     ``/jobs/<id>``                     one job record
+``GET``     ``/jobs/<id>/events``              NDJSON progress stream (``?from=N``)
+``GET``     ``/jobs/<id>/report``              the rendered report text
+``GET``     ``/jobs/<id>/manifest``            per-experiment run manifests
+``GET``     ``/jobs/<id>/health``              per-experiment health sidecars
+``GET``     ``/metrics``                       Prometheus text exposition
+``GET``     ``/healthz``                       liveness + drain state
+``GET``     ``/boxes``                         shared boxes + tenant slices
+``POST``    ``/drain``                         stop admitting, wait for idle
+==========  =================================  =====================================
+
+Every error body is ``{"error": {"type": ..., "detail": ...}}`` (see
+:mod:`repro.service.models`); admission rejections travel as 429 with
+``Retry-After`` when the token bucket can estimate one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from .models import (
+    JobRequest,
+    Rejection,
+    RejectedError,
+    ServiceConfig,
+)
+from .metrics import ServiceMetrics
+from .scheduler import JobScheduler
+
+__all__ = ["AttackRangeService"]
+
+_MAX_BODY = 1 << 20  # 1 MiB request-body ceiling
+_MAX_HEADER_LINES = 100
+
+
+class _BadRequest(Exception):
+    pass
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, Dict[str, str], bytes]:
+    """Parse one HTTP/1.1 request; returns (method, path, headers, body)."""
+    request_line = await reader.readline()
+    if not request_line:
+        raise _BadRequest("empty request")
+    try:
+        method, target, _version = request_line.decode("latin-1").split(None, 2)
+    except ValueError:
+        raise _BadRequest("malformed request line") from None
+    headers: Dict[str, str] = {}
+    for _ in range(_MAX_HEADER_LINES):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if b":" not in line:
+            raise _BadRequest("malformed header line")
+        name, value = line.decode("latin-1").split(":", 1)
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise _BadRequest("too many headers")
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError:
+            raise _BadRequest("bad Content-Length") from None
+        if size > _MAX_BODY:
+            raise _BadRequest("request body too large")
+        body = await reader.readexactly(size)
+    return method.upper(), target, headers, body
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _response_bytes(
+    status: int,
+    body: bytes,
+    content_type: str,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+class AttackRangeService:
+    """Scheduler + admission + partitions behind the HTTP surface."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = ServiceMetrics()
+        self.scheduler = JobScheduler(self.config, metrics=self.metrics)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.port: Optional[int] = None
+        self.host: Optional[str] = None
+        self._drained = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind + start serving; returns the actual port (0 = ephemeral)."""
+        await self.scheduler.start()
+        self._server = await asyncio.start_server(self._serve_one, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.port
+
+    async def drain_and_stop(self, grace: Optional[float] = None) -> bool:
+        """Graceful shutdown: reject new work, finish in-flight, stop.
+
+        Ordering matters and is test-pinned: (1) admission flips to
+        draining so submits 503, (2) queued + running jobs complete, (3)
+        the listener closes, (4) workers stop.  Returns True when the
+        queue fully drained inside the grace window.
+        """
+        drained = await self.scheduler.drain(grace)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.shutdown()
+        self._drained.set()
+        return drained
+
+    async def serve_forever(self) -> None:
+        await self._drained.wait()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _serve_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        route = "unparsed"
+        status = 500
+        try:
+            try:
+                method, target, _headers, body = await _read_request(reader)
+            except (_BadRequest, asyncio.IncompleteReadError, ValueError) as exc:
+                status, route = 400, "bad"
+                writer.write(self._error_bytes(
+                    Rejection("invalid_request", 400, str(exc))
+                ))
+                return
+            path, _, query = target.partition("?")
+            route = path
+            if method == "GET" and path.startswith("/jobs/") and path.endswith(
+                "/events"
+            ):
+                status = await self._stream_events(writer, path, query)
+                return
+            status, payload = self._dispatch(method, path, body)
+            writer.write(payload)
+        except ConnectionError:
+            pass
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            try:
+                writer.write(self._error_bytes(
+                    Rejection("internal", 500, repr(exc))
+                ))
+            except ConnectionError:
+                pass
+        finally:
+            self.metrics.count_request(route, status)
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    def _error_bytes(self, rejection: Rejection) -> bytes:
+        extra = None
+        if rejection.retry_after is not None:
+            extra = {"Retry-After": f"{max(1, round(rejection.retry_after))}"}
+        return _response_bytes(
+            rejection.status,
+            (json.dumps(rejection.to_wire()) + "\n").encode(),
+            "application/json",
+            extra,
+        )
+
+    def _json_bytes(self, status: int, payload: Any) -> bytes:
+        return _response_bytes(
+            status,
+            (json.dumps(payload, sort_keys=True) + "\n").encode(),
+            "application/json",
+        )
+
+    def _text_bytes(self, status: int, text: str, content_type: str) -> bytes:
+        return _response_bytes(status, text.encode(), content_type)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, bytes]:
+        try:
+            if path == "/jobs" and method == "POST":
+                return self._post_job(body)
+            if path == "/jobs" and method == "GET":
+                return 200, self._json_bytes(200, {
+                    "jobs": [
+                        job.to_wire()
+                        for job in self.scheduler.jobs.values()
+                    ]
+                })
+            if path == "/metrics" and method == "GET":
+                self.scheduler._sync_gauges()
+                return 200, self._text_bytes(
+                    200,
+                    self.metrics.registry.to_prometheus_text(),
+                    "text/plain; version=0.0.4",
+                )
+            if path == "/healthz" and method == "GET":
+                return 200, self._json_bytes(200, {
+                    "status": "ok",
+                    "draining": self.scheduler.admission.draining,
+                    "workers": self.config.workers,
+                    "in_flight": self.scheduler._in_flight,
+                    "queued": self.scheduler._queue.qsize(),
+                })
+            if path == "/boxes" and method == "GET":
+                return 200, self._json_bytes(
+                    200, self.scheduler.partitions.to_wire()
+                )
+            if path == "/config" and method == "GET":
+                return 200, self._json_bytes(200, self.config.to_wire())
+            if path == "/drain" and method == "POST":
+                # Flip admission off immediately; the caller polls
+                # /healthz (or just waits for connection refusal) while
+                # the background task finishes the queue and stops.
+                self.scheduler.admission.draining = True
+                asyncio.ensure_future(self.drain_and_stop())
+                return 202, self._json_bytes(202, {"draining": True})
+            if path.startswith("/jobs/"):
+                return self._job_route(method, path)
+            raise RejectedError(
+                Rejection("not_found", 404, f"no route {path!r}")
+            )
+        except RejectedError as exc:
+            return exc.rejection.status, self._error_bytes(exc.rejection)
+
+    def _post_job(self, body: bytes) -> Tuple[int, bytes]:
+        try:
+            raw = json.loads(body.decode() or "null")
+        except ValueError:
+            raise RejectedError(
+                Rejection("invalid_request", 400, "body is not valid JSON")
+            ) from None
+        request = JobRequest.from_wire(raw)
+        job = self.scheduler.submit(request)
+        return 202, self._json_bytes(202, job.to_wire())
+
+    def _get_job(self, job_id: str):
+        job = self.scheduler.jobs.get(job_id)
+        if job is None:
+            raise RejectedError(
+                Rejection("not_found", 404, f"no job {job_id!r}")
+            )
+        return job
+
+    def _job_route(self, method: str, path: str) -> Tuple[int, bytes]:
+        if method != "GET":
+            raise RejectedError(
+                Rejection("invalid_request", 405, f"{method} not allowed")
+            )
+        parts = path.strip("/").split("/")
+        job = self._get_job(parts[1])
+        tail = parts[2] if len(parts) > 2 else None
+        if tail is None:
+            return 200, self._json_bytes(200, job.to_wire())
+        if tail == "report":
+            if job.report_text is None:
+                raise RejectedError(Rejection(
+                    "not_ready", 404,
+                    f"job {job.job_id} is {job.state}; no report yet",
+                ))
+            return 200, self._text_bytes(200, job.report_text, "text/plain")
+        if tail == "manifest":
+            return 200, self._json_bytes(
+                200, self._sidecars(job, ".manifest.json")
+            )
+        if tail == "health":
+            return 200, self._json_bytes(
+                200, self._sidecars(job, ".health.json")
+            )
+        raise RejectedError(
+            Rejection("not_found", 404, f"no job sub-resource {tail!r}")
+        )
+
+    def _sidecars(self, job, suffix: str) -> Dict[str, Any]:
+        """Collect ``<experiment><suffix>`` JSON files from the job dir."""
+        out: Dict[str, Any] = {}
+        if self.config.state_dir is None:
+            return out
+        job_dir = Path(self.config.state_dir) / "jobs" / job.job_id
+        for path in sorted(job_dir.glob(f"*{suffix}")):
+            try:
+                out[path.name[: -len(suffix)]] = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+        return out
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, path: str, query: str
+    ) -> int:
+        parts = path.strip("/").split("/")
+        try:
+            job = self._get_job(parts[1])
+        except RejectedError as exc:
+            writer.write(self._error_bytes(exc.rejection))
+            return exc.rejection.status
+        from_seq = 0
+        for param in query.split("&"):
+            if param.startswith("from="):
+                try:
+                    from_seq = max(0, int(param[5:]))
+                except ValueError:
+                    pass
+        writer.write(
+            (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Transfer-Encoding: chunked\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+        )
+        async for event in self.scheduler.stream(job, from_seq=from_seq):
+            line = (json.dumps(event, sort_keys=True) + "\n").encode()
+            writer.write(f"{len(line):x}\r\n".encode() + line + b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        return 200

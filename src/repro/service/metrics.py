@@ -1,0 +1,90 @@
+"""Service-level instruments on the shared :class:`MetricsRegistry`.
+
+The attack-health registry (PR 7) answers "what did the simulator do";
+this facade adds the serving-layer dimension: queue pressure, fleet
+occupancy, admission rejections and per-tenant job latency.  All of it
+is exported by the same ``/metrics`` endpoint in the same Prometheus
+text format, so one scrape covers both the service and (via
+``parse_prometheus_text``) the test oracles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..telemetry.metrics import MetricsRegistry
+
+__all__ = ["ServiceMetrics", "JOB_LATENCY_BUCKETS"]
+
+#: Wall-clock seconds from submit to finish; small-box jobs land in the
+#: low buckets, full-box report jobs in the tail.
+JOB_LATENCY_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0)
+
+
+class ServiceMetrics:
+    """Pre-registered serving instruments plus cheap update entry points."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self.queue_depth = r.gauge(
+            "service_queue_depth", "jobs waiting for a worker"
+        )
+        self.in_flight = r.gauge(
+            "service_jobs_in_flight", "jobs currently running on the fleet"
+        )
+        self.tenants = r.gauge(
+            "service_tenants_seen", "distinct tenants that have submitted"
+        )
+        self.boxes = r.gauge(
+            "service_shared_boxes", "shared simulated boxes currently up"
+        )
+        self.jobs = r.counter(
+            "service_jobs_total", "jobs by terminal status", ("status",)
+        )
+        self.rejections = r.counter(
+            "service_admission_rejections_total",
+            "submits refused by admission control",
+            ("reason",),
+        )
+        self.requests = r.counter(
+            "service_http_requests_total",
+            "HTTP requests by route and status",
+            ("route", "status"),
+        )
+        self.job_latency = r.histogram(
+            "service_job_latency_seconds",
+            "submit-to-finish wall seconds per tenant",
+            ("tenant",),
+            buckets=JOB_LATENCY_BUCKETS,
+        )
+        self.experiment_cache_hits = r.counter(
+            "service_cache_hits_total",
+            "artifact-cache hits across completed jobs",
+        )
+        self.experiment_cache_misses = r.counter(
+            "service_cache_misses_total",
+            "artifact-cache misses across completed jobs",
+        )
+        self._latency_children: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def count_rejection(self, reason: str) -> None:
+        self.rejections.labels(reason).inc()
+
+    def count_request(self, route: str, status: int) -> None:
+        self.requests.labels(route, str(status)).inc()
+
+    def observe_job(self, tenant: str, status: str, latency: float) -> None:
+        self.jobs.labels(status).inc()
+        child = self._latency_children.get(tenant)
+        if child is None:
+            child = self.job_latency.labels(tenant)
+            self._latency_children[tenant] = child
+        child.observe(latency)
+
+    def count_cache(self, hits: int, misses: int) -> None:
+        if hits:
+            self.experiment_cache_hits.inc(hits)
+        if misses:
+            self.experiment_cache_misses.inc(misses)

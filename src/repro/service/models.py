@@ -1,0 +1,250 @@
+"""Job model and typed wire errors for the attack-range service.
+
+A *job* is one experiment-run request: a tenant asks for a set of
+registered experiments at a ``(seed, small)`` point, the service queues
+it, a worker runs it through :func:`repro.experiments.executor.
+run_experiments`, and the rendered report text plus the per-experiment
+JSON/manifest/health artifacts land in the job's directory.  The state
+machine is strictly forward::
+
+    submitted -> queued -> running -> done | failed
+
+Rejections are *typed*: every non-2xx response body is
+``{"error": {"type": ..., "detail": ..., ...}}`` so clients can branch
+on the machine-readable ``type`` instead of parsing prose.  The types
+mirror the admission-control dimensions (token bucket, concurrency cap,
+queue depth, partition exhaustion, drain) plus the usual HTTP suspects.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Job",
+    "JobRequest",
+    "Rejection",
+    "RejectedError",
+    "ServiceConfig",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "wire_event",
+    "lifecycle_event",
+]
+
+#: Legal job states, in lifecycle order.
+JOB_STATES: Tuple[str, ...] = ("queued", "running", "done", "failed")
+TERMINAL_STATES: Tuple[str, ...] = ("done", "failed")
+
+_JOB_IDS = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """One typed, wire-ready rejection (the body of a 4xx/5xx)."""
+
+    type: str  # "rate_limited" | "tenant_busy" | "queue_full" | ...
+    status: int  # the HTTP status it travels under (429, 503, ...)
+    detail: str
+    retry_after: Optional[float] = None  # seconds, when the limiter knows
+
+    def to_wire(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"type": self.type, "detail": self.detail}
+        if self.retry_after is not None:
+            body["retry_after"] = round(self.retry_after, 3)
+        return {"error": body}
+
+
+class RejectedError(Exception):
+    """Raised server-side when admission control refuses a request."""
+
+    def __init__(self, rejection: Rejection) -> None:
+        super().__init__(f"{rejection.type}: {rejection.detail}")
+        self.rejection = rejection
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """Validated submit payload (the POST /jobs body)."""
+
+    tenant: str
+    experiments: Tuple[str, ...]
+    seed: int = 0
+    small: bool = True
+    retries: int = 1
+    timeout: Optional[float] = None
+
+    @staticmethod
+    def from_wire(raw: Any) -> "JobRequest":
+        """Parse + validate a decoded JSON body; raises :class:`RejectedError`
+        with an ``invalid_request`` rejection on any malformed field."""
+
+        def bad(detail: str) -> RejectedError:
+            return RejectedError(Rejection("invalid_request", 400, detail))
+
+        if not isinstance(raw, dict):
+            raise bad("request body must be a JSON object")
+        tenant = raw.get("tenant")
+        if not isinstance(tenant, str) or not tenant.strip():
+            raise bad("'tenant' must be a non-empty string")
+        experiments = raw.get("experiments")
+        if (
+            not isinstance(experiments, (list, tuple))
+            or not experiments
+            or not all(isinstance(name, str) for name in experiments)
+        ):
+            raise bad("'experiments' must be a non-empty list of names")
+        from ..experiments.report import EXPERIMENTS
+
+        unknown = [name for name in experiments if name not in EXPERIMENTS]
+        if unknown:
+            raise bad(
+                f"unknown experiment {unknown[0]!r}; choose from "
+                f"{list(EXPERIMENTS)}"
+            )
+        seed = raw.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise bad("'seed' must be an integer")
+        small = raw.get("small", True)
+        if not isinstance(small, bool):
+            raise bad("'small' must be a boolean")
+        retries = raw.get("retries", 1)
+        if not isinstance(retries, int) or isinstance(retries, bool) or retries < 0:
+            raise bad("'retries' must be a non-negative integer")
+        timeout = raw.get("timeout")
+        if timeout is not None and (
+            not isinstance(timeout, (int, float))
+            or isinstance(timeout, bool)
+            or timeout <= 0
+        ):
+            raise bad("'timeout' must be a positive number of seconds")
+        return JobRequest(
+            tenant=tenant.strip(),
+            experiments=tuple(experiments),
+            seed=seed,
+            small=small,
+            retries=retries,
+            timeout=float(timeout) if timeout is not None else None,
+        )
+
+
+@dataclass
+class Job:
+    """One job's full server-side record."""
+
+    request: JobRequest
+    job_id: str = field(default_factory=lambda: f"job-{next(_JOB_IDS):06d}")
+    state: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Monotonic stamps for latency accounting (wall stamps are for humans).
+    submitted_mono: float = field(default_factory=time.monotonic)
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
+    #: (box_id, slice_index) of the tenant's partition lease, once placed.
+    lease: Optional[Dict[str, Any]] = None
+    #: Streamed progress events (dicts, ``seq``-stamped in arrival order).
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Rendered report text, set on completion.
+    report_text: Optional[str] = None
+    #: Per-experiment terminal statuses, set on completion.
+    outcomes: List[Dict[str, Any]] = field(default_factory=list)
+    #: Failure detail when ``state == "failed"``.
+    error: Optional[str] = None
+    #: Aggregated artifact-cache traffic across the job's experiments.
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submit-to-finish wall seconds (None while in flight)."""
+        if self.finished_mono is None:
+            return None
+        return self.finished_mono - self.submitted_mono
+
+    def to_wire(self, with_events: bool = False) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "tenant": self.request.tenant,
+            "experiments": list(self.request.experiments),
+            "seed": self.request.seed,
+            "small": self.request.small,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "latency": self.latency,
+            "lease": self.lease,
+            "outcomes": list(self.outcomes),
+            "error": self.error,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "events_seen": len(self.events),
+        }
+        if with_events:
+            body["events"] = list(self.events)
+        return body
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every service knob in one frozen bag (CLI flags map 1:1)."""
+
+    #: Worker fleet width: jobs running concurrently across all tenants.
+    workers: int = 8
+    #: Per-tenant cap on jobs simultaneously queued-or-running.
+    max_tenant_jobs: int = 2
+    #: Token-bucket request rate (submits/second) and burst per tenant.
+    rate: float = 20.0
+    burst: float = 40.0
+    #: Global cap on jobs waiting in the queue (running jobs excluded).
+    queue_depth: int = 64
+    #: Lane/L2 slices per shared box and how many boxes may be spun up.
+    slices_per_box: int = 2
+    max_boxes: int = 4
+    #: Shared artifact-cache directory (the warm tier); None disables.
+    cache_dir: Optional[str] = None
+    #: Root for job artifact directories + the audit log; None keeps
+    #: everything in memory (tests) and skips sidecar files.
+    state_dir: Optional[str] = None
+    #: Per-experiment wall-clock budget handed to the executor.
+    task_timeout: Optional[float] = None
+    #: Seconds drain waits for in-flight jobs before giving up.
+    drain_grace: float = 60.0
+
+    def to_wire(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def wire_event(event: Any, seq: int, job_id: str) -> Dict[str, Any]:
+    """Normalize one executor :class:`ProgressEvent` (or a lifecycle dict)
+    into the NDJSON wire shape, ``seq``-stamped for resumable streams."""
+    if hasattr(event, "__dataclass_fields__"):
+        body = asdict(event)
+        body["event"] = "progress"
+    else:
+        body = dict(event)
+    body["seq"] = seq
+    body["job_id"] = job_id
+    return body
+
+
+def lifecycle_event(kind: str, **extra: Any) -> Dict[str, Any]:
+    """A non-executor stream event (job_queued / job_started / job_done)."""
+    body: Dict[str, Any] = {"event": kind}
+    body.update(extra)
+    return body
+
+
+def experiments_or_default(names: Sequence[str]) -> List[str]:
+    from ..experiments.report import EXPERIMENTS
+
+    return list(names) if names else list(EXPERIMENTS)

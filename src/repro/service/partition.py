@@ -1,0 +1,209 @@
+"""Quota-isolated shared boxes: MIG slices + lane partitions per tenant.
+
+The service's multi-tenancy story is the paper's Section VII defense
+turned into placement policy.  Tenants whose jobs overlap in time share
+a *simulated box*, and each tenant leases one **slice** of it:
+
+* the box's NVLink fabric is a
+  :class:`~repro.defense.partitioning.PartitionedInterconnect`, so each
+  tenant owns a private lane group on every link, and
+* GPU 0's L2 is a
+  :class:`~repro.defense.partitioning.PartitionedL2Cache`, so each
+  tenant owns a private way-group of every set.
+
+Two tenants on one box therefore get *disjoint* cache and link slices:
+neither can evict the other's lines nor queue behind the other's
+transfers -- which is exactly the property that kills the cross-tenant
+attacks this repo reproduces.  A box whose slices are all leased spills
+the next tenant onto a new box, up to ``max_boxes``; past that the
+submit is rejected with a typed ``no_partition`` error.
+
+Leases are per-tenant and refcounted across the tenant's jobs: a
+tenant's second concurrent job lands on the slice it already holds
+(tenants isolate from *each other*, not from themselves), and the slice
+is returned to the box's free pool when the tenant's last job finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .models import Rejection, RejectedError
+
+__all__ = ["PartitionLease", "SharedBox", "PartitionManager"]
+
+
+@dataclass(frozen=True)
+class PartitionLease:
+    """One tenant's claim on one slice of one shared box."""
+
+    box_id: int
+    slice_index: int
+    tenant: str
+    #: Private NVLink lanes per link and private L2 ways per set.
+    lanes: int
+    l2_ways: int
+
+    def to_wire(self) -> Dict:
+        return {
+            "box_id": self.box_id,
+            "slice": self.slice_index,
+            "tenant": self.tenant,
+            "lanes": self.lanes,
+            "l2_ways": self.l2_ways,
+        }
+
+
+class SharedBox:
+    """One simulated multi-GPU box carved into tenant slices.
+
+    The box holds a real :class:`~repro.runtime.api.Runtime` whose
+    interconnect and GPU-0 L2 have been swapped for their partitioned
+    variants; tenant owner-ids are pinned to slices explicitly (never
+    the round-robin default), so the mapping is an auditable record.
+    """
+
+    def __init__(self, box_id: int, num_slices: int, seed: int = 0) -> None:
+        from ..config import DGXSpec
+        from ..defense.partitioning import (
+            enable_lane_partitioning,
+            enable_mig_partitioning,
+        )
+        from ..runtime.api import Runtime
+
+        self.box_id = box_id
+        self.num_slices = num_slices
+        self.runtime = Runtime(DGXSpec.small(), seed=seed)
+        self.interconnect = enable_lane_partitioning(
+            self.runtime.system, num_slices=num_slices
+        )
+        self.l2 = enable_mig_partitioning(
+            self.runtime.system, gpu_id=0, num_slices=num_slices
+        )
+        spec = self.runtime.system.spec
+        self._lanes_per_slice = spec.nvlink.lanes // num_slices
+        self._ways_per_slice = spec.gpu.cache.associativity // num_slices
+        #: tenant -> (owner id, slice index); owner ids are small ints
+        #: handed out per box, pinned identically in both partitioned
+        #: layers so fabric and cache isolation agree.
+        self._tenants: Dict[str, tuple] = {}
+        self._free_slices: List[int] = list(range(num_slices))
+
+    # ------------------------------------------------------------------
+    @property
+    def free_slices(self) -> int:
+        return len(self._free_slices)
+
+    def slice_of(self, tenant: str) -> Optional[int]:
+        entry = self._tenants.get(tenant)
+        return entry[1] if entry is not None else None
+
+    def owner_of(self, tenant: str) -> Optional[int]:
+        entry = self._tenants.get(tenant)
+        return entry[0] if entry is not None else None
+
+    def lease(self, tenant: str) -> PartitionLease:
+        if tenant in self._tenants:
+            owner, slice_index = self._tenants[tenant]
+        else:
+            if not self._free_slices:
+                raise RuntimeError(f"box {self.box_id} has no free slices")
+            slice_index = self._free_slices.pop(0)
+            # Owner id derived from the slice, not the tenant count, so a
+            # release-then-lease churn can never collide two live owners.
+            owner = self.box_id * self.num_slices + slice_index
+            self._tenants[tenant] = (owner, slice_index)
+            self.interconnect.assign_owner(owner, slice_index)
+            self.l2.assign_owner(owner, slice_index)
+        return PartitionLease(
+            box_id=self.box_id,
+            slice_index=slice_index,
+            tenant=tenant,
+            lanes=self._lanes_per_slice,
+            l2_ways=self._ways_per_slice,
+        )
+
+    def release(self, tenant: str) -> None:
+        entry = self._tenants.pop(tenant, None)
+        if entry is not None:
+            self._free_slices.append(entry[1])
+            self._free_slices.sort()
+
+    def to_wire(self) -> Dict:
+        return {
+            "box_id": self.box_id,
+            "num_slices": self.num_slices,
+            "free_slices": self.free_slices,
+            "tenants": {
+                tenant: {"owner": owner, "slice": slice_index}
+                for tenant, (owner, slice_index) in sorted(self._tenants.items())
+            },
+            "lanes_per_slice": self._lanes_per_slice,
+            "l2_ways_per_slice": self._ways_per_slice,
+        }
+
+
+class PartitionManager:
+    """Places tenants onto shared boxes, first-fit, bounded by
+    ``max_boxes``; leases are refcounted per tenant."""
+
+    def __init__(
+        self, num_slices: int = 2, max_boxes: int = 4, seed: int = 0
+    ) -> None:
+        if num_slices < 1 or max_boxes < 1:
+            raise ValueError("num_slices and max_boxes must be >= 1")
+        self.num_slices = num_slices
+        self.max_boxes = max_boxes
+        self.seed = seed
+        self.boxes: List[SharedBox] = []
+        self._tenant_box: Dict[str, SharedBox] = {}
+        self._refcount: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def lease(self, tenant: str) -> PartitionLease:
+        """Lease (or re-enter) the tenant's slice; typed rejection when
+        every slice of every allowed box is taken."""
+        box = self._tenant_box.get(tenant)
+        if box is None:
+            box = next((b for b in self.boxes if b.free_slices), None)
+            if box is None:
+                if len(self.boxes) >= self.max_boxes:
+                    raise RejectedError(
+                        Rejection(
+                            "no_partition",
+                            429,
+                            f"all {self.max_boxes} boxes x "
+                            f"{self.num_slices} slices are leased; "
+                            "retry when a tenant's jobs finish",
+                        )
+                    )
+                box = SharedBox(
+                    box_id=len(self.boxes),
+                    num_slices=self.num_slices,
+                    seed=self.seed,
+                )
+                self.boxes.append(box)
+            self._tenant_box[tenant] = box
+        self._refcount[tenant] = self._refcount.get(tenant, 0) + 1
+        return box.lease(tenant)
+
+    def release(self, tenant: str) -> None:
+        count = self._refcount.get(tenant, 0) - 1
+        if count > 0:
+            self._refcount[tenant] = count
+            return
+        self._refcount.pop(tenant, None)
+        box = self._tenant_box.pop(tenant, None)
+        if box is not None:
+            box.release(tenant)
+
+    def box_of(self, tenant: str) -> Optional[SharedBox]:
+        return self._tenant_box.get(tenant)
+
+    def to_wire(self) -> Dict:
+        return {
+            "num_slices": self.num_slices,
+            "max_boxes": self.max_boxes,
+            "boxes": [box.to_wire() for box in self.boxes],
+        }

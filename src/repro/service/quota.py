@@ -1,0 +1,158 @@
+"""Per-tenant admission control: rate, concurrency, and queue depth.
+
+Three independent gates, checked in order at submit time (cheapest
+first), each with its own typed rejection so a client knows *which*
+limit it hit:
+
+* **Token bucket** (``rate`` submits/s, ``burst`` capacity) -- absorbs
+  request spikes; a drained bucket returns ``rate_limited`` with a
+  ``retry_after`` hint computed from the refill rate.
+* **Concurrency cap** (``max_tenant_jobs``) -- bounds one tenant's
+  simultaneously queued-or-running jobs so a single tenant cannot
+  monopolize the worker fleet; returns ``tenant_busy``.
+* **Queue depth** (``queue_depth``) -- a global backpressure valve on
+  jobs waiting for a worker; returns ``queue_full``.
+
+Everything here runs on the service's single event loop, so no locking
+is needed; the only shared mutable state is plain dicts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+from .models import Rejection, RejectedError, ServiceConfig
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+
+class TokenBucket:
+    """Classic leaky/token bucket over an injectable monotonic clock."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+
+    def try_take(self, amount: float = 1.0) -> bool:
+        self._refill()
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return True
+        return False
+
+    def retry_after(self, amount: float = 1.0) -> float:
+        """Seconds until ``amount`` tokens will be available."""
+        self._refill()
+        missing = amount - self._tokens
+        return max(0.0, missing / self.rate)
+
+
+class AdmissionController:
+    """The submit-time gatekeeper; owns all per-tenant accounting."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        #: Jobs currently queued-or-running per tenant.
+        self._active: Dict[str, int] = {}
+        #: Jobs currently waiting in the global queue.
+        self.queued = 0
+        self.draining = False
+
+    # ------------------------------------------------------------------
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(
+                self.config.rate, self.config.burst, clock=self._clock
+            )
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def active_jobs(self, tenant: str) -> int:
+        return self._active.get(tenant, 0)
+
+    @property
+    def tenants_seen(self) -> int:
+        return len(self._buckets)
+
+    # ------------------------------------------------------------------
+    def admit(self, tenant: str) -> None:
+        """Pass or raise :class:`RejectedError`; on pass, the job counts
+        as queued until :meth:`on_start` / :meth:`on_finish` move it."""
+        if self.draining:
+            raise RejectedError(
+                Rejection(
+                    "draining",
+                    503,
+                    "service is draining; no new jobs are accepted",
+                )
+            )
+        bucket = self._bucket(tenant)
+        if not bucket.try_take():
+            raise RejectedError(
+                Rejection(
+                    "rate_limited",
+                    429,
+                    f"tenant {tenant!r} exceeded {self.config.rate:g} "
+                    f"submits/s (burst {self.config.burst:g})",
+                    retry_after=bucket.retry_after(),
+                )
+            )
+        if self.active_jobs(tenant) >= self.config.max_tenant_jobs:
+            raise RejectedError(
+                Rejection(
+                    "tenant_busy",
+                    429,
+                    f"tenant {tenant!r} already has "
+                    f"{self.active_jobs(tenant)} jobs queued or running "
+                    f"(cap {self.config.max_tenant_jobs})",
+                )
+            )
+        if self.queued >= self.config.queue_depth:
+            raise RejectedError(
+                Rejection(
+                    "queue_full",
+                    429,
+                    f"job queue is at its {self.config.queue_depth}-deep "
+                    "cap; resubmit after current jobs finish",
+                )
+            )
+        self._active[tenant] = self.active_jobs(tenant) + 1
+        self.queued += 1
+
+    def on_start(self, tenant: str) -> None:
+        """A queued job was handed to a worker."""
+        self.queued -= 1
+
+    def on_finish(self, tenant: str) -> None:
+        """A job reached a terminal state (from running *or* from queue
+        teardown); frees the tenant's concurrency slot."""
+        remaining = self.active_jobs(tenant) - 1
+        if remaining <= 0:
+            self._active.pop(tenant, None)
+        else:
+            self._active[tenant] = remaining

@@ -1,0 +1,347 @@
+"""The job scheduler: admission, worker fleet, streaming, drain.
+
+One :class:`JobScheduler` owns the whole job lifecycle on a single
+asyncio loop.  Submits pass admission control and partition placement
+synchronously (so rejections are immediate and typed), then the job
+waits in a FIFO queue for one of ``config.workers`` async workers.  A
+worker runs the blocking executor --
+:func:`repro.experiments.executor.run_experiments` with ``jobs=1``, the
+inline path -- on a thread pool, so the loop stays responsive while up
+to ``workers`` simulations grind in parallel; executor progress
+callbacks hop back onto the loop via ``call_soon_threadsafe`` and fan
+out to every subscribed stream.
+
+Determinism note: a job's experiments run through the exact same
+executor + artifact-cache path as ``gpu-spy report``, and the report
+text is assembled by the shared
+:func:`repro.experiments.report.render_report`, so a service job's
+output is byte-identical to the CLI's for the same ``(names, seed,
+small)``.
+
+Drain (``POST /drain`` or SIGTERM) flips admission to reject-with-503,
+waits up to ``drain_grace`` seconds for queued+running jobs to finish,
+then cancels the workers.  Shutdown without drain cancels immediately;
+queued jobs are failed with a ``service shutting down`` error so no
+client hangs on a stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import AsyncIterator, Dict, List, Optional
+
+from .metrics import ServiceMetrics
+from .models import (
+    Job,
+    JobRequest,
+    Rejection,
+    RejectedError,
+    ServiceConfig,
+    lifecycle_event,
+    wire_event,
+)
+from .partition import PartitionManager
+from .quota import AdmissionController
+
+__all__ = ["JobScheduler"]
+
+
+class JobScheduler:
+    def __init__(
+        self,
+        config: ServiceConfig,
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        self.config = config
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.admission = AdmissionController(config)
+        self.partitions = PartitionManager(
+            num_slices=config.slices_per_box, max_boxes=config.max_boxes
+        )
+        self.jobs: Dict[str, Job] = {}
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._workers: List[asyncio.Task] = []
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._in_flight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self.started:
+            return
+        self._loop = asyncio.get_running_loop()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="attack-range-worker",
+        )
+        self._workers = [
+            asyncio.create_task(self._worker(index), name=f"worker-{index}")
+            for index in range(self.config.workers)
+        ]
+        self.started = True
+
+    async def drain(self, grace: Optional[float] = None) -> bool:
+        """Stop admitting, wait for in-flight work; True when fully idle."""
+        self.admission.draining = True
+        grace = self.config.drain_grace if grace is None else grace
+        deadline = time.monotonic() + grace
+        while time.monotonic() < deadline:
+            if self._queue.empty() and self._in_flight == 0:
+                return True
+            await asyncio.sleep(0.02)
+        return self._queue.empty() and self._in_flight == 0
+
+    async def shutdown(self) -> None:
+        """Cancel workers and fail whatever is still queued."""
+        self.admission.draining = True
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._workers = []
+        while not self._queue.empty():
+            job = self._queue.get_nowait()
+            self._fail_unstarted(job, "service shutting down")
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        self.started = False
+
+    # ------------------------------------------------------------------
+    # Submit path (runs on the event loop)
+    # ------------------------------------------------------------------
+    def submit(self, request: JobRequest) -> Job:
+        """Admission + placement + enqueue; raises :class:`RejectedError`."""
+        if not self.started:
+            raise RejectedError(
+                Rejection("draining", 503, "service is not accepting jobs")
+            )
+        try:
+            self.admission.admit(request.tenant)
+        except RejectedError as exc:
+            self.metrics.count_rejection(exc.rejection.type)
+            raise
+        try:
+            lease = self.partitions.lease(request.tenant)
+        except RejectedError as exc:
+            # The admission slot was taken above; give it back.
+            self.admission.queued -= 1
+            self.admission.on_finish(request.tenant)
+            self.metrics.count_rejection(exc.rejection.type)
+            raise
+        job = Job(request=request)
+        job.lease = lease.to_wire()
+        self.jobs[job.job_id] = job
+        self._publish(job, lifecycle_event(
+            "job_queued", tenant=request.tenant,
+            experiments=list(request.experiments), lease=job.lease,
+        ))
+        self._queue.put_nowait(job)
+        self._idle.clear()
+        self._sync_gauges()
+        return job
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    async def _worker(self, index: int) -> None:
+        while True:
+            job = await self._queue.get()
+            self.admission.on_start(job.request.tenant)
+            self._in_flight += 1
+            job.state = "running"
+            job.started_at = time.time()
+            job.started_mono = time.monotonic()
+            self._publish(job, lifecycle_event("job_started", worker=index))
+            self._sync_gauges()
+            try:
+                await asyncio.get_running_loop().run_in_executor(
+                    self._pool, self._run_job_blocking, job
+                )
+            except asyncio.CancelledError:
+                self._finish(job, "failed", error="worker cancelled")
+                raise
+            except Exception as exc:  # defensive: executor already catches
+                self._finish(job, "failed", error=repr(exc))
+            else:
+                status = (
+                    "done"
+                    if all(o["status"] == "ok" for o in job.outcomes)
+                    else "failed"
+                )
+                error = None
+                if status == "failed":
+                    bad = next(
+                        o for o in job.outcomes if o["status"] != "ok"
+                    )
+                    error = f"{bad['name']}: {bad['error']}"
+                self._finish(job, status, error=error)
+
+    def _run_job_blocking(self, job: Job) -> None:
+        """Everything that runs off-loop: the executor + artifact writes."""
+        from ..experiments.executor import run_experiments
+        from ..experiments.report import render_report
+
+        request = job.request
+        json_dir = self._job_dir(job)
+
+        def forward(event) -> None:
+            # Called from the worker thread; hop to the loop to publish.
+            self._loop.call_soon_threadsafe(self._publish_progress, job, event)
+
+        outcomes = run_experiments(
+            list(request.experiments),
+            seed=request.seed,
+            small=request.small,
+            jobs=1,
+            timeout=request.timeout or self.config.task_timeout,
+            retries=request.retries,
+            json_dir=json_dir,
+            cache_dir=self.config.cache_dir,
+            progress=forward,
+        )
+        job.outcomes = [
+            {
+                "name": outcome.name,
+                "status": outcome.status,
+                "error": outcome.error,
+                "elapsed": round(outcome.elapsed, 3),
+                "attempts": outcome.attempts,
+            }
+            for outcome in outcomes
+        ]
+        job.report_text = render_report(
+            outcomes, seed=request.seed, small=request.small
+        )
+        if json_dir is not None:
+            Path(json_dir, "report.txt").write_text(job.report_text)
+
+    # ------------------------------------------------------------------
+    # Completion + event fan-out (event loop only)
+    # ------------------------------------------------------------------
+    def _finish(self, job: Job, status: str, error: Optional[str]) -> None:
+        self._in_flight -= 1
+        self._complete(job, status, error)
+        if self._queue.empty() and self._in_flight == 0:
+            self._idle.set()
+
+    def _fail_unstarted(self, job: Job, error: str) -> None:
+        self.admission.on_start(job.request.tenant)  # leave the queue count
+        self._complete(job, "failed", error)
+
+    def _complete(self, job: Job, status: str, error: Optional[str]) -> None:
+        job.state = status
+        job.error = error
+        job.finished_at = time.time()
+        job.finished_mono = time.monotonic()
+        for event in job.events:
+            if event.get("event") == "progress" and event.get("kind") == "finish":
+                job.cache_hits += event.get("cache_hits") or 0
+                job.cache_misses += event.get("cache_misses") or 0
+        self.admission.on_finish(job.request.tenant)
+        self.partitions.release(job.request.tenant)
+        self.metrics.observe_job(job.request.tenant, status, job.latency)
+        self.metrics.count_cache(job.cache_hits, job.cache_misses)
+        self._publish(job, lifecycle_event(
+            "job_done", status=status, error=error,
+            latency=round(job.latency, 4),
+            cache_hits=job.cache_hits, cache_misses=job.cache_misses,
+        ))
+        self._append_audit(job)
+        self._sync_gauges()
+
+    def _publish_progress(self, job: Job, event) -> None:
+        self._publish(job, event)
+
+    def _publish(self, job: Job, event) -> None:
+        job.events.append(wire_event(event, seq=len(job.events), job_id=job.job_id))
+
+    async def stream(
+        self, job: Job, from_seq: int = 0
+    ) -> AsyncIterator[Dict]:
+        """Yield the job's events from ``from_seq``, live until terminal.
+
+        Subscribers poll the job's append-only event list (20 ms cadence
+        -- far below any experiment's runtime), so publishing stays a
+        plain list append on the loop and late subscribers replay the
+        full history before going live."""
+        cursor = from_seq
+        while True:
+            while cursor < len(job.events):
+                yield job.events[cursor]
+                cursor += 1
+            if job.terminal:
+                return
+            await asyncio.sleep(0.02)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _sync_gauges(self) -> None:
+        self.metrics.queue_depth.set(self._queue.qsize())
+        self.metrics.in_flight.set(self._in_flight)
+        self.metrics.tenants.set(self.admission.tenants_seen)
+        self.metrics.boxes.set(len(self.partitions.boxes))
+
+    def _job_dir(self, job: Job) -> Optional[str]:
+        if self.config.state_dir is None:
+            return None
+        path = Path(self.config.state_dir) / "jobs" / job.job_id
+        path.mkdir(parents=True, exist_ok=True)
+        return str(path)
+
+    def _append_audit(self, job: Job) -> None:
+        """The audit log: one line per terminal job, manifest-anchored.
+
+        Each completed experiment already wrote its run manifest (config
+        hash, seed, git revision, counters) into the job directory; the
+        audit line binds those provenance records to the tenant, lease
+        and outcome, so "who ran what, where, and what did it touch" is
+        answerable from one JSONL scan.
+        """
+        if self.config.state_dir is None:
+            return
+        manifests = {}
+        job_dir = self._job_dir(job)
+        if job_dir is not None:
+            for path in sorted(Path(job_dir).glob("*.manifest.json")):
+                try:
+                    raw = json.loads(path.read_text())
+                except (OSError, ValueError):
+                    continue
+                manifests[path.name.replace(".manifest.json", "")] = {
+                    "config_hash": raw.get("config_hash"),
+                    "seed": raw.get("seed"),
+                    "git_revision": raw.get("git_revision"),
+                }
+        record = {
+            "job_id": job.job_id,
+            "tenant": job.request.tenant,
+            "experiments": list(job.request.experiments),
+            "seed": job.request.seed,
+            "small": job.request.small,
+            "state": job.state,
+            "error": job.error,
+            "lease": job.lease,
+            "latency": job.latency,
+            "cache_hits": job.cache_hits,
+            "cache_misses": job.cache_misses,
+            "manifests": manifests,
+            "finished_at": job.finished_at,
+        }
+        audit = Path(self.config.state_dir) / "audit.jsonl"
+        audit.parent.mkdir(parents=True, exist_ok=True)
+        with audit.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")

@@ -93,3 +93,34 @@ def test_progress_events_cover_every_experiment(jobs):
 def test_unknown_name_raises_before_any_work():
     with pytest.raises(KeyError):
         run_experiments(["fig4", "bogus"], jobs=4)
+
+
+def test_inline_timeout_is_enforced_best_effort(monkeypatch):
+    """jobs=1 used to ignore ``timeout`` silently; now an over-budget
+    experiment is demoted to a timeout outcome once it returns."""
+    monkeypatch.setenv(FAULT_DELAY_VAR, "fig4:1.2")
+    events = []
+    outcomes = run_experiments(
+        ["fig4", "table1"], seed=3, small=True, jobs=1,
+        timeout=0.5, retries=0, progress=events.append,
+    )
+    by_name = {outcome.name: outcome for outcome in outcomes}
+    assert by_name["fig4"].status == "timeout"
+    assert "budget" in by_name["fig4"].error
+    assert by_name["fig4"].section == ""
+    assert by_name["table1"].ok  # the fast sibling is under budget
+    finish = [e for e in events if e.kind == "finish" and e.name == "fig4"]
+    assert finish and finish[0].status == "timeout"
+
+
+def test_inline_timeout_counts_against_retry_budget(monkeypatch):
+    monkeypatch.setenv(FAULT_DELAY_VAR, "fig4:0.8")
+    events = []
+    outcomes = run_experiments(
+        ["fig4"], seed=3, small=True, jobs=1,
+        timeout=0.3, retries=1, progress=events.append,
+    )
+    assert outcomes[0].status == "timeout"
+    assert outcomes[0].attempts == 2
+    retries = [e for e in events if e.kind == "retry"]
+    assert retries and retries[0].status == "timeout"

@@ -57,18 +57,27 @@ class TestInterconnect:
         icx.reset()
         assert icx.transfer(0, 1, 0.0)[0] == 0.0
 
-    def test_link_utilization_reports_busy(self):
+    def test_link_busy_until_reports_busy(self):
         _spec, icx = make_icx()
         icx.transfer(0, 1, 0.0)
-        utilization = icx.link_utilization()
-        assert utilization[frozenset((0, 1))] > 0.0
+        busy = icx.link_busy_until()
+        assert busy[frozenset((0, 1))] > 0.0
 
-    def test_link_utilization_alias_matches_busy_until(self):
-        """The deprecated accessor still returns raw busy-until stamps."""
+    def test_link_utilization_alias_warns_and_wraps_utilization(self):
+        """The deprecated accessor is now a warning wrapper around
+        ``utilization()`` (the old raw stamps live on as
+        ``link_busy_until``)."""
         _spec, icx = make_icx()
         for _ in range(3):
             icx.transfer(0, 1, 0.0)
-        assert icx.link_utilization() == icx.link_busy_until()
+        with pytest.warns(DeprecationWarning, match="link_utilization"):
+            aliased = icx.link_utilization(1000.0)
+        assert aliased == icx.utilization(1000.0)
+        snapshot = icx.busy_cycles()
+        icx.transfer(0, 1, 10.0)
+        with pytest.warns(DeprecationWarning):
+            windowed = icx.link_utilization(500.0, since=snapshot)
+        assert windowed == icx.utilization(500.0, since=snapshot)
 
     def test_windowed_utilization_fraction(self):
         spec, icx = make_icx(lanes=2)

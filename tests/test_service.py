@@ -1,0 +1,363 @@
+"""Attack-range service: lifecycle, quotas, isolation, streaming, cache.
+
+Most tests run a real service (ephemeral port, background thread) and
+talk to it through the stdlib client -- the same path the CI smoke job
+and the load generator use.  Admission-control edges that would be
+timing-dependent over HTTP are additionally pinned at the unit level
+(token bucket with a fake clock, partition manager exhaustion).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import asdict
+
+import pytest
+
+from repro.experiments.executor import run_experiments
+from repro.experiments.report import generate_report
+from repro.service import (
+    PartitionManager,
+    RejectedError,
+    ServiceConfig,
+    ServiceError,
+    SharedBox,
+    TokenBucket,
+    start_service,
+)
+
+#: Cheap small-box job used throughout.
+JOB = ["fig10"]
+
+
+def _config(**overrides) -> ServiceConfig:
+    base = dict(
+        workers=2,
+        max_tenant_jobs=2,
+        rate=100.0,
+        burst=100.0,
+        queue_depth=64,
+        slices_per_box=2,
+        max_boxes=4,
+    )
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: startup -> serve -> drain -> shutdown
+# ----------------------------------------------------------------------
+def test_startup_drain_shutdown_ordering():
+    handle = start_service(_config(workers=1))
+    client = handle.client
+    try:
+        health = client.healthz()
+        assert health["status"] == "ok" and not health["draining"]
+
+        record = client.submit("tenant-a", JOB, seed=3)
+        client.drain()  # returns 202 immediately, drains in background
+
+        # (1) new submits are refused with the typed drain rejection ...
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("tenant-b", JOB, seed=3)
+        assert excinfo.value.type == "draining"
+        assert excinfo.value.status == 503
+
+        # (2) ... while the in-flight job still runs to completion and
+        # (3) the listener closes only after the queue is empty.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            try:
+                client.healthz()
+                time.sleep(0.05)
+            except (OSError, http.client.HTTPException):
+                break
+        else:
+            pytest.fail("listener never closed after drain")
+        job = handle.service.scheduler.jobs[record["job_id"]]
+        assert job.state == "done", f"drain lost the in-flight job: {job.state}"
+        # Workers stop *after* the listener closes; give the loop a beat.
+        deadline = time.monotonic() + 10.0
+        while handle.service.scheduler.started and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert not handle.service.scheduler.started
+    finally:
+        handle.stop()  # idempotent: drain already completed
+
+
+def test_submit_wait_report_and_manifest_roundtrip(tmp_path):
+    config = _config(state_dir=str(tmp_path))
+    with start_service(config) as handle:
+        record = handle.client.run("tenant-a", JOB, seed=3)
+        assert record["state"] == "done"
+        assert record["outcomes"] == [
+            {
+                "name": "fig10",
+                "status": "ok",
+                "error": None,
+                "elapsed": record["outcomes"][0]["elapsed"],
+                "attempts": 1,
+            }
+        ]
+        # The service's report text is byte-identical to the CLI path.
+        text = handle.client.report_text(record["job_id"])
+        assert text == generate_report(seed=3, small=True, only=JOB)
+        # Manifest retrieval: the per-experiment run manifest is served
+        # back and doubles as the audit anchor.
+        manifests = handle.client.manifests(record["job_id"])
+        assert set(manifests) == {"fig10"}
+        assert manifests["fig10"]["seed"] == 3
+        assert manifests["fig10"]["config_hash"]
+        # Health sidecars exist as a (possibly empty) typed collection.
+        assert isinstance(
+            handle.client.health_sidecars(record["job_id"]), dict
+        )
+        # The audit log binds tenant + lease + manifest provenance.
+        audit = [
+            json.loads(line)
+            for line in (tmp_path / "audit.jsonl").read_text().splitlines()
+        ]
+        assert audit[-1]["tenant"] == "tenant-a"
+        assert audit[-1]["lease"]["box_id"] == 0
+        assert audit[-1]["manifests"]["fig10"]["config_hash"]
+
+
+# ----------------------------------------------------------------------
+# Admission control: typed 429s
+# ----------------------------------------------------------------------
+def test_rate_limit_rejection_is_typed_with_retry_after():
+    with start_service(_config(rate=0.5, burst=1.0)) as handle:
+        handle.client.submit("tenant-a", JOB, seed=3)
+        with pytest.raises(ServiceError) as excinfo:
+            handle.client.submit("tenant-a", JOB, seed=3)
+        assert excinfo.value.status == 429
+        assert excinfo.value.type == "rate_limited"
+        assert excinfo.value.retry_after > 0
+        # Another tenant's bucket is untouched.
+        handle.client.submit("tenant-b", JOB, seed=3)
+
+
+def test_tenant_concurrency_cap_rejection():
+    with start_service(_config(workers=1, max_tenant_jobs=1)) as handle:
+        accepted = handle.client.submit("tenant-a", JOB, seed=3)
+        with pytest.raises(ServiceError) as excinfo:
+            handle.client.submit("tenant-a", JOB, seed=3)
+        assert excinfo.value.status == 429
+        assert excinfo.value.type == "tenant_busy"
+        # The slot frees once the job finishes.
+        handle.client.wait(accepted["job_id"])
+        handle.client.submit("tenant-a", JOB, seed=3)
+
+
+def test_queue_depth_cap_rejection():
+    with start_service(_config(queue_depth=0)) as handle:
+        with pytest.raises(ServiceError) as excinfo:
+            handle.client.submit("tenant-a", JOB, seed=3)
+        assert excinfo.value.status == 429
+        assert excinfo.value.type == "queue_full"
+
+
+def test_rejections_are_counted_in_metrics():
+    with start_service(_config(rate=0.5, burst=1.0)) as handle:
+        handle.client.submit("tenant-a", JOB, seed=3)
+        for _ in range(2):
+            with pytest.raises(ServiceError):
+                handle.client.submit("tenant-a", JOB, seed=3)
+        parsed = handle.client.metrics()
+        rejections = parsed["service_admission_rejections_total"]
+        assert rejections[(("reason", "rate_limited"),)] == 2.0
+
+
+def test_invalid_requests_are_typed_400s():
+    with start_service(_config()) as handle:
+        for body in (
+            {"tenant": "", "experiments": JOB},
+            {"tenant": "t", "experiments": []},
+            {"tenant": "t", "experiments": ["bogus"]},
+            {"tenant": "t", "experiments": JOB, "seed": "nope"},
+        ):
+            with pytest.raises(ServiceError) as excinfo:
+                handle.client._request("POST", "/jobs", body)
+            assert excinfo.value.status == 400
+            assert excinfo.value.type == "invalid_request"
+        with pytest.raises(ServiceError) as excinfo:
+            handle.client.job("job-999999")
+        assert excinfo.value.status == 404
+        assert excinfo.value.type == "not_found"
+
+
+def test_token_bucket_refills_on_fake_clock():
+    now = [0.0]
+    bucket = TokenBucket(rate=2.0, burst=2.0, clock=lambda: now[0])
+    assert bucket.try_take() and bucket.try_take()
+    assert not bucket.try_take()
+    assert bucket.retry_after() == pytest.approx(0.5)
+    now[0] += 0.5
+    assert bucket.try_take()
+    now[0] += 10.0  # refill caps at burst
+    assert bucket.try_take() and bucket.try_take()
+    assert not bucket.try_take()
+
+
+# ----------------------------------------------------------------------
+# Partition isolation: shared boxes, disjoint slices
+# ----------------------------------------------------------------------
+def test_concurrent_tenants_share_a_box_with_disjoint_partitions():
+    with start_service(_config(workers=2, slices_per_box=2)) as handle:
+        a = handle.client.submit("tenant-a", JOB, seed=3)
+        b = handle.client.submit("tenant-b", JOB, seed=3)
+        # Leases are placed at submit time, so both records carry them
+        # even before the jobs run: same box, different slices.
+        assert a["lease"]["box_id"] == b["lease"]["box_id"] == 0
+        assert a["lease"]["slice"] != b["lease"]["slice"]
+        boxes = handle.client.boxes()
+        tenants = boxes["boxes"][0]["tenants"]
+        assert tenants["tenant-a"]["slice"] != tenants["tenant-b"]["slice"]
+        assert tenants["tenant-a"]["owner"] != tenants["tenant-b"]["owner"]
+        handle.client.wait(a["job_id"])
+        handle.client.wait(b["job_id"])
+        # Last tenant out returns the slice to the pool.
+        assert handle.client.boxes()["boxes"][0]["free_slices"] == 2
+
+
+def test_shared_box_partitions_are_disjoint_in_the_hardware():
+    """The lease is backed by the PR 3 partitioned layers: disjoint lane
+    groups on every link and disjoint L2 way-groups on GPU 0."""
+    box = SharedBox(box_id=0, num_slices=2)
+    lease_a = box.lease("tenant-a")
+    lease_b = box.lease("tenant-b")
+    owner_a, owner_b = box.owner_of("tenant-a"), box.owner_of("tenant-b")
+    assert lease_a.slice_index != lease_b.slice_index
+    # Fabric: each owner's transfers queue on its own lane group.
+    assert box.interconnect.slice_of(owner_a) != box.interconnect.slice_of(
+        owner_b
+    )
+    edge = next(iter(box.runtime.system.topology.edges))
+    lanes_a = box.interconnect._lane_state(edge, owner_a)
+    lanes_b = box.interconnect._lane_state(edge, owner_b)
+    assert lanes_a is not lanes_b
+    # L2: each owner's lines live in a private way-group.
+    assert box.l2.slice_of(owner_a) != box.l2.slice_of(owner_b)
+    # Re-leasing an existing tenant is stable; releasing frees the slice.
+    assert box.lease("tenant-a").slice_index == lease_a.slice_index
+    box.release("tenant-a")
+    assert box.free_slices == 1
+
+
+def test_partition_exhaustion_is_a_typed_rejection():
+    manager = PartitionManager(num_slices=1, max_boxes=2)
+    manager.lease("tenant-a")
+    manager.lease("tenant-b")  # spills onto box 1
+    assert len(manager.boxes) == 2
+    with pytest.raises(RejectedError) as excinfo:
+        manager.lease("tenant-c")
+    assert excinfo.value.rejection.type == "no_partition"
+    assert excinfo.value.rejection.status == 429
+    # A tenant's second job refcounts the lease rather than double-leasing.
+    manager.lease("tenant-a")
+    manager.release("tenant-a")
+    with pytest.raises(RejectedError):
+        manager.lease("tenant-c")  # still held by tenant-a's first job
+    manager.release("tenant-a")
+    manager.lease("tenant-c")  # now the slice is free
+
+
+# ----------------------------------------------------------------------
+# Progress streaming
+# ----------------------------------------------------------------------
+def test_stream_reassembles_the_batch_progress_event_sequence():
+    names = ["fig10", "fig4", "table1"]
+    batch = []
+    run_experiments(names, seed=3, small=True, jobs=1, progress=batch.append)
+    with start_service(_config()) as handle:
+        record = handle.client.submit("tenant-a", names, seed=3)
+        streamed = list(handle.client.stream_events(record["job_id"]))
+    # seq stamps are contiguous from 0 and the lifecycle events frame
+    # the executor's progress events.
+    assert [event["seq"] for event in streamed] == list(range(len(streamed)))
+    kinds = [event["event"] for event in streamed]
+    assert kinds[0] == "job_queued" and kinds[1] == "job_started"
+    assert kinds[-1] == "job_done" and streamed[-1]["status"] == "done"
+    # The progress payloads reassemble the exact batch ProgressEvent
+    # sequence (wall-clock fields excluded).
+    progress = [event for event in streamed if event["event"] == "progress"]
+    keys = ("kind", "name", "status", "attempt", "completed", "total", "error")
+    assert [
+        {key: event[key] for key in keys} for event in progress
+    ] == [
+        {key: asdict(event)[key] for key in keys} for event in batch
+    ]
+
+
+def test_stream_resumes_from_seq_and_replays_history():
+    with start_service(_config()) as handle:
+        record = handle.client.run("tenant-a", JOB, seed=3)
+        full = list(handle.client.stream_events(record["job_id"]))
+        tail = list(
+            handle.client.stream_events(record["job_id"], from_seq=2)
+        )
+        assert tail == full[2:]
+
+
+# ----------------------------------------------------------------------
+# Shared warm tier
+# ----------------------------------------------------------------------
+def test_warm_cache_second_submit_reports_hits(tmp_path):
+    config = _config(cache_dir=str(tmp_path / "cache"))
+    with start_service(config) as handle:
+        cold = handle.client.run("tenant-a", JOB, seed=3)
+        assert cold["cache_hits"] == 0 and cold["cache_misses"] > 0
+        warm = handle.client.run("tenant-b", JOB, seed=3)
+        assert warm["cache_hits"] > 0
+        # The cold/warm split is visible in the service metrics too.
+        parsed = handle.client.metrics()
+        assert parsed["service_cache_hits_total"][()] == warm["cache_hits"]
+        # ... and the warm job was not slower for mysterious reasons:
+        # it skipped the discovery prologue entirely.
+        finish = [
+            event
+            for event in handle.client.stream_events(
+                warm["job_id"]
+            )
+            if event.get("kind") == "finish"
+        ]
+        assert finish[0]["cache_hits"] == warm["cache_hits"]
+
+
+# ----------------------------------------------------------------------
+# Fleet scale: the acceptance bar
+# ----------------------------------------------------------------------
+def test_eight_concurrent_tenant_jobs_match_the_cli_report(monkeypatch):
+    """Acceptance: >= 8 concurrent tenant jobs, each byte-identical to
+    the same run through ``gpu-spy report``."""
+    expected = generate_report(seed=3, small=True, only=JOB)
+    # Stretch each job with the executor's deterministic delay fault so
+    # all eight are provably in flight at once (fig10 alone can finish
+    # faster than eight sequential HTTP submits).
+    monkeypatch.setenv("REPRO_FAULT_DELAY", "fig10:0.8")
+    tenants = [f"tenant-{index}" for index in range(8)]
+    with start_service(
+        _config(workers=8, max_tenant_jobs=1, slices_per_box=2, max_boxes=4)
+    ) as handle:
+        records = [
+            handle.client.submit(tenant, JOB, seed=3) for tenant in tenants
+        ]
+        health = handle.client.healthz()
+        assert health["in_flight"] + health["queued"] == 8
+        finals = [
+            handle.client.wait(record["job_id"], timeout=120.0)
+            for record in records
+        ]
+        assert all(final["state"] == "done" for final in finals)
+        # All four boxes in use, two tenants per box, disjoint slices.
+        boxes = handle.client.boxes()["boxes"]
+        assert len(boxes) == 4
+        for record in records:
+            assert handle.client.report_text(record["job_id"]) == expected
+        parsed = handle.client.metrics()
+        assert parsed["service_jobs_total"][(("status", "done"),)] == 8.0
+        latency = parsed["service_job_latency_seconds_count"]
+        assert sum(latency.values()) == 8.0  # one histogram row per tenant
+        assert len(latency) == 8
