@@ -30,6 +30,7 @@ __all__ = [
     "ROUTING_POLICIES",
     "CHAOS_PRESETS",
     "topology_preset",
+    "preset_lane_widths",
     "chaos_preset",
 ]
 
@@ -47,7 +48,7 @@ _VALID_BACKENDS = ("vectorized", "scalar")
 ROUTING_POLICIES = ("shortest", "ecmp")
 
 #: Named interconnect topologies selectable via DGXSpec.with_topology().
-TOPOLOGY_PRESETS = ("dgx1", "dgx2", "ring", "fully-connected")
+TOPOLOGY_PRESETS = ("dgx1", "dgx2", "dgx_a100", "ring", "fully-connected")
 
 
 def _require(cond: bool, message: str) -> None:
@@ -252,6 +253,11 @@ def topology_preset(
     * ``dgx2`` -- an NVSwitch-style star: every GPU uplinks to one switch
       vertex, so every GPU pair is reachable in exactly two hops and
       distinct pairs can share an uplink (the NVSwitch contention shape).
+    * ``dgx_a100`` -- an Ampere-generation star (requires 8 GPUs): one
+      NVSwitch plane like ``dgx2``, but the uplinks are wider than the
+      default two lanes and deliberately *asymmetric* -- half the GPUs
+      get six-lane uplinks, half four -- exercising per-link lane widths
+      (see :func:`preset_lane_widths`).
     * ``ring`` -- GPU ``i`` links to ``i + 1 (mod n)``.
     * ``fully-connected`` -- a direct link between every GPU pair.
     """
@@ -263,6 +269,13 @@ def topology_preset(
         return _dgx1_links(), 0
     if name == "dgx2":
         _require(num_gpus >= 2, "the dgx2 preset needs at least 2 GPUs")
+        switch = num_gpus
+        return tuple((g, switch) for g in range(num_gpus)), 1
+    if name == "dgx_a100":
+        _require(
+            num_gpus == 8,
+            f"the dgx_a100 preset models an 8-GPU HGX board, got {num_gpus}",
+        )
         switch = num_gpus
         return tuple((g, switch) for g in range(num_gpus)), 1
     if name == "ring":
@@ -279,6 +292,23 @@ def topology_preset(
     raise ConfigurationError(
         f"unknown topology preset {name!r}; valid presets: {TOPOLOGY_PRESETS}"
     )
+
+
+def preset_lane_widths(
+    name: str, num_gpus: int
+) -> Optional[Tuple[Tuple[Tuple[int, int], int], ...]]:
+    """Per-link lane widths of a named preset (``None`` = uniform).
+
+    Returned as edge-keyed ``((node_a, node_b), lanes)`` pairs so the
+    mapping survives edge filtering (a spec rewired without some links
+    simply ignores the stale entries).  Only ``dgx_a100`` is asymmetric
+    today: GPUs 0-3 uplink with six lanes, GPUs 4-7 with four, modelling
+    a partially populated NVSwitch plane.
+    """
+    if name != "dgx_a100":
+        return None
+    switch = num_gpus
+    return tuple(((g, switch), 6 if g < 4 else 4) for g in range(num_gpus))
 
 
 #: Named fault-intensity presets selectable via DGXSpec.with_chaos() and
@@ -440,6 +470,14 @@ class DGXSpec:
     num_switch_nodes: int = 0
     #: Route selection policy; see :data:`ROUTING_POLICIES`.
     routing: str = "shortest"
+    #: Optional per-link lane widths as ``((node_a, node_b), lanes)``
+    #: pairs (see :func:`preset_lane_widths`); links without an entry use
+    #: ``nvlink.lanes``.  Kept out of ``repr`` so config hashes of specs
+    #: predating asymmetric fabrics are unchanged; the widths are implied
+    #: by the ``topology`` label, which *is* hashed.
+    nvlink_lane_widths: Optional[Tuple[Tuple[Tuple[int, int], int], ...]] = field(
+        default=None, repr=False
+    )
     #: Optional fault-injection schedule (see :class:`ChaosSpec`).  Kept
     #: out of ``repr`` deliberately: the telemetry config hash is
     #: ``sha256(repr(spec))``, and a chaos-off spec must hash identically
@@ -460,6 +498,19 @@ class DGXSpec:
                 0 <= a < num_nodes and 0 <= b < num_nodes and a != b,
                 f"invalid NVLink edge ({a}, {b}) for {num_nodes} fabric nodes",
             )
+        for pair, width in self.nvlink_lane_widths or ():
+            _require(
+                width >= 1,
+                f"NVLink lane width for edge {tuple(pair)} must be >= 1",
+            )
+
+    def lane_width(self, edge) -> int:
+        """Lane count of ``edge`` (an iterable of its two node ids)."""
+        key = frozenset(edge)
+        for pair, width in self.nvlink_lane_widths or ():
+            if frozenset(pair) == key:
+                return width
+        return self.nvlink.lanes
 
     # ------------------------------------------------------------------
     # Canonical configurations
@@ -560,6 +611,7 @@ class DGXSpec:
             topology=name,
             num_switch_nodes=switches,
             routing=self.routing if routing is None else routing,
+            nvlink_lane_widths=preset_lane_widths(name, self.num_gpus),
         )
 
     def with_routing(self, routing: str) -> "DGXSpec":

@@ -31,7 +31,7 @@ from typing import List, Optional, Sequence, Tuple
 from ...errors import ChannelError
 from ...runtime.api import Runtime
 from ...sim.process import Process
-from ...sim.ops import LinkProbe, ReadClock, Sleep
+from ...sim.ops import LinkBurst, LinkEpoch, LinkPad, LinkProbe, ReadClock, Sleep
 from ..covert.channel import ChannelReport, TransmissionResult
 from ..covert.encoding import (
     PREAMBLE,
@@ -41,12 +41,19 @@ from ..covert.encoding import (
     text_to_bits,
 )
 from ..covert.spy import SpyTrace
-from .probe import LinkCalibration, calibrate_link, flood_gap, link_probe_kernel
+from .probe import (
+    LinkCalibration,
+    calibrate_link,
+    flood_gap,
+    link_probe_epoch_kernel,
+    link_probe_kernel,
+)
 
 __all__ = [
     "LinkCovertChannel",
     "LinkPendingTransmission",
     "decode_link_trace",
+    "link_trojan_epoch_kernel",
     "link_trojan_kernel",
 ]
 
@@ -86,6 +93,35 @@ def link_trojan_kernel(
         target = start + (slot + 1) * slot_cycles
         if target > now:
             yield Sleep(target - now)
+
+
+def link_trojan_epoch_kernel(
+    dst_gpu: int,
+    frame: Sequence[int],
+    slot_cycles: float,
+    occupancy_per_transfer: float,
+    margin_frac: float = _SLOT_MARGIN_FRAC,
+):
+    """Epoch-native twin of :func:`link_trojan_kernel`.
+
+    The whole frame is one :class:`~repro.sim.ops.LinkEpoch`: each slot
+    contributes an optional posted flood burst plus a
+    :class:`~repro.sim.ops.LinkPad` to the next slot edge, with the same
+    burst sizing and pad arithmetic as the scalar kernel -- so the lane
+    reservations (and hence the spy's observations) are bit-identical.
+    """
+    reserve = slot_cycles * (1.0 - margin_frac)
+    count = max(1, int(reserve / occupancy_per_transfer))
+    segments: List = []
+    for slot, bit in enumerate(frame):
+        if bit:
+            segments.append(
+                LinkBurst(
+                    dst_gpu, num_transfers=count, gap_cycles=1.0, wait=False
+                )
+            )
+        segments.append(LinkPad(until=(slot + 1) * slot_cycles))
+    yield LinkEpoch(tuple(segments), rounds=1, round_reads=1)
 
 
 def _vote_slot_any(
@@ -265,14 +301,22 @@ class LinkCovertChannel:
         if not self.calibrations:
             raise ChannelError("channel not set up: call setup() first")
         runtime = self.runtime
-        occupancy = flood_gap(runtime.system.spec)
+        epochs = getattr(runtime, "epoch_dispatch", True)
+        spy_kernel = link_probe_epoch_kernel if epochs else link_probe_kernel
+        trojan_kernel = link_trojan_epoch_kernel if epochs else link_trojan_kernel
         num_links = len(self.links)
         shares = interleave(bits, num_links)
         frames = [list(PREAMBLE) + share for share in shares]
         frame_slots = len(frames[0])
 
         duration = (_LEAD_SLOTS + frame_slots + 2.0) * slot_cycles
-        num_probes = int(duration / _PROBE_PERIOD_GUESS) + 8
+        # Wide slots do not need the stock 400-cycle cadence: ~4 samples
+        # per slot is plenty for the majority vote, so the spy spacing
+        # stretches with the slot width.  The default 3000-cycle slot
+        # resolves to the stock spacing, keeping its schedule unchanged.
+        burst_latency = _PROBE_PERIOD_GUESS - 400.0
+        spacing = max(400.0, slot_cycles / 4.0 - burst_latency)
+        num_probes = int(duration / (spacing + burst_latency)) + 8
         start = runtime.engine.now
         trojan_start = start + _LEAD_SLOTS * slot_cycles
 
@@ -280,7 +324,7 @@ class LinkCovertChannel:
         for index, (trojan_gpu, spy_gpu) in enumerate(self.links):
             spy_handles.append(
                 runtime.launch(
-                    link_probe_kernel(trojan_gpu, num_probes),
+                    spy_kernel(trojan_gpu, num_probes, spacing_cycles=spacing),
                     spy_gpu,
                     self.spies[index],
                     name=f"link_spy_{index}",
@@ -288,8 +332,11 @@ class LinkCovertChannel:
                 )
             )
         for index, (trojan_gpu, spy_gpu) in enumerate(self.links):
+            occupancy = flood_gap(
+                runtime.system.spec, (trojan_gpu, spy_gpu)
+            )
             runtime.launch(
-                link_trojan_kernel(
+                trojan_kernel(
                     spy_gpu, frames[index], slot_cycles, occupancy
                 ),
                 trojan_gpu,

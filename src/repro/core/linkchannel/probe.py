@@ -26,30 +26,54 @@ and the linkgram both use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from typing import Generator, Optional, Tuple
 
 from ...config import DGXSpec
-from ...sim.ops import LinkProbe, ReadClock, Sleep
+from ...sim.ops import (
+    EpochIdle,
+    LinkBurst,
+    LinkEpoch,
+    LinkFlood,
+    LinkProbe,
+    ReadClock,
+    Sleep,
+)
 from ..covert.spy import SpyTrace
 
 __all__ = [
     "LinkCalibration",
     "calibrate_link",
     "flood_gap",
+    "link_flood_epoch_kernel",
     "link_flood_kernel",
+    "link_probe_epoch_kernel",
     "link_probe_kernel",
 ]
 
 
-def flood_gap(spec: DGXSpec) -> float:
+def flood_gap(spec: DGXSpec, pair: Optional[Tuple[int, int]] = None) -> float:
     """Effective lane-occupancy cycles per transfer on one link.
 
     ``serialization / lanes``: issuing one transfer per this many cycles
     keeps every lane of a link exactly busy, so a flood sized as
     ``window / flood_gap`` transfers reserves the link for ``window``
     cycles.
+
+    On fabrics with asymmetric per-link widths (the ``dgx_a100``
+    preset) a flood paced for the uniform default undershoots wider
+    uplinks and the contended latency band collapses toward the idle
+    floor.  When the contended ``pair`` of endpoints is known, the
+    widest link touching either endpoint sets the pace instead --
+    saturating the widest hop of a route saturates every hop.  Uniform
+    fabrics resolve to the same gap either way.
     """
-    return spec.nvlink.serialization_cycles / max(1, spec.nvlink.lanes)
+    lanes = spec.nvlink.lanes
+    if pair is not None and spec.nvlink_lane_widths:
+        endpoints = set(pair)
+        for edge in spec.nvlink_edges:
+            if endpoints & set(edge):
+                lanes = max(lanes, spec.lane_width(edge))
+    return spec.nvlink.serialization_cycles / max(1, lanes)
 
 
 def link_probe_kernel(
@@ -100,6 +124,60 @@ def link_flood_kernel(
         if hold > 0.0:
             yield Sleep(hold)
         now = yield ReadClock()
+
+
+def link_probe_epoch_kernel(
+    dst_gpu: int,
+    num_probes: int,
+    burst: int = 4,
+    spacing_cycles: float = 400.0,
+) -> Generator:
+    """Epoch-native twin of :func:`link_probe_kernel`.
+
+    The whole probe sweep is one :class:`~repro.sim.ops.LinkEpoch`: the
+    engine's link cursor services every burst through the cached columnar
+    fabric flow instead of bouncing three heap events per probe.  Sample
+    times and median latencies are bit-identical to the scalar kernel's.
+    """
+    outcome = yield LinkEpoch(
+        (
+            LinkBurst(dst_gpu, num_transfers=burst, wait=True, record=True),
+            EpochIdle(cycles=spacing_cycles),
+        ),
+        rounds=num_probes,
+        round_reads=1,
+    )
+    return SpyTrace(
+        times=[float(t) for t in outcome.starts],
+        latencies=[float(m) for m in outcome.medians()],
+    )
+
+
+def link_flood_epoch_kernel(
+    dst_gpu: int,
+    duration_cycles: float,
+    occupancy_per_transfer: float,
+    burst_cycles: float = 2500.0,
+) -> Generator:
+    """Epoch-native twin of :func:`link_flood_kernel`.
+
+    One :class:`~repro.sim.ops.LinkFlood` round per scalar loop iteration
+    (burst sizing, pacing hold and termination arithmetic verbatim), so
+    the lane reservations land cycle-identically to the scalar flooder.
+    """
+    yield LinkEpoch(
+        (
+            LinkFlood(
+                dst_gpu,
+                occupancy_per_transfer,
+                burst_cycles=burst_cycles,
+                gap_cycles=1.0,
+            ),
+        ),
+        rounds=None,
+        duration_cycles=duration_cycles,
+        round_reads=1,
+    )
 
 
 @dataclass(frozen=True)
@@ -167,6 +245,10 @@ def calibrate_link(
     """
     import numpy as np
 
+    epochs = getattr(runtime, "epoch_dispatch", True)
+    probe_kernel = link_probe_epoch_kernel if epochs else link_probe_kernel
+    flood_kernel = link_flood_epoch_kernel if epochs else link_flood_kernel
+
     spec = runtime.system.spec
     prober = runtime.create_process("link_cal_probe")
     flooder = runtime.create_process("link_cal_flood")
@@ -174,7 +256,7 @@ def calibrate_link(
     runtime.enable_peer_access(flooder, far_gpu, probe_gpu)
 
     idle_handle = runtime.launch(
-        link_probe_kernel(far_gpu, probes, burst=burst, spacing_cycles=spacing_cycles),
+        probe_kernel(far_gpu, probes, burst=burst, spacing_cycles=spacing_cycles),
         probe_gpu,
         prober,
         name="link_cal_idle",
@@ -182,16 +264,16 @@ def calibrate_link(
     runtime.synchronize()
     idle: SpyTrace = idle_handle.result
 
-    occupancy = flood_gap(spec)
+    occupancy = flood_gap(spec, (probe_gpu, far_gpu))
     duration = probes * (spacing_cycles + 4000.0)
     contended_handle = runtime.launch(
-        link_probe_kernel(far_gpu, probes, burst=burst, spacing_cycles=spacing_cycles),
+        probe_kernel(far_gpu, probes, burst=burst, spacing_cycles=spacing_cycles),
         probe_gpu,
         prober,
         name="link_cal_probe",
     )
     runtime.launch(
-        link_flood_kernel(probe_gpu, duration, occupancy),
+        flood_kernel(probe_gpu, duration, occupancy),
         far_gpu,
         flooder,
         name="link_cal_flood",

@@ -24,12 +24,17 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ...runtime.api import Runtime
-from ...sim.ops import LinkProbe, ReadClock, Sleep
+from ...sim.ops import LinkBurst, LinkEpoch, LinkPad, LinkProbe, ReadClock, Sleep
 from ..covert.spy import SpyTrace
 from ..sidechannel.memorygram import _block_reduce
-from .probe import flood_gap, link_probe_kernel
+from .probe import flood_gap, link_probe_epoch_kernel, link_probe_kernel
 
-__all__ = ["Linkgram", "LinkgramRecorder", "victim_traffic_kernel"]
+__all__ = [
+    "Linkgram",
+    "LinkgramRecorder",
+    "victim_traffic_epoch_kernel",
+    "victim_traffic_kernel",
+]
 
 
 def victim_traffic_kernel(
@@ -58,6 +63,44 @@ def victim_traffic_kernel(
         if target > now:
             yield Sleep(target - now)
             now = target
+
+
+def victim_traffic_epoch_kernel(
+    dst_gpu: int,
+    duration_cycles: float,
+    period_cycles: float,
+    burst_cycles: float,
+    occupancy_per_transfer: float,
+):
+    """Epoch-native twin of :func:`victim_traffic_kernel`.
+
+    The whole workload is one :class:`~repro.sim.ops.LinkEpoch` built the
+    same way as the covert trojan's: a single unrolled round of posted
+    bursts plus :class:`~repro.sim.ops.LinkPad` segments whose ``until``
+    offsets are the scalar kernel's own ``cycle * period_cycles`` grid
+    products, so every pad lands on the identical absolute slot edge.
+    The round count replays the scalar loop's ``now < end`` checks, which
+    reduce to ``cycle * period_cycles < duration_cycles`` whenever no
+    burst overruns its period -- the builder therefore requires
+    ``count * gap`` to fit inside a period (with a cycle of slack for
+    float edges) and the launcher falls back to the scalar kernel
+    otherwise.
+    """
+    count = max(1, int(burst_cycles / occupancy_per_transfer))
+    if count * 1.0 + 1.0 >= period_cycles:
+        raise ValueError(
+            "victim burst issue window must fit inside one period; "
+            "use victim_traffic_kernel for saturating victims"
+        )
+    segments: List = []
+    cycle = 0
+    while cycle * period_cycles < duration_cycles:
+        segments.append(
+            LinkBurst(dst_gpu, num_transfers=count, gap_cycles=1.0, wait=False)
+        )
+        cycle += 1
+        segments.append(LinkPad(until=cycle * period_cycles))
+    yield LinkEpoch(tuple(segments), rounds=1, round_reads=1)
 
 
 @dataclass
@@ -180,11 +223,15 @@ class LinkgramRecorder:
         # park on contended routes.
         period = self.spacing_cycles + 380.0
         num_probes = int(duration_cycles / period) + 4
+        # Probe sweeps go epoch-native with the runtime's dispatch mode
+        # (victim selection happens separately in victim_launcher).
+        epochs = getattr(self.runtime, "epoch_dispatch", True)
+        probe_kernel = link_probe_epoch_kernel if epochs else link_probe_kernel
         handles = []
         for index, (a, b) in enumerate(self.probe_pairs):
             handles.append(
                 self.runtime.launch(
-                    link_probe_kernel(
+                    probe_kernel(
                         b,
                         num_probes,
                         burst=self.burst,
@@ -303,11 +350,22 @@ class LinkgramRecorder:
         runtime = self.runtime
         victim = runtime.create_process("link_victim")
         runtime.enable_peer_access(victim, victim_gpu, dst_gpu)
-        occupancy = flood_gap(runtime.system.spec)
+        occupancy = flood_gap(
+            runtime.system.spec, (victim_gpu, dst_gpu)
+        )
+        # Bursty victims whose issue window fits inside the period ride
+        # the columnar fabric engine; saturating ones keep the scalar
+        # kernel (their loop pacing reads back their own true clock).
+        kernel = victim_traffic_kernel
+        count = max(1, int(burst_cycles / occupancy))
+        if getattr(runtime, "epoch_dispatch", True) and (
+            count * 1.0 + 1.0 < period_cycles
+        ):
+            kernel = victim_traffic_epoch_kernel
 
         def launch(start: float):
             return runtime.launch(
-                victim_traffic_kernel(
+                kernel(
                     dst_gpu, duration_cycles, period_cycles, burst_cycles, occupancy
                 ),
                 victim_gpu,

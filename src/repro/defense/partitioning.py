@@ -26,8 +26,8 @@ import numpy as np
 from ..config import CacheSpec, DGXSpec
 from ..errors import ConfigurationError
 from ..hw.cache import L2Cache
-from ..hw.interconnect import Edge, Interconnect
-from ..hw.occupancy import single_server_waits
+from ..hw.interconnect import Edge, FabricFlow, Interconnect
+from ..hw.occupancy import single_server_waits, single_server_waits_scalar
 from ..hw.replacement import CacheSet, make_set
 from ..hw.system import MultiGPUSystem
 from ..hw.topology import Topology
@@ -113,6 +113,52 @@ class PartitionedL2Cache(L2Cache):
         self._bank_busy = [0.0] * self.spec.num_banks
 
 
+class _ShapedFabricFlow(FabricFlow):
+    """Cached-flow variant that applies the per-tenant ingress shaper.
+
+    The lane-group slicing itself needs no override -- ``FabricFlow``
+    binds ``_lane_state``'s owner slice at construction -- but the
+    columnar advance paths must charge the same shaping delays as the
+    scalar ``transfer``/``transfer_batch`` overrides, or the defended
+    fabric would diverge between backends (the fused small-burst walk
+    previously skipped shaping entirely).
+    """
+
+    __slots__ = ()
+
+    def advance_batch(self, stamps: np.ndarray) -> np.ndarray:
+        inter = self.inter
+        if inter.rate_limit_cycles > 0.0 and stamps.size:
+            key = (self.owner, self.src, self.dst)
+            stamps_arr = np.asarray(stamps, dtype=np.float64)
+            delays, busy_end = single_server_waits(
+                inter._shaper.get(key, 0.0), stamps_arr, inter.rate_limit_cycles
+            )
+            inter._shaper[key] = busy_end
+            return super().advance_batch(stamps_arr + delays) + delays
+        return super().advance_batch(stamps)
+
+    def advance_batch_small(self, stamps) -> list:
+        inter = self.inter
+        if inter.rate_limit_cycles > 0.0 and len(stamps):
+            key = (self.owner, self.src, self.dst)
+            delays, busy_end = single_server_waits_scalar(
+                inter._shaper.get(key, 0.0), stamps, inter.rate_limit_cycles
+            )
+            inter._shaper[key] = busy_end
+            shifted = [stamp + delay for stamp, delay in zip(stamps, delays)]
+            extras = super().advance_batch_small(shifted)
+            return [extra + delay for extra, delay in zip(extras, delays)]
+        return super().advance_batch_small(stamps)
+
+    def advance_one(self, now: float) -> float:
+        inter = self.inter
+        if inter.rate_limit_cycles > 0.0:
+            delay = inter._shape_one(self.owner, self.src, self.dst, now)
+            return super().advance_one(now + delay) + delay
+        return super().advance_one(now)
+
+
 class PartitionedInterconnect(Interconnect):
     """Lane-partitioned NVLink fabric: each tenant gets private lanes.
 
@@ -136,25 +182,35 @@ class PartitionedInterconnect(Interconnect):
         num_slices: int = 2,
         rate_limit_cycles: float = 0.0,
     ) -> None:
-        lanes = spec.nvlink.lanes
         if num_slices < 1:
             raise ConfigurationError("num_slices must be >= 1")
-        if lanes % num_slices:
-            raise ConfigurationError(
-                f"{lanes} lanes not divisible into {num_slices} slices"
-            )
+        for edge in topology.edges:
+            width = spec.lane_width(edge)
+            if width % num_slices:
+                raise ConfigurationError(
+                    f"{width} lanes on link {sorted(edge)} not divisible "
+                    f"into {num_slices} slices"
+                )
         if rate_limit_cycles < 0:
             raise ConfigurationError("rate_limit_cycles must be >= 0")
         super().__init__(spec, topology)
         self.num_slices = num_slices
         self.rate_limit_cycles = float(rate_limit_cycles)
-        lanes_per = lanes // num_slices
+        # Lane groups as index masks over each link's full lane range:
+        # slice ``s`` of an edge with width ``w`` owns lanes
+        # ``[s * w // num_slices, (s + 1) * w // num_slices)`` -- the
+        # per-slice busy lists below are those mask-selected groups.
         self._slice_busy: Dict[Edge, List[list]] = {
-            edge: [[0.0] * lanes_per for _ in range(num_slices)]
+            edge: [
+                [0.0] * (spec.lane_width(edge) // num_slices)
+                for _ in range(num_slices)
+            ]
             for edge in topology.edges
         }
         self._owner_slice: Dict[Optional[int], int] = {}
         self._shaper: Dict[Tuple[Optional[int], int, int], float] = {}
+
+    _flow_class = _ShapedFabricFlow
 
     # ------------------------------------------------------------------
     def slice_of(self, owner: Optional[int]) -> int:
@@ -166,6 +222,8 @@ class PartitionedInterconnect(Interconnect):
         if not 0 <= slice_index < self.num_slices:
             raise ConfigurationError(f"no lane slice {slice_index}")
         self._owner_slice[owner] = slice_index
+        # Cached flows bound the owner's previous lane group; invalidate.
+        self._lanes_version += 1
 
     def _lane_state(self, edge: Edge, owner: Optional[int]) -> list:
         return self._slice_busy[edge][self.slice_of(owner)]

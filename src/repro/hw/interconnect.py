@@ -23,17 +23,261 @@ import numpy as np
 
 from ..config import DGXSpec
 from ..errors import FaultInjectionError
-from .occupancy import multi_server_waits
+from .occupancy import multi_server_waits, multi_server_waits_scalar
 from .topology import Topology
 
-__all__ = ["Interconnect"]
+__all__ = ["Interconnect", "FabricFlow", "least_busy_lane", "SMALL_BATCH"]
 
 Edge = FrozenSet[int]
+
+#: Batches below this size take the pure-Python fabric walk.  Two reasons
+#: the threshold is exactly 8: numpy's fixed per-call overhead only pays
+#: for itself beyond a handful of elements, and numpy's pairwise ``sum``
+#: reduces strictly left-to-right for fewer than 8 elements -- which is
+#: what keeps the Python path's in-order ``hop_wait`` accumulation
+#: bit-identical to ``float(waits.sum())`` on the vectorized path.
+SMALL_BATCH = 8
 
 
 def _edge_key(edge: Edge) -> str:
     a, b = sorted(edge)
     return f"link{a}-{b}"
+
+
+def least_busy_lane(lanes) -> int:
+    """Index of the first least-busy lane (ties resolve to lane 0).
+
+    The one shared definition of the lane-selection tie-break: the scalar
+    :meth:`Interconnect.transfer` oracle and the fused small-burst core in
+    :mod:`repro.hw.system` must pick the *same* lane or their busy-until
+    states drift.  Two lanes is the stock :class:`~repro.config.LinkSpec`
+    shape, so it short-circuits the generic first-minimum scan.
+    """
+    if len(lanes) == 2:
+        return 0 if lanes[0] <= lanes[1] else 1
+    return min(range(len(lanes)), key=lanes.__getitem__)
+
+
+class FabricFlow:
+    """Cached columnar route state for one ``(src, dst, owner)`` flow.
+
+    Built once per flow by :meth:`Interconnect.route_state` and reused
+    across every transfer batch of that flow: the route's edges, cached
+    metric-key strings, *live* lane busy-until lists (mutated in place,
+    so interleaved scalar transfers always see the same state), and the
+    per-hop serialization delays gathered from the interconnect's
+    degradation-folded serialization array via the topology's numpy route
+    table.  A ``token`` snapshot of (routes version, degradation version,
+    lane-state version) invalidates the flow when a link flap reroutes
+    the fabric, a chaos fault changes a degradation factor, or the lane
+    state is rebuilt.
+
+    :meth:`advance_batch` replays :meth:`Interconnect.transfer_batch`'s
+    arithmetic expression-for-expression (bit-identical results by
+    construction); :meth:`advance_one` replays :meth:`Interconnect.transfer`
+    with counter updates accumulated locally and flushed per burst via
+    :meth:`flush_counters` (the fused small-burst contract).
+    """
+
+    __slots__ = (
+        "inter", "src", "dst", "owner", "edges", "keys", "lanes",
+        "serialization", "hop_pad", "hops", "wait_acc", "count_acc",
+        "token",
+    )
+
+    def __init__(
+        self,
+        inter: "Interconnect",
+        src_gpu: int,
+        dst_gpu: int,
+        owner: Optional[int],
+    ) -> None:
+        self.inter = inter
+        self.src = src_gpu
+        self.dst = dst_gpu
+        self.owner = owner
+        topology = inter.topology
+        route = topology.path(src_gpu, dst_gpu)
+        hops = len(route)
+        _, hop_edges = topology.route_table()
+        serialization = inter._serialization[hop_edges[src_gpu, dst_gpu, :hops]]
+        self.edges = route
+        self.keys = tuple(inter._edge_keys[edge] for edge in route)
+        self.lanes = tuple(inter._lane_state(edge, owner) for edge in route)
+        self.serialization = tuple(float(s) for s in serialization)
+        self.hops = hops
+        self.hop_pad = (hops - 1) * inter.spec.timing.per_extra_hop
+        self.wait_acc = [0.0] * hops
+        self.count_acc = 0
+        self.token = inter._state_token()
+
+    # ------------------------------------------------------------------
+    def advance_batch(self, stamps: np.ndarray) -> np.ndarray:
+        """Charge a transfer batch on the cached route; returns extras.
+
+        Bit-identical to :meth:`Interconnect.transfer_batch` (same
+        per-hop ``multi_server_waits`` walk, same float expression
+        order), with the route/degradation/key lookups hoisted out.
+        Counters, stall metrics and ``nvlink_stall_batch`` trace events
+        are emitted exactly as the oracle would.
+        """
+        inter = self.inter
+        n = stamps.size
+        extras = np.zeros(n, dtype=np.float64)
+        if n == 0:
+            return extras
+        metrics = inter.metrics
+        tracer = inter.tracer
+        transfers = inter._transfers
+        queued = inter._queued_cycles
+        busy_cycles = inter._busy_cycles
+        clock = np.asarray(stamps, dtype=np.float64).copy()
+        for hop in range(self.hops):
+            edge = self.edges[hop]
+            serialization = self.serialization[hop]
+            lanes = self.lanes[hop]
+            arrival = float(clock[0])
+            waits, new_busy = multi_server_waits(
+                np.asarray(lanes), clock, serialization
+            )
+            lanes[:] = [float(b) for b in new_busy]
+            transfers[edge] += int(n)
+            hop_wait = float(waits.sum())
+            queued[edge] += hop_wait
+            busy_cycles[edge] += serialization * n
+            extras += waits
+            clock += waits + serialization
+            if metrics is not None and hop_wait > 0.0:
+                metrics.count_stall(
+                    self.keys[hop], hop_wait, events=int((waits > 0.0).sum())
+                )
+            if tracer is not None and hop_wait > 0.0:
+                a, b = sorted(edge)
+                tracer.emit(
+                    "nvlink_stall_batch",
+                    "nvlink",
+                    arrival,
+                    dur=hop_wait,
+                    gpu=self.src,
+                    args={
+                        "src": self.src,
+                        "dst": self.dst,
+                        "hop": hop,
+                        "link": [a, b],
+                        "hops": self.hops,
+                        "transfers": int(n),
+                    },
+                )
+        extras += self.hop_pad
+        return extras
+
+    def advance_batch_small(self, stamps) -> list:
+        """Pure-Python :meth:`advance_batch` for short bursts.
+
+        Takes and returns plain Python floats (``stamps`` is a sequence,
+        the result a list of extras) so a 2- or 4-transfer probe burst
+        never crosses into numpy at all.  Counters, stall metrics and
+        ``nvlink_stall_batch`` events match :meth:`advance_batch`
+        bit-for-bit: the lane walk goes through
+        :func:`~repro.hw.occupancy.multi_server_waits_scalar` and the
+        per-hop wait sum accumulates left-to-right, which equals numpy's
+        pairwise sum below :data:`SMALL_BATCH` elements.
+        """
+        inter = self.inter
+        n = len(stamps)
+        if n == 0:
+            return []
+        metrics = inter.metrics
+        tracer = inter.tracer
+        transfers = inter._transfers
+        queued = inter._queued_cycles
+        busy_cycles = inter._busy_cycles
+        clock = list(stamps)
+        extras = [0.0] * n
+        for hop in range(self.hops):
+            edge = self.edges[hop]
+            serialization = self.serialization[hop]
+            lanes = self.lanes[hop]
+            arrival = clock[0]
+            waits, new_busy = multi_server_waits_scalar(lanes, clock, serialization)
+            lanes[:] = new_busy
+            transfers[edge] += n
+            hop_wait = 0.0
+            for i in range(n):
+                wait = waits[i]
+                hop_wait += wait
+                extras[i] += wait
+                clock[i] += wait + serialization
+            queued[edge] += hop_wait
+            busy_cycles[edge] += serialization * n
+            if metrics is not None and hop_wait > 0.0:
+                metrics.count_stall(
+                    self.keys[hop],
+                    hop_wait,
+                    events=sum(1 for wait in waits if wait > 0.0),
+                )
+            if tracer is not None and hop_wait > 0.0:
+                a, b = sorted(edge)
+                tracer.emit(
+                    "nvlink_stall_batch",
+                    "nvlink",
+                    arrival,
+                    dur=hop_wait,
+                    gpu=self.src,
+                    args={
+                        "src": self.src,
+                        "dst": self.dst,
+                        "hop": hop,
+                        "link": [a, b],
+                        "hops": self.hops,
+                        "transfers": n,
+                    },
+                )
+        pad = self.hop_pad
+        if pad:
+            for i in range(n):
+                extras[i] += pad
+        return extras
+
+    def advance_one(self, now: float) -> float:
+        """Charge one transfer on the cached route; returns extra cycles.
+
+        The fused small-burst walk: :meth:`Interconnect.transfer`'s lane
+        arithmetic with counters accumulated on the flow (flushed once
+        per burst by :meth:`flush_counters`) and no per-transfer metric
+        or tracer emission -- the fused core bypasses those by design.
+        """
+        extra = 0.0
+        clock = now
+        wait_acc = self.wait_acc
+        serialization = self.serialization
+        lanes_by_hop = self.lanes
+        for hop in range(self.hops):
+            lanes = lanes_by_hop[hop]
+            ser = serialization[hop]
+            lane = least_busy_lane(lanes)
+            busy = lanes[lane]
+            wait = busy - clock if busy > clock else 0.0
+            lanes[lane] = clock + wait + ser
+            wait_acc[hop] += wait
+            extra += wait
+            clock += wait + ser
+        self.count_acc += 1
+        return extra + self.hop_pad
+
+    def flush_counters(self) -> None:
+        """Fold accumulated :meth:`advance_one` work into the counters."""
+        count = self.count_acc
+        if not count:
+            return
+        inter = self.inter
+        wait_acc = self.wait_acc
+        for hop, edge in enumerate(self.edges):
+            inter._transfers[edge] += count
+            inter._queued_cycles[edge] += wait_acc[hop]
+            inter._busy_cycles[edge] += self.serialization[hop] * count
+            wait_acc[hop] = 0.0
+        self.count_acc = 0
 
 
 class Interconnect:
@@ -51,9 +295,18 @@ class Interconnect:
         #: :meth:`counters_snapshot` at export (the fused small-burst core
         #: bypasses these calls by design).
         self.metrics = None
-        lanes = spec.nvlink.lanes
+        #: Arm switch for the fabric hot path: the scalar reference arm
+        #: (``l2_backend == "scalar"``) drives :meth:`transfer_batch`
+        #: through the per-element Python lane walk, so the perf benches
+        #: compare the columnar fabric against the pre-epoch reference
+        #: rather than against itself.  Results are bit-identical either
+        #: way -- the walks are exact twins and the counter reductions
+        #: share numpy's pairwise sum.
+        self.vectorized = spec.gpu.cache.l2_backend != "scalar"
+        #: Per-link lane width: uniform ``spec.nvlink.lanes`` unless the
+        #: spec carries asymmetric widths (the dgx_a100 preset).
         self._busy: Dict[Edge, list] = {
-            edge: [0.0] * lanes for edge in topology.edges
+            edge: [0.0] * spec.lane_width(edge) for edge in topology.edges
         }
         # Per-link lifetime counters (feed telemetry.CounterSampler).
         self._transfers: Dict[Edge, int] = {edge: 0 for edge in self._busy}
@@ -63,6 +316,23 @@ class Interconnect:
         #: empty in normal operation, so the hot paths pay one truthiness
         #: check per hop.
         self._degraded: Dict[Edge, float] = {}
+        #: Metric-key strings, cached per edge (formatted on every
+        #: transfer before; see counters_snapshot for the format).
+        self._edge_keys: Dict[Edge, str] = {
+            edge: _edge_key(edge) for edge in topology.edges
+        }
+        #: Columnar per-edge serialization delays (degradation folded in),
+        #: indexed by ``topology.edge_index`` -- the array the cached
+        #: flows gather their per-hop delays from.
+        self._base_serialization = float(spec.nvlink.serialization_cycles)
+        self._serialization = np.full(
+            len(topology.edges), self._base_serialization, dtype=np.float64
+        )
+        #: Version counters folded into the flow-cache token: degradation
+        #: changes and lane-state rebuilds each invalidate cached flows.
+        self._degrade_version = 0
+        self._lanes_version = 0
+        self._flows: Dict[Tuple[int, int, Optional[int]], FabricFlow] = {}
 
     # ------------------------------------------------------------------
     # Fault hooks (see repro.chaos): degraded-lane serialization
@@ -80,10 +350,20 @@ class Interconnect:
         if factor < 1.0:
             raise FaultInjectionError("degradation factor must be >= 1")
         self._degraded[edge] = float(factor)
+        self._refresh_serialization()
 
     def restore_link(self, edge) -> None:
         """Clear the degradation of ``edge`` (link retrained at full rate)."""
         self._degraded.pop(frozenset(edge), None)
+        self._refresh_serialization()
+
+    def _refresh_serialization(self) -> None:
+        """Re-fold degradation factors into the serialization array."""
+        self._degrade_version += 1
+        factors = np.ones(len(self.topology.edges), dtype=np.float64)
+        for edge, factor in self._degraded.items():
+            factors[self.topology.edge_index[edge]] = factor
+        self._serialization = self._base_serialization * factors
 
     def link_degradation(self, edge) -> float:
         """Current serialization multiplier of ``edge`` (1.0 = healthy)."""
@@ -99,6 +379,37 @@ class Interconnect:
         partitioned subclasses return an owner-specific slice.
         """
         return self._busy[edge]
+
+    # ------------------------------------------------------------------
+    # Cached flows (the vectorized fabric core)
+    # ------------------------------------------------------------------
+    #: Flow class instantiated by route_state; partitioned subclasses
+    #: swap in a shaping-aware variant.
+    _flow_class = FabricFlow
+
+    def _state_token(self) -> Tuple[int, int, int]:
+        return (
+            self.topology.routes_version,
+            self._degrade_version,
+            self._lanes_version,
+        )
+
+    def route_state(
+        self, src_gpu: int, dst_gpu: int, owner: Optional[int] = None
+    ) -> FabricFlow:
+        """Cached :class:`FabricFlow` for a ``(src, dst, owner)`` flow.
+
+        Rebuilt automatically when a link flap reroutes the topology,
+        a degradation factor changes, or the lane state is rebuilt
+        (partition reassignment / reset) -- one integer-tuple compare on
+        the hot path.
+        """
+        key = (src_gpu, dst_gpu, owner)
+        flow = self._flows.get(key)
+        if flow is None or flow.token != self._state_token():
+            flow = self._flow_class(self, src_gpu, dst_gpu, owner)
+            self._flows[key] = flow
+        return flow
 
     # ------------------------------------------------------------------
     # Transfers
@@ -128,7 +439,7 @@ class Interconnect:
             if degraded:
                 serialization *= degraded.get(edge, 1.0)
             lanes = self._lane_state(edge, owner)
-            lane = min(range(len(lanes)), key=lanes.__getitem__)
+            lane = least_busy_lane(lanes)
             busy = lanes[lane]
             wait = busy - clock if busy > clock else 0.0
             lanes[lane] = clock + wait + serialization
@@ -142,7 +453,7 @@ class Interconnect:
         queue_wait = extra
         extra += (len(route) - 1) * self.spec.timing.per_extra_hop
         if self.metrics is not None and queue_wait > 0.0:
-            self.metrics.count_stall(_edge_key(route[0]), queue_wait)
+            self.metrics.count_stall(self._edge_keys[route[0]], queue_wait)
         if self.tracer is not None and queue_wait > 0.0:
             self.tracer.emit(
                 "nvlink_stall",
@@ -176,6 +487,11 @@ class Interconnect:
         route = self.topology.path(src_gpu, dst_gpu)
         base_serialization = float(self.spec.nvlink.serialization_cycles)
         degraded = self._degraded
+        if not self.vectorized:
+            return self._transfer_batch_python(
+                src_gpu, dst_gpu, stamps, owner, route,
+                base_serialization, degraded,
+            )
         clock = np.asarray(stamps, dtype=np.float64).copy()
         for hop, edge in enumerate(route):
             serialization = base_serialization
@@ -195,7 +511,7 @@ class Interconnect:
             clock += waits + serialization
             if self.metrics is not None and hop_wait > 0.0:
                 self.metrics.count_stall(
-                    _edge_key(edge), hop_wait, events=int((waits > 0.0).sum())
+                    self._edge_keys[edge], hop_wait, events=int((waits > 0.0).sum())
                 )
             if self.tracer is not None and hop_wait > 0.0:
                 # One event per *hop*, stamped when the batch reaches that
@@ -219,6 +535,74 @@ class Interconnect:
                 )
         extras += (len(route) - 1) * self.spec.timing.per_extra_hop
         return extras
+
+    def _transfer_batch_python(
+        self,
+        src_gpu: int,
+        dst_gpu: int,
+        stamps: np.ndarray,
+        owner: Optional[int],
+        route,
+        base_serialization: float,
+        degraded: Dict[Edge, float],
+    ) -> np.ndarray:
+        """Reference fabric walk: the per-element Python lane scan.
+
+        The scalar arm's :meth:`transfer_batch` body -- every wait comes
+        from :func:`~repro.hw.occupancy.multi_server_waits_scalar`, one
+        element at a time.  Only the ``hop_wait`` counter reduction stays
+        numpy: its pairwise sum differs from in-order accumulation at
+        :data:`SMALL_BATCH` elements and up, and ``counters_snapshot``
+        must match the vectorized walk bitwise at any batch width.
+        """
+        n = int(stamps.size)
+        clock = [float(stamp) for stamp in stamps]
+        extras = [0.0] * n
+        for hop, edge in enumerate(route):
+            serialization = base_serialization
+            if degraded:
+                serialization *= degraded.get(edge, 1.0)
+            lanes = self._lane_state(edge, owner)
+            arrival = clock[0]
+            waits, new_busy = multi_server_waits_scalar(
+                lanes, clock, serialization
+            )
+            lanes[:] = new_busy
+            self._transfers[edge] += n
+            hop_wait = float(np.asarray(waits).sum())
+            self._queued_cycles[edge] += hop_wait
+            self._busy_cycles[edge] += serialization * n
+            stalled = 0
+            for index in range(n):
+                wait = waits[index]
+                if wait > 0.0:
+                    stalled += 1
+                extras[index] += wait
+                clock[index] += wait + serialization
+            if self.metrics is not None and hop_wait > 0.0:
+                self.metrics.count_stall(
+                    self._edge_keys[edge], hop_wait, events=stalled
+                )
+            if self.tracer is not None and hop_wait > 0.0:
+                a, b = sorted(edge)
+                self.tracer.emit(
+                    "nvlink_stall_batch",
+                    "nvlink",
+                    arrival,
+                    dur=hop_wait,
+                    gpu=src_gpu,
+                    args={
+                        "src": src_gpu,
+                        "dst": dst_gpu,
+                        "hop": hop,
+                        "link": [a, b],
+                        "hops": len(route),
+                        "transfers": n,
+                    },
+                )
+        result = np.asarray(extras, dtype=np.float64)
+        result += (len(route) - 1) * self.spec.timing.per_extra_hop
+        return result
 
     # ------------------------------------------------------------------
     # Introspection
@@ -269,10 +653,16 @@ class Interconnect:
         """
         if window_cycles <= 0:
             raise ValueError("window_cycles must be positive")
-        capacity = window_cycles * self.spec.nvlink.lanes
         baseline = since or {}
         return {
-            edge: min(max((busy - baseline.get(edge, 0.0)) / capacity, 0.0), 1.0)
+            edge: min(
+                max(
+                    (busy - baseline.get(edge, 0.0))
+                    / (window_cycles * len(self._busy[edge])),
+                    0.0,
+                ),
+                1.0,
+            )
             for edge, busy in self._busy_cycles.items()
         }
 
@@ -284,7 +674,7 @@ class Interconnect:
         """
         snapshot: Dict[str, int] = {}
         for edge in self._busy:
-            key = _edge_key(edge)
+            key = self._edge_keys[edge]
             snapshot[f"{key}:transfers"] = self._transfers[edge]
             snapshot[f"{key}:queued_cycles"] = int(self._queued_cycles[edge])
             snapshot[f"{key}:busy_cycles"] = int(self._busy_cycles[edge])
@@ -298,3 +688,6 @@ class Interconnect:
             self._transfers[edge] = 0
             self._queued_cycles[edge] = 0.0
             self._busy_cycles[edge] = 0.0
+        # Drop cached flows: their live lane references survive the
+        # in-place reset, but any accumulated burst counters must not.
+        self._lanes_version += 1

@@ -34,11 +34,17 @@ the scalar least-busy-lane loop exactly up to float associativity.
 
 from __future__ import annotations
 
-from typing import Tuple
+from bisect import bisect_left
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["single_server_waits", "multi_server_waits"]
+__all__ = [
+    "single_server_waits",
+    "single_server_waits_scalar",
+    "multi_server_waits",
+    "multi_server_waits_scalar",
+]
 
 
 def single_server_waits(
@@ -62,6 +68,103 @@ def single_server_waits(
     waits = np.maximum(busy_before - stamps, 0.0)
     busy_end = float(running[-1] + n * service)
     return waits, busy_end
+
+
+def single_server_waits_scalar(
+    busy_start: float, stamps: Sequence[float], service: float
+) -> Tuple[List[float], float]:
+    """Pure-Python twin of :func:`single_server_waits` for short bursts.
+
+    Bit-identical by construction: the same prefix-max recurrence with
+    the same expression shapes (``running + i * service`` then subtract),
+    evaluated per element instead of per array.  For a handful of
+    requests the interpreter loop beats numpy's fixed per-call overhead
+    by an order of magnitude, which is what makes the link cursor's
+    4-transfer probe bursts cheap.
+    """
+    n = len(stamps)
+    waits = [0.0] * n
+    running = busy_start
+    for i in range(n):
+        step = i * service
+        s = stamps[i]
+        wait = (running + step) - s
+        waits[i] = wait if wait > 0.0 else 0.0
+        cand = s - step
+        if cand > running:
+            running = cand
+    return waits, running + n * service
+
+
+def multi_server_waits_scalar(
+    lane_busy: Sequence[float], stamps: Sequence[float], service: float
+) -> Tuple[List[float], List[float]]:
+    """Pure-Python twin of :func:`multi_server_waits` for short bursts.
+
+    The same consume-lane / stable-chain / crossing-rollback walk with
+    identical float expressions, so waits and the resulting busy multiset
+    match the vectorized helper bit-for-bit (fuzzed against it in the
+    interconnect tests).  Intended for batches of fewer than ~8 requests,
+    where numpy's per-call overhead dominates the actual arithmetic.
+    """
+    num_lanes = len(lane_busy)
+    if num_lanes == 2:
+        # The stock LinkSpec shape; skip the generic sort machinery.
+        first, second = lane_busy
+        lanes = [first, second] if first <= second else [second, first]
+    else:
+        lanes = sorted(float(busy) for busy in lane_busy)
+    n = len(stamps)
+    if n == 0:
+        return [], lanes
+    if num_lanes == 1:
+        waits, busy_end = single_server_waits_scalar(lanes[0], stamps, service)
+        return waits, [busy_end]
+    departures = [0.0] * n
+    waits = [0.0] * n
+    consumed = 0
+    job = 0
+    while job < n:
+        next_lane = lanes[consumed] if consumed < num_lanes else None
+        if next_lane is not None and (
+            consumed == 0 or next_lane <= departures[job - consumed]
+        ):
+            s = stamps[job]
+            start = s if s >= next_lane else next_lane
+            waits[job] = start - s
+            departures[job] = start + service
+            consumed += 1
+            job += 1
+            continue
+        for residue in range(min(consumed, n - job)):
+            first = job + residue
+            running = departures[first - consumed]
+            i = 0
+            for pos in range(first, n, consumed):
+                step = i * service
+                s = stamps[pos]
+                wait = (running + step) - s
+                if wait < 0.0:
+                    wait = 0.0
+                waits[pos] = wait
+                departures[pos] = s + wait + service
+                cand = s - step
+                if cand > running:
+                    running = cand
+                i += 1
+        if next_lane is None:
+            break
+        crossing = bisect_left(departures, next_lane, job - consumed, n - consumed)
+        job = crossing + consumed
+    if consumed:
+        new_busy = lanes[consumed:] + departures[n - consumed:]
+    else:
+        new_busy = lanes
+    if len(new_busy) == 2:
+        if new_busy[0] > new_busy[1]:
+            new_busy = [new_busy[1], new_busy[0]]
+        return waits, new_busy
+    return waits, sorted(new_busy)
 
 
 def _chain_fill(

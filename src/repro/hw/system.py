@@ -20,7 +20,7 @@ from ..sim.process import DeviceBuffer, Process
 from ..sim.rng import RngFanout
 from .cache import VectorL2Cache
 from .gpu import GPU
-from .interconnect import Interconnect
+from .interconnect import SMALL_BATCH, Interconnect
 from .tagstore import _INVALID as _INVALID_TAG
 from .topology import Topology
 
@@ -704,6 +704,106 @@ class MultiGPUSystem:
             hops=hops,
         )
 
+    def service_link_burst(
+        self,
+        process: Process,
+        dst_gpu: int,
+        exec_gpu: int,
+        now: float,
+        count: int,
+        gap_cycles: float,
+        wait: bool,
+        record: bool,
+        flow,
+        steps: Optional[np.ndarray] = None,
+    ):
+        """Epoch-native :meth:`probe_link` against a cached fabric flow.
+
+        The :class:`~repro.sim.epoch.LinkEpochCursor` service core: the
+        same fabric arithmetic as :meth:`probe_link` (so the two dispatch
+        backends are bit-identical) minus its per-call route lookup,
+        ``LinkProbeResult`` tuple materialization and unused wait math.
+        Peer access is validated once per epoch by the cursor, not per
+        burst.  Jitter is always drawn -- even when the latencies are
+        discarded (un-recorded posted floods) -- so the shared pool
+        serves both backends the same stream.  ``steps`` optionally
+        carries the caller's cached issue offsets: an
+        ``arange(count) * gap`` array, or a plain list for bursts below
+        :data:`~repro.hw.interconnect.SMALL_BATCH` transfers, which
+        routes the whole burst down the pure-Python fabric walk (same
+        floats, no numpy fixed costs -- the spy's 2- and 4-transfer
+        probes live here).
+
+        Returns ``(latencies, total)``; ``latencies`` is ``None`` unless
+        the burst waits or records.
+        """
+        timing = self.spec.timing
+        gap = float(gap_cycles)
+        if steps is None:
+            if count < SMALL_BATCH:
+                steps = [index * gap for index in range(count)]
+            else:
+                steps = np.arange(count, dtype=np.float64) * gap
+        if isinstance(steps, list):
+            stamps = [now + step for step in steps]
+            extras = flow.advance_batch_small(stamps)
+            draws = self._jitter.take_list(count)
+            latencies = None
+            if wait or record:
+                link_rtt = timing.remote_l2_hit - timing.local_l2_hit
+                jitter = timing.jitter_remote_hit
+                scale = (
+                    self._latency_scale[exec_gpu]
+                    if self._latency_scale is not None
+                    else None
+                )
+                latencies = [0.0] * count
+                for index in range(count):
+                    latency = link_rtt + extras[index] + jitter * draws[index]
+                    if scale is not None:
+                        latency *= scale
+                    latencies[index] = latency if latency > 1.0 else 1.0
+            if wait:
+                total = float(
+                    max(steps[index] + latencies[index] for index in range(count))
+                )
+            else:
+                total = max(count * gap, 1.0)
+        else:
+            stamps = now + steps
+            extras = flow.advance_batch(stamps)
+            draws = self._jitter.take(count)
+            latencies = None
+            if wait or record:
+                link_rtt = timing.remote_l2_hit - timing.local_l2_hit
+                latencies = link_rtt + extras + timing.jitter_remote_hit * draws
+                if self._latency_scale is not None:
+                    latencies *= self._latency_scale[exec_gpu]
+                np.maximum(latencies, 1.0, out=latencies)
+            if wait:
+                total = float(np.max(steps + latencies))
+            else:
+                total = max(count * gap, 1.0)
+        line = self.spec.gpu.cache.line_size
+        self.gpus[exec_gpu].counters.nvlink_bytes_in += count * line
+        self.gpus[dst_gpu].counters.nvlink_bytes_out += count * line
+        if self.tracer is not None:
+            self.tracer.emit(
+                "link_probe",
+                "nvlink",
+                now,
+                dur=total,
+                gpu=exec_gpu,
+                args={
+                    "src": exec_gpu,
+                    "dst": dst_gpu,
+                    "transfers": count,
+                    "hops": flow.hops,
+                    "wait": wait,
+                },
+            )
+        return latencies, total
+
     # ------------------------------------------------------------------
     # Batch service cores (shared by access_batch and access_epoch)
     # ------------------------------------------------------------------
@@ -886,28 +986,19 @@ class MultiGPUSystem:
         batched = count >= 16
         if batched:
             jitter = self._jitter.take_list(count)
-        # Remote bursts walk the link route inline: the route, per-edge
-        # serialization and lane lists are loop-invariant, and the lane
-        # lists hold plain Python floats, so the per-access reservation
-        # below replays :meth:`Interconnect.transfer`'s exact arithmetic
-        # without its per-call route/counter work.  Counters flush once
-        # per burst (the batch path's accounting); with a tracer attached
-        # the per-access calls are kept so stall events stay faithful.
+        # Remote bursts walk the link route through the interconnect's
+        # cached flow (:meth:`Interconnect.route_state`): the route,
+        # per-edge serialization and lane lists are hoisted once per flow
+        # and ``advance_one`` replays :meth:`Interconnect.transfer`'s
+        # exact arithmetic without its per-call route/counter work.
+        # Counters flush once per burst (the batch path's accounting);
+        # with a tracer attached the per-access calls are kept so stall
+        # events stay faithful.
         inter = self.interconnect
         inline_link = remote and inter.tracer is None
         if inline_link:
-            route = inter.topology.path(exec_gpu, home)
-            degraded = inter._degraded
-            base_serialization = inter.spec.nvlink.serialization_cycles
-            link_edges = []
-            for edge in route:
-                serialization = base_serialization
-                if degraded:
-                    serialization *= degraded.get(edge, 1.0)
-                link_edges.append(
-                    (edge, inter._lane_state(edge, owner), serialization, [0.0])
-                )
-            hop_pad = (len(route) - 1) * self.spec.timing.per_extra_hop
+            link_flow = inter.route_state(exec_gpu, home, owner)
+            advance_link = link_flow.advance_one
         latencies = []
         hits = []
         misses = 0
@@ -960,24 +1051,7 @@ class MultiGPUSystem:
                         + hbm_occupy(paddrs_l[at], stamp)
                     )
                 if inline_link:
-                    extra = 0.0
-                    clk = stamp
-                    for _edge, lanes, serialization, wait_acc in link_edges:
-                        # First-minimum lane, like the reference's
-                        # ``min(range(len(lanes)), key=...)`` (<= keeps the
-                        # tie on lane 0); the two-lane case is the common
-                        # NVLink shape and skips the ``min`` machinery.
-                        if len(lanes) == 2:
-                            lane = 0 if lanes[0] <= lanes[1] else 1
-                        else:
-                            lane = min(range(len(lanes)), key=lanes.__getitem__)
-                        lane_busy = lanes[lane]
-                        lane_wait = lane_busy - clk if lane_busy > clk else 0.0
-                        lanes[lane] = clk + lane_wait + serialization
-                        wait_acc[0] += lane_wait
-                        extra += lane_wait
-                        clk += lane_wait + serialization
-                    latency += extra + hop_pad
+                    latency += advance_link(stamp)
                 elif remote:
                     latency += transfer(exec_gpu, home, stamp, owner)[0]
                 if scale != 1.0:
@@ -1000,13 +1074,7 @@ class MultiGPUSystem:
             bank_busy[bank] = busy
         store._tick = tick
         if inline_link:
-            transfers_c = inter._transfers
-            queued_c = inter._queued_cycles
-            busy_c = inter._busy_cycles
-            for edge, _lanes, serialization, wait_acc in link_edges:
-                transfers_c[edge] += count
-                queued_c[edge] += wait_acc[0]
-                busy_c[edge] += serialization * count
+            link_flow.flush_counters()
         return latencies, hits, misses, evictions, total
 
     def _count_batch(

@@ -24,6 +24,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..config import DGXSpec
 from ..errors import ConfigurationError
 
@@ -61,6 +63,11 @@ class Topology:
         for a, b in spec.nvlink_edges:
             self._adj[a].append(b)
             self._adj[b].append(a)
+        #: Dense index of each physical link -- the column order of every
+        #: columnar fabric array (lane busy-times, serialization factors).
+        self.edge_index: Dict[Edge, int] = {
+            edge: i for i, edge in enumerate(self.edges)
+        }
         if self.routing == "ecmp":
             self._paths = self._all_pairs_paths_ecmp()
         else:
@@ -70,6 +77,11 @@ class Topology:
         #: are rebuilt around them, physical adjacency is untouched.
         self._disabled: FrozenSet[Edge] = frozenset()
         self._routable_pairs = frozenset(self._paths)
+        #: Bumped on every route rebuild (link flap / restore) so cached
+        #: per-flow route state in the interconnect can invalidate itself
+        #: with one integer compare instead of re-deriving the route.
+        self.routes_version = 0
+        self._route_hops, self._route_edges = self._build_route_table()
 
     def is_switch(self, node: int) -> bool:
         """True for NVSwitch forwarding vertices (no memory, no kernels)."""
@@ -91,8 +103,10 @@ class Topology:
 
     def hops(self, a: int, b: int) -> int:
         """NVLink hop count of the chosen route (0 for a == b)."""
-        path = self.path(a, b)
-        return len(path)
+        count = int(self._route_hops[a, b])
+        if count < 0:
+            raise ConfigurationError(f"no NVLink route between GPU {a} and GPU {b}")
+        return count
 
     def path(self, a: int, b: int) -> Tuple[Edge, ...]:
         """Route from ``a`` to ``b`` as a tuple of link edges."""
@@ -142,6 +156,7 @@ class Topology:
             return False
         self._disabled = trial
         self._paths = paths
+        self._refresh_route_table()
         return True
 
     def enable_edge(self, edge) -> None:
@@ -151,10 +166,42 @@ class Topology:
             return
         self._disabled = self._disabled - {edge}
         self._paths = self._rebuild_paths(self._disabled)
+        self._refresh_route_table()
 
     @property
     def disabled_edges(self) -> FrozenSet[Edge]:
         return self._disabled
+
+    # ------------------------------------------------------------------
+    # Columnar route tables
+    # ------------------------------------------------------------------
+    def route_table(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Current routes as numpy matrices for the vectorized fabric.
+
+        Returns ``(hop_counts, hop_edges)``: ``hop_counts[a, b]`` is the
+        route length (``-1`` when the pair is unroutable) and
+        ``hop_edges[a, b, k]`` the :attr:`edge_index` of the route's
+        ``k``-th link, ``-1``-padded past the route length.  Rebuilt --
+        and :attr:`routes_version` bumped -- whenever a link flap or
+        restore rebuilds :meth:`path`.
+        """
+        return self._route_hops, self._route_edges
+
+    def _build_route_table(self) -> Tuple[np.ndarray, np.ndarray]:
+        n = self.num_nodes
+        hop_counts = np.full((n, n), -1, dtype=np.int64)
+        longest = max((len(route) for route in self._paths.values()), default=0)
+        hop_edges = np.full((n, n, max(longest, 1)), -1, dtype=np.int64)
+        edge_index = self.edge_index
+        for (a, b), route in self._paths.items():
+            hop_counts[a, b] = len(route)
+            for k, edge in enumerate(route):
+                hop_edges[a, b, k] = edge_index[edge]
+        return hop_counts, hop_edges
+
+    def _refresh_route_table(self) -> None:
+        self.routes_version += 1
+        self._route_hops, self._route_edges = self._build_route_table()
 
     def _rebuild_paths(
         self, disabled: FrozenSet[Edge]

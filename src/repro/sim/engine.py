@@ -20,12 +20,13 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
 from ..errors import SimulationError
-from .epoch import EpochCursor
+from .epoch import EpochCursor, LinkEpochCursor
 from .ops import (
     Access,
     AccessEpoch,
     Compute,
     Fence,
+    LinkEpoch,
     LinkProbe,
     ProbeEpoch,
     ProbeResult,
@@ -308,6 +309,10 @@ class Engine:
                         cursor = EpochCursor(op, handle, self.system, when)
                         handle.cursor = cursor
                         handle.pending = None
+                    elif type(op) is LinkEpoch:
+                        cursor = LinkEpochCursor(op, handle, self.system, when)
+                        handle.cursor = cursor
+                        handle.pending = None
                     else:
                         if metrics is None:
                             latency, result = self._execute(op, handle, when)
@@ -345,9 +350,10 @@ class Engine:
                         time.perf_counter() - resume_wall,
                         finished,
                     )
-                stats.count_op("AccessEpoch", cursor.resumed_accesses)
+                op_name = type(cursor.op).__name__
+                stats.count_op(op_name, cursor.resumed_accesses)
                 if metrics is not None:
-                    metrics.count_op("AccessEpoch", cursor.resumed_accesses)
+                    metrics.count_op(op_name, cursor.resumed_accesses)
                     metrics.count_epoch_resume(
                         cursor.resumed_bursts, cursor.resumed_accesses
                     )

@@ -26,7 +26,9 @@ from typing import Any, Generator, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
-from ..errors import SimulationError
+from ..errors import PeerAccessError, SimulationError
+from ..hw.interconnect import SMALL_BATCH, FabricFlow
+from ..hw.occupancy import multi_server_waits_scalar
 from .ops import (
     AccessEpoch,
     Compute,
@@ -34,6 +36,11 @@ from .ops import (
     EpochIdle,
     EpochOutcome,
     EpochRepeat,
+    LinkBurst,
+    LinkEpoch,
+    LinkFlood,
+    LinkOutcome,
+    LinkPad,
     ProbeEpoch,
     ProbeSet,
     Sleep,
@@ -43,7 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..hw.system import MultiGPUSystem
     from .engine import StreamHandle
 
-__all__ = ["EpochCursor", "epochify"]
+__all__ = ["EpochCursor", "LinkEpochCursor", "epochify"]
 
 _INF = float("inf")
 
@@ -347,6 +354,531 @@ class EpochCursor:
             remote=self.remote,
             bursts=self.bursts,
             accesses=self.accesses,
+            begin=self.begin,
+            end=self.clock,
+        )
+
+
+class LinkEpochCursor:
+    """Resumable execution state of one in-flight :class:`LinkEpoch`.
+
+    The fabric-channel sibling of :class:`EpochCursor`: same suspension
+    machinery (deadline fences, ``lead``/``last_advance`` FIFO tie keys,
+    one-shot pad pauses), but the serviced resource is the NVLink fabric
+    via :meth:`~repro.hw.system.MultiGPUSystem.service_link_burst` over a
+    cached :class:`~repro.hw.interconnect.FabricFlow`.  Peer access is
+    validated once at construction; the flow itself is re-fetched per
+    burst through :meth:`~repro.hw.interconnect.Interconnect.route_state`
+    so link flaps, degradations and lane reassignments landing between
+    resumes are picked up (chaos events cap the resume deadline, so no
+    fabric mutation can land *inside* a resume).
+    """
+
+    __slots__ = (
+        "op", "handle", "system", "begin", "clock",
+        "round_index", "round_start", "in_round", "seg_index", "stop_time",
+        "idle_pause", "lead", "last_advance", "key_lead", "key_since",
+        "bursts", "accesses", "scalar_bursts", "remote",
+        "resumed_accesses", "resumed_bursts",
+        "service_cycles", "suspends",
+        "_width", "_steps", "_fast", "_fast_seg", "_starts", "_lats",
+    )
+
+    def __init__(
+        self,
+        op: LinkEpoch,
+        handle: "StreamHandle",
+        system: "MultiGPUSystem",
+        begin: float,
+    ) -> None:
+        self.op = op
+        self.handle = handle
+        self.system = system
+        self.begin = begin
+        self.clock = begin
+        self.round_index = 0
+        self.round_start = begin
+        self.in_round = False
+        self.seg_index = 0
+        #: Absolute stop time resolved once: ``end_time`` or the begin
+        #: plus ``duration_cycles`` (the flooder's horizon).
+        self.stop_time: Optional[float] = op.end_time
+        if op.duration_cycles is not None:
+            horizon = begin + op.duration_cycles
+            if self.stop_time is None or horizon < self.stop_time:
+                self.stop_time = horizon
+        self.idle_pause = None
+        self.lead = 0
+        self.last_advance = begin
+        self.key_lead = 0
+        self.key_since = begin
+        self.bursts = 0
+        #: Transfers serviced (the link analogue of epoch accesses).
+        self.accesses = 0
+        self.scalar_bursts = 0
+        self.remote = True
+        self.resumed_accesses = 0
+        self.resumed_bursts = 0
+        self.service_cycles = 0.0
+        self.suspends = 0
+        self._width: Optional[int] = None
+        #: ``arange(count) * gap`` issue-offset arrays, keyed by
+        #: (count, gap) -- stable across rounds for fixed-size bursts.
+        self._steps = {}
+        #: Fused small-burst closures keyed by
+        #: (dst, count, gap, wait, record); see :meth:`_build_fast_burst`.
+        #: Used by the flood path, whose burst size varies per round.
+        self._fast = {}
+        #: Per-segment closure cache for :class:`LinkBurst` segments,
+        #: whose shape is static: ``False`` marks an ineligible (wide)
+        #: burst, ``None`` an unbuilt one.
+        self._fast_seg: List = [None] * len(op.segments)
+        self._starts: List[float] = []
+        self._lats: List[np.ndarray] = []
+        exec_gpu = handle.gpu_id
+        process = handle.process
+        for seg in op.segments:
+            dst = getattr(seg, "dst_gpu", None)
+            if dst is None:
+                continue
+            if dst == exec_gpu:
+                raise PeerAccessError("link probes need a remote destination GPU")
+            if not process.has_peer_access(exec_gpu, dst):
+                raise PeerAccessError(
+                    f"process {process.name!r} has no peer access from GPU "
+                    f"{exec_gpu} to GPU {dst}"
+                )
+
+    # ------------------------------------------------------------------
+    def resume(self, now: float, deadline: float) -> bool:
+        """Advance until the epoch finishes or ``deadline`` interleaves.
+
+        Same contract as :meth:`EpochCursor.resume`: returns ``True`` on
+        completion, otherwise the cursor clock is the re-queue time and
+        ``key_lead``/``key_since`` carry the scalar twin's FIFO tie key.
+        """
+        op = self.op
+        clock = self.clock
+        if now > clock:
+            clock = now
+        entry = clock
+        serviced = False
+        self.resumed_accesses = 0
+        self.resumed_bursts = 0
+        segments = op.segments
+        num_segments = len(segments)
+        service = self._service
+        fast_seg = self._fast_seg
+        lead = self.lead
+        last_advance = self.last_advance
+        while True:
+            if not self.in_round:
+                if clock >= deadline and (serviced or clock > entry):
+                    return self._suspend(
+                        clock, lead, lead + op.round_reads, last_advance
+                    )
+                if op.rounds is not None and self.round_index >= op.rounds:
+                    break
+                if self.stop_time is not None and clock >= self.stop_time:
+                    break
+                self.in_round = True
+                self.seg_index = 0
+                self.round_start = clock
+                lead += op.round_reads
+            while self.seg_index < num_segments:
+                seg = segments[self.seg_index]
+                kind = type(seg)
+                if kind is LinkBurst:
+                    if clock >= deadline and (serviced or clock > entry):
+                        return self._suspend(clock, lead, lead, last_advance)
+                    start = clock
+                    seg_at = self.seg_index
+                    fast = fast_seg[seg_at]
+                    if fast is None:
+                        count = int(seg.num_transfers)
+                        fast = False
+                        if count < SMALL_BATCH:
+                            fast = self._build_fast_burst(
+                                seg.dst_gpu, count, float(seg.gap_cycles),
+                                seg.wait, seg.record,
+                            )
+                        fast_seg[seg_at] = fast
+                    outcome = fast(start) if fast is not False else None
+                    if outcome is None:
+                        clock = start + service(
+                            seg.dst_gpu, seg.num_transfers, seg.gap_cycles,
+                            seg.wait, seg.record, start,
+                        )
+                    else:
+                        latencies, total = outcome
+                        count = seg.num_transfers
+                        self.bursts += 1
+                        self.resumed_bursts += 1
+                        self.accesses += count
+                        self.resumed_accesses += count
+                        self.service_cycles += total
+                        if seg.record:
+                            width = self._width
+                            if width is None:
+                                self._width = count
+                            elif count != width:
+                                raise SimulationError(
+                                    "recorded link-epoch bursts must share "
+                                    "one width; use record=False for "
+                                    "heterogeneous plans"
+                                )
+                            self._starts.append(start)
+                            self._lats.append(latencies)
+                        clock = start + total
+                    last_advance = start
+                    lead = 0
+                    serviced = True
+                elif kind is LinkFlood:
+                    if clock >= deadline and (serviced or clock > entry):
+                        return self._suspend(clock, lead, lead, last_advance)
+                    # One scalar flooder iteration, arithmetic verbatim:
+                    # size the posted burst to the remaining window, then
+                    # hold the paced remainder of its lane reservation.
+                    if self.stop_time is not None:
+                        window = min(seg.burst_cycles, self.stop_time - clock)
+                    else:
+                        window = seg.burst_cycles
+                    count = max(1, int(window / seg.occupancy_per_transfer))
+                    start = clock
+                    clock = start + service(
+                        seg.dst_gpu, count, seg.gap_cycles, False, False, start
+                    )
+                    last_advance = start
+                    lead = 0
+                    serviced = True
+                    hold = max(
+                        count * seg.occupancy_per_transfer
+                        - count * seg.gap_cycles,
+                        0.0,
+                    )
+                    if hold > 0.0:
+                        last_advance = clock
+                        clock += hold
+                        lead = 0
+                elif kind is LinkPad:
+                    # The trojan's slot alignment: one clock read, one
+                    # sleep of the remainder, no re-check read after it.
+                    target = self.round_start + seg.until
+                    here = (self.round_index, self.seg_index)
+                    lead += 1
+                    if target > clock:
+                        if self.idle_pause != here:
+                            # The twin pushes its pad Sleep here; suspend
+                            # once so this cursor's re-push takes the same
+                            # FIFO slot when streams converge on a common
+                            # slot grid (see EpochIdle's chunked wait).
+                            self.idle_pause = here
+                            return self._suspend(
+                                clock, lead - 1, lead, last_advance
+                            )
+                        last_advance = clock
+                        clock += target - clock
+                        lead = 0
+                    if self.idle_pause == here:
+                        self.idle_pause = None
+                elif kind is EpochIdle:
+                    if seg.cycles:
+                        last_advance = clock
+                        clock += seg.cycles
+                        lead = 0
+                    if seg.until is not None:
+                        target = self.round_start + seg.until
+                        if target > clock:
+                            last_advance = clock
+                            clock = target
+                            lead = 0
+                else:
+                    raise SimulationError(
+                        f"LinkEpoch segment {seg!r} is not a "
+                        "burst/flood/pad/idle"
+                    )
+                self.seg_index += 1
+            if op.period is not None:
+                if op.round_reads:
+                    lead += 1
+                remaining = op.period - (clock - self.round_start)
+                if remaining > 0:
+                    last_advance = clock
+                    clock += remaining
+                    lead = 0
+            self.round_index += 1
+            self.in_round = False
+        self.clock = clock
+        self.lead = lead
+        self.last_advance = last_advance
+        return True
+
+    def _suspend(
+        self, clock: float, lead: int, key_lead: int, last_advance: float
+    ) -> bool:
+        self.clock = clock
+        self.lead = lead
+        self.key_lead = key_lead
+        self.key_since = last_advance
+        self.last_advance = last_advance
+        self.suspends += 1
+        return False
+
+    def _build_fast_burst(
+        self, dst_gpu: int, count: int, gap: float, wait: bool, record: bool
+    ):
+        """Fused small-burst service closure for one burst shape.
+
+        Inlines the whole ``service_link_burst`` + ``advance_batch_small``
+        stack -- route revalidation, lane walk, jitter, latency math, byte
+        counters -- into one call frame with every constant pre-bound, the
+        link analogue of the fused L2 small-burst core.  The closure
+        returns ``(latencies, total)``, or ``None`` to fall back to the
+        generic path whenever a hook is attached (tracer, metrics, DVFS
+        latency scaling) or the flow is not a plain :class:`FabricFlow`
+        (lane-partitioned fabrics shape per burst) -- exactly the cases
+        that need per-burst emission or extra arithmetic.  Each float
+        expression mirrors the generic path, so results stay bitwise.
+        """
+        system = self.system
+        handle = self.handle
+        exec_gpu = handle.gpu_id
+        pid = handle.process.pid
+        timing = system.spec.timing
+        link_rtt = timing.remote_l2_hit - timing.local_l2_hit
+        jitter_amp = timing.jitter_remote_hit
+        burst_bytes = count * system.spec.gpu.cache.line_size
+        counters_exec = system.gpus[exec_gpu].counters
+        counters_dst = system.gpus[dst_gpu].counters
+        pool = system._jitter
+        steps = [index * gap for index in range(count)]
+        indices = range(count)
+        lane_walk = multi_server_waits_scalar
+        two = count == 2
+
+        def run(now: float):
+            inter = system.interconnect
+            if (
+                system.tracer is not None
+                or inter.tracer is not None
+                or inter.metrics is not None
+                or system._latency_scale is not None
+            ):
+                return None
+            flow = inter.route_state(exec_gpu, dst_gpu, pid)
+            if type(flow) is not FabricFlow:
+                return None
+            transfers = inter._transfers
+            queued = inter._queued_cycles
+            busy_cycles = inter._busy_cycles
+            if two and flow.hops == 1:
+                lane_state = flow.lanes[0]
+                if len(lane_state) == 2:
+                    # Pair-probe shape (the linkgram sweep): unroll the
+                    # 2-lane/2-request least-busy walk.  Expressions track
+                    # multi_server_waits_scalar exactly: lane sort, consume
+                    # vs chain branch, pairwise exit sort.
+                    edge = flow.edges[0]
+                    serialization = flow.serialization[0]
+                    lane0 = lane_state[0]
+                    lane1 = lane_state[1]
+                    if lane0 > lane1:
+                        lane0, lane1 = lane1, lane0
+                    stamp1 = now + gap
+                    start = now if now >= lane0 else lane0
+                    wait0 = start - now
+                    depart0 = start + serialization
+                    if lane1 <= depart0:
+                        start = stamp1 if stamp1 >= lane1 else lane1
+                        wait1 = start - stamp1
+                        depart1 = start + serialization
+                        if depart0 > depart1:
+                            lane_state[0] = depart1
+                            lane_state[1] = depart0
+                        else:
+                            lane_state[0] = depart0
+                            lane_state[1] = depart1
+                    else:
+                        wait1 = depart0 - stamp1
+                        if wait1 < 0.0:
+                            wait1 = 0.0
+                        depart1 = stamp1 + wait1 + serialization
+                        if lane1 > depart1:
+                            lane_state[0] = depart1
+                            lane_state[1] = lane1
+                        else:
+                            lane_state[0] = lane1
+                            lane_state[1] = depart1
+                    transfers[edge] += 2
+                    queued[edge] += wait0 + wait1
+                    busy_cycles[edge] += serialization * 2
+                    pad = flow.hop_pad
+                    if pad:
+                        wait0 += pad
+                        wait1 += pad
+                    position = pool._pos
+                    if position + 2 <= pool._block:
+                        draws = pool._buf[position : position + 2].tolist()
+                        pool._pos = position + 2
+                    else:
+                        draws = pool.take_list(2)
+                    latencies = None
+                    if wait or record:
+                        lat0 = link_rtt + wait0 + jitter_amp * draws[0]
+                        lat1 = link_rtt + wait1 + jitter_amp * draws[1]
+                        latencies = [
+                            lat0 if lat0 > 1.0 else 1.0,
+                            lat1 if lat1 > 1.0 else 1.0,
+                        ]
+                    if wait:
+                        total = latencies[0]
+                        candidate = gap + latencies[1]
+                        if candidate > total:
+                            total = candidate
+                    else:
+                        total = 2 * gap
+                        if total < 1.0:
+                            total = 1.0
+                    counters_exec.nvlink_bytes_in += burst_bytes
+                    counters_dst.nvlink_bytes_out += burst_bytes
+                    return latencies, total
+            stamps = [now + step for step in steps]
+            if flow.hops == 1:
+                # Direct link: the per-hop waits ARE the extras, so the
+                # next-hop stamp roll and the extras accumulator drop out.
+                edge = flow.edges[0]
+                serialization = flow.serialization[0]
+                lane_state = flow.lanes[0]
+                extras, new_busy = lane_walk(lane_state, stamps, serialization)
+                lane_state[:] = new_busy
+                transfers[edge] += count
+                hop_wait = 0.0
+                for wait_cycles in extras:
+                    hop_wait += wait_cycles
+                queued[edge] += hop_wait
+                busy_cycles[edge] += serialization * count
+            else:
+                extras = [0.0] * count
+                edges = flow.edges
+                serialization_by_hop = flow.serialization
+                lanes_by_hop = flow.lanes
+                for hop in range(flow.hops):
+                    edge = edges[hop]
+                    serialization = serialization_by_hop[hop]
+                    waits, new_busy = lane_walk(
+                        lanes_by_hop[hop], stamps, serialization
+                    )
+                    lanes_by_hop[hop][:] = new_busy
+                    transfers[edge] += count
+                    hop_wait = 0.0
+                    for index in indices:
+                        wait_cycles = waits[index]
+                        hop_wait += wait_cycles
+                        extras[index] += wait_cycles
+                        stamps[index] += wait_cycles + serialization
+                    queued[edge] += hop_wait
+                    busy_cycles[edge] += serialization * count
+            pad = flow.hop_pad
+            if pad:
+                for index in indices:
+                    extras[index] += pad
+            position = pool._pos
+            if position + count <= pool._block:
+                draws = pool._buf[position : position + count].tolist()
+                pool._pos = position + count
+            else:
+                draws = pool.take_list(count)
+            latencies = None
+            if wait or record:
+                latencies = [0.0] * count
+                for index in indices:
+                    latency = link_rtt + extras[index] + jitter_amp * draws[index]
+                    latencies[index] = latency if latency > 1.0 else 1.0
+            if wait:
+                total = steps[0] + latencies[0]
+                for index in indices:
+                    candidate = steps[index] + latencies[index]
+                    if candidate > total:
+                        total = candidate
+            else:
+                total = count * gap
+                if total < 1.0:
+                    total = 1.0
+            counters_exec.nvlink_bytes_in += burst_bytes
+            counters_dst.nvlink_bytes_out += burst_bytes
+            return latencies, total
+
+        return run
+
+    def _service(
+        self,
+        dst_gpu: int,
+        num_transfers: int,
+        gap_cycles: float,
+        wait: bool,
+        record: bool,
+        clock: float,
+    ) -> float:
+        system = self.system
+        count = int(num_transfers)
+        gap = float(gap_cycles)
+        serviced = None
+        if count < SMALL_BATCH:
+            key = (dst_gpu, count, gap, wait, record)
+            fast = self._fast.get(key)
+            if fast is None:
+                fast = self._build_fast_burst(dst_gpu, count, gap, wait, record)
+                self._fast[key] = fast
+            serviced = fast(clock)
+        if serviced is None:
+            handle = self.handle
+            steps = self._steps.get((count, gap))
+            if steps is None:
+                # Plain-list offsets below the small-batch threshold steer
+                # service_link_burst down the pure-Python fabric walk.
+                if count < SMALL_BATCH:
+                    steps = [index * gap for index in range(count)]
+                else:
+                    steps = np.arange(count, dtype=np.float64) * gap
+                self._steps[(count, gap)] = steps
+            flow = system.interconnect.route_state(
+                handle.gpu_id, dst_gpu, owner=handle.process.pid
+            )
+            serviced = system.service_link_burst(
+                handle.process, dst_gpu, handle.gpu_id, clock,
+                count, gap, wait, record, flow, steps=steps,
+            )
+        latencies, total = serviced
+        self.bursts += 1
+        self.resumed_bursts += 1
+        self.accesses += count
+        self.resumed_accesses += count
+        self.service_cycles += total
+        if record:
+            if self._width is None:
+                self._width = count
+            elif count != self._width:
+                raise SimulationError(
+                    "recorded link-epoch bursts must share one width; "
+                    "use record=False for heterogeneous plans"
+                )
+            self._starts.append(clock)
+            self._lats.append(latencies)
+        return total
+
+    def take_outcome(self) -> LinkOutcome:
+        """Assemble the columnar result (call once, after completion)."""
+        if self._starts:
+            starts = np.asarray(self._starts, dtype=np.float64)
+            latencies = np.vstack(self._lats)
+        else:
+            starts = np.empty(0, dtype=np.float64)
+            latencies = np.empty((0, self._width or 0), dtype=np.float64)
+        return LinkOutcome(
+            starts=starts,
+            latencies=latencies,
+            bursts=self.bursts,
+            transfers=self.accesses,
             begin=self.begin,
             end=self.clock,
         )

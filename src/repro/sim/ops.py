@@ -20,6 +20,7 @@ op                        result sent back into the generator
 :class:`ProbeEpoch`       ``EpochResult`` (per-set latencies, ...)
 :class:`AccessEpoch`      ``EpochOutcome`` (columnar per-burst arrays, ...)
 :class:`LinkProbe`        ``LinkProbeResult`` (per-transfer latencies, ...)
+:class:`LinkEpoch`        ``LinkOutcome`` (columnar per-burst arrays, ...)
 :class:`Store`            ``AccessResult`` (like :class:`Access`)
 :class:`SharedStore`      ``None``
 :class:`Compute`          ``None``
@@ -54,6 +55,10 @@ __all__ = [
     "EpochIdle",
     "EpochRepeat",
     "LinkProbe",
+    "LinkEpoch",
+    "LinkBurst",
+    "LinkFlood",
+    "LinkPad",
     "Store",
     "SharedStore",
     "Compute",
@@ -65,6 +70,7 @@ __all__ = [
     "EpochResult",
     "EpochOutcome",
     "LinkProbeResult",
+    "LinkOutcome",
 ]
 
 
@@ -245,6 +251,84 @@ class LinkProbe:
     #: Cycles between consecutive issue slots.
     gap_cycles: float = 0.0
     wait: bool = True
+
+
+@dataclass(frozen=True)
+class LinkBurst:
+    """One timed :class:`LinkProbe`-equivalent burst inside a
+    :class:`LinkEpoch`.
+
+    Same fabric semantics as :class:`LinkProbe` (``wait=True`` dependent
+    round-trips advance the clock to the last completion; ``wait=False``
+    posted writes only pay the issue window) but serviced by the epoch
+    cursor through the cached columnar fabric flow instead of a heap
+    event per burst.  ``record=False`` skips latency assembly (a trojan's
+    posted floods: lane reservations and counters only).
+    """
+
+    dst_gpu: int
+    num_transfers: int = 4
+    #: Cycles between consecutive issue slots.
+    gap_cycles: float = 0.0
+    wait: bool = True
+    record: bool = False
+
+
+@dataclass(frozen=True)
+class LinkFlood:
+    """A self-paced flood window inside a :class:`LinkEpoch`.
+
+    One round of the scalar flooder loop as a declarative segment: fill a
+    ``burst_cycles`` window with back-to-back posted transfers
+    (``count = max(1, int(window / occupancy_per_transfer))``, window
+    clipped to the epoch's remaining time), then hold the stream for the
+    paced remainder ``count * occupancy - count * gap_cycles`` so the
+    flood sustains its calibrated duty cycle instead of racing ahead.
+    """
+
+    dst_gpu: int
+    #: Calibrated cycles of link occupancy bought per posted transfer.
+    occupancy_per_transfer: float
+    burst_cycles: float = 2500.0
+    #: Cycles between consecutive issue slots.
+    gap_cycles: float = 1.0
+
+
+@dataclass(frozen=True)
+class LinkPad:
+    """Pad the stream to an absolute point on the round's time axis.
+
+    The trojan's slot alignment: ``clock = max(clock, round_start +
+    until)``, mirroring the scalar kernel's single clock read followed by
+    one ``Sleep`` of the remainder (no re-check read after the sleep --
+    unlike :class:`EpochIdle`'s chunked wait loop, so the suspension keys
+    of both backends line up transfer-for-transfer).
+    """
+
+    until: float
+
+
+@dataclass(frozen=True)
+class LinkEpoch:
+    """A whole fabric-channel *plan*, advanced in bulk by the engine.
+
+    The NVLink counterpart of :class:`AccessEpoch`: ``segments`` run in
+    order once per round; ``rounds=None`` repeats until ``end_time`` (or
+    ``duration_cycles`` past the epoch's begin) stops the plan at a round
+    start.  ``period`` pads each round out to a fixed grid, and
+    ``round_reads`` plays the same FIFO-order role as on
+    :class:`AccessEpoch` (the scalar kernels' per-round ``ReadClock``).
+    The route, peer-access check, and per-hop serialization state are
+    resolved once per epoch and reused across every burst.
+    """
+
+    segments: Tuple[Union["LinkBurst", "LinkFlood", "LinkPad", EpochIdle], ...]
+    rounds: Optional[int] = 1
+    period: Optional[float] = None
+    end_time: Optional[float] = None
+    #: Convenience terminator: ``end_time = begin + duration_cycles``.
+    duration_cycles: Optional[float] = None
+    round_reads: int = 1
 
 
 @dataclass(frozen=True)
@@ -451,3 +535,45 @@ class EpochOutcome:
         return np.add.reduceat(
             misses.astype(np.int64), self.set_offsets, axis=1
         )
+
+
+class LinkOutcome:
+    """Columnar outcome of a :class:`LinkEpoch`.
+
+    One row per *recorded* :class:`LinkBurst`, in execution order:
+    ``starts[b]`` is the burst's absolute issue time, ``latencies[b]``
+    its per-transfer observed latencies in issue order.  All recorded
+    bursts of one epoch share a width (enforced by the cursor), so the
+    spy's per-slot medians fall out of one sort.
+    """
+
+    __slots__ = ("starts", "latencies", "bursts", "transfers", "begin", "end")
+
+    def __init__(
+        self,
+        starts: np.ndarray,
+        latencies: np.ndarray,
+        bursts: int,
+        transfers: int,
+        begin: float,
+        end: float,
+    ) -> None:
+        self.starts = starts
+        self.latencies = latencies
+        #: Bursts serviced (including unrecorded floods).
+        self.bursts = bursts
+        #: Transfers serviced (including unrecorded floods).
+        self.transfers = transfers
+        self.begin = begin
+        self.end = end
+
+    @property
+    def num_recorded(self) -> int:
+        return int(self.starts.shape[0])
+
+    def medians(self) -> np.ndarray:
+        """Per-burst median latency (matches ``sorted(x)[len // 2]``)."""
+        if self.latencies.size == 0:
+            return np.zeros(self.num_recorded, dtype=np.float64)
+        width = self.latencies.shape[1]
+        return np.sort(self.latencies, axis=1)[:, width // 2]

@@ -1,15 +1,17 @@
 """Stateful equivalence: random op streams through both engine arms.
 
 A hypothesis :class:`RuleBasedStateMachine` drives the same randomized
-alloc / access / probe / evict / flush / free stream through two paired
-runtimes -- the columnar epoch arm (vector L2 backend, epoch dispatch)
-and the scalar oracle (per-access L2 backend, per-op dispatch) -- and
+alloc / access / probe / evict / flush / free / link-transfer stream
+through two paired runtimes -- the columnar epoch arm (vector L2
+backend, epoch dispatch, vectorized fabric) and the scalar oracle
+(per-access L2 backend, per-op dispatch, Python fabric walk) -- and
 asserts after every step that the two simulations remain in lockstep:
 identical access results, identical epoch outcomes, identical hardware
-counters, identical per-set cache occupancy, and bitwise identical
-simulation clocks.  Any divergence hypothesis finds is shrunk to a
-minimal op sequence, which is exactly the reproducer a physics bug in
-the batched fast paths needs.
+and fabric counters, identical per-set cache occupancy, and bitwise
+identical simulation clocks.  Fabric rules cover link bursts on both
+sides of the small-batch cutoff, link-flap degradation and restore, and
+a one-shot lane-partitioning reconfiguration, so the shrunk reproducer
+a divergence yields can land in any fabric regime.
 """
 
 from __future__ import annotations
@@ -23,8 +25,18 @@ from hypothesis.stateful import (
 )
 
 from repro.config import DGXSpec
+from repro.defense.partitioning import enable_lane_partitioning
 from repro.runtime.api import Runtime
-from repro.sim.ops import Access, AccessEpoch, EpochBurst, ProbeEpoch, ReadClock
+from repro.sim.ops import (
+    Access,
+    AccessEpoch,
+    EpochBurst,
+    LinkBurst,
+    LinkEpoch,
+    LinkProbe,
+    ProbeEpoch,
+    ReadClock,
+)
 
 MAX_LINES = 48
 
@@ -64,6 +76,12 @@ class EpochScalarEquivalence(RuleBasedStateMachine):
         #: Live allocations: ((buf_epoch, buf_scalar), num_lines).
         self.buffers = []
         self.alloc_counter = 0
+        #: Fabric state, always mutated on both arms together.
+        self.link_edge = tuple(
+            sorted(self.arms[0][0].system.spec.nvlink_edges[0])
+        )
+        self.flapped = False
+        self.partitioned = False
 
     # ------------------------------------------------------------------
     @rule(lines=st.integers(4, MAX_LINES), home=st.integers(0, 1))
@@ -134,6 +152,78 @@ class EpochScalarEquivalence(RuleBasedStateMachine):
         for rt, _proc in self.arms:
             rt.system.gpus[gpu].l2.invalidate_all()
 
+    # ------------------------------------------------------------------
+    @rule(data=st.data())
+    def link_burst(self, data):
+        """Fabric lockstep: a LinkEpoch plan vs ReadClock + LinkProbe.
+
+        ``count`` straddles the small-batch cutoff so the fused closure,
+        the pure-Python walk, and the numpy lane scan all get exercised
+        against the scalar oracle's per-op probes.
+        """
+        count = data.draw(st.integers(1, 12), label="count")
+        gap = data.draw(st.sampled_from([0.0, 1.0, 5.0]), label="gap")
+        wait = data.draw(st.booleans(), label="wait")
+        rounds = data.draw(st.integers(1, 3), label="rounds")
+        exec_gpu = data.draw(st.integers(0, 1), label="exec_gpu")
+        dst_gpu = 1 - exec_gpu
+        (rt_e, proc_e), (rt_s, proc_s) = self.arms
+
+        def epoch_kernel():
+            return (
+                yield LinkEpoch(
+                    (LinkBurst(dst_gpu, count, gap, wait, record=True),),
+                    rounds=rounds,
+                )
+            )
+
+        def scalar_kernel():
+            starts, probes = [], []
+            for _ in range(rounds):
+                starts.append((yield ReadClock()))
+                probes.append((yield LinkProbe(dst_gpu, count, gap, wait)))
+            return starts, probes
+
+        outcome = rt_e.run_kernel(epoch_kernel(), exec_gpu, proc_e)
+        starts, probes = rt_s.run_kernel(scalar_kernel(), exec_gpu, proc_s)
+        assert outcome.starts.tolist() == starts
+        for row, probe in zip(outcome.latencies, probes):
+            assert row.tolist() == list(probe.latencies)
+
+    @precondition(lambda self: not self.flapped)
+    @rule(factor=st.sampled_from([1.5, 2.0, 6.0]))
+    def flap_link(self, factor):
+        """Degrade one link on both arms (a chaos link_flap, held open)."""
+        for rt, _proc in self.arms:
+            rt.system.interconnect.degrade_link(self.link_edge, factor)
+        self.flapped = True
+
+    @precondition(lambda self: self.flapped)
+    @rule()
+    def restore_link(self):
+        for rt, _proc in self.arms:
+            rt.system.interconnect.restore_link(self.link_edge)
+        self.flapped = False
+
+    @precondition(lambda self: not self.partitioned)
+    @rule(
+        num_slices=st.integers(1, 2),
+        rate=st.sampled_from([0.0, 3.0]),
+    )
+    def partition_lanes(self, num_slices, rate):
+        """One-shot fabric reconfiguration, applied to both arms alike.
+
+        Swapping in the partitioned interconnect drops lane reservations
+        and degradation state on both arms identically, so lockstep must
+        survive the reconfiguration and every burst after it.
+        """
+        for rt, _proc in self.arms:
+            enable_lane_partitioning(
+                rt.system, num_slices=num_slices, rate_limit_cycles=rate
+            )
+        self.partitioned = True
+        self.flapped = False
+
     @precondition(lambda self: self.buffers)
     @rule(data=st.data())
     def free(self, data):
@@ -183,6 +273,17 @@ class EpochScalarEquivalence(RuleBasedStateMachine):
         (rt_e, _), (rt_s, _) = self.arms
         assert rt_e.engine.now == rt_s.engine.now
         assert _counters(rt_e) == _counters(rt_s)
+        assert (
+            rt_e.system.interconnect.counters_snapshot()
+            == rt_s.system.interconnect.counters_snapshot()
+        )
+        assert [
+            (g.counters.nvlink_bytes_in, g.counters.nvlink_bytes_out)
+            for g in rt_e.system.gpus
+        ] == [
+            (g.counters.nvlink_bytes_in, g.counters.nvlink_bytes_out)
+            for g in rt_s.system.gpus
+        ]
         for gpu in range(len(rt_e.system.gpus)):
             l2_e = rt_e.system.gpus[gpu].l2
             l2_s = rt_s.system.gpus[gpu].l2
